@@ -1,0 +1,161 @@
+//! Dense materialization — the MADlib data-handling model.
+//!
+//! MADlib requires input in one of three formats (paper Section 5.1): tidy
+//! columns (limited by the DBMS column cap), fixed-length dense arrays, or a
+//! sparse format that its algorithms cannot actually train on. The only
+//! workable path for one-hot data is the dense array format, which stores
+//! every zero explicitly. This module performs that conversion (timed by
+//! the benchmark harness as "preprocessing") and quantifies its cost.
+
+use std::collections::HashMap;
+
+use datasets::{SparseDataset, SparseItem};
+
+/// A dense, materialized dataset: the input format MADlib trains on.
+#[derive(Debug, Clone)]
+pub struct DenseDataset {
+    /// Row-major `n × d` matrix with explicit zeros.
+    pub features: Vec<Vec<f64>>,
+    /// Class index per row.
+    pub labels: Vec<usize>,
+    pub feature_names: Vec<String>,
+    pub label_names: Vec<String>,
+}
+
+impl DenseDataset {
+    pub fn n_rows(&self) -> usize {
+        self.features.len()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Bytes needed to store the dense matrix at 4 bytes per element —
+    /// the paper's Section 5.1 estimate (`2M rows × 4M features × 4 B ≈ 32 TB`
+    /// for Scopus).
+    pub fn storage_bytes(&self) -> u64 {
+        dense_storage_bytes(self.n_rows(), self.n_features())
+    }
+}
+
+/// The paper's dense-storage estimate: `rows × features × 4` bytes.
+pub fn dense_storage_bytes(n_rows: usize, n_features: usize) -> u64 {
+    n_rows as u64 * n_features as u64 * 4
+}
+
+/// Densify a sparse dataset using a feature space fixed by `vocabulary
+/// items` (pass the training split here so test rows project onto the
+/// training feature space, as MADlib's pipeline does).
+pub fn densify_with_vocab(
+    items: &[SparseItem],
+    vocab_items: &[SparseItem],
+    label_names: &mut Vec<String>,
+) -> DenseDataset {
+    // Feature space from the vocabulary split.
+    let mut feature_index: HashMap<&str, usize> = HashMap::new();
+    let mut feature_names: Vec<String> = Vec::new();
+    for item in vocab_items {
+        for (j, _) in &item.features {
+            if !feature_index.contains_key(j.as_str()) {
+                feature_index.insert(j.as_str(), feature_names.len());
+                feature_names.push(j.clone());
+            }
+        }
+    }
+    let mut label_index: HashMap<String, usize> = label_names
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.clone(), i))
+        .collect();
+
+    let d = feature_names.len();
+    let mut features = Vec::with_capacity(items.len());
+    let mut labels = Vec::with_capacity(items.len());
+    for item in items {
+        let mut row = vec![0.0; d];
+        for (j, w) in &item.features {
+            if let Some(&idx) = feature_index.get(j.as_str()) {
+                row[idx] = *w;
+            }
+        }
+        features.push(row);
+        let label = match label_index.get(&item.label) {
+            Some(&i) => i,
+            None => {
+                let i = label_names.len();
+                label_names.push(item.label.clone());
+                label_index.insert(item.label.clone(), i);
+                i
+            }
+        };
+        labels.push(label);
+    }
+    DenseDataset {
+        features,
+        labels,
+        feature_names,
+        label_names: label_names.clone(),
+    }
+}
+
+/// Densify a whole dataset (feature space from the data itself).
+pub fn densify(dataset: &SparseDataset) -> DenseDataset {
+    let mut label_names = Vec::new();
+    densify_with_vocab(&dataset.items, &dataset.items, &mut label_names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::SparseItem;
+
+    fn items() -> Vec<SparseItem> {
+        vec![
+            SparseItem {
+                id: 1,
+                features: vec![("a".into(), 1.0), ("b".into(), 2.0)],
+                label: "x".into(),
+            },
+            SparseItem {
+                id: 2,
+                features: vec![("c".into(), 3.0)],
+                label: "y".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn densify_fills_zeros_explicitly() {
+        let d = densify(&SparseDataset {
+            name: "t".into(),
+            items: items(),
+        });
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.features[0], vec![1.0, 2.0, 0.0]);
+        assert_eq!(d.features[1], vec![0.0, 0.0, 3.0]);
+        assert_eq!(d.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn unseen_test_features_are_dropped() {
+        let train = items();
+        let test = vec![SparseItem {
+            id: 3,
+            features: vec![("a".into(), 1.0), ("zzz".into(), 5.0)],
+            label: "x".into(),
+        }];
+        let mut labels = Vec::new();
+        let _ = densify_with_vocab(&train, &train, &mut labels);
+        let dtest = densify_with_vocab(&test, &train, &mut labels);
+        assert_eq!(dtest.n_features(), 3);
+        assert_eq!(dtest.features[0], vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn storage_estimate_matches_paper() {
+        // Paper: ~2M rows × ~4M features × 4 B ≈ 32 TB.
+        let bytes = dense_storage_bytes(2_000_000, 4_000_000);
+        assert_eq!(bytes, 32_000_000_000_000);
+    }
+}

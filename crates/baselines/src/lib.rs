@@ -1,0 +1,45 @@
+//! # baselines — MADlib stand-ins
+//!
+//! The paper's Section 5 compares BornSQL against logistic regression,
+//! support vector machines, and decision trees as implemented by Apache
+//! MADlib. MADlib is C++ UDFs inside PostgreSQL, which we cannot run here;
+//! this crate implements the same three algorithms over the same *data
+//! handling model* MADlib imposes:
+//!
+//! 1. the input must first be **densified** — materialized into a dense
+//!    row-major feature matrix (MADlib cannot train on sparse input, the
+//!    key limitation Section 5.1 builds its argument on); the
+//!    [`dense::densify`] step is timed separately, mirroring the paper's
+//!    "data preprocessing" timings;
+//! 2. training and inference then run over the dense matrix.
+//!
+//! [`dense::dense_storage_bytes`] reproduces the paper's back-of-envelope
+//! showing the Scopus dataset would need ~32 TB in this format.
+
+pub mod dense;
+pub mod logreg;
+pub mod nbayes;
+pub mod svm;
+pub mod tree;
+
+pub use dense::{dense_storage_bytes, densify, DenseDataset};
+pub use logreg::LogisticRegression;
+pub use nbayes::NaiveBayes;
+pub use svm::LinearSvm;
+pub use tree::DecisionTree;
+
+/// Common interface for the dense baselines (MADlib-style API surface:
+/// fit on a materialized matrix, predict row by row).
+pub trait DenseClassifier {
+    /// Train on a dense matrix with class indexes `0..n_classes`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize);
+    /// Predict the class index of one dense row.
+    fn predict_row(&self, x: &[f64]) -> usize;
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Predict a batch.
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|row| self.predict_row(row)).collect()
+    }
+}

@@ -1,0 +1,153 @@
+//! Multinomial Naive Bayes with Laplace smoothing — MADlib also ships this
+//! (`madlib.create_nb_prepared_data_tables`), and it is the classic
+//! generative comparator for the Born classifier on text (the NeurIPS
+//! paper benchmarks against it). Listed as an extension baseline in
+//! DESIGN.md.
+
+use crate::DenseClassifier;
+
+/// Multinomial NB: `log P(k | x) ∝ log prior_k + Σ_j x_j · log θ_jk`.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// Per-class log priors.
+    log_prior: Vec<f64>,
+    /// Per-class, per-feature log likelihoods (n_classes × d).
+    log_theta: Vec<Vec<f64>>,
+    /// Laplace smoothing pseudo-count.
+    pub alpha: f64,
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        NaiveBayes {
+            log_prior: Vec::new(),
+            log_theta: Vec::new(),
+            alpha: 1.0,
+        }
+    }
+}
+
+impl NaiveBayes {
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing must be positive");
+        NaiveBayes {
+            log_prior: Vec::new(),
+            log_theta: Vec::new(),
+            alpha,
+        }
+    }
+
+    /// Per-class joint log scores for a row.
+    pub fn log_scores(&self, x: &[f64]) -> Vec<f64> {
+        self.log_theta
+            .iter()
+            .zip(&self.log_prior)
+            .map(|(theta, prior)| {
+                let mut s = *prior;
+                for (i, &xi) in x.iter().enumerate() {
+                    if xi != 0.0 {
+                        s += xi * theta[i];
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl DenseClassifier for NaiveBayes {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert_eq!(x.len(), y.len());
+        let d = x.first().map(|r| r.len()).unwrap_or(0);
+        let mut class_counts = vec![0usize; n_classes];
+        let mut feature_totals = vec![vec![0.0f64; d]; n_classes];
+        for (row, &label) in x.iter().zip(y) {
+            class_counts[label] += 1;
+            for (i, &v) in row.iter().enumerate() {
+                feature_totals[label][i] += v;
+            }
+        }
+        let n = x.len().max(1) as f64;
+        self.log_prior = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + self.alpha) / (n + self.alpha * n_classes as f64)).ln())
+            .collect();
+        self.log_theta = feature_totals
+            .iter()
+            .map(|totals| {
+                let mass: f64 = totals.iter().sum::<f64>() + self.alpha * d as f64;
+                totals
+                    .iter()
+                    .map(|&t| ((t + self.alpha) / mass).ln())
+                    .collect()
+            })
+            .collect();
+    }
+
+    fn predict_row(&self, x: &[f64]) -> usize {
+        self.log_scores(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_token_count_classes() {
+        // Class 0 emits feature 0 heavily; class 1 emits feature 1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..30 {
+            x.push(vec![5.0, 1.0]);
+            y.push(0);
+            x.push(vec![1.0, 5.0]);
+            y.push(1);
+        }
+        let mut nb = NaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict_row(&[4.0, 0.0]), 0);
+        assert_eq!(nb.predict_row(&[0.0, 4.0]), 1);
+    }
+
+    #[test]
+    fn priors_break_ties_on_uninformative_input() {
+        // Class 1 is 3× more common; an all-zero row falls back to priors.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            x.push(vec![1.0]);
+            y.push(if i % 4 == 0 { 0 } else { 1 });
+        }
+        let mut nb = NaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict_row(&[0.0]), 1);
+    }
+
+    #[test]
+    fn unseen_feature_is_smoothed_not_fatal() {
+        let x = vec![vec![3.0, 0.0], vec![0.0, 3.0]];
+        let y = vec![0, 1];
+        let mut nb = NaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        // Feature 1 never appeared with class 0: smoothed log-prob is finite.
+        let scores = nb.log_scores(&[0.0, 1.0]);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert_eq!(nb.predict_row(&[0.0, 1.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be positive")]
+    fn zero_alpha_rejected() {
+        NaiveBayes::new(0.0);
+    }
+}

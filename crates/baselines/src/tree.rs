@@ -1,0 +1,287 @@
+//! CART decision tree with Gini impurity — the stand-in for MADlib's
+//! `madlib.tree_train`.
+
+use crate::DenseClassifier;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Binary CART tree on numeric (incl. one-hot) features.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Option<Node>,
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree {
+            root: None,
+            max_depth: 10,
+            min_samples_split: 4,
+        }
+    }
+}
+
+impl DecisionTree {
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        DecisionTree {
+            root: None,
+            max_depth,
+            min_samples_split,
+        }
+    }
+
+    /// Depth of the trained tree (for diagnostics).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        self.root.as_ref().map(d).unwrap_or(0)
+    }
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+struct Builder<'a> {
+    x: &'a [Vec<f64>],
+    y: &'a [usize],
+    n_classes: usize,
+    max_depth: usize,
+    min_samples_split: usize,
+}
+
+impl Builder<'_> {
+    fn class_counts(&self, idxs: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in idxs {
+            counts[self.y[i]] += 1;
+        }
+        counts
+    }
+
+    fn build(&self, idxs: &[usize], depth: usize) -> Node {
+        let counts = self.class_counts(idxs);
+        let node_gini = gini(&counts, idxs.len());
+        if depth >= self.max_depth
+            || idxs.len() < self.min_samples_split
+            || node_gini == 0.0
+        {
+            return Node::Leaf {
+                class: majority(&counts),
+            };
+        }
+
+        // Best (feature, threshold) by Gini gain. For one-hot data the only
+        // useful threshold is 0.5; for counts we scan candidate midpoints.
+        let d = self.x[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+        for f in 0..d {
+            let mut values: Vec<f64> = idxs.iter().map(|&i| self.x[i][f]).collect();
+            values.sort_by(|a, b| a.total_cmp(b));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints (cap the number scanned to
+            // keep one-hot training fast — one-hot has exactly one).
+            let candidates: Vec<f64> = values
+                .windows(2)
+                .take(8)
+                .map(|w| (w[0] + w[1]) / 2.0)
+                .collect();
+            for &thr in &candidates {
+                let mut lc = vec![0usize; self.n_classes];
+                let mut rc = vec![0usize; self.n_classes];
+                let (mut ln, mut rn) = (0usize, 0usize);
+                for &i in idxs {
+                    if self.x[i][f] <= thr {
+                        lc[self.y[i]] += 1;
+                        ln += 1;
+                    } else {
+                        rc[self.y[i]] += 1;
+                        rn += 1;
+                    }
+                }
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let total = (ln + rn) as f64;
+                let impurity =
+                    (ln as f64 / total) * gini(&lc, ln) + (rn as f64 / total) * gini(&rc, rn);
+                if best.is_none_or(|(_, _, b)| impurity < b - 1e-12) {
+                    best = Some((f, thr, impurity));
+                }
+            }
+        }
+
+        // Zero-gain splits are allowed (as in scikit-learn's CART): XOR-like
+        // structure needs a gainless first split before the gainful second
+        // one. Recursion still terminates because both children are
+        // non-empty and depth is bounded.
+        match best {
+            Some((feature, threshold, _impurity)) => {
+                let (mut li, mut ri) = (Vec::new(), Vec::new());
+                for &i in idxs {
+                    if self.x[i][feature] <= threshold {
+                        li.push(i);
+                    } else {
+                        ri.push(i);
+                    }
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(&li, depth + 1)),
+                    right: Box::new(self.build(&ri, depth + 1)),
+                }
+            }
+            _ => Node::Leaf {
+                class: majority(&counts),
+            },
+        }
+    }
+}
+
+impl DenseClassifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            self.root = Some(Node::Leaf { class: 0 });
+            return;
+        }
+        let builder = Builder {
+            x,
+            y,
+            n_classes,
+            max_depth: self.max_depth,
+            min_samples_split: self.min_samples_split,
+        };
+        let idxs: Vec<usize> = (0..x.len()).collect();
+        self.root = Some(builder.build(&idxs, 0));
+    }
+
+    fn predict_row(&self, x: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("tree not fitted");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = vec![0, 1, 1, 0];
+        // Replicate for min_samples_split.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..10 {
+            xs.extend(x.clone());
+            ys.extend(y.clone());
+        }
+        let mut tree = DecisionTree::default();
+        tree.fit(&xs, &ys, 2);
+        for (row, &label) in x.iter().zip(&y) {
+            assert_eq!(tree.predict_row(row), label);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y, 2);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_row(&[99.0]), 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Noisy data that would otherwise grow deep.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            x.push(vec![(i % 17) as f64, (i % 13) as f64, (i % 7) as f64]);
+            y.push((i % 3) as usize);
+        }
+        let mut tree = DecisionTree::new(3, 2);
+        tree.fit(&x, &y, 3);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn one_hot_split() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..20 {
+            x.push(vec![1.0, 0.0]);
+            y.push(0);
+            x.push(vec![0.0, 1.0]);
+            y.push(1);
+        }
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y, 2);
+        assert_eq!(tree.predict_row(&[1.0, 0.0]), 0);
+        assert_eq!(tree.predict_row(&[0.0, 1.0]), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4: deployment time versus model size
+//! (number of features).
+
+use bench::scopus_exp::{scopus_model_options, setup, train_spec};
+use bornsql::BornSqlModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlengine::EngineConfig;
+
+fn deploy_scaling(c: &mut Criterion) {
+    let n = 4_000;
+    let db = setup(n, false, EngineConfig::profile_a());
+    let mut group = c.benchmark_group("figure4_deploy");
+    group.sample_size(10);
+    for pct in [20usize, 60, 100] {
+        let model = BornSqlModel::create(&db, "bench_deploy", scopus_model_options()).unwrap();
+        model
+            .fit(&train_spec(
+                Some(format!(
+                    "SELECT id AS n FROM publication WHERE id % 10 <= {}",
+                    (pct / 10) as i64 - 1
+                )),
+                false,
+            ))
+            .unwrap();
+        let features = model.n_features().unwrap();
+        group.bench_function(BenchmarkId::new("features", features), |b| {
+            b.iter(|| model.deploy().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, deploy_scaling);
+criterion_main!(benches);

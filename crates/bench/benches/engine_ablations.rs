@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! hash vs nested-loop joins, pipelined vs materialized CTEs, indexed
+//! upsert throughput, and sparse vs dense feature handling.
+
+use baselines::densify;
+use bench::scopus_exp::{scopus_model_options, setup, train_spec};
+use bornsql::BornSqlModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{adult_like, TabularConfig};
+use sqlengine::{Database, EngineConfig, Value};
+
+/// Ablation 1 + 4: the training pipeline under each engine profile.
+fn join_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_join_strategy");
+    group.sample_size(10);
+    for (name, config) in [
+        ("hash_join", EngineConfig::profile_a()),
+        ("materialized_ctes", EngineConfig::profile_b()),
+        ("sort_merge", EngineConfig::profile_c()),
+    ] {
+        let db = setup(1_000, false, config);
+        let spec = train_spec(None, false);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let model = BornSqlModel::create(&db, "abl", scopus_model_options()).unwrap();
+                model.fit(&spec).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: upsert throughput into the PK-indexed corpus table.
+fn upsert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_upsert");
+    group.sample_size(10);
+    group.bench_function("on_conflict_accumulate_5k", |b| {
+        b.iter(|| {
+            let db = Database::new();
+            db.execute("CREATE TABLE c (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k))")
+                .unwrap();
+            db.execute(
+                "CREATE TABLE src (j TEXT, k INTEGER, w REAL)",
+            )
+            .unwrap();
+            let rows: Vec<Vec<Value>> = (0..5_000)
+                .map(|i| {
+                    vec![
+                        Value::text(format!("f{}", i % 1_000)),
+                        Value::Int(i % 3),
+                        Value::Float(1.0),
+                    ]
+                })
+                .collect();
+            db.insert_rows("src", rows).unwrap();
+            // Two passes: the second is pure conflict-update traffic.
+            for _ in 0..2 {
+                db.execute(
+                    "INSERT INTO c (j, k, w) SELECT j, k, w FROM src \
+                     ON CONFLICT (j, k) DO UPDATE SET w = c.w + excluded.w",
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Ablation 5: sparse (BornSQL-style long table) vs dense materialization
+/// of the same one-hot dataset — the §5.1 data-handling contrast.
+fn sparse_vs_dense(c: &mut Criterion) {
+    let adult = adult_like(&TabularConfig::new(4_000, 3));
+    let mut group = c.benchmark_group("ablation_sparse_vs_dense");
+    group.sample_size(10);
+    group.bench_function("sparse_load_normalized", |b| {
+        b.iter(|| {
+            let db = Database::new();
+            adult.load_into(&db, "a").unwrap();
+        })
+    });
+    group.bench_function("dense_materialize", |b| {
+        b.iter(|| densify(&adult))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, join_strategies, upsert_throughput, sparse_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Engine micro-benchmarks: the cost of the SQL machinery itself (parse,
+//! plan+execute of each operator class), independent of BornSQL workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlengine::{Database, Value};
+
+fn setup(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (g INTEGER, x INTEGER, w REAL)")
+        .unwrap();
+    let data: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i % 50),
+                Value::Int(i),
+                Value::Float((i % 97) as f64 / 7.0),
+            ]
+        })
+        .collect();
+    db.insert_rows("t", data).unwrap();
+    db
+}
+
+fn parsing(c: &mut Criterion) {
+    let sql = "WITH xy AS (SELECT a.n AS n, a.j AS j, b.k AS k, a.w * b.w AS w \
+               FROM x AS a, y AS b WHERE a.n = b.n), \
+               s AS (SELECT n, SUM(w) AS w FROM xy GROUP BY n) \
+               SELECT xy.j, xy.k, SUM(xy.w / s.w) AS w FROM xy, s \
+               WHERE xy.n = s.n GROUP BY xy.j, xy.k ORDER BY w DESC LIMIT 10";
+    c.bench_function("micro_parse_cte_pipeline", |b| {
+        b.iter(|| sqlengine::parser::parse_statement(std::hint::black_box(sql)).unwrap())
+    });
+}
+
+fn operators(c: &mut Criterion) {
+    let db = setup(20_000);
+    let mut group = c.benchmark_group("micro_operators");
+    group.sample_size(20);
+    group.bench_function("filter_scan_20k", |b| {
+        b.iter(|| db.query("SELECT x FROM t WHERE x % 7 = 3 AND w > 2.0").unwrap())
+    });
+    group.bench_function("hash_aggregate_20k", |b| {
+        b.iter(|| db.query("SELECT g, SUM(w), COUNT(*) FROM t GROUP BY g").unwrap())
+    });
+    group.bench_function("self_hash_join_20k", |b| {
+        b.iter(|| {
+            db.query("SELECT COUNT(*) FROM t AS a, t AS b WHERE a.x = b.x")
+                .unwrap()
+        })
+    });
+    group.bench_function("sort_20k", |b| {
+        b.iter(|| db.query("SELECT x FROM t ORDER BY w DESC LIMIT 100").unwrap())
+    });
+    group.bench_function("window_row_number_20k", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT g, ROW_NUMBER() OVER (PARTITION BY g ORDER BY w DESC) AS r FROM t",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn prepared_vs_adhoc(c: &mut Criterion) {
+    let db = setup(5_000);
+    let mut group = c.benchmark_group("micro_prepared");
+    group.bench_function("adhoc_point_query", |b| {
+        b.iter(|| {
+            db.query_with("SELECT w FROM t WHERE x = ?", &[Value::Int(123)])
+                .unwrap()
+        })
+    });
+    let prepared = db.prepare("SELECT w FROM t WHERE x = ?").unwrap();
+    group.bench_function("prepared_point_query", |b| {
+        b.iter(|| prepared.query(&[Value::Int(123)]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parsing, operators, prepared_vs_adhoc);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for Figure 3: training time (fit and partial-fit) as a
+//! function of the number of training items, per engine profile.
+
+use bench::scopus_exp::{scopus_model_options, setup, train_spec};
+use bornsql::BornSqlModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlengine::EngineConfig;
+
+fn fit_scaling(c: &mut Criterion) {
+    let n = 4_000;
+    let mut group = c.benchmark_group("figure3_fit");
+    group.sample_size(10);
+    for (profile, config) in [
+        ("hash_pipelined", EngineConfig::profile_a()),
+        ("hash_materialized", EngineConfig::profile_b()),
+        ("sort_merge", EngineConfig::profile_c()),
+    ] {
+        let db = setup(n, false, config);
+        for pct in [20usize, 60, 100] {
+            let spec = train_spec(
+                Some(format!(
+                    "SELECT id AS n FROM publication WHERE id % 10 <= {}",
+                    (pct / 10) as i64 - 1
+                )),
+                false,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(profile, pct),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        let model =
+                            BornSqlModel::create(&db, "bench_fit", scopus_model_options())
+                                .unwrap();
+                        model.fit(spec).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn partial_fit_constant(c: &mut Criterion) {
+    // Figure 3's second claim: partial-fit cost is constant per
+    // equally-sized batch regardless of how much was learned before.
+    let n = 4_000;
+    let db = setup(n, false, EngineConfig::profile_a());
+    let mut group = c.benchmark_group("figure3_partial_fit");
+    group.sample_size(10);
+    for decile in [1i64, 5, 9] {
+        let model = BornSqlModel::create(&db, "bench_pf", scopus_model_options()).unwrap();
+        // Pre-train on everything before this decile.
+        if decile > 0 {
+            model
+                .fit(&train_spec(
+                    Some(format!(
+                        "SELECT id AS n FROM publication WHERE id % 10 <= {}",
+                        decile - 1
+                    )),
+                    false,
+                ))
+                .unwrap();
+        }
+        let batch = train_spec(
+            Some(format!(
+                "SELECT id AS n FROM publication WHERE id % 10 = {decile}"
+            )),
+            false,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("after_deciles", decile),
+            &batch,
+            |b, batch| b.iter(|| model.partial_fit(batch).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fit_scaling, partial_fit_constant);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 6: single-item inference before and after
+//! deployment, plus per-item cost on a 1000-item batch.
+
+use bench::scopus_exp::{scopus_model_options, setup, test_spec, train_spec};
+use bornsql::BornSqlModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlengine::EngineConfig;
+
+fn inference(c: &mut Criterion) {
+    let n = 4_000;
+    let db = setup(n, false, EngineConfig::profile_a());
+    let model = BornSqlModel::create(&db, "bench_inf", scopus_model_options()).unwrap();
+    model.fit(&train_spec(None, false)).unwrap();
+
+    let one = test_spec("SELECT 13 AS n".to_string());
+    let batch = test_spec("SELECT id AS n FROM publication WHERE id <= 1000".to_string());
+
+    let mut group = c.benchmark_group("figure6_inference");
+    group.sample_size(10);
+
+    model.undeploy().unwrap();
+    group.bench_function("single_item_undeployed", |b| {
+        b.iter(|| model.predict(&one).unwrap())
+    });
+
+    model.deploy().unwrap();
+    group.bench_function("single_item_deployed", |b| {
+        b.iter(|| model.predict(&one).unwrap())
+    });
+
+    group.bench_function("batch_1000_deployed", |b| {
+        b.iter(|| model.predict(&batch).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, inference);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! `repro` — regenerate every table and figure of the BornSQL paper.
+//!
+//! ```text
+//! repro [--scopus N] [--scale S] [--json PATH] [ids...]
+//!
+//! ids: t1 t2 f3 f4 f5 f6 t3 t4 s51 s52 t5 s53 s54   (default: all)
+//! ```
+//!
+//! `--scopus N` sets the Scopus-like corpus size (default 10000; the paper
+//! uses 2,359,828). `--scale S` scales the Adult/RLCP sizes relative to UCI
+//! (default 0.02). `--json PATH` additionally writes the report as JSON.
+
+use std::collections::BTreeSet;
+
+use bench::chart::{render, Series};
+use bench::harness::{Report, Table};
+use bench::{madlib_exp, scopus_exp, text_exp};
+use datasets::scopus::{self, ScopusConfig};
+
+/// Build chart series from a result table: rows grouped by column
+/// `group_col` (or all in one series when `None`), with numeric columns
+/// `x_col`/`y_col`. Rows with non-numeric cells are skipped.
+fn table_series(table: &Table, group_col: Option<usize>, x_col: usize, y_col: usize) -> Vec<Series> {
+    let mut by_group: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for row in &table.rows {
+        let (Ok(x), Ok(y)) = (row[x_col].parse::<f64>(), row[y_col].parse::<f64>()) else {
+            continue;
+        };
+        let name = group_col
+            .map(|g| row[g].clone())
+            .unwrap_or_else(|| table.headers[y_col].clone());
+        match by_group.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, pts)) => pts.push((x, y)),
+            None => by_group.push((name, vec![(x, y)])),
+        }
+    }
+    by_group
+        .into_iter()
+        .map(|(name, points)| Series::new(name, points))
+        .collect()
+}
+
+fn main() {
+    let mut scopus_n: usize = 10_000;
+    let mut scale: f64 = 0.02;
+    let mut json_path: Option<String> = None;
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scopus" => {
+                scopus_n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scopus needs a number");
+            }
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--json" => {
+                json_path = Some(args.next().expect("--json needs a path"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--scopus N] [--scale S] [--json PATH] [t1 t2 f3 f4 f5 f6 t3 t4 s51 s52 t5 s53 s54]"
+                );
+                return;
+            }
+            id => {
+                ids.insert(id.to_string());
+            }
+        }
+    }
+    let all = ids.is_empty();
+    let want = |id: &str| all || ids.contains(id);
+
+    let steps: Vec<usize> = (1..=10).map(|k| k * 10).collect();
+    let mut report = Report::default();
+
+    eprintln!("# BornSQL reproduction (scopus n = {scopus_n}, tabular scale = {scale})");
+
+    if want("t1") {
+        eprintln!("[t1] Table 1 ...");
+        report.push(scopus_exp::table1(scopus_n));
+    }
+
+    // A shared database for T2 (cheap) at modest size.
+    if want("t2") {
+        eprintln!("[t2] Table 2 ...");
+        let db = scopus_exp::setup(
+            scopus_n.min(2_000),
+            false,
+            sqlengine::EngineConfig::profile_a(),
+        );
+        report.push(scopus_exp::table2(&db, 13));
+    }
+
+    let mut charts: Vec<String> = Vec::new();
+
+    if want("f3") {
+        eprintln!("[f3] Figure 3 (training time, 3 engine profiles) ...");
+        let t = scopus_exp::figure3(scopus_n, &steps);
+        charts.push(render(
+            "Figure 3 (chart): fit time vs items",
+            "items",
+            "seconds",
+            &table_series(&t, Some(0), 2, 3),
+        ));
+        report.push(t);
+    }
+
+    if want("f4") {
+        eprintln!("[f4] Figure 4 (deployment time) ...");
+        let t = scopus_exp::figure4(scopus_n, &steps);
+        charts.push(render(
+            "Figure 4 (chart): deployment time vs features",
+            "features",
+            "seconds",
+            &table_series(&t, None, 1, 2),
+        ));
+        report.push(t);
+    }
+
+    if want("f5") {
+        eprintln!("[f5] Figure 5 (three scenarios) ...");
+        let t = scopus_exp::figure5(scopus_n, &steps);
+        charts.push(render(
+            "Figure 5 (chart): features seen vs training %",
+            "training %",
+            "features",
+            &table_series(&t, Some(0), 1, 2),
+        ));
+        report.push(t);
+    }
+
+    if want("f6") {
+        eprintln!("[f6] Figure 6 (inference time) ...");
+        let t = scopus_exp::figure6(scopus_n, &steps, 1_000);
+        let mut series = table_series(&t, None, 1, 2);
+        series.extend(table_series(&t, None, 1, 3));
+        charts.push(render(
+            "Figure 6 (chart): single-item inference vs model size",
+            "features",
+            "seconds",
+            &series,
+        ));
+        report.push(t);
+    }
+
+    if want("t3") || want("t4") {
+        eprintln!("[t3/t4] explanations ...");
+        let (db, model) = scopus_exp::full_model(scopus_n.min(5_000));
+        if want("t3") {
+            report.push(scopus_exp::table3(&db, model, 3));
+        }
+        if want("t4") {
+            report.push(scopus_exp::table4(&db, model, 13, 10));
+        }
+    }
+
+    if want("s51") {
+        eprintln!("[s51] Section 5.1 (storage) ...");
+        let data = scopus::generate(&ScopusConfig {
+            n_publications: scopus_n.min(5_000),
+            ..Default::default()
+        });
+        let nnz = data.pub_lexeme.len() + data.pub_author.len() + data.pub_keyword.len()
+            + data.publications.len();
+        let mut features: BTreeSet<String> = BTreeSet::new();
+        for p in &data.publications {
+            features.insert(format!("pubname:{}", p.pubname));
+        }
+        for (_, a) in &data.pub_author {
+            features.insert(format!("authid:{a}"));
+        }
+        for (_, k) in &data.pub_keyword {
+            features.insert(format!("keyword:{k}"));
+        }
+        for (_, l, _) in &data.pub_lexeme {
+            features.insert(format!("abstract:{l}"));
+        }
+        report.push(madlib_exp::storage_comparison(
+            data.publications.len(),
+            features.len(),
+            nnz,
+        ));
+    }
+
+    if want("s52") || want("t5") {
+        eprintln!("[s52/t5] Section 5.2 runtimes + Table 5 metrics ...");
+        for table in madlib_exp::runtimes(scale, 2_026) {
+            let is_metrics = table.title.starts_with("Table 5");
+            if (is_metrics && want("t5")) || (!is_metrics && want("s52")) {
+                report.push(table);
+            }
+        }
+    }
+
+    if want("s53") {
+        eprintln!("[s53] Section 5.3 text accuracies ...");
+        report.push(text_exp::accuracies(6_000, 2_027));
+    }
+
+    if want("s54") {
+        eprintln!("[s54] Section 5.4 bias probe ...");
+        report.push(madlib_exp::bias_probe(scale, 2_026));
+    }
+
+    println!("{}", report.render());
+    for c in &charts {
+        println!("{c}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write json report");
+        eprintln!("JSON report written to {path}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Terminal charts for the repro binary: render figure series as ASCII
+//! scatter/line plots so the paper's figures are visible directly in the
+//! report, not just as number columns.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render series into a `width × height` ASCII plot with axis labels.
+pub fn render(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let width = 64usize;
+    let height = 16usize;
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        return format!("## {title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Anchor y at zero for magnitude plots; pad degenerate ranges.
+    y_min = y_min.min(0.0);
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out.push_str(&format!("  {y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let label = if i % 4 == 0 {
+            format!("{y_val:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}{:<w$}{:>12}\n",
+        format!("{x_min:.0}"),
+        "",
+        format!("{x_max:.0}  ({x_label})"),
+        w = width.saturating_sub(12)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_linear_series() {
+        let s = Series::new("fit", (1..=10).map(|i| (i as f64, i as f64 * 0.2)).collect());
+        let chart = render("Figure 3", "items", "seconds", &[s]);
+        assert!(chart.contains("## Figure 3"));
+        assert!(chart.contains("* fit"));
+        assert!(chart.matches('*').count() >= 9, "points plotted:\n{chart}");
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let chart = render("empty", "x", "y", &[]);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = Series::new("b", vec![(0.0, 2.0), (1.0, 4.0)]);
+        let chart = render("two", "x", "y", &[a, b]);
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = Series::new("flat", vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]);
+        let chart = render("flat", "x", "y", &[s]);
+        assert!(chart.contains("## flat"));
+    }
+}

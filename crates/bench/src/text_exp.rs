@@ -1,0 +1,75 @@
+//! Text benchmark accuracies: the paper's Section 5.3 (20NG, R8, R52).
+//!
+//! The paper reports BornSQL accuracy 87.3% on 20NG, 95.4% on R8, and 88.0%
+//! on R52, noting that classification performance is independent of the SQL
+//! implementation (our `oracle_equivalence` tests prove that independence
+//! directly). Accordingly this experiment trains with the in-process Born
+//! classifier on the synthetic corpora — whose difficulty is tuned to land
+//! in the paper's regime — and reports the accuracies side by side.
+
+use born::{accuracy, BornClassifier, HyperParams, TrainItem};
+use datasets::{newsgroups_like, reuters_like, SparseDataset};
+
+use crate::harness::Table;
+
+/// Train/evaluate the Born classifier on one corpus with an 80/20 split.
+pub fn eval_corpus(data: &SparseDataset) -> f64 {
+    let n_train = data.items.len() * 8 / 10;
+    let (train, test) = data.split_at(n_train);
+    let items: Vec<TrainItem<String, String>> = train
+        .iter()
+        .map(|i| TrainItem::labeled(i.features.clone(), i.label.clone()))
+        .collect();
+    let model = BornClassifier::fit(&items)
+        .deploy(HyperParams::default())
+        .expect("non-empty model");
+    let truth: Vec<&str> = test.iter().map(|i| i.label.as_str()).collect();
+    let preds: Vec<String> = test
+        .iter()
+        .map(|i| model.predict(&i.features).unwrap_or_default())
+        .collect();
+    let preds_ref: Vec<&str> = preds.iter().map(|s| s.as_str()).collect();
+    accuracy(&truth, &preds_ref)
+}
+
+/// Section 5.3 accuracies table.
+pub fn accuracies(n_items: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("Section 5.3: text classification accuracy (n = {n_items} per corpus)"),
+        &["corpus", "accuracy", "paper accuracy"],
+    );
+    let cases: Vec<(SparseDataset, f64)> = vec![
+        (newsgroups_like(n_items, seed), 0.873),
+        (reuters_like("r8", n_items, seed + 1), 0.954),
+        (reuters_like("r52", n_items, seed + 2), 0.880),
+    ];
+    for (data, paper) in cases {
+        let acc = eval_corpus(&data);
+        t.row(vec![
+            data.name.clone(),
+            format!("{acc:.3}"),
+            format!("{paper:.3}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r8_like_is_easiest() {
+        let ng = eval_corpus(&newsgroups_like(2_500, 5));
+        let r8 = eval_corpus(&reuters_like("r8", 2_500, 6));
+        assert!(r8 > ng, "r8 {r8} must beat 20ng {ng}");
+        assert!(r8 > 0.85, "r8 accuracy {r8}");
+        assert!(ng > 0.6, "20ng accuracy {ng}");
+    }
+
+    #[test]
+    fn accuracies_table_has_three_rows() {
+        let t = accuracies(1_200, 9);
+        assert_eq!(t.rows.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # born — the Born classifier in pure Rust
+//!
+//! A sparse, exact implementation of the Born classifier of Guidotti &
+//! Ferrara (NeurIPS 2022), the algorithm that the BornSQL paper ports to
+//! SQL. This crate serves two roles in the reproduction:
+//!
+//! 1. **Oracle** — cross-validation target for the SQL implementation in the
+//!    `bornsql` crate (they must agree to floating-point accuracy on every
+//!    operation: fit, partial-fit, unlearn, deploy, predict, explain);
+//! 2. **Native baseline** — an "ideal" in-process classifier for the runtime
+//!    comparisons.
+//!
+//! ## Model
+//!
+//! Training (paper eq. 1) accumulates the unnormalized joint probability
+//! `P[j][k] = Σ_n w_n·x_nj·y_nk / (Σ_j x_nj · Σ_k y_nk)`. Incremental
+//! learning (eq. 3) is plain addition of the two parameter tensors; exact
+//! unlearning (eq. 6) is incremental learning with negated sample weights.
+//!
+//! Inference (eqs. 8–11) normalizes `P` by class/feature marginals, weighs
+//! features by one minus their normalized class-conditional entropy, and
+//! superposes the evidence with Born's rule exponent `a`.
+//!
+//! ```
+//! use born::{BornClassifier, HyperParams, TrainItem};
+//!
+//! let mut clf = BornClassifier::new();
+//! clf.partial_fit(&[
+//!     TrainItem::labeled(vec![("robot", 2.0), ("neural", 1.0)], "ai"),
+//!     TrainItem::labeled(vec![("poisson", 1.0), ("variance", 1.0)], "stats"),
+//! ]);
+//! let model = clf.deploy(HyperParams::default()).unwrap();
+//! let pred = model.predict(&[("robot", 1.0)]).unwrap();
+//! assert_eq!(pred, "ai");
+//! ```
+
+pub mod classifier;
+pub mod metrics;
+
+pub use classifier::{BornClassifier, DeployedModel, Explanation, HyperParams, TrainItem};
+pub use metrics::{accuracy, confusion_counts, macro_prf, ClassMetrics};

@@ -1,0 +1,142 @@
+//! Classification metrics: accuracy and macro-averaged precision / recall /
+//! F1, as reported in the paper's Table 5.
+
+use std::collections::BTreeMap;
+
+/// Per-class precision / recall / F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub support: usize,
+}
+
+/// Confusion counts per class: (true positives, false positives, false
+/// negatives), keyed by class.
+pub fn confusion_counts<K: Ord + Clone>(
+    truth: &[K],
+    predicted: &[K],
+) -> BTreeMap<K, (usize, usize, usize)> {
+    assert_eq!(
+        truth.len(),
+        predicted.len(),
+        "truth and prediction lengths differ"
+    );
+    let mut counts: BTreeMap<K, (usize, usize, usize)> = BTreeMap::new();
+    for (t, p) in truth.iter().zip(predicted) {
+        counts.entry(t.clone()).or_default();
+        counts.entry(p.clone()).or_default();
+        if t == p {
+            counts.get_mut(t).expect("inserted above").0 += 1;
+        } else {
+            counts.get_mut(p).expect("inserted above").1 += 1;
+            counts.get_mut(t).expect("inserted above").2 += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of exact matches.
+pub fn accuracy<K: PartialEq>(truth: &[K], predicted: &[K]) -> f64 {
+    assert_eq!(truth.len(), predicted.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Macro-averaged precision, recall, and F1 over all classes present in
+/// either vector. Classes with zero predicted (or actual) instances
+/// contribute zero precision (recall), following scikit-learn's
+/// `zero_division=0` convention used by the paper's artifacts.
+pub fn macro_prf<K: Ord + Clone>(truth: &[K], predicted: &[K]) -> ClassMetrics {
+    let counts = confusion_counts(truth, predicted);
+    let n = counts.len().max(1) as f64;
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    let mut f1 = 0.0;
+    for &(tp, fp, fn_) in counts.values() {
+        let p = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let r = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        precision += p;
+        recall += r;
+        f1 += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    }
+    ClassMetrics {
+        precision: precision / n,
+        recall: recall / n,
+        f1: f1 / n,
+        support: truth.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let t = vec!["a", "b", "a"];
+        let m = macro_prf(&t, &t);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(accuracy(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let t = vec!["a", "a"];
+        let p = vec!["b", "b"];
+        let m = macro_prf(&t, &p);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(accuracy(&t, &p), 0.0);
+    }
+
+    #[test]
+    fn binary_case_hand_checked() {
+        // truth:   + + + -  -
+        // pred:    + - + +  -
+        let t = vec![1, 1, 1, 0, 0];
+        let p = vec![1, 0, 1, 1, 0];
+        let counts = confusion_counts(&t, &p);
+        assert_eq!(counts[&1], (2, 1, 1)); // tp=2, fp=1, fn=1
+        assert_eq!(counts[&0], (1, 1, 1));
+        let m = macro_prf(&t, &p);
+        // class 1: p = 2/3, r = 2/3; class 0: p = 1/2, r = 1/2
+        assert!((m.precision - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((m.recall - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((accuracy(&t, &p) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_never_predicted_gets_zero_precision() {
+        let t = vec!["a", "b"];
+        let p = vec!["a", "a"];
+        let m = macro_prf(&t, &p);
+        // class a: p=1/2, r=1; class b: p=0 (never predicted), r=0
+        assert!((m.precision - 0.25).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t: Vec<&str> = vec![];
+        assert_eq!(accuracy(&t, &t), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! SQL dialect abstraction.
+//!
+//! The paper's portability claim is that every BornSQL operation is plain
+//! standard SQL, with only two engine-specific spots: the upsert syntax used
+//! for incremental learning and the power function's name. This module
+//! captures those differences so the generator can emit text for
+//! PostgreSQL-, MySQL-, and SQLite-flavoured engines as well as for the
+//! bundled `sqlengine` (which speaks the PostgreSQL-style `ON CONFLICT`).
+//!
+//! Only [`Dialect::Generic`] is *executed* in this workspace; the other
+//! emitters are golden-tested as text, mirroring how the paper's Python
+//! package renders queries per backend.
+
+/// Target SQL dialect for query generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dialect {
+    /// The bundled engine (PostgreSQL-style syntax). This is the executable
+    /// dialect.
+    #[default]
+    Generic,
+    /// PostgreSQL text output.
+    Postgres,
+    /// MySQL text output (`ON DUPLICATE KEY UPDATE`, `VALUES()`).
+    MySql,
+    /// SQLite text output (`ON CONFLICT`, like PostgreSQL).
+    Sqlite,
+}
+
+impl Dialect {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dialect::Generic => "generic",
+            Dialect::Postgres => "postgresql",
+            Dialect::MySql => "mysql",
+            Dialect::Sqlite => "sqlite",
+        }
+    }
+
+    /// The power function: `POW` everywhere except PostgreSQL's `POWER`
+    /// (PostgreSQL accepts both; we emit the canonical one per engine).
+    pub fn pow(&self) -> &'static str {
+        match self {
+            Dialect::Postgres => "POWER",
+            _ => "POW",
+        }
+    }
+
+    /// Render the upsert tail appended to
+    /// `INSERT INTO {table} (j, k, w) <select>` so that conflicting `(j, k)`
+    /// rows accumulate `w` — the paper's incremental-learning statement
+    /// (Section 3.2).
+    pub fn upsert_accumulate(&self, table: &str) -> String {
+        match self {
+            Dialect::MySql => {
+                // MySQL has no ON CONFLICT; the equivalent idiom:
+                format!("ON DUPLICATE KEY UPDATE w = {table}.w + VALUES(w)")
+            }
+            _ => format!(
+                "ON CONFLICT (j, k) DO UPDATE SET w = {table}.w + excluded.w"
+            ),
+        }
+    }
+
+    /// Whether this dialect's text can be executed by the bundled engine.
+    pub fn executable(&self) -> bool {
+        !matches!(self, Dialect::MySql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_syntax_per_dialect() {
+        assert!(Dialect::Generic
+            .upsert_accumulate("m_corpus")
+            .contains("ON CONFLICT (j, k) DO UPDATE"));
+        assert!(Dialect::Postgres
+            .upsert_accumulate("m_corpus")
+            .contains("excluded.w"));
+        assert!(Dialect::MySql
+            .upsert_accumulate("m_corpus")
+            .contains("ON DUPLICATE KEY UPDATE"));
+        assert!(Dialect::Sqlite
+            .upsert_accumulate("m_corpus")
+            .contains("ON CONFLICT"));
+    }
+
+    #[test]
+    fn pow_function_name() {
+        assert_eq!(Dialect::Postgres.pow(), "POWER");
+        assert_eq!(Dialect::MySql.pow(), "POW");
+        assert_eq!(Dialect::Generic.pow(), "POW");
+    }
+
+    #[test]
+    fn executability() {
+        assert!(Dialect::Generic.executable());
+        assert!(Dialect::Postgres.executable());
+        assert!(Dialect::Sqlite.executable());
+        assert!(!Dialect::MySql.executable());
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the BornSQL layer.
+
+use std::fmt;
+
+/// Errors raised by BornSQL operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BornSqlError {
+    /// The underlying database reported an error.
+    Database(sqlengine::EngineError),
+    /// Invalid model name, hyper-parameters, or data specification.
+    Config(String),
+    /// An operation needed state that does not exist (e.g. predicting with
+    /// an untrained model).
+    State(String),
+}
+
+impl fmt::Display for BornSqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BornSqlError::Database(e) => write!(f, "database error: {e}"),
+            BornSqlError::Config(m) => write!(f, "configuration error: {m}"),
+            BornSqlError::State(m) => write!(f, "state error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BornSqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BornSqlError::Database(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sqlengine::EngineError> for BornSqlError {
+    fn from(e: sqlengine::EngineError) -> Self {
+        BornSqlError::Database(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, BornSqlError>;

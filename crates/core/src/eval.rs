@@ -1,0 +1,219 @@
+//! In-database evaluation and retraining-free hyper-parameter tuning.
+//!
+//! Evaluation stays inside the DBMS: predictions land in a temporary table
+//! and accuracy / the confusion matrix are plain `GROUP BY` queries against
+//! the truth labels. Tuning exploits the paper's §2.2.1 observation that
+//! training does not depend on `(a, b, h)`: a grid search only re-deploys
+//! and re-scores — the corpus is never recomputed.
+
+use sqlengine::Value;
+
+use crate::error::{BornSqlError, Result};
+use crate::model::{BornSqlModel, Params, SqlBackend};
+use crate::spec::DataSpec;
+
+/// One confusion-matrix cell: (actual, predicted, count).
+pub type ConfusionCell = (Value, Value, i64);
+
+/// Evaluation output.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Fraction of evaluated items predicted correctly. Items whose features
+    /// are entirely unknown to the model produce no prediction and count as
+    /// wrong.
+    pub accuracy: f64,
+    pub n_items: usize,
+    pub n_predicted: usize,
+    pub confusion: Vec<ConfusionCell>,
+}
+
+impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
+    /// Evaluate the model on the items selected by `spec`, with truth labels
+    /// provided by `qy` (a query returning `(n, k, w)` rows like the
+    /// training `q_y`; weights are ignored, ties are not supported).
+    pub fn evaluate(&self, spec: &DataSpec, qy: &str) -> Result<Evaluation> {
+        spec.validate_for_inference().map_err(BornSqlError::Config)?;
+        let predictions = self.predict(spec)?;
+        // Truth restricted to the same items when the spec filters by q_n.
+        let truth_sql = match &spec.qn {
+            Some(qn) => format!(
+                "SELECT qy.n AS n, qy.k AS k FROM ({qy}) AS qy, ({qn}) AS sel WHERE qy.n = sel.n"
+            ),
+            None => format!("SELECT qy.n AS n, qy.k AS k FROM ({qy}) AS qy"),
+        };
+        let truth = self.backend().query_sql(&truth_sql)?;
+
+        let mut predicted_by_item: std::collections::BTreeMap<String, Value> =
+            Default::default();
+        for (n, k) in predictions {
+            predicted_by_item.insert(n.to_string(), k);
+        }
+        let mut hits = 0usize;
+        let mut confusion: std::collections::BTreeMap<(String, String), (Value, Value, i64)> =
+            Default::default();
+        let n_items = truth.rows.len();
+        for row in &truth.rows {
+            let n = row[0].to_string();
+            let actual = row[1].clone();
+            let predicted = predicted_by_item
+                .get(&n)
+                .cloned()
+                .unwrap_or(Value::Null);
+            if actual.sql_eq(&predicted) == Some(true) {
+                hits += 1;
+            }
+            let entry = confusion
+                .entry((actual.to_string(), predicted.to_string()))
+                .or_insert((actual, predicted, 0));
+            entry.2 += 1;
+        }
+        Ok(Evaluation {
+            accuracy: if n_items == 0 {
+                0.0
+            } else {
+                hits as f64 / n_items as f64
+            },
+            n_items,
+            n_predicted: predicted_by_item.len(),
+            confusion: confusion.into_values().collect(),
+        })
+    }
+
+    /// Grid-search `(a, b, h)` on a validation spec without retraining:
+    /// for each candidate, update `params`, redeploy, and score. The best
+    /// parameters are left installed (and deployed). Returns the best
+    /// `(params, accuracy)`.
+    ///
+    /// This is the paper's §2.2.1 tuning procedure: the corpus is computed
+    /// once; only the cached weights change per candidate.
+    pub fn tune(
+        &self,
+        val_spec: &DataSpec,
+        qy: &str,
+        grid: &[Params],
+    ) -> Result<(Params, f64)> {
+        if grid.is_empty() {
+            return Err(BornSqlError::Config("empty tuning grid".into()));
+        }
+        let mut best: Option<(Params, f64)> = None;
+        for &candidate in grid {
+            self.set_params(candidate)?;
+            self.deploy()?;
+            let eval = self.evaluate(val_spec, qy)?;
+            if best.is_none_or(|(_, acc)| eval.accuracy > acc) {
+                best = Some((candidate, eval.accuracy));
+            }
+        }
+        let (params, acc) = best.expect("non-empty grid");
+        // Leave the winner installed and deployed.
+        self.set_params(params)?;
+        self.deploy()?;
+        Ok((params, acc))
+    }
+}
+
+/// A convenient default grid: the cross product of a ∈ {0.5, 1, 2},
+/// b ∈ {0, 0.5, 1}, h ∈ {0, 1}.
+pub fn default_grid() -> Vec<Params> {
+    let mut grid = Vec::new();
+    for &a in &[0.5, 1.0, 2.0] {
+        for &b in &[0.0, 0.5, 1.0] {
+            for &h in &[0.0, 1.0] {
+                grid.push(Params { a, b, h });
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelOptions;
+    use sqlengine::Database;
+
+    fn setup() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE d (n INTEGER, j TEXT, w REAL);
+             CREATE TABLE l (n INTEGER, k TEXT);",
+        )
+        .unwrap();
+        // 40 items, two classes, clearly separated plus some noise.
+        for i in 1..=40i64 {
+            let class = if i % 2 == 0 { "even" } else { "odd" };
+            db.execute(&format!(
+                "INSERT INTO d VALUES ({i}, 'sig:{class}', 2.0), ({i}, 'noise:{}', 1.0)",
+                i % 5
+            ))
+            .unwrap();
+            db.execute(&format!("INSERT INTO l VALUES ({i}, '{class}')"))
+                .unwrap();
+        }
+        db
+    }
+
+    fn spec() -> DataSpec {
+        DataSpec::new("SELECT n, j, w FROM d")
+            .with_targets("SELECT n, k AS k, 1.0 AS w FROM l")
+    }
+
+    #[test]
+    fn evaluate_reports_perfect_accuracy_on_separable_data() {
+        let db = setup();
+        let model = BornSqlModel::create(&db, "m", ModelOptions::default()).unwrap();
+        model.fit(&spec()).unwrap();
+        model.deploy().unwrap();
+        let eval = model
+            .evaluate(&spec(), "SELECT n, k AS k, 1.0 AS w FROM l")
+            .unwrap();
+        assert_eq!(eval.n_items, 40);
+        assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
+        // Confusion matrix: only diagonal cells.
+        assert!(eval.confusion.iter().all(|(a, p, _)| a.sql_eq(p) == Some(true)));
+    }
+
+    #[test]
+    fn evaluate_respects_item_filter() {
+        let db = setup();
+        let model = BornSqlModel::create(&db, "m", ModelOptions::default()).unwrap();
+        model.fit(&spec()).unwrap();
+        model.deploy().unwrap();
+        let filtered = spec().with_items("SELECT n FROM l WHERE n <= 10");
+        let eval = model
+            .evaluate(&filtered, "SELECT n, k AS k, 1.0 AS w FROM l")
+            .unwrap();
+        assert_eq!(eval.n_items, 10);
+    }
+
+    #[test]
+    fn tune_finds_a_winner_and_leaves_it_installed() {
+        let db = setup();
+        let model = BornSqlModel::create(&db, "m", ModelOptions::default()).unwrap();
+        model.fit(&spec()).unwrap();
+        let grid = [
+            Params { a: 0.5, b: 1.0, h: 1.0 },
+            Params { a: 2.0, b: 0.0, h: 0.0 },
+        ];
+        let (best, acc) = model
+            .tune(&spec(), "SELECT n, k AS k, 1.0 AS w FROM l", &grid)
+            .unwrap();
+        assert!(acc > 0.9);
+        assert_eq!(model.params().unwrap(), best);
+    }
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        let db = setup();
+        let model = BornSqlModel::create(&db, "m", ModelOptions::default()).unwrap();
+        model.fit(&spec()).unwrap();
+        assert!(model
+            .tune(&spec(), "SELECT n, k AS k, 1.0 AS w FROM l", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn default_grid_has_18_points() {
+        assert_eq!(default_grid().len(), 18);
+    }
+}

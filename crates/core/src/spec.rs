@@ -1,0 +1,108 @@
+//! Data specifications: the user-provided queries `q_x`, `q_y`, `q_w`, `q_n`
+//! of the paper's Section 3.1.
+//!
+//! * `q_x` — one or more `SELECT` statements, each returning `(n, j, w)`
+//!   rows of the sparse feature tensor `X_nj`. Passing each `SELECT`
+//!   individually (rather than one big `UNION ALL`) lets BornSQL filter each
+//!   arm by `q_n` *before* concatenation, exactly as the paper's
+//!   implementation note prescribes.
+//! * `q_y` — a `SELECT` returning `(n, k, w)` rows of the target tensor
+//!   `Y_nk` (required for training, ignored for inference).
+//! * `q_w` — optional `SELECT` returning `(n, w)` sample weights; defaults
+//!   to unit weights (and the implementation skips the join entirely, the
+//!   optimization the paper mentions).
+//! * `q_n` — optional `SELECT` returning the identifiers of the items to
+//!   use; when absent, all items are used.
+
+/// The queries describing where training/inference data comes from.
+#[derive(Debug, Clone, Default)]
+pub struct DataSpec {
+    pub qx: Vec<String>,
+    pub qy: Option<String>,
+    pub qw: Option<String>,
+    pub qn: Option<String>,
+}
+
+impl DataSpec {
+    /// Start a spec with a single feature query.
+    pub fn new(qx: impl Into<String>) -> Self {
+        DataSpec {
+            qx: vec![qx.into()],
+            ..Default::default()
+        }
+    }
+
+    /// Add another feature query (combined with `UNION ALL` after per-arm
+    /// filtering).
+    pub fn with_features(mut self, qx: impl Into<String>) -> Self {
+        self.qx.push(qx.into());
+        self
+    }
+
+    /// Set the target query `q_y`.
+    pub fn with_targets(mut self, qy: impl Into<String>) -> Self {
+        self.qy = Some(qy.into());
+        self
+    }
+
+    /// Set the sample-weight query `q_w`.
+    pub fn with_weights(mut self, qw: impl Into<String>) -> Self {
+        self.qw = Some(qw.into());
+        self
+    }
+
+    /// Set the item-selection query `q_n`.
+    pub fn with_items(mut self, qn: impl Into<String>) -> Self {
+        self.qn = Some(qn.into());
+        self
+    }
+
+    /// Validation used before SQL generation.
+    pub fn validate_for_training(&self) -> Result<(), String> {
+        if self.qx.is_empty() {
+            return Err("training requires at least one q_x feature query".into());
+        }
+        if self.qy.is_none() {
+            return Err("training requires a q_y target query".into());
+        }
+        Ok(())
+    }
+
+    pub fn validate_for_inference(&self) -> Result<(), String> {
+        if self.qx.is_empty() {
+            return Err("inference requires at least one q_x feature query".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let spec = DataSpec::new("SELECT id AS n, 'f:' || f AS j, 1.0 AS w FROM t")
+            .with_features("SELECT id AS n, 'g:' || g AS j, 1.0 AS w FROM t")
+            .with_targets("SELECT id AS n, y AS k, 1.0 AS w FROM t")
+            .with_weights("SELECT id AS n, 1.0 AS w FROM t")
+            .with_items("SELECT id AS n FROM t WHERE id <= 10");
+        assert_eq!(spec.qx.len(), 2);
+        assert!(spec.validate_for_training().is_ok());
+        assert!(spec.validate_for_inference().is_ok());
+    }
+
+    #[test]
+    fn training_requires_targets() {
+        let spec = DataSpec::new("SELECT 1 AS n, 'a' AS j, 1.0 AS w");
+        assert!(spec.validate_for_training().is_err());
+        assert!(spec.validate_for_inference().is_ok());
+    }
+
+    #[test]
+    fn empty_spec_invalid() {
+        let spec = DataSpec::default();
+        assert!(spec.validate_for_training().is_err());
+        assert!(spec.validate_for_inference().is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # datasets — simulated benchmark data
+//!
+//! The paper evaluates on proprietary or external datasets we do not have:
+//! the Elsevier Scopus citation database (2,359,828 publications), UCI Adult,
+//! UCI RLCP record-linkage comparison patterns, and the 20 Newsgroups /
+//! Reuters text corpora. Per the reproduction's substitution rule (see
+//! DESIGN.md), this crate provides *seeded synthetic generators* that mirror
+//! each dataset's statistical shape — class priors, feature cardinalities,
+//! Zipfian token distributions, class-conditional vocabularies, and (for the
+//! chronological-split experiment) distribution drift — so that every
+//! experiment exercises the same code paths at configurable scale.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod scopus;
+pub mod sparse;
+pub mod tabular;
+pub mod textsets;
+pub mod zipf;
+
+pub use scopus::{ScopusConfig, ScopusData, ASJC_AI, ASJC_DS, ASJC_STATS};
+pub use sparse::{SparseDataset, SparseItem};
+pub use tabular::{adult_like, rlcp_like, TabularConfig};
+pub use textsets::{newsgroups_like, reuters_like, TextSetConfig};
+pub use zipf::Zipf;

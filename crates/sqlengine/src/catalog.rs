@@ -1,0 +1,417 @@
+//! Catalog and in-memory row storage.
+//!
+//! Tables hold their rows behind an `Arc` so that query execution can work
+//! on a cheap snapshot without holding the catalog lock, while DML uses
+//! copy-on-write (`Arc::make_mut`) semantics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::value::{DataType, Row, Value};
+
+/// A column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+}
+
+/// An ordered list of named columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// A unique index over a set of column positions, mapping key tuples to row
+/// indexes. Used to implement PRIMARY KEY and `ON CONFLICT`.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueIndex {
+    pub key_columns: Vec<usize>,
+    pub map: HashMap<Vec<Value>, usize>,
+}
+
+impl UniqueIndex {
+    fn key_for(&self, row: &Row) -> Vec<Value> {
+        self.key_columns.iter().map(|&i| row[i].clone()).collect()
+    }
+}
+
+/// Metadata for a secondary (non-unique) index. The join and aggregate
+/// operators build their hash tables on the fly, so secondary indexes exist
+/// to (a) accept the same DDL the paper issues, (b) enforce uniqueness when
+/// promoted to the primary slot, and (c) stay maintained across DML so a
+/// future index-scan optimization can use them.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    pub name: String,
+    pub key_columns: Vec<usize>,
+    pub map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+/// A table: schema, rows, optional primary-key index, secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub rows: Arc<Vec<Row>>,
+    pub primary: Option<UniqueIndex>,
+    pub secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table; `primary_key` columns must exist in the schema.
+    pub fn new(name: String, schema: Schema, primary_key: &[String]) -> Result<Self> {
+        let mut key_columns = Vec::with_capacity(primary_key.len());
+        for pk in primary_key {
+            let pos = schema.position(pk).ok_or_else(|| {
+                EngineError::catalog(format!(
+                    "primary key column '{pk}' not found in table '{name}'"
+                ))
+            })?;
+            key_columns.push(pos);
+        }
+        let primary = if key_columns.is_empty() {
+            None
+        } else {
+            Some(UniqueIndex {
+                key_columns,
+                map: HashMap::new(),
+            })
+        };
+        Ok(Table {
+            name,
+            schema,
+            rows: Arc::new(Vec::new()),
+            primary,
+            secondary: Vec::new(),
+        })
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Coerce a row to the declared column types (lenient, SQLite-style).
+    fn coerce(&self, mut row: Row) -> Result<Row> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::exec(format!(
+                "table '{}' expects {} values, got {}",
+                self.name,
+                self.schema.len(),
+                row.len()
+            )));
+        }
+        for (v, col) in row.iter_mut().zip(&self.schema.columns) {
+            if !v.is_null() && col.ty != DataType::Any && v.data_type() != col.ty {
+                *v = v.cast_to(col.ty)?;
+            }
+        }
+        Ok(row)
+    }
+
+    /// Outcome of inserting one row.
+    pub fn insert_row(&mut self, row: Row, on_conflict: Option<&ResolvedConflict>) -> Result<InsertOutcome> {
+        let row = self.coerce(row)?;
+        if let Some(primary) = &mut self.primary {
+            let key = primary.key_for(&row);
+            if let Some(&existing_idx) = primary.map.get(&key) {
+                match on_conflict {
+                    None => {
+                        return Err(EngineError::exec(format!(
+                            "UNIQUE constraint violated on table '{}'",
+                            self.name
+                        )));
+                    }
+                    Some(ResolvedConflict::DoNothing) => return Ok(InsertOutcome::Ignored),
+                    Some(ResolvedConflict::DoUpdate) => {
+                        return Ok(InsertOutcome::Conflict {
+                            existing_idx,
+                            proposed: row,
+                        });
+                    }
+                }
+            }
+            primary.map.insert(key, self.rows.len());
+        }
+        let idx = self.rows.len();
+        Arc::make_mut(&mut self.rows).push(row.clone());
+        for index in &mut self.secondary {
+            let key: Vec<Value> = index.key_columns.iter().map(|&i| row[i].clone()).collect();
+            index.map.entry(key).or_default().push(idx);
+        }
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// Replace the row at `idx` with `row` (used by ON CONFLICT DO UPDATE and
+    /// UPDATE). Maintains indexes.
+    pub fn replace_row(&mut self, idx: usize, row: Row) -> Result<()> {
+        let row = self.coerce(row)?;
+        let old = self.rows[idx].clone();
+        if let Some(primary) = &mut self.primary {
+            let old_key = primary.key_for(&old);
+            let new_key = primary.key_for(&row);
+            if old_key != new_key {
+                if primary.map.contains_key(&new_key) {
+                    return Err(EngineError::exec(format!(
+                        "UNIQUE constraint violated on table '{}'",
+                        self.name
+                    )));
+                }
+                primary.map.remove(&old_key);
+                primary.map.insert(new_key, idx);
+            }
+        }
+        for index in &mut self.secondary {
+            let old_key: Vec<Value> = index.key_columns.iter().map(|&i| old[i].clone()).collect();
+            let new_key: Vec<Value> = index.key_columns.iter().map(|&i| row[i].clone()).collect();
+            if old_key != new_key {
+                if let Some(list) = index.map.get_mut(&old_key) {
+                    list.retain(|&r| r != idx);
+                }
+                index.map.entry(new_key).or_default().push(idx);
+            }
+        }
+        Arc::make_mut(&mut self.rows)[idx] = row;
+        Ok(())
+    }
+
+    /// Delete the rows at the given (sorted, deduplicated) indexes and
+    /// rebuild indexes.
+    pub fn delete_rows(&mut self, mut idxs: Vec<usize>) -> Result<usize> {
+        idxs.sort_unstable();
+        idxs.dedup();
+        let rows = Arc::make_mut(&mut self.rows);
+        let mut keep = vec![true; rows.len()];
+        for &i in &idxs {
+            keep[i] = false;
+        }
+        let mut i = 0;
+        rows.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+        self.rebuild_indexes()?;
+        Ok(idxs.len())
+    }
+
+    /// Rebuild primary and secondary indexes from current rows.
+    pub fn rebuild_indexes(&mut self) -> Result<()> {
+        if let Some(primary) = &mut self.primary {
+            primary.map.clear();
+            primary.map.reserve(self.rows.len());
+            for (i, row) in self.rows.iter().enumerate() {
+                let key = primary.key_for(row);
+                if primary.map.insert(key, i).is_some() {
+                    return Err(EngineError::exec(format!(
+                        "UNIQUE constraint violated on table '{}'",
+                        self.name
+                    )));
+                }
+            }
+        }
+        for index in &mut self.secondary {
+            index.map.clear();
+            for (i, row) in self.rows.iter().enumerate() {
+                let key: Vec<Value> = index.key_columns.iter().map(|&c| row[c].clone()).collect();
+                index.map.entry(key).or_default().push(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How an insert resolves conflicts (planner-resolved form of the AST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedConflict {
+    DoNothing,
+    DoUpdate,
+}
+
+/// Result of inserting a single row.
+#[derive(Debug)]
+pub enum InsertOutcome {
+    Inserted,
+    Ignored,
+    /// A conflicting row exists; the caller runs the DO UPDATE assignments.
+    Conflict { existing_idx: usize, proposed: Row },
+}
+
+/// The catalog: a name → table map (case-insensitive names).
+///
+/// `Clone` is cheap-ish (rows are shared behind `Arc`; index maps are deep
+/// copies) and backs the engine's snapshot-based transactions.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn create_table(&mut self, table: Table, if_not_exists: bool) -> Result<()> {
+        let key = Self::key(&table.name);
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(EngineError::catalog(format!(
+                "table '{}' already exists",
+                table.name
+            )));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.tables.remove(&Self::key(name)).is_none() && !if_exists {
+            return Err(EngineError::catalog(format!("table '{name}' does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| EngineError::catalog(format!("table '{name}' does not exist")))
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| EngineError::catalog(format!("table '{name}' does not exist")))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_jk() -> Schema {
+        Schema::new(vec![
+            Column {
+                name: "j".into(),
+                ty: DataType::Text,
+            },
+            Column {
+                name: "k".into(),
+                ty: DataType::Integer,
+            },
+            Column {
+                name: "w".into(),
+                ty: DataType::Real,
+            },
+        ])
+    }
+
+    #[test]
+    fn insert_and_pk_conflict() {
+        let mut t = Table::new("c".into(), schema_jk(), &["j".into(), "k".into()]).unwrap();
+        let row = vec![Value::text("a"), Value::Int(1), Value::Float(0.5)];
+        assert!(matches!(
+            t.insert_row(row.clone(), None).unwrap(),
+            InsertOutcome::Inserted
+        ));
+        assert!(t.insert_row(row.clone(), None).is_err());
+        assert!(matches!(
+            t.insert_row(row.clone(), Some(&ResolvedConflict::DoNothing))
+                .unwrap(),
+            InsertOutcome::Ignored
+        ));
+        assert!(matches!(
+            t.insert_row(row, Some(&ResolvedConflict::DoUpdate)).unwrap(),
+            InsertOutcome::Conflict { existing_idx: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn coercion_applies_declared_types() {
+        let mut t = Table::new("c".into(), schema_jk(), &[]).unwrap();
+        t.insert_row(vec![Value::Int(7), Value::text("3"), Value::Int(1)], None)
+            .unwrap();
+        let row = &t.rows[0];
+        assert_eq!(row[0], Value::text("7"));
+        assert_eq!(row[1], Value::Int(3));
+        assert_eq!(row[2], Value::Float(1.0));
+    }
+
+    #[test]
+    fn delete_rebuilds_pk() {
+        let mut t = Table::new("c".into(), schema_jk(), &["j".into()]).unwrap();
+        for i in 0..5 {
+            t.insert_row(
+                vec![Value::text(format!("x{i}")), Value::Int(i), Value::Float(0.0)],
+                None,
+            )
+            .unwrap();
+        }
+        t.delete_rows(vec![1, 3]).unwrap();
+        assert_eq!(t.row_count(), 3);
+        let primary = t.primary.as_ref().unwrap();
+        assert_eq!(primary.map.len(), 3);
+        assert_eq!(primary.map[&vec![Value::text("x4")]], 2);
+    }
+
+    #[test]
+    fn replace_row_updates_key() {
+        let mut t = Table::new("c".into(), schema_jk(), &["j".into()]).unwrap();
+        t.insert_row(vec![Value::text("a"), Value::Int(1), Value::Float(0.0)], None)
+            .unwrap();
+        t.replace_row(0, vec![Value::text("b"), Value::Int(1), Value::Float(0.0)])
+            .unwrap();
+        let primary = t.primary.as_ref().unwrap();
+        assert!(primary.map.contains_key(&vec![Value::text("b")]));
+        assert!(!primary.map.contains_key(&vec![Value::text("a")]));
+    }
+
+    #[test]
+    fn catalog_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table(Table::new("Foo".into(), schema_jk(), &[]).unwrap(), false)
+            .unwrap();
+        assert!(c.get("foo").is_ok());
+        assert!(c.get("FOO").is_ok());
+        assert!(c.create_table(Table::new("FOO".into(), schema_jk(), &[]).unwrap(), false).is_err());
+        c.drop_table("fOo", false).unwrap();
+        assert!(c.get("foo").is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV import / export (a `COPY`-style facility).
+//!
+//! Supports RFC-4180-style quoting (`"` with `""` escapes), headers, and
+//! type coercion against the target table's declared schema. Used by the
+//! examples to move data in and out without a driver dependency.
+
+use crate::engine::Database;
+use crate::error::{EngineError, Result};
+use crate::value::{Row, Value};
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// commas, quotes, but not embedded newlines — records are line-based).
+fn parse_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err(EngineError::exec("unterminated quoted CSV field"));
+                }
+                fields.push(std::mem::take(&mut field));
+                break;
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if field.is_empty() && !in_quotes => in_quotes = true,
+            Some(',') if !in_quotes => fields.push(std::mem::take(&mut field)),
+            Some(c) => field.push(c),
+        }
+    }
+    Ok(fields)
+}
+
+/// Render one field with quoting when needed.
+fn render_field(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        other => {
+            let s = other.to_string();
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s
+            }
+        }
+    }
+}
+
+impl Database {
+    /// Import CSV text into an existing table. With `has_header` the first
+    /// line is used to map columns by name (missing columns become NULL);
+    /// otherwise fields map positionally. Empty fields import as NULL.
+    /// Returns the number of rows inserted.
+    pub fn import_csv(&self, table: &str, csv: &str, has_header: bool) -> Result<usize> {
+        let (schema, _, _) = self.dump_table(table)?;
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let positions: Vec<Option<usize>> = if has_header {
+            let header = lines
+                .next()
+                .ok_or_else(|| EngineError::exec("CSV is empty"))?;
+            parse_line(header)?
+                .iter()
+                .map(|name| schema.position(name))
+                .collect()
+        } else {
+            (0..schema.len()).map(Some).collect()
+        };
+
+        let mut rows: Vec<Row> = Vec::new();
+        for line in lines {
+            let fields = parse_line(line)?;
+            let mut row: Row = vec![Value::Null; schema.len()];
+            for (i, field) in fields.iter().enumerate() {
+                let Some(Some(pos)) = positions.get(i) else {
+                    continue; // unmapped CSV column
+                };
+                if field.is_empty() {
+                    continue; // NULL
+                }
+                // Coerce via the declared type (falls back to TEXT).
+                row[*pos] = Value::text(field).cast_to(schema.columns[*pos].ty)?;
+            }
+            rows.push(row);
+        }
+        self.insert_rows(table, rows)
+    }
+
+    /// Export a query result as CSV text with a header row.
+    pub fn export_csv(&self, sql: &str) -> Result<String> {
+        let result = self.query(sql)?;
+        let mut out = String::new();
+        out.push_str(&result.columns.join(","));
+        out.push('\n');
+        for row in &result.rows {
+            let fields: Vec<String> = row.iter().map(render_field).collect();
+            out.push_str(&fields.join(","));
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER, name TEXT, w REAL)")
+            .unwrap();
+        let n = db
+            .import_csv(
+                "t",
+                "id,name,w\n1,alice,0.5\n2,\"bob, the second\",1.5\n3,,\n",
+                true,
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        let r = db.query("SELECT name FROM t WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][0], Value::text("bob, the second"));
+        let r2 = db.query("SELECT name FROM t WHERE id = 3").unwrap();
+        assert!(r2.rows[0][0].is_null());
+
+        let csv = db.export_csv("SELECT id, name, w FROM t ORDER BY id").unwrap();
+        assert!(csv.starts_with("id,name,w\n1,alice,0.5\n"));
+        assert!(csv.contains("\"bob, the second\""));
+
+        // Re-import the export into a fresh table.
+        let db2 = Database::new();
+        db2.execute("CREATE TABLE t (id INTEGER, name TEXT, w REAL)")
+            .unwrap();
+        assert_eq!(db2.import_csv("t", &csv, true).unwrap(), 3);
+    }
+
+    #[test]
+    fn positional_import_and_reordered_header() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+        db.import_csv("t", "5,five\n6,six\n", false).unwrap();
+        assert_eq!(db.table_rows("t").unwrap(), 2);
+        // Header in a different order maps by name.
+        db.import_csv("t", "b,a\nseven,7\n", true).unwrap();
+        let r = db.query("SELECT b FROM t WHERE a = 7").unwrap();
+        assert_eq!(r.rows[0][0], Value::text("seven"));
+    }
+
+    #[test]
+    fn quotes_and_escapes() {
+        assert_eq!(
+            parse_line("a,\"b\"\"c\",d").unwrap(),
+            vec!["a", "b\"c", "d"]
+        );
+        assert_eq!(parse_line("").unwrap(), vec![""]);
+        assert!(parse_line("\"open").is_err());
+    }
+
+    #[test]
+    fn type_coercion_errors_are_reported() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (n INTEGER)").unwrap();
+        assert!(db.import_csv("t", "n\nnot_a_number\n", true).is_err());
+    }
+}

@@ -1,0 +1,755 @@
+//! The public database facade.
+//!
+//! [`Database`] owns the catalog behind a `parking_lot::RwLock`. Queries
+//! plan under a read lock and execute on `Arc` row snapshots after the lock
+//! is released; DML takes the write lock for its duration.
+
+use parking_lot::RwLock;
+
+use crate::ast::{ConflictAction, Expr, InsertSource, Statement};
+use crate::catalog::{
+    Catalog, Column, InsertOutcome, ResolvedConflict, Schema, SecondaryIndex, Table, UniqueIndex,
+};
+use crate::error::{EngineError, Result};
+use crate::expr::{bind_expr, ColLabel, Scope};
+use crate::parser::{parse_script, parse_statement};
+use crate::plan::{Planner, PlannerConfig};
+use crate::value::{Row, Value};
+
+/// Engine configuration. The three profiles used by the benchmark harness to
+/// emulate distinct DBMS behaviours are built from these knobs (see
+/// [`EngineConfig::profile_a`] etc.).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Algorithm for detected equi-joins.
+    pub join_algo: crate::plan::JoinAlgo,
+    /// Materialize CTEs once instead of inlining their plans.
+    pub materialize_ctes: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            join_algo: crate::plan::JoinAlgo::Hash,
+            materialize_ctes: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Profile A — hash joins, pipelined CTEs (PostgreSQL-like behaviour).
+    pub fn profile_a() -> Self {
+        EngineConfig {
+            join_algo: crate::plan::JoinAlgo::Hash,
+            materialize_ctes: false,
+        }
+    }
+
+    /// Profile B — hash joins, materialized CTEs (MySQL-like behaviour).
+    pub fn profile_b() -> Self {
+        EngineConfig {
+            join_algo: crate::plan::JoinAlgo::Hash,
+            materialize_ctes: true,
+        }
+    }
+
+    /// Profile C — sort-merge joins, pipelined CTEs (an engine without hash
+    /// joins; SQLite's B-tree-driven plans behave like this on these
+    /// shapes).
+    pub fn profile_c() -> Self {
+        EngineConfig {
+            join_algo: crate::plan::JoinAlgo::SortMerge,
+            materialize_ctes: false,
+        }
+    }
+
+    fn planner(&self) -> PlannerConfig {
+        PlannerConfig {
+            join_algo: self.join_algo,
+            materialize_ctes: self.materialize_ctes,
+        }
+    }
+}
+
+/// The result of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Position of an output column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// First value of the first row, if any.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    Rows(QueryResult),
+    /// Number of rows inserted / updated / deleted (DDL reports 0).
+    Affected(usize),
+}
+
+impl StatementResult {
+    pub fn into_rows(self) -> Result<QueryResult> {
+        match self {
+            StatementResult::Rows(r) => Ok(r),
+            StatementResult::Affected(_) => {
+                Err(EngineError::exec("statement did not return rows"))
+            }
+        }
+    }
+
+    pub fn affected(&self) -> usize {
+        match self {
+            StatementResult::Rows(r) => r.rows.len(),
+            StatementResult::Affected(n) => *n,
+        }
+    }
+}
+
+/// An embedded, in-memory relational database.
+pub struct Database {
+    catalog: RwLock<Catalog>,
+    config: EngineConfig,
+    /// Snapshot of the catalog taken at `BEGIN`, restored on `ROLLBACK`.
+    txn_backup: parking_lot::Mutex<Option<Catalog>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    pub fn with_config(config: EngineConfig) -> Self {
+        Database {
+            catalog: RwLock::new(Catalog::new()),
+            config,
+            txn_backup: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Whether a transaction started with `BEGIN` is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn_backup.lock().is_some()
+    }
+
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Execute one statement without parameters.
+    pub fn execute(&self, sql: &str) -> Result<StatementResult> {
+        self.execute_with(sql, &[])
+    }
+
+    /// Execute one statement with positional parameters (`?`, `?1`).
+    pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt, params)
+    }
+
+    /// Execute a semicolon-separated script; returns the last statement's
+    /// result.
+    pub fn execute_script(&self, sql: &str) -> Result<StatementResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = StatementResult::Affected(0);
+        for stmt in &stmts {
+            last = self.execute_statement(stmt, &[])?;
+        }
+        Ok(last)
+    }
+
+    /// Run a `SELECT` and return its rows.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?.into_rows()
+    }
+
+    /// Run a `SELECT` with parameters.
+    pub fn query_with(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        self.execute_with(sql, params)?.into_rows()
+    }
+
+    /// Run a `SELECT` expected to return a single scalar.
+    pub fn query_scalar(&self, sql: &str) -> Result<Value> {
+        let r = self.query(sql)?;
+        r.scalar()
+            .cloned()
+            .ok_or_else(|| EngineError::exec("query returned no rows"))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.read().table_names()
+    }
+
+    /// Number of rows in a table.
+    pub fn table_rows(&self, name: &str) -> Result<usize> {
+        Ok(self.catalog.read().get(name)?.row_count())
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().contains(name)
+    }
+
+    /// Parse a statement once for repeated execution with different
+    /// parameters (planning still happens per execution, against current
+    /// data — only parsing is amortized).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
+        Ok(Prepared {
+            db: self,
+            stmt: parse_statement(sql)?,
+        })
+    }
+
+    /// Render the physical plan of a query (an `EXPLAIN` equivalent).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(query) = stmt else {
+            return Err(EngineError::plan("EXPLAIN supports only SELECT queries"));
+        };
+        let catalog = self.catalog.read();
+        let mut planner = Planner::new(&catalog, &[], self.config.planner());
+        let planned = planner.plan_query(&query)?;
+        Ok(crate::explain::render_plan(&planned.plan))
+    }
+
+    /// Dump a table's schema, primary-key columns, and rows (used by
+    /// snapshots).
+    pub fn dump_table(
+        &self,
+        name: &str,
+    ) -> Result<(crate::catalog::Schema, Vec<String>, std::sync::Arc<Vec<Row>>)> {
+        let catalog = self.catalog.read();
+        let t = catalog.get(name)?;
+        let pk = t
+            .primary
+            .as_ref()
+            .map(|p| {
+                p.key_columns
+                    .iter()
+                    .map(|&i| t.schema.columns[i].name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok((t.schema.clone(), pk, std::sync::Arc::clone(&t.rows)))
+    }
+
+    /// Install a table with pre-built rows (used by snapshot restore).
+    pub fn restore_table(&self, mut table: Table, rows: Vec<Row>) -> Result<()> {
+        for row in rows {
+            table.insert_row(row, None)?;
+        }
+        self.catalog.write().create_table(table, false)
+    }
+
+    /// Bulk-insert pre-built rows into a table (fast path used by data
+    /// generators; equivalent to `INSERT INTO t VALUES ...`).
+    pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
+        let mut catalog = self.catalog.write();
+        let t = catalog.get_mut(table)?;
+        let n = rows.len();
+        for row in rows {
+            t.insert_row(row, None)?;
+        }
+        Ok(n)
+    }
+
+    fn execute_statement(&self, stmt: &Statement, params: &[Value]) -> Result<StatementResult> {
+        match stmt {
+            Statement::Query(query) => {
+                // Plan under the read lock; execute on snapshots afterwards.
+                let planned = {
+                    let catalog = self.catalog.read();
+                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    planner.plan_query(query)?
+                };
+                let rows = crate::exec::execute(&planned.plan)?;
+                Ok(StatementResult::Rows(QueryResult {
+                    columns: planned.columns,
+                    rows,
+                }))
+            }
+            Statement::CreateTable(ct) => {
+                let schema = Schema::new(
+                    ct.columns
+                        .iter()
+                        .map(|c| Column {
+                            name: c.name.clone(),
+                            ty: c.ty,
+                        })
+                        .collect(),
+                );
+                let table = Table::new(ct.name.clone(), schema, &ct.primary_key)?;
+                self.catalog.write().create_table(table, ct.if_not_exists)?;
+                Ok(StatementResult::Affected(0))
+            }
+            Statement::CreateIndex(ci) => {
+                let mut catalog = self.catalog.write();
+                let table = catalog.get_mut(&ci.table)?;
+                let mut key_columns = Vec::with_capacity(ci.columns.len());
+                for c in &ci.columns {
+                    key_columns.push(table.schema.position(c).ok_or_else(|| {
+                        EngineError::catalog(format!(
+                            "column '{c}' not found in table '{}'",
+                            ci.table
+                        ))
+                    })?);
+                }
+                if table.secondary.iter().any(|s| s.name == ci.name) {
+                    if ci.if_not_exists {
+                        return Ok(StatementResult::Affected(0));
+                    }
+                    return Err(EngineError::catalog(format!(
+                        "index '{}' already exists",
+                        ci.name
+                    )));
+                }
+                if ci.unique && table.primary.is_none() {
+                    let mut primary = UniqueIndex {
+                        key_columns,
+                        map: Default::default(),
+                    };
+                    for (i, row) in table.rows.iter().enumerate() {
+                        let key: Vec<Value> =
+                            primary.key_columns.iter().map(|&c| row[c].clone()).collect();
+                        if primary.map.insert(key, i).is_some() {
+                            return Err(EngineError::exec(format!(
+                                "cannot create unique index '{}': duplicate keys",
+                                ci.name
+                            )));
+                        }
+                    }
+                    table.primary = Some(primary);
+                } else {
+                    let mut index = SecondaryIndex {
+                        name: ci.name.clone(),
+                        key_columns,
+                        map: Default::default(),
+                    };
+                    for (i, row) in table.rows.iter().enumerate() {
+                        let key: Vec<Value> =
+                            index.key_columns.iter().map(|&c| row[c].clone()).collect();
+                        index.map.entry(key).or_default().push(i);
+                    }
+                    table.secondary.push(index);
+                }
+                Ok(StatementResult::Affected(0))
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.write().drop_table(name, *if_exists)?;
+                Ok(StatementResult::Affected(0))
+            }
+            Statement::CreateTableAs {
+                name,
+                if_not_exists,
+                query,
+            } => {
+                let planned = {
+                    let catalog = self.catalog.read();
+                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    planner.plan_query(query)?
+                };
+                let rows = crate::exec::execute(&planned.plan)?;
+                let schema = Schema::new(
+                    planned
+                        .columns
+                        .iter()
+                        .map(|c| Column {
+                            name: c.clone(),
+                            ty: crate::value::DataType::Any,
+                        })
+                        .collect(),
+                );
+                let mut table = Table::new(name.clone(), schema, &[])?;
+                let n = rows.len();
+                for row in rows {
+                    table.insert_row(row, None)?;
+                }
+                self.catalog.write().create_table(table, *if_not_exists)?;
+                Ok(StatementResult::Affected(n))
+            }
+            Statement::Begin => {
+                let mut backup = self.txn_backup.lock();
+                if backup.is_some() {
+                    return Err(EngineError::exec("a transaction is already in progress"));
+                }
+                *backup = Some(self.catalog.read().clone());
+                Ok(StatementResult::Affected(0))
+            }
+            Statement::Commit => {
+                let mut backup = self.txn_backup.lock();
+                if backup.take().is_none() {
+                    return Err(EngineError::exec("no transaction in progress"));
+                }
+                Ok(StatementResult::Affected(0))
+            }
+            Statement::Rollback => {
+                let mut backup = self.txn_backup.lock();
+                match backup.take() {
+                    Some(saved) => {
+                        *self.catalog.write() = saved;
+                        Ok(StatementResult::Affected(0))
+                    }
+                    None => Err(EngineError::exec("no transaction in progress")),
+                }
+            }
+            Statement::Insert(insert) => self.execute_insert(insert, params),
+            Statement::Delete { table, predicate } => {
+                let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
+                let mut catalog = self.catalog.write();
+                let t = catalog.get_mut(table)?;
+                let idxs = match &predicate {
+                    None => (0..t.row_count()).collect(),
+                    Some(pred) => {
+                        let scope = table_scope(t);
+                        let bound = bind_expr(pred, &scope, params)?;
+                        let mut idxs = Vec::new();
+                        for (i, row) in t.rows.iter().enumerate() {
+                            if bound.eval(row)?.as_bool()? == Some(true) {
+                                idxs.push(i);
+                            }
+                        }
+                        idxs
+                    }
+                };
+                let n = t.delete_rows(idxs)?;
+                Ok(StatementResult::Affected(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
+                let mut catalog = self.catalog.write();
+                let t = catalog.get_mut(table)?;
+                let scope = table_scope(t);
+                let bound_pred = predicate
+                    .as_ref()
+                    .map(|p| bind_expr(p, &scope, params))
+                    .transpose()?;
+                let mut bound_assignments = Vec::with_capacity(assignments.len());
+                for (col, expr) in assignments {
+                    let pos = t.schema.position(col).ok_or_else(|| {
+                        EngineError::plan(format!("unknown column '{col}' in UPDATE"))
+                    })?;
+                    bound_assignments.push((pos, bind_expr(expr, &scope, params)?));
+                }
+                let mut updates = Vec::new();
+                for (i, row) in t.rows.iter().enumerate() {
+                    let matches = match &bound_pred {
+                        None => true,
+                        Some(p) => p.eval(row)?.as_bool()? == Some(true),
+                    };
+                    if matches {
+                        let mut new_row = row.clone();
+                        for (pos, e) in &bound_assignments {
+                            new_row[*pos] = e.eval(row)?;
+                        }
+                        updates.push((i, new_row));
+                    }
+                }
+                let n = updates.len();
+                for (i, new_row) in updates {
+                    t.replace_row(i, new_row)?;
+                }
+                Ok(StatementResult::Affected(n))
+            }
+        }
+    }
+
+    /// Evaluate uncorrelated subqueries inside a DML predicate against the
+    /// current catalog (before the write lock is taken).
+    fn resolve_dml_subqueries(
+        &self,
+        predicate: Option<Expr>,
+        params: &[Value],
+    ) -> Result<Option<Expr>> {
+        let Some(mut pred) = predicate else {
+            return Ok(None);
+        };
+        let catalog = self.catalog.read();
+        let mut planner = Planner::new(&catalog, params, self.config.planner());
+        planner.resolve_subqueries(&mut pred)?;
+        Ok(Some(pred))
+    }
+
+    fn execute_insert(&self, insert: &crate::ast::Insert, params: &[Value]) -> Result<StatementResult> {
+        // Evaluate the source rows first (queries plan against a snapshot,
+        // so `INSERT INTO t SELECT .. FROM t` reads consistent data).
+        let source_rows: Vec<Row> = match &insert.source {
+            InsertSource::Values(rows) => {
+                let scope = Scope::default();
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(bind_expr(e, &scope, params)?.eval(&[])?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Query(q) => {
+                let planned = {
+                    let catalog = self.catalog.read();
+                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    planner.plan_query(q)?
+                };
+                crate::exec::execute(&planned.plan)?
+            }
+        };
+
+        let mut catalog = self.catalog.write();
+        let t = catalog.get_mut(&insert.table)?;
+
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = if insert.columns.is_empty() {
+            (0..t.schema.len()).collect()
+        } else {
+            insert
+                .columns
+                .iter()
+                .map(|c| {
+                    t.schema.position(c).ok_or_else(|| {
+                        EngineError::plan(format!(
+                            "unknown column '{c}' in INSERT INTO {}",
+                            insert.table
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?
+        };
+
+        // Resolve the conflict clause.
+        let (resolved, do_update) = match &insert.on_conflict {
+            None => (None, None),
+            Some(oc) => {
+                let primary = t.primary.as_ref().ok_or_else(|| {
+                    EngineError::plan(format!(
+                        "ON CONFLICT on table '{}' which has no unique index",
+                        insert.table
+                    ))
+                })?;
+                if !oc.target_columns.is_empty() {
+                    let mut target: Vec<usize> = oc
+                        .target_columns
+                        .iter()
+                        .map(|c| {
+                            t.schema.position(c).ok_or_else(|| {
+                                EngineError::plan(format!("unknown conflict column '{c}'"))
+                            })
+                        })
+                        .collect::<Result<_>>()?;
+                    target.sort_unstable();
+                    let mut key = primary.key_columns.clone();
+                    key.sort_unstable();
+                    if target != key {
+                        return Err(EngineError::plan(format!(
+                            "ON CONFLICT target does not match the unique index of '{}'",
+                            insert.table
+                        )));
+                    }
+                }
+                match &oc.action {
+                    ConflictAction::DoNothing => (Some(ResolvedConflict::DoNothing), None),
+                    ConflictAction::DoUpdate(assignments) => {
+                        // Bind assignments against [existing row, excluded row].
+                        let mut labels: Vec<ColLabel> = t
+                            .schema
+                            .columns
+                            .iter()
+                            .map(|c| ColLabel::new(Some(&t.name), &c.name))
+                            .collect();
+                        labels.extend(
+                            t.schema
+                                .columns
+                                .iter()
+                                .map(|c| ColLabel::new(Some("excluded"), &c.name)),
+                        );
+                        let scope = Scope::new(labels);
+                        let table_name = t.name.clone();
+                        let mut bound = Vec::with_capacity(assignments.len());
+                        for (col, expr) in assignments {
+                            let pos = t.schema.position(col).ok_or_else(|| {
+                                EngineError::plan(format!(
+                                    "unknown column '{col}' in DO UPDATE SET"
+                                ))
+                            })?;
+                            // PostgreSQL resolves bare columns to the existing
+                            // row; qualify them with the table name up front.
+                            let mut expr = expr.clone();
+                            qualify_bare_columns(&mut expr, &table_name);
+                            bound.push((pos, bind_expr(&expr, &scope, params)?));
+                        }
+                        (Some(ResolvedConflict::DoUpdate), Some(bound))
+                    }
+                }
+            }
+        };
+
+        let width = t.schema.len();
+        let mut affected = 0usize;
+        for src in source_rows {
+            if src.len() != positions.len() {
+                return Err(EngineError::exec(format!(
+                    "INSERT expects {} values per row, got {}",
+                    positions.len(),
+                    src.len()
+                )));
+            }
+            let mut row: Row = vec![Value::Null; width];
+            for (pos, v) in positions.iter().zip(src) {
+                row[*pos] = v;
+            }
+            match t.insert_row(row, resolved.as_ref())? {
+                InsertOutcome::Inserted => affected += 1,
+                InsertOutcome::Ignored => {}
+                InsertOutcome::Conflict {
+                    existing_idx,
+                    proposed,
+                } => {
+                    let assignments = do_update
+                        .as_ref()
+                        .expect("DoUpdate resolution implies bound assignments");
+                    // Evaluation row = existing ++ excluded.
+                    let mut eval_row = t.rows[existing_idx].clone();
+                    eval_row.extend(proposed);
+                    let mut new_row = t.rows[existing_idx].clone();
+                    for (pos, e) in assignments {
+                        new_row[*pos] = e.eval(&eval_row)?;
+                    }
+                    t.replace_row(existing_idx, new_row)?;
+                    affected += 1;
+                }
+            }
+        }
+        Ok(StatementResult::Affected(affected))
+    }
+}
+
+/// A statement parsed once, executable many times with fresh parameters.
+pub struct Prepared<'db> {
+    db: &'db Database,
+    stmt: Statement,
+}
+
+impl Prepared<'_> {
+    /// Execute with the given parameters.
+    pub fn execute(&self, params: &[Value]) -> Result<StatementResult> {
+        self.db.execute_statement(&self.stmt, params)
+    }
+
+    /// Execute and return rows.
+    pub fn query(&self, params: &[Value]) -> Result<QueryResult> {
+        self.execute(params)?.into_rows()
+    }
+}
+
+/// Scope of a base table for DML binding: columns visible bare and
+/// table-qualified.
+fn table_scope(t: &Table) -> Scope {
+    Scope::new(
+        t.schema
+            .columns
+            .iter()
+            .map(|c| ColLabel::new(Some(&t.name), &c.name))
+            .collect(),
+    )
+}
+
+/// Qualify unqualified column references with `table` (AST rewrite used for
+/// `ON CONFLICT DO UPDATE` expressions).
+fn qualify_bare_columns(e: &mut Expr, table: &str) {
+    match e {
+        Expr::Column { qualifier, .. } => {
+            if qualifier.is_none() {
+                *qualifier = Some(table.to_string());
+            }
+        }
+        Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            qualify_bare_columns(expr, table)
+        }
+        Expr::Binary { left, right, .. } => {
+            qualify_bare_columns(left, table);
+            qualify_bare_columns(right, table);
+        }
+        Expr::InList { expr, list, .. } => {
+            qualify_bare_columns(expr, table);
+            for i in list {
+                qualify_bare_columns(i, table);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            qualify_bare_columns(expr, table);
+            qualify_bare_columns(low, table);
+            qualify_bare_columns(high, table);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            qualify_bare_columns(expr, table);
+            qualify_bare_columns(pattern, table);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                qualify_bare_columns(o, table);
+            }
+            for (w, th) in branches {
+                qualify_bare_columns(w, table);
+                qualify_bare_columns(th, table);
+            }
+            if let Some(el) = else_expr {
+                qualify_bare_columns(el, table);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                qualify_bare_columns(a, table);
+            }
+        }
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                qualify_bare_columns(a, table);
+            }
+        }
+        Expr::WindowRowNumber {
+            partition_by,
+            order_by,
+            ..
+        } => {
+            for p in partition_by {
+                qualify_bare_columns(p, table);
+            }
+            for oi in order_by {
+                qualify_bare_columns(&mut oi.expr, table);
+            }
+        }
+        // Subquery bodies have their own scopes.
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::InSubquery { expr, .. } => qualify_bare_columns(expr, table),
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the SQL engine.
+
+use std::fmt;
+
+/// Any error produced while lexing, parsing, planning, or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexical error: unexpected character, unterminated string, bad number.
+    Lex { message: String, position: usize },
+    /// Syntax error produced by the parser.
+    Parse { message: String, position: usize },
+    /// Semantic error produced during planning (unknown table/column,
+    /// ambiguous reference, wrong arity, ...).
+    Plan(String),
+    /// Runtime error produced during execution (type mismatch, division by
+    /// zero on integers, constraint violation, ...).
+    Exec(String),
+    /// Catalog error: table already exists / does not exist, etc.
+    Catalog(String),
+    /// A statement referenced a parameter that was not bound.
+    Parameter(String),
+}
+
+impl EngineError {
+    pub(crate) fn plan(msg: impl Into<String>) -> Self {
+        EngineError::Plan(msg.into())
+    }
+
+    pub(crate) fn exec(msg: impl Into<String>) -> Self {
+        EngineError::Exec(msg.into())
+    }
+
+    pub(crate) fn catalog(msg: impl Into<String>) -> Self {
+        EngineError::Catalog(msg.into())
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            EngineError::Parse { message, position } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+            EngineError::Parameter(m) => write!(f, "parameter error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,557 @@
+//! Physical plan execution.
+//!
+//! Operators are executed bottom-up, each producing a materialized
+//! `Vec<Row>`. For the sparse-tensor workloads BornSQL generates this is
+//! cache-friendly and keeps the code auditable; the working sets are bounded
+//! by the size of the (sparse) intermediate tensors.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{AggregateFunc, JoinKind};
+use crate::error::{EngineError, Result};
+use crate::expr::PhysExpr;
+use crate::plan::{AggSpec, PhysPlan};
+use crate::value::{Row, Value};
+
+/// Execute a plan to completion.
+pub fn execute(plan: &PhysPlan) -> Result<Vec<Row>> {
+    match plan {
+        PhysPlan::Scan { rows, .. } => Ok(rows.as_ref().clone()),
+        PhysPlan::OneRow => Ok(vec![Vec::new()]),
+        PhysPlan::Filter { input, predicate } => {
+            let rows = execute(input)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if predicate.eval(&row)?.as_bool()? == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysPlan::Project { input, exprs } => {
+            let rows = execute(input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    projected.push(e.eval(row)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            right_width,
+            residual,
+            algo,
+        } => match algo {
+            crate::plan::JoinAlgo::Hash => hash_join(
+                left, right, left_keys, right_keys, *kind, *right_width, residual,
+            ),
+            crate::plan::JoinAlgo::SortMerge => sort_merge_join(
+                left, right, left_keys, right_keys, *kind, *right_width, residual,
+            ),
+        },
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            right_width,
+            predicate,
+        } => nested_loop_join(left, right, *kind, *right_width, predicate),
+        PhysPlan::Aggregate { input, keys, aggs } => aggregate(input, keys, aggs),
+        PhysPlan::Window {
+            input,
+            func,
+            partition,
+            order,
+        } => window_rank(input, *func, partition, order),
+        PhysPlan::Sort { input, keys } => {
+            let mut rows = execute(input)?;
+            // Precompute sort keys once per row, then sort by them.
+            let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let mut kv = Vec::with_capacity(keys.len());
+                for (expr, _) in keys {
+                    kv.push(expr.eval(row)?);
+                }
+                keyed.push((kv, i));
+            }
+            keyed.sort_by(|(ka, ia), (kb, ib)| {
+                for (i, (_, desc)) in keys.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                ia.cmp(ib) // stable
+            });
+            let mut out = Vec::with_capacity(rows.len());
+            for (_, i) in keyed {
+                out.push(std::mem::take(&mut rows[i]));
+            }
+            Ok(out)
+        }
+        PhysPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = execute(input)?;
+            let end = limit
+                .map(|l| (*offset + l).min(rows.len()))
+                .unwrap_or(rows.len());
+            let start = (*offset).min(rows.len());
+            Ok(rows[start..end].to_vec())
+        }
+        PhysPlan::UnionAll { inputs } => {
+            let mut out = Vec::new();
+            for i in inputs {
+                out.extend(execute(i)?);
+            }
+            Ok(out)
+        }
+        PhysPlan::Distinct { input } => {
+            let rows = execute(input)?;
+            let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn hash_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+) -> Result<Vec<Row>> {
+    let left_rows = execute(left)?;
+    let right_rows = execute(right)?;
+
+    // Build on the right side, probe with the left (preserves left order,
+    // which also gives LEFT JOIN for free).
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    'rows: for (i, row) in right_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(right_keys.len());
+        for k in right_keys {
+            let v = k.eval(row)?;
+            if v.is_null() {
+                continue 'rows; // NULL never matches an equi-join key.
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(i);
+    }
+
+    let mut out = Vec::new();
+    let mut key = Vec::with_capacity(left_keys.len());
+    for lrow in &left_rows {
+        key.clear();
+        let mut has_null = false;
+        for k in left_keys {
+            let v = k.eval(lrow)?;
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(v);
+        }
+        let mut matched = false;
+        if !has_null {
+            if let Some(idxs) = table.get(&key) {
+                for &ri in idxs {
+                    let mut joined = lrow.clone();
+                    joined.extend(right_rows[ri].iter().cloned());
+                    if let Some(r) = residual {
+                        if r.eval(&joined)?.as_bool()? != Some(true) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    out.push(joined);
+                }
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut joined = lrow.clone();
+            joined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(joined);
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sort_merge_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+) -> Result<Vec<Row>> {
+    let left_rows = execute(left)?;
+    let right_rows = execute(right)?;
+
+    // Materialize (key, index) pairs and sort both sides. NULL keys never
+    // match and are dropped from the merge (LEFT JOIN keeps their rows).
+    let keyed = |rows: &[Row], keys: &[PhysExpr]| -> Result<Vec<(Vec<Value>, usize)>> {
+        let mut out = Vec::with_capacity(rows.len());
+        'rows: for (i, row) in rows.iter().enumerate() {
+            let mut k = Vec::with_capacity(keys.len());
+            for e in keys {
+                let v = e.eval(row)?;
+                if v.is_null() {
+                    continue 'rows;
+                }
+                k.push(v);
+            }
+            out.push((k, i));
+        }
+        out.sort_by(|(a, _), (b, _)| cmp_keys(a, b));
+        Ok(out)
+    };
+    let lk = keyed(&left_rows, left_keys)?;
+    let rk = keyed(&right_rows, right_keys)?;
+
+    let mut matched_left = vec![false; left_rows.len()];
+    let mut out = Vec::new();
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < lk.len() && ri < rk.len() {
+        match cmp_keys(&lk[li].0, &rk[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                // Extent of the equal run on each side.
+                let lstart = li;
+                while li < lk.len() && cmp_keys(&lk[li].0, &rk[ri].0).is_eq() {
+                    li += 1;
+                }
+                let rstart = ri;
+                while ri < rk.len() && cmp_keys(&lk[lstart].0, &rk[ri].0).is_eq() {
+                    ri += 1;
+                }
+                for &(_, l_idx) in &lk[lstart..li] {
+                    for &(_, r_idx) in &rk[rstart..ri] {
+                        let mut joined = left_rows[l_idx].clone();
+                        joined.extend(right_rows[r_idx].iter().cloned());
+                        if let Some(r) = residual {
+                            if r.eval(&joined)?.as_bool()? != Some(true) {
+                                continue;
+                            }
+                        }
+                        matched_left[l_idx] = true;
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+    }
+    if kind == JoinKind::Left {
+        for (i, row) in left_rows.iter().enumerate() {
+            if !matched_left[i] {
+                let mut joined = row.clone();
+                joined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(joined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn nested_loop_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    kind: JoinKind,
+    right_width: usize,
+    predicate: &Option<PhysExpr>,
+) -> Result<Vec<Row>> {
+    let left_rows = execute(left)?;
+    let right_rows = execute(right)?;
+    let mut out = Vec::new();
+    for lrow in &left_rows {
+        let mut matched = false;
+        for rrow in &right_rows {
+            let mut joined = lrow.clone();
+            joined.extend(rrow.iter().cloned());
+            let keep = match predicate {
+                None => true,
+                Some(p) => p.eval(&joined)?.as_bool()? == Some(true),
+            };
+            if keep {
+                matched = true;
+                out.push(joined);
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut joined = lrow.clone();
+            joined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(joined);
+        }
+    }
+    Ok(out)
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt(i64, bool), // (sum, saw_any)
+    SumFloat(f64, bool),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec) -> AggState {
+        match spec.func {
+            AggregateFunc::Count => AggState::Count(0),
+            AggregateFunc::Sum => AggState::SumInt(0, false),
+            AggregateFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggregateFunc::Min => AggState::Min(None),
+            AggregateFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(()); // aggregates skip NULLs (COUNT(*) handled outside)
+        }
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::SumInt(acc, seen) => match v {
+                Value::Int(i) => {
+                    *acc += i;
+                    *seen = true;
+                }
+                Value::Float(f) => {
+                    *self = AggState::SumFloat(*acc as f64 + f, true);
+                }
+                other => {
+                    return Err(EngineError::exec(format!("SUM of non-numeric value {other}")))
+                }
+            },
+            AggState::SumFloat(acc, seen) => {
+                let f = v.as_f64()?.expect("null handled");
+                *acc += f;
+                *seen = true;
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v.as_f64()?.expect("null handled");
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_lt()) {
+                    *cur = Some(v);
+                }
+            }
+            AggState::Max(cur) => {
+                if cur.as_ref().is_none_or(|c| v.total_cmp(c).is_gt()) {
+                    *cur = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::SumInt(acc, seen) => {
+                if seen {
+                    Value::Int(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(acc, seen) => {
+                if seen {
+                    Value::Float(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            AggState::Min(v) => v.unwrap_or(Value::Null),
+            AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn aggregate(input: &PhysPlan, keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Vec<Row>> {
+    let rows = execute(input)?;
+    // Group states plus per-group DISTINCT sets for distinct aggregates.
+    struct Group {
+        states: Vec<AggState>,
+        distinct_seen: Vec<Option<HashSet<Value>>>,
+    }
+    let new_group = || Group {
+        states: aggs.iter().map(AggState::new).collect(),
+        distinct_seen: aggs
+            .iter()
+            .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+            .collect(),
+    };
+
+    let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
+
+    for row in &rows {
+        let mut key = Vec::with_capacity(keys.len());
+        for k in keys {
+            key.push(k.eval(row)?);
+        }
+        let group = match groups.get_mut(&key) {
+            Some(g) => g,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(new_group)
+            }
+        };
+        for (i, spec) in aggs.iter().enumerate() {
+            let v = match &spec.arg {
+                None => Value::Int(1), // COUNT(*): every row counts
+                Some(a) => a.eval(row)?,
+            };
+            if v.is_null() {
+                continue;
+            }
+            if let Some(seen) = &mut group.distinct_seen[i] {
+                if !seen.insert(v.clone()) {
+                    continue;
+                }
+            }
+            group.states[i].update(v)?;
+        }
+    }
+
+    // Global aggregate over empty input still yields one row of defaults.
+    if groups.is_empty() && keys.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+        let mut row = Vec::with_capacity(aggs.len());
+        for s in states {
+            row.push(s.finish());
+        }
+        return Ok(vec![row]);
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    for key in order {
+        let group = groups.remove(&key).expect("group recorded in order");
+        let mut row = key;
+        for s in group.states {
+            row.push(s.finish());
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn window_rank(
+    input: &PhysPlan,
+    func: crate::ast::WindowFunc,
+    partition: &[PhysExpr],
+    order: &[(PhysExpr, bool)],
+) -> Result<Vec<Row>> {
+    use crate::ast::WindowFunc;
+    let rows = execute(input)?;
+    // (partition key, order key, original index)
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let mut pk = Vec::with_capacity(partition.len());
+        for p in partition {
+            pk.push(p.eval(row)?);
+        }
+        let mut ok = Vec::with_capacity(order.len());
+        for (e, _) in order {
+            ok.push(e.eval(row)?);
+        }
+        keyed.push((pk, ok, i));
+    }
+    let cmp_order = |oa: &[Value], ob: &[Value]| {
+        for (i, (_, desc)) in order.iter().enumerate() {
+            let ord = oa[i].total_cmp(&ob[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    keyed.sort_by(|(pa, oa, ia), (pb, ob, ib)| {
+        for (x, y) in pa.iter().zip(pb) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        cmp_order(oa, ob).then(ia.cmp(ib))
+    });
+    let mut out = vec![Vec::new(); rows.len()];
+    let mut row_number = 0i64; // position within partition
+    let mut rank = 0i64; // RANK (with gaps)
+    let mut dense = 0i64; // DENSE_RANK
+    let mut prev_partition: Option<&Vec<Value>> = None;
+    let mut prev_order: Option<&Vec<Value>> = None;
+    for (pk, ok, i) in &keyed {
+        let same_partition = prev_partition == Some(pk);
+        if same_partition {
+            row_number += 1;
+            let tie = prev_order
+                .map(|po| cmp_order(po, ok) == std::cmp::Ordering::Equal)
+                .unwrap_or(false);
+            if !tie {
+                rank = row_number;
+                dense += 1;
+            }
+        } else {
+            row_number = 1;
+            rank = 1;
+            dense = 1;
+        }
+        prev_partition = Some(pk);
+        prev_order = Some(ok);
+        let value = match func {
+            WindowFunc::RowNumber => row_number,
+            WindowFunc::Rank => rank,
+            WindowFunc::DenseRank => dense,
+        };
+        let mut row = rows[*i].clone();
+        row.push(Value::Int(value));
+        out[*i] = row;
+    }
+    Ok(out)
+}

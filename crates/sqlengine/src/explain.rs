@@ -1,0 +1,107 @@
+//! `EXPLAIN`-style plan rendering.
+//!
+//! [`Database::explain`](crate::Database::explain) plans a query and renders
+//! the physical operator tree, which is how the benchmark harness verifies
+//! which join strategy a profile actually selected.
+
+use crate::plan::{JoinAlgo, PhysPlan};
+
+/// Render a plan as an indented operator tree.
+pub fn render_plan(plan: &PhysPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn render(plan: &PhysPlan, depth: usize, out: &mut String) {
+    match plan {
+        PhysPlan::Scan { rows, width } => line(
+            out,
+            depth,
+            &format!("Scan [{} rows × {} cols]", rows.len(), width),
+        ),
+        PhysPlan::OneRow => line(out, depth, "OneRow"),
+        PhysPlan::Filter { input, .. } => {
+            line(out, depth, "Filter");
+            render(input, depth + 1, out);
+        }
+        PhysPlan::Project { input, exprs } => {
+            line(out, depth, &format!("Project [{} exprs]", exprs.len()));
+            render(input, depth + 1, out);
+        }
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            kind,
+            algo,
+            residual,
+            ..
+        } => {
+            let algo_name = match algo {
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::SortMerge => "SortMergeJoin",
+            };
+            line(
+                out,
+                depth,
+                &format!(
+                    "{algo_name} [{kind:?}, {} keys{}]",
+                    left_keys.len(),
+                    if residual.is_some() { ", residual" } else { "" }
+                ),
+            );
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        PhysPlan::NestedLoopJoin {
+            left, right, kind, ..
+        } => {
+            line(out, depth, &format!("NestedLoopJoin [{kind:?}]"));
+            render(left, depth + 1, out);
+            render(right, depth + 1, out);
+        }
+        PhysPlan::Aggregate { input, keys, aggs } => {
+            line(
+                out,
+                depth,
+                &format!("Aggregate [{} keys, {} aggs]", keys.len(), aggs.len()),
+            );
+            render(input, depth + 1, out);
+        }
+        PhysPlan::Window { input, partition, .. } => {
+            line(
+                out,
+                depth,
+                &format!("Window [row_number, {} partition keys]", partition.len()),
+            );
+            render(input, depth + 1, out);
+        }
+        PhysPlan::Sort { input, keys } => {
+            line(out, depth, &format!("Sort [{} keys]", keys.len()));
+            render(input, depth + 1, out);
+        }
+        PhysPlan::Limit { input, limit, offset } => {
+            line(out, depth, &format!("Limit [limit={limit:?}, offset={offset}]"));
+            render(input, depth + 1, out);
+        }
+        PhysPlan::UnionAll { inputs } => {
+            line(out, depth, &format!("UnionAll [{} inputs]", inputs.len()));
+            for i in inputs {
+                render(i, depth + 1, out);
+            }
+        }
+        PhysPlan::Distinct { input } => {
+            line(out, depth, "Distinct");
+            render(input, depth + 1, out);
+        }
+    }
+}

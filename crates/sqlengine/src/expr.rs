@@ -1,0 +1,885 @@
+//! Bound (physical) expressions and their evaluator.
+//!
+//! The planner resolves AST expressions against a [`Scope`] — the ordered,
+//! possibly-qualified column labels of the operator input — producing a
+//! [`PhysExpr`] whose column references are plain offsets. Evaluation is a
+//! straightforward tree walk over a row slice.
+
+use std::sync::Arc;
+
+use crate::ast::{self, BinaryOp, UnaryOp};
+use crate::error::{EngineError, Result};
+use crate::value::{DataType, Value};
+
+/// A column label visible in a scope: optional table qualifier plus name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColLabel {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColLabel {
+    pub fn new(qualifier: Option<&str>, name: &str) -> Self {
+        ColLabel {
+            qualifier: qualifier.map(|s| s.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bare(name: &str) -> Self {
+        ColLabel {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// The ordered set of columns an expression may reference.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub labels: Vec<ColLabel>,
+}
+
+impl Scope {
+    pub fn new(labels: Vec<ColLabel>) -> Self {
+        Scope { labels }
+    }
+
+    /// Concatenate two scopes (join output).
+    pub fn join(&self, other: &Scope) -> Scope {
+        let mut labels = self.labels.clone();
+        labels.extend(other.labels.iter().cloned());
+        Scope { labels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Resolve `[qualifier.]name` to a column offset.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, label) in self.labels.iter().enumerate() {
+            let name_matches = label.name.eq_ignore_ascii_case(name);
+            let qual_matches = match (qualifier, &label.qualifier) {
+                (None, _) => true,
+                (Some(q), Some(lq)) => q.eq_ignore_ascii_case(lq),
+                (Some(_), None) => false,
+            };
+            if name_matches && qual_matches {
+                if found.is_some() {
+                    return Err(EngineError::plan(format!(
+                        "ambiguous column reference '{}{}'",
+                        qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                        name
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            EngineError::plan(format!(
+                "unknown column '{}{}'",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default(),
+                name
+            ))
+        })
+    }
+}
+
+/// Scalar functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    Pow,
+    Ln,
+    Log10,
+    Exp,
+    Abs,
+    Sqrt,
+    Coalesce,
+    NullIf,
+    Length,
+    Lower,
+    Upper,
+    Substr,
+    Round,
+    Floor,
+    Ceil,
+    Sign,
+    Mod,
+    Trim,
+    Replace,
+    Instr,
+    Concat,
+}
+
+impl ScalarFunc {
+    /// Look a function up by (upper-case) SQL name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "POW" | "POWER" => ScalarFunc::Pow,
+            "LN" => ScalarFunc::Ln,
+            "LOG" | "LOG10" => ScalarFunc::Log10,
+            "EXP" => ScalarFunc::Exp,
+            "ABS" => ScalarFunc::Abs,
+            "SQRT" => ScalarFunc::Sqrt,
+            "COALESCE" | "IFNULL" => ScalarFunc::Coalesce,
+            "NULLIF" => ScalarFunc::NullIf,
+            "LENGTH" => ScalarFunc::Length,
+            "LOWER" => ScalarFunc::Lower,
+            "UPPER" => ScalarFunc::Upper,
+            "SUBSTR" | "SUBSTRING" => ScalarFunc::Substr,
+            "ROUND" => ScalarFunc::Round,
+            "FLOOR" => ScalarFunc::Floor,
+            "CEIL" | "CEILING" => ScalarFunc::Ceil,
+            "SIGN" => ScalarFunc::Sign,
+            "MOD" => ScalarFunc::Mod,
+            "TRIM" => ScalarFunc::Trim,
+            "REPLACE" => ScalarFunc::Replace,
+            "INSTR" => ScalarFunc::Instr,
+            "CONCAT" => ScalarFunc::Concat,
+            _ => return None,
+        })
+    }
+
+    fn arity_ok(&self, n: usize) -> bool {
+        match self {
+            ScalarFunc::Pow | ScalarFunc::NullIf | ScalarFunc::Mod | ScalarFunc::Instr => n == 2,
+            ScalarFunc::Replace => n == 3,
+            ScalarFunc::Coalesce | ScalarFunc::Concat => n >= 1,
+            ScalarFunc::Substr => n == 2 || n == 3,
+            ScalarFunc::Round => n == 1 || n == 2,
+            _ => n == 1,
+        }
+    }
+}
+
+/// A bound expression: column references resolved to offsets, parameters
+/// substituted, functions resolved.
+#[derive(Debug, Clone)]
+pub enum PhysExpr {
+    Literal(Value),
+    Column(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<PhysExpr>,
+    },
+    Binary {
+        left: Box<PhysExpr>,
+        op: BinaryOp,
+        right: Box<PhysExpr>,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<PhysExpr>,
+        low: Box<PhysExpr>,
+        high: Box<PhysExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: Box<PhysExpr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<PhysExpr>>,
+        branches: Vec<(PhysExpr, PhysExpr)>,
+        else_expr: Option<Box<PhysExpr>>,
+    },
+    Cast {
+        expr: Box<PhysExpr>,
+        ty: DataType,
+    },
+    Function {
+        func: ScalarFunc,
+        args: Vec<PhysExpr>,
+    },
+}
+
+/// Bind an AST expression against `scope`, substituting `params`.
+///
+/// Aggregate and window expressions must have been rewritten away by the
+/// planner before binding; finding one here is a planning bug surfaced as an
+/// error.
+pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<PhysExpr> {
+    use ast::Expr as E;
+    Ok(match expr {
+        E::Literal(v) => PhysExpr::Literal(v.clone()),
+        E::Param(i) => {
+            let v = params.get(i - 1).ok_or_else(|| {
+                EngineError::Parameter(format!(
+                    "parameter ?{i} referenced but only {} bound",
+                    params.len()
+                ))
+            })?;
+            PhysExpr::Literal(v.clone())
+        }
+        E::Column { qualifier, name } => {
+            PhysExpr::Column(scope.resolve(qualifier.as_deref(), name)?)
+        }
+        E::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: Box::new(bind_expr(expr, scope, params)?),
+        },
+        E::Binary { left, op, right } => PhysExpr::Binary {
+            left: Box::new(bind_expr(left, scope, params)?),
+            op: *op,
+            right: Box::new(bind_expr(right, scope, params)?),
+        },
+        E::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: Box::new(bind_expr(expr, scope, params)?),
+            negated: *negated,
+        },
+        E::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
+            expr: Box::new(bind_expr(expr, scope, params)?),
+            list: list
+                .iter()
+                .map(|e| bind_expr(e, scope, params))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        E::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => PhysExpr::Between {
+            expr: Box::new(bind_expr(expr, scope, params)?),
+            low: Box::new(bind_expr(low, scope, params)?),
+            high: Box::new(bind_expr(high, scope, params)?),
+            negated: *negated,
+        },
+        E::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
+            expr: Box::new(bind_expr(expr, scope, params)?),
+            pattern: Box::new(bind_expr(pattern, scope, params)?),
+            negated: *negated,
+        },
+        E::Case {
+            operand,
+            branches,
+            else_expr,
+        } => PhysExpr::Case {
+            operand: operand
+                .as_ref()
+                .map(|e| bind_expr(e, scope, params).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((bind_expr(w, scope, params)?, bind_expr(t, scope, params)?)))
+                .collect::<Result<_>>()?,
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| bind_expr(e, scope, params).map(Box::new))
+                .transpose()?,
+        },
+        E::Cast { expr, ty } => PhysExpr::Cast {
+            expr: Box::new(bind_expr(expr, scope, params)?),
+            ty: *ty,
+        },
+        E::Function { name, args } => {
+            let func = ScalarFunc::from_name(name)
+                .ok_or_else(|| EngineError::plan(format!("unknown function '{name}'")))?;
+            if !func.arity_ok(args.len()) {
+                return Err(EngineError::plan(format!(
+                    "wrong number of arguments ({}) for {name}",
+                    args.len()
+                )));
+            }
+            PhysExpr::Function {
+                func,
+                args: args
+                    .iter()
+                    .map(|e| bind_expr(e, scope, params))
+                    .collect::<Result<_>>()?,
+            }
+        }
+        E::Aggregate { .. } => {
+            return Err(EngineError::plan(
+                "aggregate function used outside of an aggregating context",
+            ))
+        }
+        E::WindowRowNumber { .. } => {
+            return Err(EngineError::plan(
+                "window function used in an unsupported position",
+            ))
+        }
+        E::ScalarSubquery(_) | E::InSubquery { .. } | E::Exists { .. } => {
+            return Err(EngineError::plan(
+                "subquery used in a position where it cannot be resolved \
+                 (only uncorrelated subqueries in SELECT/WHERE/HAVING are supported)",
+            ))
+        }
+    })
+}
+
+impl PhysExpr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            PhysExpr::Literal(v) => Ok(v.clone()),
+            PhysExpr::Column(i) => Ok(row[*i].clone()),
+            PhysExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                eval_unary(*op, v)
+            }
+            PhysExpr::Binary { left, op, right } => match op {
+                BinaryOp::And => {
+                    // Three-valued logic with short circuit.
+                    let l = left.eval(row)?.as_bool()?;
+                    if l == Some(false) {
+                        return Ok(Value::Int(0));
+                    }
+                    let r = right.eval(row)?.as_bool()?;
+                    Ok(match (l, r) {
+                        (Some(true), Some(true)) => Value::Int(1),
+                        (_, Some(false)) => Value::Int(0),
+                        _ => Value::Null,
+                    })
+                }
+                BinaryOp::Or => {
+                    let l = left.eval(row)?.as_bool()?;
+                    if l == Some(true) {
+                        return Ok(Value::Int(1));
+                    }
+                    let r = right.eval(row)?.as_bool()?;
+                    Ok(match (l, r) {
+                        (Some(false), Some(false)) => Value::Int(0),
+                        (_, Some(true)) => Value::Int(1),
+                        _ => Value::Null,
+                    })
+                }
+                _ => {
+                    let l = left.eval(row)?;
+                    let r = right.eval(row)?;
+                    eval_binary(l, *op, r)
+                }
+            },
+            PhysExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Int((v.is_null() != *negated) as i64))
+            }
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => return Ok(Value::Int(!*negated as i64)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(*negated as i64))
+                }
+            }
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let lo = low.eval(row)?;
+                let hi = high.eval(row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let inside = v.total_cmp(&lo) != std::cmp::Ordering::Less
+                    && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+                Ok(Value::Int((inside != *negated) as i64))
+            }
+            PhysExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let p = pattern.eval(row)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let text = v.as_str_lossy()?.unwrap().into_owned();
+                let pat = p.as_str_lossy()?.unwrap().into_owned();
+                let matched = like_match(&text, &pat);
+                Ok(Value::Int((matched != *negated) as i64))
+            }
+            PhysExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                match operand {
+                    Some(op_expr) => {
+                        let op_val = op_expr.eval(row)?;
+                        for (when, then) in branches {
+                            let w = when.eval(row)?;
+                            if op_val.sql_eq(&w) == Some(true) {
+                                return then.eval(row);
+                            }
+                        }
+                    }
+                    None => {
+                        for (when, then) in branches {
+                            if when.eval(row)?.as_bool()? == Some(true) {
+                                return then.eval(row);
+                            }
+                        }
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            PhysExpr::Cast { expr, ty } => expr.eval(row)?.cast_to(*ty),
+            PhysExpr::Function { func, args } => eval_function(*func, args, row),
+        }
+    }
+
+    /// Evaluate an expression that must not reference any columns (LIMIT etc.).
+    pub fn eval_const(&self) -> Result<Value> {
+        self.eval(&[])
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            Value::Str(s) => Err(EngineError::exec(format!("cannot negate string '{s}'"))),
+        },
+        UnaryOp::Not => match v.as_bool()? {
+            None => Ok(Value::Null),
+            Some(b) => Ok(Value::Int(!b as i64)),
+        },
+    }
+}
+
+fn eval_binary(l: Value, op: BinaryOp, r: Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => {
+                    let (a, b) = (*a, *b);
+                    Ok(match op {
+                        Add => Value::Int(a.wrapping_add(b)),
+                        Sub => Value::Int(a.wrapping_sub(b)),
+                        Mul => Value::Int(a.wrapping_mul(b)),
+                        Div => {
+                            if b == 0 {
+                                return Err(EngineError::exec("integer division by zero"));
+                            }
+                            Value::Int(a / b)
+                        }
+                        Mod => {
+                            if b == 0 {
+                                return Err(EngineError::exec("integer modulo by zero"));
+                            }
+                            Value::Int(a % b)
+                        }
+                        _ => unreachable!(),
+                    })
+                }
+                _ => {
+                    let a = l.as_f64()?.expect("null handled");
+                    let b = r.as_f64()?.expect("null handled");
+                    Ok(Value::Float(match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => a / b,
+                        Mod => a % b,
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+        Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let a = l.as_str_lossy()?.unwrap();
+            let b = r.as_str_lossy()?.unwrap();
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(&a);
+            s.push_str(&b);
+            Ok(Value::Str(Arc::from(s.as_str())))
+        }
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.total_cmp(&r);
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(b as i64))
+        }
+        And | Or => unreachable!("handled in eval with short-circuit"),
+    }
+}
+
+fn eval_function(func: ScalarFunc, args: &[PhysExpr], row: &[Value]) -> Result<Value> {
+    // COALESCE must not eagerly error on later args; handle it first.
+    if func == ScalarFunc::Coalesce {
+        for a in args {
+            let v = a.eval(row)?;
+            if !v.is_null() {
+                return Ok(v);
+            }
+        }
+        return Ok(Value::Null);
+    }
+    let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
+    let num1 = |v: &Value| -> Result<Option<f64>> { v.as_f64() };
+    match func {
+        ScalarFunc::Coalesce => unreachable!(),
+        ScalarFunc::Pow => {
+            let (Some(a), Some(b)) = (num1(&vals[0])?, num1(&vals[1])?) else {
+                return Ok(Value::Null);
+            };
+            Ok(Value::Float(a.powf(b)))
+        }
+        ScalarFunc::Ln => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.ln())),
+        },
+        ScalarFunc::Log10 => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.log10())),
+        },
+        ScalarFunc::Exp => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.exp())),
+        },
+        ScalarFunc::Sqrt => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.sqrt())),
+        },
+        ScalarFunc::Abs => match &vals[0] {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            Value::Str(s) => Err(EngineError::exec(format!("ABS of string '{s}'"))),
+        },
+        ScalarFunc::Sign => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Int(if a > 0.0 {
+                1
+            } else if a < 0.0 {
+                -1
+            } else {
+                0
+            })),
+        },
+        ScalarFunc::NullIf => {
+            if vals[0].sql_eq(&vals[1]) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(vals[0].clone())
+            }
+        }
+        ScalarFunc::Length => match &vals[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::Int(
+                v.as_str_lossy()?.unwrap().chars().count() as i64
+            )),
+        },
+        ScalarFunc::Lower => match &vals[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::text(v.as_str_lossy()?.unwrap().to_lowercase())),
+        },
+        ScalarFunc::Upper => match &vals[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::text(v.as_str_lossy()?.unwrap().to_uppercase())),
+        },
+        ScalarFunc::Substr => {
+            if vals[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let s = vals[0].as_str_lossy()?.unwrap().into_owned();
+            let chars: Vec<char> = s.chars().collect();
+            let start = vals[1].as_i64()?.unwrap_or(1).max(1) as usize;
+            let len = if vals.len() == 3 {
+                vals[2].as_i64()?.unwrap_or(0).max(0) as usize
+            } else {
+                chars.len()
+            };
+            let out: String = chars.iter().skip(start - 1).take(len).collect();
+            Ok(Value::text(out))
+        }
+        ScalarFunc::Round => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => {
+                let digits = if vals.len() == 2 {
+                    vals[1].as_i64()?.unwrap_or(0)
+                } else {
+                    0
+                };
+                let factor = 10f64.powi(digits as i32);
+                Ok(Value::Float((a * factor).round() / factor))
+            }
+        },
+        ScalarFunc::Floor => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.floor())),
+        },
+        ScalarFunc::Ceil => match num1(&vals[0])? {
+            None => Ok(Value::Null),
+            Some(a) => Ok(Value::Float(a.ceil())),
+        },
+        ScalarFunc::Mod => {
+            let (Some(a), Some(b)) = (vals[0].as_f64()?, vals[1].as_f64()?) else {
+                return Ok(Value::Null);
+            };
+            match (&vals[0], &vals[1]) {
+                (Value::Int(x), Value::Int(y)) => {
+                    if *y == 0 {
+                        return Err(EngineError::exec("integer modulo by zero"));
+                    }
+                    Ok(Value::Int(x % y))
+                }
+                _ => Ok(Value::Float(a % b)),
+            }
+        }
+        ScalarFunc::Trim => match &vals[0] {
+            Value::Null => Ok(Value::Null),
+            v => Ok(Value::text(v.as_str_lossy()?.unwrap().trim())),
+        },
+        ScalarFunc::Replace => {
+            if vals.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s = vals[0].as_str_lossy()?.unwrap().into_owned();
+            let from = vals[1].as_str_lossy()?.unwrap().into_owned();
+            let to = vals[2].as_str_lossy()?.unwrap().into_owned();
+            if from.is_empty() {
+                return Ok(Value::text(s));
+            }
+            Ok(Value::text(s.replace(&from, &to)))
+        }
+        ScalarFunc::Instr => {
+            if vals[0].is_null() || vals[1].is_null() {
+                return Ok(Value::Null);
+            }
+            let hay = vals[0].as_str_lossy()?.unwrap().into_owned();
+            let needle = vals[1].as_str_lossy()?.unwrap().into_owned();
+            // 1-based character position; 0 when absent (SQLite semantics).
+            let pos = match hay.find(&needle) {
+                Some(byte_idx) => hay[..byte_idx].chars().count() as i64 + 1,
+                None => 0,
+            };
+            Ok(Value::Int(pos))
+        }
+        ScalarFunc::Concat => {
+            // MySQL-style CONCAT: NULL if any argument is NULL.
+            if vals.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let mut out = String::new();
+            for v in &vals {
+                out.push_str(&v.as_str_lossy()?.unwrap());
+            }
+            Ok(Value::text(out))
+        }
+    }
+}
+
+/// SQL LIKE matching with `%` (any run) and `_` (single char), case-sensitive.
+fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer with backtracking on the last `%`.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t): (Option<usize>, usize) = (None, 0);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = Some(pi);
+            star_t = ti;
+            pi += 1;
+        } else if let Some(sp) = star_p {
+            pi = sp + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn bind(sql_expr: &str, scope: &Scope, params: &[Value]) -> PhysExpr {
+        let stmt = parse_statement(&format!("SELECT {sql_expr}")).unwrap();
+        let crate::ast::Statement::Query(q) = stmt else {
+            panic!()
+        };
+        let crate::ast::SetExpr::Select(s) = q.body else {
+            panic!()
+        };
+        let crate::ast::SelectItem::Expr { expr, .. } = &s.projection[0] else {
+            panic!()
+        };
+        bind_expr(expr, scope, params).unwrap()
+    }
+
+    fn eval(sql_expr: &str) -> Value {
+        bind(sql_expr, &Scope::default(), &[]).eval(&[]).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_int_vs_float() {
+        assert_eq!(eval("2613 / 100"), Value::Int(26));
+        assert_eq!(eval("1 / 2"), Value::Int(0));
+        assert_eq!(eval("1.0 / 2"), Value::Float(0.5));
+        assert_eq!(eval("7 % 10"), Value::Int(7));
+        assert_eq!(eval("2 + 3 * 4"), Value::Int(14));
+    }
+
+    #[test]
+    fn concat_and_functions() {
+        assert_eq!(eval("'a' || 'b' || 3"), Value::text("ab3"));
+        assert_eq!(eval("POW(2, 10)"), Value::Float(1024.0));
+        assert_eq!(eval("ABS(-3)"), Value::Int(3));
+        assert_eq!(eval("COALESCE(NULL, NULL, 5)"), Value::Int(5));
+        let Value::Float(l) = eval("LN(EXP(1.0))") else {
+            panic!()
+        };
+        assert!((l - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert!(eval("NULL + 1").is_null());
+        assert!(eval("NULL = NULL").is_null());
+        assert_eq!(eval("NULL IS NULL"), Value::Int(1));
+        assert_eq!(eval("1 IS NOT NULL"), Value::Int(1));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval("NULL AND 0"), Value::Int(0));
+        assert!(eval("NULL AND 1").is_null());
+        assert_eq!(eval("NULL OR 1"), Value::Int(1));
+        assert!(eval("NULL OR 0").is_null());
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            eval("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END"),
+            Value::text("b")
+        );
+        assert_eq!(eval("CASE 3 WHEN 1 THEN 'x' WHEN 3 THEN 'y' END"), Value::text("y"));
+        assert!(eval("CASE WHEN 0 THEN 1 END").is_null());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello world", "hello%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("abc", "%"));
+        assert!(!like_match("abc", "a_"));
+        assert!(like_match("a%c", "a%c"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("xxabyy", "%ab%"));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let scope = Scope::new(vec![
+            ColLabel::new(Some("t"), "a"),
+            ColLabel::new(Some("u"), "a"),
+            ColLabel::new(Some("t"), "b"),
+        ]);
+        assert_eq!(scope.resolve(Some("u"), "a").unwrap(), 1);
+        assert_eq!(scope.resolve(None, "b").unwrap(), 2);
+        assert!(scope.resolve(None, "a").is_err()); // ambiguous
+        assert!(scope.resolve(None, "zzz").is_err()); // unknown
+    }
+
+    #[test]
+    fn params_substitute() {
+        let e = bind("? + ?", &Scope::default(), &[Value::Int(2), Value::Int(40)]);
+        assert_eq!(e.eval(&[]).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn division_by_zero_int_errors_float_inf() {
+        let scope = Scope::default();
+        assert!(bind("1 / 0", &scope, &[]).eval(&[]).is_err());
+        assert_eq!(eval("1.0 / 0.0"), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn in_and_between() {
+        assert_eq!(eval("2 IN (1, 2, 3)"), Value::Int(1));
+        assert_eq!(eval("5 NOT IN (1, 2, 3)"), Value::Int(1));
+        assert!(eval("5 IN (1, NULL)").is_null());
+        assert_eq!(eval("2 BETWEEN 1 AND 3"), Value::Int(1));
+        assert_eq!(eval("0 NOT BETWEEN 1 AND 3"), Value::Int(1));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval("LOWER('AbC')"), Value::text("abc"));
+        assert_eq!(eval("UPPER('AbC')"), Value::text("ABC"));
+        assert_eq!(eval("LENGTH('héllo')"), Value::Int(5));
+        assert_eq!(eval("SUBSTR('hello', 2, 3)"), Value::text("ell"));
+        assert_eq!(eval("NULLIF(3, 3)"), Value::Null);
+        assert_eq!(eval("NULLIF(3, 4)"), Value::Int(3));
+    }
+}

@@ -1,0 +1,414 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat token stream. Keywords are recognized case-insensitively
+//! and carried as their upper-case spelling; identifiers keep their original
+//! case but compare case-insensitively downstream. String literals use single
+//! quotes with `''` escaping; double-quoted identifiers are supported.
+
+use crate::error::{EngineError, Result};
+
+/// A single lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword, upper-cased (`SELECT`, `FROM`, ...).
+    Keyword(String),
+    /// Bare or double-quoted identifier, original case preserved.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// Positional parameter `?` (1-based index assigned in lexing order) or
+    /// explicit `?NNN`.
+    Param(usize),
+    // Punctuation / operators.
+    Comma,
+    Dot,
+    Semicolon,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat, // ||
+}
+
+/// Words treated as keywords by the parser. Anything else is an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "AND",
+    "OR", "NOT", "NULL", "IS", "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CAST", "CREATE", "TABLE", "INDEX", "DROP", "IF", "EXISTS", "INSERT", "INTO", "VALUES",
+    "DELETE", "UPDATE", "SET", "ON", "CONFLICT", "DO", "NOTHING", "PRIMARY", "KEY", "UNIQUE",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT", "WITH",
+    "OVER", "PARTITION", "ASC", "DESC", "INTEGER", "INT", "BIGINT", "REAL", "DOUBLE", "FLOAT",
+    "TEXT", "VARCHAR", "ROW_NUMBER", "RANK", "DENSE_RANK", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "TRUE", "FALSE", "EXCLUDED", "TEMP", "TEMPORARY", "PRECISION", "BEGIN", "COMMIT",
+    "ROLLBACK", "TRANSACTION",
+];
+
+fn is_keyword(word: &str) -> bool {
+    KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(word))
+}
+
+/// Tokenize `sql` into a vector of tokens.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut next_param = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(EngineError::Lex {
+                            message: "unterminated block comment".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' if !bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token::Concat);
+                i += 2;
+            }
+            '?' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i > start {
+                    let idx: usize = sql[start..i].parse().map_err(|_| EngineError::Lex {
+                        message: "invalid parameter index".into(),
+                        position: start,
+                    })?;
+                    if idx == 0 {
+                        return Err(EngineError::Lex {
+                            message: "parameter indexes are 1-based".into(),
+                            position: start,
+                        });
+                    }
+                    tokens.push(Token::Param(idx));
+                    next_param = next_param.max(idx + 1);
+                } else {
+                    tokens.push(Token::Param(next_param));
+                    next_param += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(EngineError::Lex {
+                            message: "unterminated string literal".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Push the full UTF-8 character.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&sql[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(EngineError::Lex {
+                            message: "unterminated quoted identifier".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'"' {
+                        if bytes.get(i + 1) == Some(&b'"') {
+                            s.push('"');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&sql[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| EngineError::Lex {
+                        message: format!("invalid float literal '{text}'"),
+                        position: start,
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => tokens.push(Token::Int(v)),
+                        Err(_) => {
+                            let v: f64 = text.parse().map_err(|_| EngineError::Lex {
+                                message: format!("invalid numeric literal '{text}'"),
+                                position: start,
+                            })?;
+                            tokens.push(Token::Float(v));
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                if is_keyword(word) {
+                    tokens.push(Token::Keyword(word.to_ascii_uppercase()));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => {
+                return Err(EngineError::Lex {
+                    message: format!("unexpected character '{other}'"),
+                    position: i,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a = 1").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert!(toks.contains(&Token::Eq));
+        assert_eq!(*toks.last().unwrap(), Token::Int(1));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = tokenize("SELECT 'it''s'").unwrap();
+        assert_eq!(toks[1], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn lexes_concat_and_ne() {
+        let toks = tokenize("a || b <> c != d").unwrap();
+        assert_eq!(toks[1], Token::Concat);
+        assert_eq!(toks[3], Token::NotEq);
+        assert_eq!(toks[5], Token::NotEq);
+    }
+
+    #[test]
+    fn lexes_floats_and_scientific() {
+        let toks = tokenize("1.5 2e3 7 0.25").unwrap();
+        assert_eq!(toks[0], Token::Float(1.5));
+        assert_eq!(toks[1], Token::Float(2000.0));
+        assert_eq!(toks[2], Token::Int(7));
+        assert_eq!(toks[3], Token::Float(0.25));
+    }
+
+    #[test]
+    fn positional_params_autonumber() {
+        let toks = tokenize("? ?5 ?").unwrap();
+        assert_eq!(toks, vec![Token::Param(1), Token::Param(5), Token::Param(6)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing\n + /* mid */ 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            tokenize("SELECT 'oops"),
+            Err(EngineError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select col").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("col".into()));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        let toks = tokenize("SELECT \"weird name\"").unwrap();
+        assert_eq!(toks[1], Token::Ident("weird name".into()));
+    }
+}

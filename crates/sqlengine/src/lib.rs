@@ -1,0 +1,48 @@
+//! # sqlengine — an embedded, from-scratch relational SQL engine
+//!
+//! This crate is the DBMS substrate for the BornSQL reproduction (see the
+//! workspace `DESIGN.md`). It implements, in pure Rust with no external SQL
+//! dependencies:
+//!
+//! * a lexer, recursive-descent parser, and AST for a practical SQL subset
+//!   (`SELECT` with CTEs, joins, `GROUP BY`/`HAVING`, window `ROW_NUMBER`,
+//!   `UNION [ALL]`, `ORDER BY`/`LIMIT`; `CREATE TABLE`/`INDEX`;
+//!   `INSERT ... ON CONFLICT DO UPDATE`; `UPDATE`; `DELETE`);
+//! * a planner with predicate pushdown, equi-join detection (hash joins),
+//!   and inline-vs-materialized CTE strategies;
+//! * a row-oriented executor with hash joins, hash aggregation, window and
+//!   sort operators;
+//! * an in-memory catalog with primary-key (unique) and secondary indexes.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sqlengine::{Database, Value};
+//!
+//! let db = Database::new();
+//! db.execute("CREATE TABLE t (n INTEGER, w REAL)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 0.5), (1, 1.5), (2, 4.0)").unwrap();
+//! let r = db.query("SELECT n, SUM(w) AS w FROM t GROUP BY n ORDER BY n").unwrap();
+//! assert_eq!(r.rows[0], vec![Value::Int(1), Value::Float(2.0)]);
+//! assert_eq!(r.rows[1], vec![Value::Int(2), Value::Float(4.0)]);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod csv;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod snapshot;
+pub mod value;
+
+pub use engine::{Database, EngineConfig, Prepared, QueryResult, StatementResult};
+pub use error::{EngineError, Result};
+pub use plan::JoinAlgo;
+pub use snapshot::Snapshot;
+pub use value::{DataType, Row, Value};

@@ -1,0 +1,1311 @@
+//! Query planner: AST → physical plan.
+//!
+//! The planner follows the classic layering (scan → filter → join →
+//! aggregate → window → project → distinct → sort → limit) with a few
+//! practical optimizations that matter for BornSQL-style workloads:
+//!
+//! * single-table predicates are pushed below joins;
+//! * equi-join conjuncts in the WHERE clause of comma-joins are detected and
+//!   turned into hash joins (greedy left-deep ordering);
+//! * CTEs are either inlined (pipelined, the default — this is the paper's
+//!   "no intermediate materialization" claim) or materialized once,
+//!   depending on [`PlannerConfig::materialize_ctes`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{self, Expr, JoinKind, OrderItem, Query, Select, SelectItem, SetExpr, TableRef};
+use crate::catalog::Catalog;
+use crate::error::{EngineError, Result};
+use crate::expr::{bind_expr, ColLabel, PhysExpr, Scope};
+use crate::value::{Row, Value};
+
+/// Which algorithm executes detected equi-joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgo {
+    /// Build a hash table on the right side, probe with the left.
+    #[default]
+    Hash,
+    /// Sort both sides on the key and merge (an O(n log n) engine without
+    /// hashing — the profile-C stand-in).
+    SortMerge,
+}
+
+/// Planner options — these are the knobs the benchmark harness sweeps to
+/// emulate different DBMS profiles (see DESIGN.md, "Substitutions").
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Algorithm for detected equi-joins. Joins with no equi conjunct always
+    /// fall back to a nested loop.
+    pub join_algo: JoinAlgo,
+    /// Evaluate each CTE once into an in-memory table instead of inlining
+    /// its plan at every reference.
+    pub materialize_ctes: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            join_algo: JoinAlgo::Hash,
+            materialize_ctes: false,
+        }
+    }
+}
+
+/// Aggregate specification inside an [`PhysPlan::Aggregate`].
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: ast::AggregateFunc,
+    /// `None` for `COUNT(*)`.
+    pub arg: Option<PhysExpr>,
+    pub distinct: bool,
+}
+
+/// A physical, immediately executable plan. Scans hold `Arc` snapshots of
+/// table rows, so execution never touches the catalog.
+#[derive(Debug, Clone)]
+pub enum PhysPlan {
+    /// Scan a snapshot of a base table (or a materialized CTE).
+    Scan { rows: Arc<Vec<Row>>, width: usize },
+    /// One empty row — the FROM-less `SELECT`.
+    OneRow,
+    Filter {
+        input: Box<PhysPlan>,
+        predicate: PhysExpr,
+    },
+    Project {
+        input: Box<PhysPlan>,
+        exprs: Vec<PhysExpr>,
+    },
+    /// Equi-join executed by the configured [`JoinAlgo`].
+    HashJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_keys: Vec<PhysExpr>,
+        right_keys: Vec<PhysExpr>,
+        kind: JoinKind,
+        right_width: usize,
+        /// Residual non-equi predicate evaluated on joined rows.
+        residual: Option<PhysExpr>,
+        algo: JoinAlgo,
+    },
+    NestedLoopJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        kind: JoinKind,
+        right_width: usize,
+        predicate: Option<PhysExpr>,
+    },
+    Aggregate {
+        input: Box<PhysPlan>,
+        keys: Vec<PhysExpr>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Appends one ranking column (`ROW_NUMBER`/`RANK`/`DENSE_RANK`) per
+    /// window spec.
+    Window {
+        input: Box<PhysPlan>,
+        func: ast::WindowFunc,
+        partition: Vec<PhysExpr>,
+        order: Vec<(PhysExpr, bool)>,
+    },
+    Sort {
+        input: Box<PhysPlan>,
+        keys: Vec<(PhysExpr, bool)>,
+    },
+    Limit {
+        input: Box<PhysPlan>,
+        limit: Option<usize>,
+        offset: usize,
+    },
+    UnionAll { inputs: Vec<PhysPlan> },
+    Distinct { input: Box<PhysPlan> },
+}
+
+/// Output of planning a query: the plan plus its output column names.
+pub struct PlannedQuery {
+    pub plan: PhysPlan,
+    pub columns: Vec<String>,
+    pub scope: Scope,
+}
+
+/// Plans statements against a catalog snapshot.
+pub struct Planner<'a> {
+    pub catalog: &'a Catalog,
+    pub params: &'a [Value],
+    pub config: PlannerConfig,
+    /// Stack of CTE frames; inner queries see outer CTEs.
+    cte_frames: Vec<HashMap<String, CteEntry>>,
+    /// Scratch: WHERE conjuncts `join_comma_items` could not place; the
+    /// caller turns them into a filter above the join tree.
+    leftover_conjuncts: Vec<Expr>,
+}
+
+#[derive(Clone)]
+enum CteEntry {
+    /// Inline: re-plan the AST at each reference.
+    Inline(Arc<Query>),
+    /// Materialized rows with their scope-relative column names.
+    Table(Arc<Vec<Row>>, Vec<String>),
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(catalog: &'a Catalog, params: &'a [Value], config: PlannerConfig) -> Self {
+        Planner {
+            catalog,
+            params,
+            config,
+            cte_frames: Vec::new(),
+            leftover_conjuncts: Vec::new(),
+        }
+    }
+
+    fn lookup_cte(&self, name: &str) -> Option<CteEntry> {
+        for frame in self.cte_frames.iter().rev() {
+            if let Some(e) = frame.get(&name.to_ascii_lowercase()) {
+                return Some(e.clone());
+            }
+        }
+        None
+    }
+
+    /// Plan a full query (CTEs + body + ORDER BY/LIMIT).
+    pub fn plan_query(&mut self, query: &Query) -> Result<PlannedQuery> {
+        let mut frame = HashMap::new();
+        for cte in &query.ctes {
+            let entry = if self.config.materialize_ctes {
+                // Plan and evaluate the CTE eagerly; references scan the rows.
+                self.cte_frames.push(frame.clone());
+                let planned = self.plan_query(&cte.query);
+                self.cte_frames.pop();
+                let planned = planned?;
+                let rows = crate::exec::execute(&planned.plan)?;
+                CteEntry::Table(Arc::new(rows), planned.columns)
+            } else {
+                CteEntry::Inline(Arc::new(Query {
+                    // Inner CTEs of this WITH are visible to later CTEs via
+                    // the frame pushed below; keep the query as-is.
+                    ctes: cte.query.ctes.clone(),
+                    body: cte.query.body.clone(),
+                    order_by: cte.query.order_by.clone(),
+                    limit: cte.query.limit.clone(),
+                    offset: cte.query.offset.clone(),
+                }))
+            };
+            frame.insert(cte.name.to_ascii_lowercase(), entry);
+        }
+        self.cte_frames.push(frame);
+        let result = self.plan_query_body(query);
+        self.cte_frames.pop();
+        result
+    }
+
+    fn plan_query_body(&mut self, query: &Query) -> Result<PlannedQuery> {
+        let mut planned = match &query.body {
+            SetExpr::Select(select) => self.plan_select(select, &query.order_by)?,
+            SetExpr::Union { .. } => {
+                let mut p = self.plan_set_expr(&query.body)?;
+                // ORDER BY over a union binds against the union's output.
+                if !query.order_by.is_empty() {
+                    let keys = self.bind_order_output(&query.order_by, &p.scope, &p.columns)?;
+                    p.plan = PhysPlan::Sort {
+                        input: Box::new(p.plan),
+                        keys,
+                    };
+                }
+                p
+            }
+        };
+        let limit = query
+            .limit
+            .as_ref()
+            .map(|e| self.const_usize(e, "LIMIT"))
+            .transpose()?;
+        let offset = query
+            .offset
+            .as_ref()
+            .map(|e| self.const_usize(e, "OFFSET"))
+            .transpose()?
+            .unwrap_or(0);
+        if limit.is_some() || offset > 0 {
+            planned.plan = PhysPlan::Limit {
+                input: Box::new(planned.plan),
+                limit,
+                offset,
+            };
+        }
+        Ok(planned)
+    }
+
+    fn const_usize(&self, e: &Expr, what: &str) -> Result<usize> {
+        let bound = bind_expr(e, &Scope::default(), self.params)?;
+        let v = bound.eval_const()?;
+        v.as_i64()?
+            .filter(|&i| i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| EngineError::plan(format!("{what} must be a non-negative integer")))
+    }
+
+    fn plan_set_expr(&mut self, body: &SetExpr) -> Result<PlannedQuery> {
+        match body {
+            SetExpr::Select(select) => self.plan_select(select, &[]),
+            SetExpr::Union { left, right, all } => {
+                let l = self.plan_set_expr(left)?;
+                let r = self.plan_set_expr(right)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(EngineError::plan(format!(
+                        "UNION arms have different column counts ({} vs {})",
+                        l.columns.len(),
+                        r.columns.len()
+                    )));
+                }
+                // Flatten nested unions for fewer copies.
+                let mut inputs = Vec::new();
+                match l.plan {
+                    PhysPlan::UnionAll { inputs: li } if *all => inputs.extend(li),
+                    other => inputs.push(other),
+                }
+                match r.plan {
+                    PhysPlan::UnionAll { inputs: ri } if *all => inputs.extend(ri),
+                    other => inputs.push(other),
+                }
+                let mut plan = PhysPlan::UnionAll { inputs };
+                if !*all {
+                    plan = PhysPlan::Distinct {
+                        input: Box::new(plan),
+                    };
+                }
+                Ok(PlannedQuery {
+                    plan,
+                    columns: l.columns,
+                    scope: l.scope,
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FROM clause
+    // ------------------------------------------------------------------
+
+    /// Plan a single table factor, producing its plan and scope.
+    fn plan_table_ref(&mut self, tref: &TableRef) -> Result<(PhysPlan, Scope)> {
+        match tref {
+            TableRef::Named { name, alias } => {
+                let qual = alias.clone().unwrap_or_else(|| name.clone());
+                if let Some(entry) = self.lookup_cte(name) {
+                    match entry {
+                        CteEntry::Inline(q) => {
+                            let planned = self.plan_query(&q)?;
+                            let labels = planned
+                                .columns
+                                .iter()
+                                .map(|c| ColLabel::new(Some(&qual), c))
+                                .collect();
+                            Ok((planned.plan, Scope::new(labels)))
+                        }
+                        CteEntry::Table(rows, cols) => {
+                            let width = cols.len();
+                            let labels = cols
+                                .iter()
+                                .map(|c| ColLabel::new(Some(&qual), c))
+                                .collect();
+                            Ok((PhysPlan::Scan { rows, width }, Scope::new(labels)))
+                        }
+                    }
+                } else {
+                    let table = self.catalog.get(name)?;
+                    let labels = table
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| ColLabel::new(Some(&qual), &c.name))
+                        .collect();
+                    Ok((
+                        PhysPlan::Scan {
+                            rows: Arc::clone(&table.rows),
+                            width: table.schema.len(),
+                        },
+                        Scope::new(labels),
+                    ))
+                }
+            }
+            TableRef::Derived { query, alias } => {
+                let planned = self.plan_query(query)?;
+                let labels = planned
+                    .columns
+                    .iter()
+                    .map(|c| ColLabel::new(Some(alias), c))
+                    .collect();
+                Ok((planned.plan, Scope::new(labels)))
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let (lp, ls) = self.plan_table_ref(left)?;
+                let (rp, rs) = self.plan_table_ref(right)?;
+                self.plan_join(lp, ls, rp, rs, *kind, on.as_ref())
+            }
+        }
+    }
+
+    /// Build a join between two planned inputs, detecting equi-keys in `on`.
+    fn plan_join(
+        &mut self,
+        lp: PhysPlan,
+        ls: Scope,
+        rp: PhysPlan,
+        rs: Scope,
+        kind: JoinKind,
+        on: Option<&Expr>,
+    ) -> Result<(PhysPlan, Scope)> {
+        let joined_scope = ls.join(&rs);
+        let right_width = rs.len();
+        let plan = match on {
+            None => PhysPlan::NestedLoopJoin {
+                left: Box::new(lp),
+                right: Box::new(rp),
+                kind,
+                right_width,
+                predicate: None,
+            },
+            Some(cond) => {
+                let conjuncts = split_conjuncts(cond);
+                let (mut left_keys, mut right_keys, mut residual) =
+                    (Vec::new(), Vec::new(), Vec::new());
+                for c in &conjuncts {
+                    if let Some((le, re)) = self.as_equi_key(c, &ls, &rs)? {
+                        left_keys.push(le);
+                        right_keys.push(re);
+                        continue;
+                    }
+                    residual.push((*c).clone());
+                }
+                if left_keys.is_empty() {
+                    let predicate = conjoin(&conjuncts);
+                    let bound = bind_expr(&predicate, &joined_scope, self.params)?;
+                    PhysPlan::NestedLoopJoin {
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                        kind,
+                        right_width,
+                        predicate: Some(bound),
+                    }
+                } else {
+                    let residual = if residual.is_empty() {
+                        None
+                    } else {
+                        let refs: Vec<&Expr> = residual.iter().collect();
+                        Some(bind_expr(&conjoin(&refs), &joined_scope, self.params)?)
+                    };
+                    PhysPlan::HashJoin {
+                        left: Box::new(lp),
+                        right: Box::new(rp),
+                        left_keys,
+                        right_keys,
+                        kind,
+                        right_width,
+                        residual,
+                        algo: self.config.join_algo,
+                    }
+                }
+            }
+        };
+        Ok((plan, joined_scope))
+    }
+
+    /// If `expr` is `a = b` with `a` bindable purely in `ls` and `b` in `rs`
+    /// (or vice versa), return the bound key pair.
+    fn as_equi_key(
+        &self,
+        expr: &Expr,
+        ls: &Scope,
+        rs: &Scope,
+    ) -> Result<Option<(PhysExpr, PhysExpr)>> {
+        let Expr::Binary {
+            left,
+            op: ast::BinaryOp::Eq,
+            right,
+        } = expr
+        else {
+            return Ok(None);
+        };
+        let try_bind = |e: &Expr, s: &Scope| bind_expr(e, s, self.params).ok();
+        if let (Some(le), Some(re)) = (try_bind(left, ls), try_bind(right, rs)) {
+            return Ok(Some((le, re)));
+        }
+        if let (Some(le), Some(re)) = (try_bind(right, ls), try_bind(left, rs)) {
+            return Ok(Some((le, re)));
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    /// Evaluate every (uncorrelated) subquery inside `e` and replace it with
+    /// its result: scalar subqueries become literals, `IN (SELECT ...)`
+    /// becomes an `IN` list, `EXISTS` becomes a boolean literal. Correlated
+    /// subqueries fail naturally when their outer column references do not
+    /// bind inside the subquery's own scope.
+    pub(crate) fn resolve_subqueries(&mut self, e: &mut Expr) -> Result<()> {
+        match e {
+            Expr::ScalarSubquery(q) => {
+                let planned = self.plan_query(q)?;
+                let rows = crate::exec::execute(&planned.plan)?;
+                if rows.len() > 1 {
+                    return Err(EngineError::plan(format!(
+                        "scalar subquery returned {} rows",
+                        rows.len()
+                    )));
+                }
+                let v = rows
+                    .into_iter()
+                    .next()
+                    .and_then(|r| r.into_iter().next())
+                    .unwrap_or(Value::Null);
+                *e = Expr::Literal(v);
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                self.resolve_subqueries(expr)?;
+                let planned = self.plan_query(query)?;
+                if planned.columns.len() != 1 {
+                    return Err(EngineError::plan(format!(
+                        "IN subquery must return one column, got {}",
+                        planned.columns.len()
+                    )));
+                }
+                let rows = crate::exec::execute(&planned.plan)?;
+                let list = rows
+                    .into_iter()
+                    .map(|mut r| Expr::Literal(r.pop().expect("one column")))
+                    .collect();
+                *e = Expr::InList {
+                    expr: expr.clone(),
+                    list,
+                    negated: *negated,
+                };
+            }
+            Expr::Exists { query, negated } => {
+                let planned = self.plan_query(query)?;
+                let rows = crate::exec::execute(&planned.plan)?;
+                *e = Expr::Literal(Value::Int((rows.is_empty() == *negated) as i64));
+            }
+            _ => {
+                let mut result = Ok(());
+                visit_children_mut(e, &mut |c| {
+                    if result.is_ok() {
+                        result = self.resolve_subqueries(c);
+                    }
+                });
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    fn plan_select(&mut self, select: &Select, order_by: &[OrderItem]) -> Result<PlannedQuery> {
+        // 0. Evaluate uncorrelated subqueries so the rest of planning only
+        //    sees plain expressions.
+        let has_subqueries = |s: &Select| -> bool {
+            // Cheap structural probe; cloning only when needed.
+            fn probe(e: &Expr) -> bool {
+                match e {
+                    Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+                        true
+                    }
+                    _ => {
+                        let mut found = false;
+                        visit_children(e, &mut |c| found |= probe(c));
+                        found
+                    }
+                }
+            }
+            s.selection.as_ref().is_some_and(probe)
+                || s.having.as_ref().is_some_and(probe)
+                || s.group_by.iter().any(probe)
+                || s.projection.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => probe(expr),
+                    _ => false,
+                })
+        };
+        let resolved_select;
+        let select = if has_subqueries(select) {
+            let mut s = select.clone();
+            if let Some(sel) = &mut s.selection {
+                self.resolve_subqueries(sel)?;
+            }
+            if let Some(h) = &mut s.having {
+                self.resolve_subqueries(h)?;
+            }
+            for g in &mut s.group_by {
+                self.resolve_subqueries(g)?;
+            }
+            for item in &mut s.projection {
+                if let SelectItem::Expr { expr, .. } = item {
+                    self.resolve_subqueries(expr)?;
+                }
+            }
+            resolved_select = s;
+            &resolved_select
+        } else {
+            select
+        };
+
+        // 1. FROM: plan each comma item.
+        let mut items: Vec<(PhysPlan, Scope)> = Vec::with_capacity(select.from.len());
+        for tref in &select.from {
+            items.push(self.plan_table_ref(tref)?);
+        }
+
+        // 2. WHERE conjuncts.
+        let conjuncts: Vec<Expr> = select
+            .selection
+            .as_ref()
+            .map(|e| split_conjuncts(e).into_iter().cloned().collect())
+            .unwrap_or_default();
+
+        let (mut plan, mut scope) = if items.is_empty() {
+            self.leftover_conjuncts = conjuncts.clone();
+            (PhysPlan::OneRow, Scope::default())
+        } else {
+            self.join_comma_items(items, &conjuncts)?
+        };
+
+        // Apply any WHERE conjuncts not consumed as join keys / pushdowns.
+        // `join_comma_items` marks consumed conjuncts by omission: we simply
+        // re-bind everything that still references the full scope and was not
+        // consumed — see its return contract below.
+        let leftovers = std::mem::take(&mut self.leftover_conjuncts);
+        if !leftovers.is_empty() {
+            let refs: Vec<&Expr> = leftovers.iter().collect();
+            let predicate = bind_expr(&conjoin(&refs), &scope, self.params)?;
+            plan = PhysPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // 3. Expand projection wildcards into concrete expressions.
+        let mut proj_items: Vec<(Expr, Option<String>)> = Vec::new();
+        for item in &select.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for label in &scope.labels {
+                        proj_items.push((
+                            Expr::Column {
+                                qualifier: label.qualifier.clone(),
+                                name: label.name.clone(),
+                            },
+                            Some(label.name.clone()),
+                        ));
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let mut any = false;
+                    for label in &scope.labels {
+                        if label
+                            .qualifier
+                            .as_deref()
+                            .is_some_and(|lq| lq.eq_ignore_ascii_case(q))
+                        {
+                            proj_items.push((
+                                Expr::Column {
+                                    qualifier: label.qualifier.clone(),
+                                    name: label.name.clone(),
+                                },
+                                Some(label.name.clone()),
+                            ));
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Err(EngineError::plan(format!("unknown table alias '{q}.*'")));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    proj_items.push((expr.clone(), alias.clone()));
+                }
+            }
+        }
+
+        // 4. Aggregation.
+        let has_aggregates = !select.group_by.is_empty()
+            || proj_items.iter().any(|(e, _)| e.contains_aggregate())
+            || select
+                .having
+                .as_ref()
+                .is_some_and(|h| h.contains_aggregate());
+        let mut order_items: Vec<OrderItem> = order_by.to_vec();
+        if has_aggregates {
+            let (agg_plan, agg_scope, rewritten_proj, rewritten_having, rewritten_order) = self
+                .plan_aggregate(
+                    plan,
+                    &scope,
+                    &select.group_by,
+                    proj_items,
+                    select.having.as_ref(),
+                    &order_items,
+                )?;
+            plan = agg_plan;
+            scope = agg_scope;
+            proj_items = rewritten_proj;
+            order_items = rewritten_order;
+            if let Some(having) = rewritten_having {
+                let predicate = bind_expr(&having, &scope, self.params)?;
+                plan = PhysPlan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            }
+        } else if select.having.is_some() {
+            return Err(EngineError::plan(
+                "HAVING requires GROUP BY or aggregates",
+            ));
+        }
+
+        // 5. Window functions.
+        let mut window_specs: Vec<Expr> = Vec::new();
+        for (e, _) in &proj_items {
+            collect_windows(e, &mut window_specs);
+        }
+        for w in window_specs.clone() {
+            let Expr::WindowRowNumber {
+                func,
+                partition_by,
+                order_by: worder,
+            } = &w
+            else {
+                unreachable!()
+            };
+            let partition = partition_by
+                .iter()
+                .map(|e| bind_expr(e, &scope, self.params))
+                .collect::<Result<Vec<_>>>()?;
+            let order = worder
+                .iter()
+                .map(|oi| Ok((bind_expr(&oi.expr, &scope, self.params)?, oi.descending)))
+                .collect::<Result<Vec<_>>>()?;
+            plan = PhysPlan::Window {
+                input: Box::new(plan),
+                func: *func,
+                partition,
+                order,
+            };
+            let marker = format!("#w{}", scope.len());
+            scope.labels.push(ColLabel::bare(&marker));
+            let replacement = Expr::col(marker);
+            for (e, _) in proj_items.iter_mut() {
+                replace_subtree(e, &w, &replacement);
+            }
+            for oi in order_items.iter_mut() {
+                replace_subtree(&mut oi.expr, &w, &replacement);
+            }
+        }
+
+        // 6. Projection.
+        let mut exprs = Vec::with_capacity(proj_items.len());
+        let mut out_labels = Vec::with_capacity(proj_items.len());
+        let mut columns = Vec::with_capacity(proj_items.len());
+        for (i, (e, alias)) in proj_items.iter().enumerate() {
+            exprs.push(bind_expr(e, &scope, self.params)?);
+            let name = alias.clone().unwrap_or_else(|| display_name(e, i));
+            out_labels.push(ColLabel::bare(&name));
+            columns.push(name);
+        }
+        let out_width = exprs.len();
+        let mut out_scope = Scope::new(out_labels);
+
+        // 7. ORDER BY: try output scope (incl. ordinals); fall back to
+        //    hidden columns computed from the pre-projection scope.
+        let mut sort_keys: Vec<(PhysExpr, bool)> = Vec::new();
+        let mut hidden: Vec<PhysExpr> = Vec::new();
+        for oi in &order_items {
+            if let Expr::Literal(Value::Int(ordinal)) = oi.expr {
+                let idx = (ordinal as usize)
+                    .checked_sub(1)
+                    .filter(|&i| i < out_width)
+                    .ok_or_else(|| {
+                        EngineError::plan(format!("ORDER BY ordinal {ordinal} out of range"))
+                    })?;
+                sort_keys.push((PhysExpr::Column(idx), oi.descending));
+                continue;
+            }
+            match bind_expr(&oi.expr, &out_scope, self.params) {
+                Ok(b) => sort_keys.push((b, oi.descending)),
+                Err(_) => {
+                    let b = bind_expr(&oi.expr, &scope, self.params)?;
+                    let idx = out_width + hidden.len();
+                    hidden.push(b);
+                    sort_keys.push((PhysExpr::Column(idx), oi.descending));
+                }
+            }
+        }
+
+        if hidden.is_empty() {
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+            if select.distinct {
+                plan = PhysPlan::Distinct {
+                    input: Box::new(plan),
+                };
+            }
+            if !sort_keys.is_empty() {
+                plan = PhysPlan::Sort {
+                    input: Box::new(plan),
+                    keys: sort_keys,
+                };
+            }
+        } else {
+            // Project visible + hidden, sort, then strip hidden.
+            exprs.extend(hidden);
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+            if select.distinct {
+                return Err(EngineError::plan(
+                    "SELECT DISTINCT with ORDER BY on non-output expressions is not supported",
+                ));
+            }
+            plan = PhysPlan::Sort {
+                input: Box::new(plan),
+                keys: sort_keys,
+            };
+            plan = PhysPlan::Project {
+                input: Box::new(plan),
+                exprs: (0..out_width).map(PhysExpr::Column).collect(),
+            };
+        }
+        out_scope.labels.truncate(out_width);
+        Ok(PlannedQuery {
+            plan,
+            columns,
+            scope: out_scope,
+        })
+    }
+
+    /// Greedy left-deep join of comma-separated FROM items using WHERE
+    /// conjuncts. Single-item conjuncts are pushed down as filters; equi
+    /// conjuncts become hash-join keys. Conjuncts that cannot be placed are
+    /// stored in `self.leftover_conjuncts` for the caller.
+    fn join_comma_items(
+        &mut self,
+        mut items: Vec<(PhysPlan, Scope)>,
+        conjuncts: &[Expr],
+    ) -> Result<(PhysPlan, Scope)> {
+        let mut remaining: Vec<Expr> = conjuncts.to_vec();
+
+        // Push single-item predicates down onto their item.
+        for (plan, scope) in items.iter_mut() {
+            let mut kept = Vec::new();
+            let mut pushed: Vec<Expr> = Vec::new();
+            for c in remaining.drain(..) {
+                if bind_expr(&c, scope, self.params).is_ok() {
+                    pushed.push(c);
+                } else {
+                    kept.push(c);
+                }
+            }
+            remaining = kept;
+            if !pushed.is_empty() {
+                let refs: Vec<&Expr> = pushed.iter().collect();
+                let predicate = bind_expr(&conjoin(&refs), scope, self.params)?;
+                let input = std::mem::replace(plan, PhysPlan::OneRow);
+                *plan = PhysPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                };
+            }
+        }
+
+        let (mut plan, mut scope) = items.remove(0);
+        while !items.is_empty() {
+            // Find an item connected to the current scope by an equi conjunct.
+            let mut chosen: Option<usize> = None;
+            'outer: for (idx, (_, iscope)) in items.iter().enumerate() {
+                for c in &remaining {
+                    if self.as_equi_key(c, &scope, iscope)?.is_some() {
+                        chosen = Some(idx);
+                        break 'outer;
+                    }
+                }
+            }
+            match chosen {
+                Some(idx) => {
+                    let (rp, rs) = items.remove(idx);
+                    let mut left_keys = Vec::new();
+                    let mut right_keys = Vec::new();
+                    let mut kept = Vec::new();
+                    for c in remaining.drain(..) {
+                        if let Some((le, re)) = self.as_equi_key(&c, &scope, &rs)? {
+                            left_keys.push(le);
+                            right_keys.push(re);
+                        } else {
+                            kept.push(c);
+                        }
+                    }
+                    remaining = kept;
+                    let right_width = rs.len();
+                    scope = scope.join(&rs);
+                    plan = PhysPlan::HashJoin {
+                        left: Box::new(plan),
+                        right: Box::new(rp),
+                        left_keys,
+                        right_keys,
+                        kind: JoinKind::Inner,
+                        right_width,
+                        residual: None,
+                        algo: self.config.join_algo,
+                    };
+                }
+                None => {
+                    // Cross join with the next item; applicable predicates
+                    // (now bindable over the union scope) are applied after.
+                    let (rp, rs) = items.remove(0);
+                    let right_width = rs.len();
+                    scope = scope.join(&rs);
+                    plan = PhysPlan::NestedLoopJoin {
+                        left: Box::new(plan),
+                        right: Box::new(rp),
+                        kind: JoinKind::Cross,
+                        right_width,
+                        predicate: None,
+                    };
+                    // Predicates that became bindable attach as a filter now,
+                    // keeping them as low in the tree as possible.
+                    let mut kept = Vec::new();
+                    let mut apply: Vec<Expr> = Vec::new();
+                    for c in remaining.drain(..) {
+                        if bind_expr(&c, &scope, self.params).is_ok() {
+                            apply.push(c);
+                        } else {
+                            kept.push(c);
+                        }
+                    }
+                    remaining = kept;
+                    if !apply.is_empty() {
+                        let refs: Vec<&Expr> = apply.iter().collect();
+                        let predicate = bind_expr(&conjoin(&refs), &scope, self.params)?;
+                        plan = PhysPlan::Filter {
+                            input: Box::new(plan),
+                            predicate,
+                        };
+                    }
+                }
+            }
+        }
+        self.leftover_conjuncts = remaining;
+        Ok((plan, scope))
+    }
+
+    /// Build the Aggregate node and rewrite projection/HAVING/ORDER BY in
+    /// terms of its output columns.
+    #[allow(clippy::type_complexity)]
+    fn plan_aggregate(
+        &mut self,
+        input: PhysPlan,
+        in_scope: &Scope,
+        group_by: &[Expr],
+        proj_items: Vec<(Expr, Option<String>)>,
+        having: Option<&Expr>,
+        order_items: &[OrderItem],
+    ) -> Result<(
+        PhysPlan,
+        Scope,
+        Vec<(Expr, Option<String>)>,
+        Option<Expr>,
+        Vec<OrderItem>,
+    )> {
+        // Collect aggregate calls (deduplicated structurally).
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        for (e, _) in &proj_items {
+            collect_aggregates(e, &mut agg_exprs);
+        }
+        if let Some(h) = having {
+            collect_aggregates(h, &mut agg_exprs);
+        }
+        for oi in order_items {
+            collect_aggregates(&oi.expr, &mut agg_exprs);
+        }
+
+        let keys = group_by
+            .iter()
+            .map(|e| bind_expr(e, in_scope, self.params))
+            .collect::<Result<Vec<_>>>()?;
+        let aggs = agg_exprs
+            .iter()
+            .map(|e| {
+                let Expr::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                } = e
+                else {
+                    unreachable!()
+                };
+                Ok(AggSpec {
+                    func: *func,
+                    arg: arg
+                        .as_ref()
+                        .map(|a| bind_expr(a, in_scope, self.params))
+                        .transpose()?,
+                    distinct: *distinct,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        // Output scope: group keys keep their column labels when simple.
+        let mut labels = Vec::with_capacity(group_by.len() + agg_exprs.len());
+        for (i, g) in group_by.iter().enumerate() {
+            match g {
+                Expr::Column { qualifier, name } => {
+                    labels.push(ColLabel::new(qualifier.as_deref(), name))
+                }
+                _ => labels.push(ColLabel::bare(&format!("#g{i}"))),
+            }
+        }
+        for i in 0..agg_exprs.len() {
+            labels.push(ColLabel::bare(&format!("#a{i}")));
+        }
+        let out_scope = Scope::new(labels.clone());
+
+        // Rewrite: replace group expressions and aggregate calls with column
+        // references into the aggregate output.
+        let rewrite = |e: &mut Expr| {
+            for (i, g) in group_by.iter().enumerate() {
+                let replacement = match g {
+                    Expr::Column { .. } => g.clone(),
+                    _ => Expr::col(format!("#g{i}")),
+                };
+                replace_subtree(e, g, &replacement);
+            }
+            for (i, a) in agg_exprs.iter().enumerate() {
+                replace_subtree(e, a, &Expr::col(format!("#a{i}")));
+            }
+        };
+
+        let mut new_proj = proj_items;
+        for (e, _) in new_proj.iter_mut() {
+            rewrite(e);
+        }
+        let new_having = having.map(|h| {
+            let mut h = h.clone();
+            rewrite(&mut h);
+            h
+        });
+        let mut new_order = order_items.to_vec();
+        for oi in new_order.iter_mut() {
+            rewrite(&mut oi.expr);
+        }
+
+        Ok((
+            PhysPlan::Aggregate {
+                input: Box::new(input),
+                keys,
+                aggs,
+            },
+            out_scope,
+            new_proj,
+            new_having,
+            new_order,
+        ))
+    }
+
+    fn bind_order_output(
+        &self,
+        order_by: &[OrderItem],
+        scope: &Scope,
+        columns: &[String],
+    ) -> Result<Vec<(PhysExpr, bool)>> {
+        order_by
+            .iter()
+            .map(|oi| {
+                if let Expr::Literal(Value::Int(ordinal)) = oi.expr {
+                    let idx = (ordinal as usize)
+                        .checked_sub(1)
+                        .filter(|&i| i < columns.len())
+                        .ok_or_else(|| {
+                            EngineError::plan(format!("ORDER BY ordinal {ordinal} out of range"))
+                        })?;
+                    return Ok((PhysExpr::Column(idx), oi.descending));
+                }
+                Ok((bind_expr(&oi.expr, scope, self.params)?, oi.descending))
+            })
+            .collect()
+    }
+}
+
+/// Split an expression into its top-level AND conjuncts.
+fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        if let Expr::Binary {
+            left,
+            op: ast::BinaryOp::And,
+            right,
+        } = e
+        {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// AND a list of conjuncts back together. Panics on empty input.
+fn conjoin(conjuncts: &[&Expr]) -> Expr {
+    let mut it = conjuncts.iter();
+    let first = (*it.next().expect("conjoin of empty list")).clone();
+    it.fold(first, |acc, e| Expr::Binary {
+        left: Box::new(acc),
+        op: ast::BinaryOp::And,
+        right: Box::new((*e).clone()),
+    })
+}
+
+/// Collect aggregate sub-expressions (structurally deduplicated, outermost
+/// only — nested aggregates are invalid and rejected at bind time).
+fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Aggregate { .. } => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        _ => visit_children(e, &mut |c| collect_aggregates(c, out)),
+    }
+}
+
+/// Collect window sub-expressions (structurally deduplicated).
+fn collect_windows(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::WindowRowNumber { .. } => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        _ => visit_children(e, &mut |c| collect_windows(c, out)),
+    }
+}
+
+fn visit_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => f(expr),
+        Expr::Binary { left, right, .. } => {
+            f(left);
+            f(right);
+        }
+        Expr::InList { expr, list, .. } => {
+            f(expr);
+            list.iter().for_each(&mut *f);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            f(expr);
+            f(low);
+            f(high);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            f(expr);
+            f(pattern);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                f(o);
+            }
+            for (w, t) in branches {
+                f(w);
+                f(t);
+            }
+            if let Some(e2) = else_expr {
+                f(e2);
+            }
+        }
+        Expr::Function { args, .. } => args.iter().for_each(&mut *f),
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                f(a);
+            }
+        }
+        Expr::WindowRowNumber {
+            partition_by,
+            order_by,
+            ..
+        } => {
+            partition_by.iter().for_each(&mut *f);
+            for oi in order_by {
+                f(&oi.expr);
+            }
+        }
+        // Subquery bodies are independent scopes; only visit the scalar
+        // side of IN.
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::InSubquery { expr, .. } => f(expr),
+    }
+}
+
+/// Mutable twin of [`visit_children`].
+fn visit_children_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match e {
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => f(expr),
+        Expr::Binary { left, right, .. } => {
+            f(left);
+            f(right);
+        }
+        Expr::InList { expr, list, .. } => {
+            f(expr);
+            list.iter_mut().for_each(&mut *f);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            f(expr);
+            f(low);
+            f(high);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            f(expr);
+            f(pattern);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                f(o);
+            }
+            for (w, t) in branches {
+                f(w);
+                f(t);
+            }
+            if let Some(e2) = else_expr {
+                f(e2);
+            }
+        }
+        Expr::Function { args, .. } => args.iter_mut().for_each(&mut *f),
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                f(a);
+            }
+        }
+        Expr::WindowRowNumber {
+            partition_by,
+            order_by,
+            ..
+        } => {
+            partition_by.iter_mut().for_each(&mut *f);
+            for oi in order_by {
+                f(&mut oi.expr);
+            }
+        }
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::InSubquery { expr, .. } => f(expr),
+    }
+}
+
+/// Replace every subtree structurally equal to `target` with `replacement`.
+fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
+    if e == target {
+        *e = replacement.clone();
+        return;
+    }
+    match e {
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            replace_subtree(expr, target, replacement)
+        }
+        Expr::Binary { left, right, .. } => {
+            replace_subtree(left, target, replacement);
+            replace_subtree(right, target, replacement);
+        }
+        Expr::InList { expr, list, .. } => {
+            replace_subtree(expr, target, replacement);
+            for i in list {
+                replace_subtree(i, target, replacement);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            replace_subtree(expr, target, replacement);
+            replace_subtree(low, target, replacement);
+            replace_subtree(high, target, replacement);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            replace_subtree(expr, target, replacement);
+            replace_subtree(pattern, target, replacement);
+        }
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            if let Some(o) = operand {
+                replace_subtree(o, target, replacement);
+            }
+            for (w, t) in branches {
+                replace_subtree(w, target, replacement);
+                replace_subtree(t, target, replacement);
+            }
+            if let Some(e2) = else_expr {
+                replace_subtree(e2, target, replacement);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                replace_subtree(a, target, replacement);
+            }
+        }
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                replace_subtree(a, target, replacement);
+            }
+        }
+        Expr::WindowRowNumber {
+            partition_by,
+            order_by,
+            ..
+        } => {
+            for p in partition_by {
+                replace_subtree(p, target, replacement);
+            }
+            for oi in order_by {
+                replace_subtree(&mut oi.expr, target, replacement);
+            }
+        }
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::InSubquery { expr, .. } => replace_subtree(expr, target, replacement),
+    }
+}
+
+/// Derive a display name for an unaliased projection expression.
+fn display_name(e: &Expr, index: usize) -> String {
+    match e {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Aggregate { func, .. } => func.name().to_lowercase(),
+        Expr::Function { name, .. } => name.to_lowercase(),
+        _ => format!("col{index}"),
+    }
+}

@@ -1,0 +1,216 @@
+//! Database snapshots: serialize the whole catalog to JSON and back.
+//!
+//! This backs the paper's "cost-effective model serving" discussion (§7): a
+//! deployed BornSQL model is just one or two tables, so a database snapshot
+//! *is* the model artifact. Snapshots are plain JSON for auditable diffs.
+
+use std::collections::BTreeMap;
+
+use crate::catalog::{Column, Schema, Table};
+use crate::engine::Database;
+use crate::error::{EngineError, Result};
+use crate::value::{DataType, Row, Value};
+
+/// Serializable form of one value.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[serde(untagged)]
+enum JsonValue {
+    Null(Option<()>),
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl From<&Value> for JsonValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Null => JsonValue::Null(None),
+            Value::Int(i) => JsonValue::Int(*i),
+            Value::Float(f) => JsonValue::Float(*f),
+            Value::Str(s) => JsonValue::Str(s.to_string()),
+        }
+    }
+}
+
+impl From<JsonValue> for Value {
+    fn from(v: JsonValue) -> Self {
+        match v {
+            JsonValue::Null(_) => Value::Null,
+            JsonValue::Int(i) => Value::Int(i),
+            JsonValue::Float(f) => Value::Float(f),
+            JsonValue::Str(s) => Value::text(s),
+        }
+    }
+}
+
+/// Serializable form of one table.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct JsonTable {
+    columns: Vec<(String, DataType)>,
+    primary_key: Vec<String>,
+    rows: Vec<Vec<JsonValue>>,
+}
+
+/// Serializable form of the whole database.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    tables: BTreeMap<String, JsonTable>,
+}
+
+impl Snapshot {
+    /// Capture every table of `db`.
+    pub fn capture(db: &Database) -> Result<Snapshot> {
+        let mut tables = BTreeMap::new();
+        for name in db.table_names() {
+            let (schema, primary_key, rows) = db.dump_table(&name)?;
+            tables.insert(
+                name,
+                JsonTable {
+                    columns: schema
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                    primary_key,
+                    rows: rows
+                        .iter()
+                        .map(|r| r.iter().map(JsonValue::from).collect())
+                        .collect(),
+                },
+            );
+        }
+        Ok(Snapshot { tables })
+    }
+
+    /// Restore into a fresh database (tables must not already exist).
+    pub fn restore_into(self, db: &Database) -> Result<()> {
+        for (name, jt) in self.tables {
+            let schema = Schema::new(
+                jt.columns
+                    .into_iter()
+                    .map(|(name, ty)| Column { name, ty })
+                    .collect(),
+            );
+            let rows: Vec<Row> = jt
+                .rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::from).collect())
+                .collect();
+            db.restore_table(Table::new(name, schema, &jt.primary_key)?, rows)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| EngineError::exec(format!("snapshot serialization failed: {e}")))
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(json: &str) -> Result<Snapshot> {
+        serde_json::from_str(json)
+            .map_err(|e| EngineError::exec(format!("snapshot deserialization failed: {e}")))
+    }
+}
+
+impl Database {
+    /// Persist the whole database to a JSON file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let json = Snapshot::capture(self)?.to_json()?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| EngineError::exec(format!("cannot write snapshot: {e}")))
+    }
+
+    /// Open a database from a JSON file written by [`Database::save`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| EngineError::exec(format!("cannot read snapshot: {e}")))?;
+        let db = Database::new();
+        Snapshot::from_json(&json)?.restore_into(&db)?;
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_and_open_roundtrip_on_disk() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y');",
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "sqlengine_snapshot_test_{}.json",
+            std::process::id()
+        ));
+        db.save(&path).unwrap();
+        let db2 = Database::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(db2.table_rows("t").unwrap(), 2);
+        assert!(db2.execute("INSERT INTO t VALUES (1, 'dup')").is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE m_corpus (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k));
+             INSERT INTO m_corpus VALUES ('a', 17, 0.5), ('b', 26, 1.25);
+             CREATE TABLE params (model TEXT PRIMARY KEY, a REAL, b REAL, h REAL);
+             INSERT INTO params VALUES ('m', 0.5, 1.0, 1.0);",
+        )
+        .unwrap();
+
+        let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
+        let db2 = Database::new();
+        Snapshot::from_json(&json)
+            .unwrap()
+            .restore_into(&db2)
+            .unwrap();
+
+        let r = db2
+            .query("SELECT j, k, w FROM m_corpus ORDER BY j")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::text("a"), Value::Int(17), Value::Float(0.5)],
+                vec![Value::text("b"), Value::Int(26), Value::Float(1.25)],
+            ]
+        );
+        // The primary key survived: upserts still work.
+        db2.execute(
+            "INSERT INTO m_corpus VALUES ('a', 17, 1.0) \
+             ON CONFLICT (j, k) DO UPDATE SET w = m_corpus.w + excluded.w",
+        )
+        .unwrap();
+        assert_eq!(
+            db2.query("SELECT w FROM m_corpus WHERE j = 'a'").unwrap().rows[0][0],
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn nulls_and_types_roundtrip() {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b REAL, c TEXT);
+             INSERT INTO t VALUES (1, 2.5, 'x'), (NULL, NULL, NULL);",
+        )
+        .unwrap();
+        let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
+        let db2 = Database::new();
+        Snapshot::from_json(&json).unwrap().restore_into(&db2).unwrap();
+        let r = db2.query("SELECT a, b, c FROM t ORDER BY a").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Null, Value::Null, Value::Null]);
+        assert_eq!(
+            r.rows[1],
+            vec![Value::Int(1), Value::Float(2.5), Value::text("x")]
+        );
+    }
+}

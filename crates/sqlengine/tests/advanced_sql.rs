@@ -1,0 +1,343 @@
+//! Tests for the engine's extended SQL surface: subqueries, transactions,
+//! ranking window functions, string functions, EXPLAIN, and snapshots.
+
+use sqlengine::{Database, Snapshot, Value};
+
+fn v_i(i: i64) -> Value {
+    Value::Int(i)
+}
+fn v_s(s: &str) -> Value {
+    Value::text(s)
+}
+
+fn sample_db() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE emp (id INTEGER, dept TEXT, salary INTEGER);
+         INSERT INTO emp VALUES
+            (1, 'eng', 100), (2, 'eng', 120), (3, 'eng', 120),
+            (4, 'ops', 80), (5, 'ops', 95);",
+    )
+    .unwrap();
+    db
+}
+
+// ---------------------------------------------------------------------
+// Subqueries
+// ---------------------------------------------------------------------
+
+#[test]
+fn scalar_subquery_in_where() {
+    let db = sample_db();
+    let r = db
+        .query("SELECT id FROM emp WHERE salary = (SELECT MAX(salary) FROM emp) ORDER BY id")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![v_i(2)], vec![v_i(3)]]);
+}
+
+#[test]
+fn scalar_subquery_in_projection() {
+    let db = sample_db();
+    let r = db
+        .query("SELECT id, salary - (SELECT AVG(salary) FROM emp) AS diff FROM emp WHERE id = 1")
+        .unwrap();
+    let Value::Float(diff) = r.rows[0][1] else { panic!() };
+    assert!((diff - (100.0 - 103.0)).abs() < 1e-9);
+}
+
+#[test]
+fn in_subquery() {
+    let db = sample_db();
+    let r = db
+        .query(
+            "SELECT id FROM emp WHERE dept IN (SELECT dept FROM emp WHERE salary > 100) ORDER BY id",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3); // all of eng
+    let r2 = db
+        .query("SELECT id FROM emp WHERE id NOT IN (SELECT id FROM emp WHERE dept = 'eng') ORDER BY id")
+        .unwrap();
+    assert_eq!(r2.rows, vec![vec![v_i(4)], vec![v_i(5)]]);
+}
+
+#[test]
+fn exists_subquery() {
+    let db = sample_db();
+    let r = db
+        .query("SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 110)")
+        .unwrap();
+    assert_eq!(r.rows[0][0], v_i(5));
+    let r2 = db
+        .query("SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT 1 FROM emp WHERE salary > 999)")
+        .unwrap();
+    assert_eq!(r2.rows[0][0], v_i(0));
+    let r3 = db
+        .query("SELECT COUNT(*) FROM emp WHERE NOT EXISTS (SELECT 1 FROM emp WHERE salary > 999)")
+        .unwrap();
+    assert_eq!(r3.rows[0][0], v_i(5));
+}
+
+#[test]
+fn scalar_subquery_multi_row_errors() {
+    let db = sample_db();
+    assert!(db
+        .query("SELECT (SELECT salary FROM emp) AS s")
+        .is_err());
+}
+
+#[test]
+fn empty_scalar_subquery_is_null() {
+    let db = sample_db();
+    let r = db
+        .query("SELECT (SELECT salary FROM emp WHERE id = 999) AS s")
+        .unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn subquery_in_delete_and_update() {
+    let db = sample_db();
+    db.execute("UPDATE emp SET salary = salary + 1 WHERE salary < (SELECT AVG(salary) FROM emp)")
+        .unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT salary FROM emp WHERE id = 4").unwrap(),
+        v_i(81)
+    );
+    db.execute("DELETE FROM emp WHERE id IN (SELECT id FROM emp WHERE dept = 'ops')")
+        .unwrap();
+    assert_eq!(db.table_rows("emp").unwrap(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn rollback_restores_data_and_schema() {
+    let db = sample_db();
+    db.execute("BEGIN").unwrap();
+    assert!(db.in_transaction());
+    db.execute("DELETE FROM emp").unwrap();
+    db.execute("CREATE TABLE scratch (x INTEGER)").unwrap();
+    db.execute("DROP TABLE IF EXISTS scratch").unwrap();
+    db.execute("CREATE TABLE scratch2 (x INTEGER)").unwrap();
+    assert_eq!(db.table_rows("emp").unwrap(), 0);
+    db.execute("ROLLBACK").unwrap();
+    assert!(!db.in_transaction());
+    assert_eq!(db.table_rows("emp").unwrap(), 5);
+    assert!(!db.has_table("scratch2"));
+}
+
+#[test]
+fn commit_keeps_changes() {
+    let db = sample_db();
+    db.execute("BEGIN TRANSACTION").unwrap();
+    db.execute("UPDATE emp SET salary = 0").unwrap();
+    db.execute("COMMIT").unwrap();
+    assert_eq!(db.query_scalar("SELECT SUM(salary) FROM emp").unwrap(), v_i(0));
+    // Rollback after commit is an error — nothing to roll back.
+    assert!(db.execute("ROLLBACK").is_err());
+}
+
+#[test]
+fn nested_begin_rejected() {
+    let db = sample_db();
+    db.execute("BEGIN").unwrap();
+    assert!(db.execute("BEGIN").is_err());
+    db.execute("COMMIT").unwrap();
+}
+
+#[test]
+fn rollback_restores_primary_keys() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'a')").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("DELETE FROM t").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'b')").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    // PK index restored with the data: re-inserting id 1 must conflict.
+    assert!(db.execute("INSERT INTO t VALUES (1, 'c')").is_err());
+    assert_eq!(db.query_scalar("SELECT v FROM t").unwrap(), v_s("a"));
+}
+
+// ---------------------------------------------------------------------
+// Ranking window functions
+// ---------------------------------------------------------------------
+
+#[test]
+fn rank_and_dense_rank_handle_ties() {
+    let db = sample_db();
+    let r = db
+        .query(
+            "SELECT id,
+                    ROW_NUMBER() OVER (ORDER BY salary DESC) AS rn,
+                    RANK() OVER (ORDER BY salary DESC) AS rk,
+                    DENSE_RANK() OVER (ORDER BY salary DESC) AS dr
+             FROM emp ORDER BY rn",
+        )
+        .unwrap();
+    // salaries: 120, 120, 100, 95, 80
+    let rows: Vec<(i64, i64, i64, i64)> = r
+        .rows
+        .iter()
+        .map(|row| {
+            (
+                row[0].as_i64().unwrap().unwrap(),
+                row[1].as_i64().unwrap().unwrap(),
+                row[2].as_i64().unwrap().unwrap(),
+                row[3].as_i64().unwrap().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(rows[0].1, 1);
+    assert_eq!(rows[1].1, 2);
+    // Tied salaries share RANK 1 and DENSE_RANK 1.
+    assert_eq!(rows[0].2, 1);
+    assert_eq!(rows[1].2, 1);
+    assert_eq!(rows[2].2, 3); // RANK skips
+    assert_eq!(rows[2].3, 2); // DENSE_RANK does not
+    assert_eq!(rows[4].2, 5);
+    assert_eq!(rows[4].3, 4);
+}
+
+#[test]
+fn rank_partitioned() {
+    let db = sample_db();
+    let r = db
+        .query(
+            "SELECT dept, id, RANK() OVER (PARTITION BY dept ORDER BY salary DESC) AS rk
+             FROM emp ORDER BY dept, rk, id",
+        )
+        .unwrap();
+    // eng: 120,120,100 → ranks 1,1,3 ; ops: 95,80 → 1,2
+    let ranks: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| row[2].as_i64().unwrap().unwrap())
+        .collect();
+    assert_eq!(ranks, vec![1, 1, 3, 1, 2]);
+}
+
+// ---------------------------------------------------------------------
+// String functions
+// ---------------------------------------------------------------------
+
+#[test]
+fn string_function_suite() {
+    let db = Database::new();
+    let q = |sql: &str| db.query(sql).unwrap().rows[0][0].clone();
+    assert_eq!(q("SELECT TRIM('  x  ')"), v_s("x"));
+    assert_eq!(q("SELECT REPLACE('a-b-c', '-', '+')"), v_s("a+b+c"));
+    assert_eq!(q("SELECT INSTR('hello', 'll')"), v_i(3));
+    assert_eq!(q("SELECT INSTR('hello', 'z')"), v_i(0));
+    assert_eq!(q("SELECT CONCAT('a', 1, 'b')"), v_s("a1b"));
+    assert!(q("SELECT CONCAT('a', NULL)").is_null());
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN and snapshots
+// ---------------------------------------------------------------------
+
+#[test]
+fn explain_shows_join_strategy() {
+    let db = sample_db();
+    db.execute("CREATE TABLE dept (name TEXT, head TEXT)").unwrap();
+    let plan = db
+        .explain("SELECT emp.id FROM emp, dept WHERE emp.dept = dept.name")
+        .unwrap();
+    assert!(plan.contains("HashJoin"), "plan:\n{plan}");
+    assert!(plan.contains("Scan"));
+
+    let db2 = Database::with_config(sqlengine::EngineConfig::profile_c());
+    db2.execute_script(
+        "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);",
+    )
+    .unwrap();
+    let plan2 = db2
+        .explain("SELECT a.x FROM a, b WHERE a.x = b.x")
+        .unwrap();
+    assert!(plan2.contains("SortMergeJoin"), "plan:\n{plan2}");
+}
+
+#[test]
+fn snapshot_roundtrip_through_json() {
+    let db = sample_db();
+    let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
+    let db2 = Database::new();
+    Snapshot::from_json(&json).unwrap().restore_into(&db2).unwrap();
+    assert_eq!(
+        db.query("SELECT * FROM emp ORDER BY id").unwrap().rows,
+        db2.query("SELECT * FROM emp ORDER BY id").unwrap().rows
+    );
+}
+
+// ---------------------------------------------------------------------
+// CREATE TABLE AS SELECT
+// ---------------------------------------------------------------------
+
+#[test]
+fn create_table_as_select_materializes() {
+    let db = sample_db();
+    let n = db
+        .execute(
+            "CREATE TABLE dept_pay AS \
+             SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept",
+        )
+        .unwrap()
+        .affected();
+    assert_eq!(n, 2);
+    let r = db
+        .query("SELECT dept, total FROM dept_pay ORDER BY dept")
+        .unwrap();
+    assert_eq!(r.rows[0], vec![v_s("eng"), v_i(340)]);
+    assert_eq!(r.rows[1], vec![v_s("ops"), v_i(175)]);
+    // The materialized table is a normal table: updatable and joinable.
+    db.execute("UPDATE dept_pay SET total = 0 WHERE dept = 'ops'")
+        .unwrap();
+    let joined = db
+        .query("SELECT COUNT(*) FROM emp, dept_pay WHERE emp.dept = dept_pay.dept")
+        .unwrap();
+    assert_eq!(joined.rows[0][0], v_i(5));
+}
+
+#[test]
+fn create_table_as_respects_if_not_exists() {
+    let db = sample_db();
+    db.execute("CREATE TABLE copy AS SELECT id FROM emp").unwrap();
+    assert!(db.execute("CREATE TABLE copy AS SELECT id FROM emp").is_err());
+    db.execute("CREATE TABLE IF NOT EXISTS copy AS SELECT id FROM emp")
+        .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------
+
+#[test]
+fn prepared_statements_rebind_parameters() {
+    let db = sample_db();
+    let by_dept = db
+        .prepare("SELECT COUNT(*) FROM emp WHERE dept = ? AND salary >= ?")
+        .unwrap();
+    let r = by_dept.query(&[v_s("eng"), v_i(110)]).unwrap();
+    assert_eq!(r.rows[0][0], v_i(2));
+    let r = by_dept.query(&[v_s("ops"), v_i(0)]).unwrap();
+    assert_eq!(r.rows[0][0], v_i(2));
+
+    let insert = db.prepare("INSERT INTO emp VALUES (?, ?, ?)").unwrap();
+    for i in 10..15 {
+        insert.execute(&[v_i(i), v_s("new"), v_i(50)]).unwrap();
+    }
+    assert_eq!(db.table_rows("emp").unwrap(), 10);
+    // The prepared SELECT sees data inserted after preparation.
+    let r = by_dept.query(&[v_s("new"), v_i(0)]).unwrap();
+    assert_eq!(r.rows[0][0], v_i(5));
+}
+
+#[test]
+fn prepared_statement_rejects_bad_sql_at_prepare_time() {
+    let db = sample_db();
+    assert!(db.prepare("SELEC nope").is_err());
+}

@@ -1,0 +1,231 @@
+//! Differential and property tests: random workloads executed by the engine
+//! and checked against naive in-process reference computations, under every
+//! engine profile. Plus concurrency smoke tests (readers vs. writers).
+
+use proptest::prelude::*;
+use sqlengine::{Database, EngineConfig, Value};
+
+/// A small random table of (g, x, w) rows.
+#[derive(Debug, Clone)]
+struct Fixture {
+    rows: Vec<(i64, i64, f64)>,
+}
+
+fn arb_fixture() -> impl Strategy<Value = Fixture> {
+    prop::collection::vec((0i64..6, -20i64..20, 0u32..50), 0..60)
+        .prop_map(|v| Fixture {
+            rows: v
+                .into_iter()
+                .map(|(g, x, w)| (g, x, w as f64 / 4.0))
+                .collect(),
+        })
+}
+
+fn load(db: &Database, f: &Fixture) {
+    db.execute("CREATE TABLE t (g INTEGER, x INTEGER, w REAL)")
+        .unwrap();
+    let rows = f
+        .rows
+        .iter()
+        .map(|(g, x, w)| vec![Value::Int(*g), Value::Int(*x), Value::Float(*w)])
+        .collect();
+    db.insert_rows("t", rows).unwrap();
+}
+
+fn all_profiles() -> [EngineConfig; 3] {
+    [
+        EngineConfig::profile_a(),
+        EngineConfig::profile_b(),
+        EngineConfig::profile_c(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GROUP BY SUM/COUNT/MIN/MAX agree with a hand-rolled reference.
+    #[test]
+    fn aggregation_matches_reference(f in arb_fixture()) {
+        // Reference.
+        let mut expect: std::collections::BTreeMap<i64, (f64, i64, Option<i64>, Option<i64>)> =
+            Default::default();
+        for (g, x, w) in &f.rows {
+            let e = expect.entry(*g).or_insert((0.0, 0, None, None));
+            e.0 += w;
+            e.1 += 1;
+            e.2 = Some(e.2.map_or(*x, |m: i64| m.min(*x)));
+            e.3 = Some(e.3.map_or(*x, |m: i64| m.max(*x)));
+        }
+        for config in all_profiles() {
+            let db = Database::with_config(config);
+            load(&db, &f);
+            let r = db
+                .query("SELECT g, SUM(w), COUNT(*), MIN(x), MAX(x) FROM t GROUP BY g ORDER BY g")
+                .unwrap();
+            prop_assert_eq!(r.rows.len(), expect.len());
+            for row in &r.rows {
+                let g = row[0].as_i64().unwrap().unwrap();
+                let (sum, count, min, max) = expect[&g];
+                let got_sum = row[1].as_f64().unwrap().unwrap();
+                prop_assert!((got_sum - sum).abs() < 1e-9);
+                prop_assert_eq!(row[2].as_i64().unwrap().unwrap(), count);
+                prop_assert_eq!(row[3].as_i64().unwrap(), min);
+                prop_assert_eq!(row[4].as_i64().unwrap(), max);
+            }
+        }
+    }
+
+    /// Self equi-join row count equals the reference pair count, for every
+    /// join algorithm.
+    #[test]
+    fn join_cardinality_matches_reference(f in arb_fixture()) {
+        let mut by_g: std::collections::HashMap<i64, usize> = Default::default();
+        for (g, _, _) in &f.rows {
+            *by_g.entry(*g).or_insert(0) += 1;
+        }
+        let expected: usize = by_g.values().map(|c| c * c).sum();
+        for config in all_profiles() {
+            let db = Database::with_config(config);
+            load(&db, &f);
+            let r = db
+                .query("SELECT COUNT(*) FROM t AS a, t AS b WHERE a.g = b.g")
+                .unwrap();
+            prop_assert_eq!(
+                r.rows[0][0].as_i64().unwrap().unwrap() as usize,
+                expected,
+                "config {:?}", config
+            );
+        }
+    }
+
+    /// WHERE filtering equals reference filtering.
+    #[test]
+    fn filter_matches_reference(f in arb_fixture(), threshold in -20i64..20) {
+        let expected = f.rows.iter().filter(|(_, x, _)| x % 7 >= threshold % 7).count();
+        let db = Database::new();
+        load(&db, &f);
+        let r = db
+            .query_with(
+                "SELECT COUNT(*) FROM t WHERE x % 7 >= ? % 7",
+                &[Value::Int(threshold)],
+            )
+            .unwrap();
+        prop_assert_eq!(r.rows[0][0].as_i64().unwrap().unwrap() as usize, expected);
+    }
+
+    /// ORDER BY returns rows in nondecreasing key order and preserves the
+    /// multiset of values.
+    #[test]
+    fn sort_is_correct(f in arb_fixture()) {
+        let db = Database::new();
+        load(&db, &f);
+        let r = db.query("SELECT x FROM t ORDER BY x").unwrap();
+        let got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_i64().unwrap().unwrap())
+            .collect();
+        let mut expected: Vec<i64> = f.rows.iter().map(|(_, x, _)| *x).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// UNION deduplicates to exactly the distinct value set.
+    #[test]
+    fn union_distinct_is_set_semantics(f in arb_fixture()) {
+        let db = Database::new();
+        load(&db, &f);
+        let r = db
+            .query("SELECT x FROM t UNION SELECT x FROM t")
+            .unwrap();
+        let distinct: std::collections::BTreeSet<i64> =
+            f.rows.iter().map(|(_, x, _)| *x).collect();
+        prop_assert_eq!(r.rows.len(), distinct.len());
+    }
+
+    /// The upsert accumulator is equivalent to GROUP BY SUM.
+    #[test]
+    fn upsert_accumulation_equals_group_by(f in arb_fixture()) {
+        let db = Database::new();
+        load(&db, &f);
+        db.execute("CREATE TABLE acc (g INTEGER PRIMARY KEY, w REAL)").unwrap();
+        // Row-at-a-time upserts...
+        for (g, _, w) in &f.rows {
+            db.execute(&format!(
+                "INSERT INTO acc VALUES ({g}, {w}) \
+                 ON CONFLICT (g) DO UPDATE SET w = acc.w + excluded.w"
+            ))
+            .unwrap();
+        }
+        // ...must equal the set-oriented aggregate.
+        let r = db
+            .query(
+                "SELECT COUNT(*) FROM acc, (SELECT g, SUM(w) AS w FROM t GROUP BY g) AS agg \
+                 WHERE acc.g = agg.g AND ABS(acc.w - agg.w) < 0.000000001",
+            )
+            .unwrap();
+        let matching = r.rows[0][0].as_i64().unwrap().unwrap() as usize;
+        let groups: std::collections::BTreeSet<i64> = f.rows.iter().map(|(g, _, _)| *g).collect();
+        prop_assert_eq!(matching, groups.len());
+        prop_assert_eq!(db.table_rows("acc").unwrap(), groups.len());
+    }
+
+    /// ROW_NUMBER per partition forms the contiguous sequence 1..=size.
+    #[test]
+    fn row_number_is_a_permutation(f in arb_fixture()) {
+        let db = Database::new();
+        load(&db, &f);
+        let r = db
+            .query(
+                "SELECT g, ROW_NUMBER() OVER (PARTITION BY g ORDER BY x, w) AS rn FROM t",
+            )
+            .unwrap();
+        let mut per_group: std::collections::HashMap<i64, Vec<i64>> = Default::default();
+        for row in &r.rows {
+            per_group
+                .entry(row[0].as_i64().unwrap().unwrap())
+                .or_default()
+                .push(row[1].as_i64().unwrap().unwrap());
+        }
+        for (_, mut rns) in per_group {
+            rns.sort_unstable();
+            let expect: Vec<i64> = (1..=rns.len() as i64).collect();
+            prop_assert_eq!(rns, expect);
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_see_consistent_snapshots() {
+    use std::sync::Arc;
+    let db = Arc::new(Database::new());
+    db.execute("CREATE TABLE t (x INTEGER, y INTEGER)").unwrap();
+    // Writer keeps inserting row pairs whose sum is always zero.
+    let writer_db = Arc::clone(&db);
+    let writer = std::thread::spawn(move || {
+        for i in 0..300i64 {
+            writer_db
+                .execute(&format!("INSERT INTO t VALUES ({i}, {})", -i))
+                .unwrap();
+        }
+    });
+    // Readers check the invariant SUM(x + y) = 0 on whatever snapshot they
+    // get (never a torn row).
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let reader_db = Arc::clone(&db);
+        readers.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                let r = reader_db
+                    .query("SELECT COALESCE(SUM(x + y), 0) FROM t")
+                    .unwrap();
+                assert_eq!(r.rows[0][0].as_f64().unwrap().unwrap_or(0.0), 0.0);
+            }
+        }));
+    }
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(db.table_rows("t").unwrap(), 300);
+}

@@ -1,0 +1,178 @@
+//! Negative tests: every class of user error must surface as a typed
+//! `EngineError`, never a panic or silent wrong answer.
+
+use sqlengine::{Database, EngineError, Value};
+
+fn db_with_t() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE t (a INTEGER, b TEXT); INSERT INTO t VALUES (1, 'x');",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn lex_errors() {
+    let db = Database::new();
+    assert!(matches!(
+        db.execute("SELECT 'unterminated"),
+        Err(EngineError::Lex { .. })
+    ));
+    assert!(matches!(
+        db.execute("SELECT ^"),
+        Err(EngineError::Lex { .. })
+    ));
+}
+
+#[test]
+fn parse_errors() {
+    let db = Database::new();
+    for sql in [
+        "SELEC 1",
+        "SELECT FROM t",
+        "SELECT 1 FROM",
+        "INSERT t VALUES (1)",
+        "CREATE TABLE (a INTEGER)",
+        "SELECT * FROM t WHERE",
+        "SELECT CASE END",
+        "DELETE t",
+        "SELECT 1 GROUP 2",
+    ] {
+        assert!(
+            matches!(db.execute(sql), Err(EngineError::Parse { .. })),
+            "expected parse error for {sql:?}"
+        );
+    }
+}
+
+#[test]
+fn plan_errors() {
+    let db = db_with_t();
+    // Unknown tables are a catalog error, not a plan error.
+    assert!(matches!(
+        db.execute("SELECT * FROM missing"),
+        Err(EngineError::Catalog(_))
+    ));
+    for sql in [
+        "SELECT zzz FROM t",                       // unknown column
+        "SELECT x.a FROM t",                       // unknown qualifier
+        "SELECT NOSUCHFUNC(a) FROM t",             // unknown function
+        "SELECT POW(a) FROM t",                    // wrong arity
+        "SELECT a FROM t HAVING a > 1",            // HAVING without aggregate
+        "SELECT a FROM t ORDER BY 99",             // ordinal out of range
+        "SELECT SUM(a) FROM t GROUP BY a LIMIT x", // non-constant limit
+        "SELECT a FROM t UNION SELECT a, b FROM t", // width mismatch
+    ] {
+        let result = db.execute(sql);
+        assert!(
+            matches!(result, Err(EngineError::Plan(_))),
+            "expected plan error for {sql:?}, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn ambiguous_column_is_reported() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);",
+    )
+    .unwrap();
+    let err = db.query("SELECT x FROM a, b").unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+}
+
+#[test]
+fn exec_errors() {
+    let db = db_with_t();
+    assert!(matches!(
+        db.query("SELECT a / 0 FROM t"),
+        Err(EngineError::Exec(_))
+    ));
+    assert!(matches!(
+        db.query("SELECT a + b FROM t"), // int + text
+        Err(EngineError::Exec(_))
+    ));
+    // Wrong arity on insert.
+    assert!(db.execute("INSERT INTO t VALUES (1)").is_err());
+}
+
+#[test]
+fn parameter_errors() {
+    let db = db_with_t();
+    assert!(matches!(
+        db.query("SELECT ? FROM t"),
+        Err(EngineError::Parameter(_))
+    ));
+    assert!(matches!(
+        db.query_with("SELECT ?3 FROM t", &[Value::Int(1)]),
+        Err(EngineError::Parameter(_))
+    ));
+}
+
+#[test]
+fn catalog_errors() {
+    let db = db_with_t();
+    assert!(matches!(
+        db.execute("CREATE TABLE t (x INTEGER)"),
+        Err(EngineError::Catalog(_))
+    ));
+    assert!(matches!(
+        db.execute("DROP TABLE nothere"),
+        Err(EngineError::Catalog(_))
+    ));
+    assert!(matches!(
+        db.execute("CREATE INDEX i ON t (nosuchcol)"),
+        Err(EngineError::Catalog(_))
+    ));
+}
+
+#[test]
+fn on_conflict_without_unique_index_is_rejected() {
+    let db = Database::new();
+    db.execute("CREATE TABLE plain (a INTEGER, b REAL)").unwrap();
+    let err = db
+        .execute(
+            "INSERT INTO plain VALUES (1, 2.0) \
+             ON CONFLICT (a) DO UPDATE SET b = plain.b + excluded.b",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unique index"), "{err}");
+}
+
+#[test]
+fn on_conflict_target_mismatch_is_rejected() {
+    let db = Database::new();
+    db.execute("CREATE TABLE k (a INTEGER, b INTEGER, PRIMARY KEY (a))")
+        .unwrap();
+    let err = db
+        .execute("INSERT INTO k VALUES (1, 2) ON CONFLICT (b) DO NOTHING")
+        .unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+}
+
+#[test]
+fn aggregate_in_where_is_rejected() {
+    let db = db_with_t();
+    assert!(db.query("SELECT a FROM t WHERE SUM(a) > 1").is_err());
+}
+
+#[test]
+fn error_messages_name_the_offender() {
+    let db = db_with_t();
+    let err = db.query("SELECT missing_col FROM t").unwrap_err();
+    assert!(err.to_string().contains("missing_col"), "{err}");
+    let err = db.query("SELECT * FROM missing_table").unwrap_err();
+    assert!(err.to_string().contains("missing_table"), "{err}");
+}
+
+#[test]
+fn failed_statement_leaves_state_untouched() {
+    let db = db_with_t();
+    // A failing UPDATE (type error mid-way) must not corrupt the table.
+    let before = db.query("SELECT * FROM t").unwrap();
+    let _ = db.execute("UPDATE t SET a = a + b"); // int + text → error
+    let after = db.query("SELECT * FROM t").unwrap();
+    assert_eq!(before, after);
+}

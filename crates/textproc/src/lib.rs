@@ -1,0 +1,26 @@
+//! # textproc — text preprocessing substrate
+//!
+//! The paper vectorizes abstracts inside the DBMS with engine-specific
+//! machinery (`tsvector` on PostgreSQL, `json_table` on MySQL, `json_each`
+//! on SQLite). Our engine has no such extension, so this crate provides the
+//! equivalent transformation in Rust: a deterministic tokenizer and a count
+//! vectorizer producing `(lexeme, count)` pairs — exactly the `(j, w)` rows
+//! the paper's `q_x` query emits for the `abstract:` feature family.
+//!
+//! ```
+//! use textproc::CountVectorizer;
+//!
+//! let v = CountVectorizer::default();
+//! let counts = v.vectorize("The sample variance of the sample mean.");
+//! assert!(counts.iter().any(|(t, c)| t == "sample" && *c == 2.0));
+//! assert!(!counts.iter().any(|(t, _)| t == "the")); // stop word
+//! ```
+
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenizer;
+pub mod vectorizer;
+
+pub use tfidf::TfIdf;
+pub use tokenizer::{TokenFilter, Tokenizer};
+pub use vectorizer::{CountVectorizer, Vocabulary};

@@ -1,0 +1,41 @@
+//! A compact English stop-word list (the usual suspects found in default
+//! DBMS text-search configurations).
+
+/// Words excluded by [`crate::Tokenizer`] when stop-word filtering is on.
+pub const ENGLISH: &[&str] = &[
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
+    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
+    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
+    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
+    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
+    "out", "over", "own", "same", "she", "should", "so", "some", "such", "than", "that",
+    "the", "their", "them", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when",
+    "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+];
+
+/// Binary-search membership test (the list above is sorted).
+pub fn is_stopword(word: &str) -> bool {
+    ENGLISH.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = ENGLISH.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ENGLISH, "stop-word list must stay sorted");
+    }
+
+    #[test]
+    fn membership() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("with"));
+        assert!(!is_stopword("robot"));
+        assert!(!is_stopword("variance"));
+    }
+}

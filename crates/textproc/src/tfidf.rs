@@ -1,0 +1,130 @@
+//! TF-IDF weighting.
+//!
+//! The Born classifier consumes any non-negative feature weights; the
+//! NeurIPS paper evaluates both raw counts and TF-IDF-weighted inputs.
+//! This transformer computes smoothed IDF over a fitted corpus and rescales
+//! count vectors, so pipelines can feed `(term, tf·idf)` rows to BornSQL
+//! instead of raw counts.
+
+use std::collections::HashMap;
+
+/// Smoothed TF-IDF: `idf(t) = ln((1 + N) / (1 + df(t))) + 1`
+/// (scikit-learn's `smooth_idf=True` formula, which the paper's artifacts
+/// use).
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    n_docs: usize,
+    doc_freq: HashMap<String, usize>,
+}
+
+impl TfIdf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate document frequencies from one document's term counts
+    /// (call once per document; terms may appear in any order).
+    pub fn fit_document(&mut self, counts: &[(String, f64)]) {
+        self.n_docs += 1;
+        for (term, c) in counts {
+            if *c > 0.0 {
+                *self.doc_freq.entry(term.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Fit a whole corpus at once.
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a [(String, f64)]>) -> Self {
+        let mut t = Self::new();
+        for d in docs {
+            t.fit_document(d);
+        }
+        t
+    }
+
+    /// Number of fitted documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// The smoothed inverse document frequency of a term. Unseen terms get
+    /// the maximum IDF (df = 0).
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        ((1.0 + self.n_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Transform one document's counts into TF-IDF weights with L2
+    /// normalization (again matching the common scikit-learn default).
+    pub fn transform(&self, counts: &[(String, f64)]) -> Vec<(String, f64)> {
+        let mut weighted: Vec<(String, f64)> = counts
+            .iter()
+            .map(|(t, c)| (t.clone(), c * self.idf(t)))
+            .collect();
+        let norm: f64 = weighted.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut weighted {
+                *w /= norm;
+            }
+        }
+        weighted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(terms: &[(&str, f64)]) -> Vec<(String, f64)> {
+        terms.iter().map(|(t, c)| (t.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let docs = [
+            doc(&[("the", 1.0), ("robot", 1.0)]),
+            doc(&[("the", 1.0), ("poisson", 1.0)]),
+            doc(&[("the", 1.0), ("sample", 1.0)]),
+        ];
+        let tfidf = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
+        assert!(tfidf.idf("robot") > tfidf.idf("the"));
+        let out = tfidf.transform(&docs[0]);
+        let get = |t: &str| out.iter().find(|(x, _)| x == t).unwrap().1;
+        assert!(get("robot") > get("the"));
+    }
+
+    #[test]
+    fn transform_is_l2_normalized() {
+        let docs = [doc(&[("a", 2.0), ("b", 1.0)])];
+        let tfidf = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
+        let out = tfidf.transform(&docs[0]);
+        let norm: f64 = out.iter().map(|(_, w)| w * w).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_terms_get_max_idf() {
+        let docs = [doc(&[("a", 1.0)]), doc(&[("a", 1.0)])];
+        let tfidf = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
+        assert!(tfidf.idf("never_seen") > tfidf.idf("a"));
+    }
+
+    #[test]
+    fn empty_document_transforms_to_empty() {
+        let tfidf = TfIdf::fit(std::iter::empty());
+        assert!(tfidf.transform(&[]).is_empty());
+        assert_eq!(tfidf.n_docs(), 0);
+    }
+
+    #[test]
+    fn idf_formula_matches_smooth_variant() {
+        // 3 docs, df("x") = 1 → idf = ln(4/2) + 1.
+        let docs = [
+            doc(&[("x", 1.0)]),
+            doc(&[("y", 1.0)]),
+            doc(&[("y", 1.0)]),
+        ];
+        let tfidf = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
+        assert!((tfidf.idf("x") - (2.0f64.ln() + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic word tokenizer.
+
+use crate::stopwords::is_stopword;
+
+/// Token filtering options.
+#[derive(Debug, Clone)]
+pub struct TokenFilter {
+    /// Drop tokens shorter than this many characters.
+    pub min_len: usize,
+    /// Drop tokens longer than this many characters.
+    pub max_len: usize,
+    /// Drop English stop words.
+    pub remove_stopwords: bool,
+    /// Drop tokens that are purely numeric.
+    pub remove_numbers: bool,
+}
+
+impl Default for TokenFilter {
+    fn default() -> Self {
+        TokenFilter {
+            min_len: 2,
+            max_len: 40,
+            remove_stopwords: true,
+            remove_numbers: true,
+        }
+    }
+}
+
+/// Splits text into lower-cased alphanumeric tokens and applies a
+/// [`TokenFilter`]. Splitting happens on every non-alphanumeric character,
+/// which matches the behaviour of default DBMS text-search parsers closely
+/// enough for the workloads in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    pub filter: TokenFilter,
+}
+
+impl Tokenizer {
+    pub fn new(filter: TokenFilter) -> Self {
+        Tokenizer { filter }
+    }
+
+    /// Tokenize into owned lower-case strings.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !c.is_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            let token = raw.to_lowercase();
+            if token.chars().count() < self.filter.min_len
+                || token.chars().count() > self.filter.max_len
+            {
+                continue;
+            }
+            if self.filter.remove_numbers && token.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if self.filter.remove_stopwords && is_stopword(&token) {
+                continue;
+            }
+            out.push(token);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("Robot-based Vision, and CONTROL!"),
+            vec!["robot", "based", "vision", "control"]
+        );
+    }
+
+    #[test]
+    fn removes_stopwords_and_numbers() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            t.tokenize("the variance of 1000 samples in 2022"),
+            vec!["variance", "samples"]
+        );
+    }
+
+    #[test]
+    fn keeps_numbers_when_disabled() {
+        let t = Tokenizer::new(TokenFilter {
+            remove_numbers: false,
+            ..TokenFilter::default()
+        });
+        assert!(t.tokenize("run 1000 times").contains(&"1000".to_string()));
+    }
+
+    #[test]
+    fn min_length_filters_single_chars() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("x y variance z"), vec!["variance"]);
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("naïve Bayes — probabilité");
+        assert!(toks.contains(&"naïve".to_string()));
+        assert!(toks.contains(&"probabilité".to_string()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   ,,, !!!").is_empty());
+    }
+}

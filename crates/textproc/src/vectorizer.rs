@@ -1,0 +1,189 @@
+//! Count vectorization: text → sparse `(lexeme, count)` pairs, plus an
+//! optional shared vocabulary for stable integer feature ids.
+
+use std::collections::HashMap;
+
+use crate::tokenizer::Tokenizer;
+
+/// Turns a text into term counts, the `tsvector`-equivalent the paper uses
+/// to vectorize abstracts (Section 4.2: `array_length(positions, 1)` is the
+/// per-lexeme occurrence count).
+///
+/// `ngram_range = (lo, hi)` emits every n-gram with `lo ≤ n ≤ hi` tokens;
+/// multi-token grams are joined with a single space (so a bigram feature
+/// reads `"sampling efficiency"`, like the paper's keyword features).
+#[derive(Debug, Clone)]
+pub struct CountVectorizer {
+    pub tokenizer: Tokenizer,
+    pub ngram_range: (usize, usize),
+}
+
+impl Default for CountVectorizer {
+    fn default() -> Self {
+        CountVectorizer {
+            tokenizer: Tokenizer::default(),
+            ngram_range: (1, 1),
+        }
+    }
+}
+
+impl CountVectorizer {
+    pub fn new(tokenizer: Tokenizer) -> Self {
+        CountVectorizer {
+            tokenizer,
+            ngram_range: (1, 1),
+        }
+    }
+
+    /// Set the n-gram range (inclusive). Panics on an empty/invalid range.
+    pub fn with_ngrams(mut self, lo: usize, hi: usize) -> Self {
+        assert!(lo >= 1 && hi >= lo, "invalid n-gram range ({lo}, {hi})");
+        self.ngram_range = (lo, hi);
+        self
+    }
+
+    /// Vectorize one text into sorted `(lexeme, count)` pairs.
+    ///
+    /// Output order is lexicographic, making downstream SQL inserts and
+    /// explanations deterministic.
+    pub fn vectorize(&self, text: &str) -> Vec<(String, f64)> {
+        let tokens = self.tokenizer.tokenize(text);
+        let (lo, hi) = self.ngram_range;
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        for n in lo..=hi {
+            if n > tokens.len() {
+                break;
+            }
+            for window in tokens.windows(n) {
+                let gram = window.join(" ");
+                *counts.entry(gram).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut out: Vec<(String, f64)> = counts.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// An insertion-ordered string-interning vocabulary mapping terms to dense
+/// ids. Used by the dense baselines (MADlib stand-ins) that need fixed
+/// column positions.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its stable id.
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len();
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an existing term id without interning.
+    pub fn get(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// The term for an id.
+    pub fn term(&self, id: usize) -> Option<&str> {
+        self.terms.get(id).map(|s| s.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_repeated_terms() {
+        let v = CountVectorizer::default();
+        let counts = v.vectorize("sample sample sample variance");
+        assert_eq!(
+            counts,
+            vec![("sample".to_string(), 3.0), ("variance".to_string(), 1.0)]
+        );
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let v = CountVectorizer::default();
+        let counts = v.vectorize("zeta alpha median");
+        let terms: Vec<&str> = counts.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(terms, vec!["alpha", "median", "zeta"]);
+    }
+
+    #[test]
+    fn vocabulary_interning_is_stable() {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("robot");
+        let b = vocab.intern("vision");
+        assert_eq!(vocab.intern("robot"), a);
+        assert_ne!(a, b);
+        assert_eq!(vocab.term(a), Some("robot"));
+        assert_eq!(vocab.get("vision"), Some(b));
+        assert_eq!(vocab.get("nope"), None);
+        assert_eq!(vocab.len(), 2);
+    }
+
+    #[test]
+    fn empty_text_gives_empty_vector() {
+        let v = CountVectorizer::default();
+        assert!(v.vectorize("").is_empty());
+    }
+
+    #[test]
+    fn bigrams_join_with_space() {
+        let v = CountVectorizer::default().with_ngrams(1, 2);
+        let counts = v.vectorize("sampling efficiency matters");
+        let terms: Vec<&str> = counts.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(terms.contains(&"sampling"));
+        assert!(terms.contains(&"sampling efficiency"));
+        assert!(terms.contains(&"efficiency matters"));
+        assert!(!terms.contains(&"sampling efficiency matters"));
+    }
+
+    #[test]
+    fn bigram_only_range() {
+        let v = CountVectorizer::default().with_ngrams(2, 2);
+        let counts = v.vectorize("alpha beta alpha beta");
+        assert_eq!(
+            counts,
+            vec![
+                ("alpha beta".to_string(), 2.0),
+                ("beta alpha".to_string(), 1.0)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n-gram range")]
+    fn invalid_range_panics() {
+        let _ = CountVectorizer::default().with_ngrams(2, 1);
+    }
+
+    #[test]
+    fn ngrams_longer_than_text_are_skipped() {
+        let v = CountVectorizer::default().with_ngrams(1, 3);
+        let counts = v.vectorize("solo");
+        assert_eq!(counts, vec![("solo".to_string(), 1.0)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's Section 5 comparison on census data: BornSQL against the
+//! MADlib-style baselines (decision tree, linear SVM, logistic regression)
+//! on the Adult-like dataset — runtimes, metrics, and the data-handling
+//! contrast (sparse normalized tables vs dense materialization).
+//!
+//! Run with: `cargo run --release --example census_income`
+
+use baselines::dense::densify_with_vocab;
+use baselines::{DecisionTree, DenseClassifier, LinearSvm, LogisticRegression};
+use born::{accuracy, macro_prf};
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use datasets::{adult_like, TabularConfig};
+use sqlengine::{Database, Value};
+use std::time::Instant;
+
+fn main() {
+    // A scaled-down UCI Adult: 8,000 train / 4,000 test (the UCI original
+    // is 32,561 / 16,281 — pass a bigger n for full scale).
+    let adult = adult_like(&TabularConfig::new(12_000, 7));
+    let (train, test) = adult.split_at(8_000);
+    let truth: Vec<&str> = test.iter().map(|i| i.label.as_str()).collect();
+    println!(
+        "adult-like: {} train / {} test, {} one-hot features\n",
+        train.len(),
+        test.len(),
+        adult.n_features()
+    );
+
+    // ---------------- BornSQL: works on the normalized tables ----------
+    let db = Database::new();
+    datasets::SparseDataset {
+        name: "adult".into(),
+        items: train.to_vec(),
+    }
+    .load_into(&db, "train")
+    .unwrap();
+    datasets::SparseDataset {
+        name: "adult".into(),
+        items: test.to_vec(),
+    }
+    .load_into(&db, "test")
+    .unwrap();
+
+    let model = BornSqlModel::create(&db, "census", ModelOptions::default()).unwrap();
+    let t0 = Instant::now();
+    model
+        .fit(
+            &DataSpec::new("SELECT n, j, w FROM train_features")
+                .with_targets("SELECT n, k AS k, 1.0 AS w FROM train_labels"),
+        )
+        .unwrap();
+    let fit_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    model.deploy().unwrap();
+    let deploy_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let raw = model
+        .predict(&DataSpec::new("SELECT n, j, w FROM test_features"))
+        .unwrap();
+    let predict_s = t0.elapsed().as_secs_f64();
+
+    let by_id: std::collections::HashMap<i64, String> = raw
+        .into_iter()
+        .filter_map(|(n, k)| match n {
+            Value::Int(id) => Some((id, k.to_string())),
+            _ => None,
+        })
+        .collect();
+    let born_preds: Vec<String> = test
+        .iter()
+        .map(|i| by_id.get(&i.id).cloned().unwrap_or_else(|| "<=50K".into()))
+        .collect();
+
+    println!("algorithm  train(s)  deploy/prep(s)  predict(s)  precision  recall  f1");
+    let report = |name: &str, tr: f64, pr: f64, pd: f64, preds: &[String]| {
+        let refs: Vec<&str> = preds.iter().map(|s| s.as_str()).collect();
+        let m = macro_prf(&truth, &refs);
+        println!(
+            "{name:<10} {tr:>8.3} {pr:>15.3} {pd:>11.3} {:>10.2} {:>7.2} {:>4.2}   (acc {:.3})",
+            m.precision,
+            m.recall,
+            m.f1,
+            accuracy(&truth, &refs)
+        );
+    };
+    report("BornSQL", fit_s, deploy_s, predict_s, &born_preds);
+
+    // ------------- Baselines: require dense materialization ------------
+    let mut labels: Vec<String> = Vec::new();
+    let t0 = Instant::now();
+    let dtrain = densify_with_vocab(train, train, &mut labels);
+    let dtest = densify_with_vocab(test, train, &mut labels);
+    let prep_s = t0.elapsed().as_secs_f64();
+
+    let run = |clf: &mut dyn DenseClassifier| {
+        let t0 = Instant::now();
+        clf.fit(&dtrain.features, &dtrain.labels, labels.len());
+        let tr = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let idx = clf.predict(&dtest.features);
+        let pd = t0.elapsed().as_secs_f64();
+        let preds: Vec<String> = idx.into_iter().map(|i| labels[i].clone()).collect();
+        (tr, pd, preds)
+    };
+    let mut dt = DecisionTree::default();
+    let (tr, pd, preds) = run(&mut dt);
+    report("DT", tr, prep_s, pd, &preds);
+    let mut svm = LinearSvm::default();
+    let (tr, pd, preds) = run(&mut svm);
+    report("SVM", tr, prep_s, pd, &preds);
+    let mut lr = LogisticRegression::default();
+    let (tr, pd, preds) = run(&mut lr);
+    report("LR", tr, prep_s, pd, &preds);
+
+    // ------------------- The data-handling contrast --------------------
+    println!(
+        "\ndense matrix for the baselines: {} × {} = {:.1} MB materialized \
+         (BornSQL consumed the {} sparse rows in place)",
+        dtrain.n_rows(),
+        dtrain.n_features(),
+        dtrain.storage_bytes() as f64 / 1e6,
+        datasets::SparseDataset {
+            name: String::new(),
+            items: train.to_vec()
+        }
+        .nnz(),
+    );
+}

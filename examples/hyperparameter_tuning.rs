@@ -1,0 +1,93 @@
+//! Retraining-free hyper-parameter tuning (paper §2.2.1) and
+//! cost-effective model serving (paper §7).
+//!
+//! The Born classifier's training phase does not depend on `(a, b, h)`, so
+//! tuning is a pure deploy-and-score loop over the already-trained corpus.
+//! Afterwards the tuned model is exported as a portable artifact and
+//! re-imported into a second "serving" database that never saw the
+//! training data.
+//!
+//! Run with: `cargo run --release --example hyperparameter_tuning`
+
+use bornsql::{default_grid, BornSqlModel, DataSpec, ModelArtifact, ModelOptions};
+use datasets::newsgroups_like;
+use sqlengine::Database;
+use std::time::Instant;
+
+fn main() {
+    // A 20NG-like corpus, split 70/15/15 into train/validation/test.
+    let data = newsgroups_like(4_000, 11);
+    let db = Database::new();
+    data.load_into(&db, "ng").expect("load");
+
+    let model = BornSqlModel::create(&db, "news", ModelOptions::default()).expect("create");
+    let spec_for = |filter: &str| {
+        DataSpec::new("SELECT n, j, w FROM ng_features")
+            .with_targets("SELECT n, k AS k, 1.0 AS w FROM ng_labels")
+            .with_items(format!("SELECT n FROM ng_labels WHERE {filter}"))
+    };
+
+    let t0 = Instant::now();
+    model.fit(&spec_for("n % 20 < 14")).expect("fit"); // 70 %
+    println!(
+        "trained once in {:.2}s ({} corpus cells) — tuning never retrains",
+        t0.elapsed().as_secs_f64(),
+        model.corpus_cells().unwrap()
+    );
+
+    // Grid-search on the validation slice.
+    let grid = default_grid();
+    let qy = "SELECT n, k AS k, 1.0 AS w FROM ng_labels";
+    let t0 = Instant::now();
+    let (best, val_acc) = model
+        .tune(&spec_for("n % 20 >= 14 AND n % 20 < 17"), qy, &grid)
+        .expect("tune");
+    println!(
+        "tuned over {} candidates in {:.2}s → a = {}, b = {}, h = {} (validation accuracy {:.3})",
+        grid.len(),
+        t0.elapsed().as_secs_f64(),
+        best.a,
+        best.b,
+        best.h,
+        val_acc
+    );
+
+    // Final score on the held-out test slice.
+    let test_eval = model
+        .evaluate(&spec_for("n % 20 >= 17"), qy)
+        .expect("evaluate");
+    println!(
+        "test accuracy with tuned parameters: {:.3} ({} items)",
+        test_eval.accuracy, test_eval.n_items
+    );
+
+    // ------- Serving: ship the tuned model to a fresh database -------
+    let artifact = model.export_json(true).expect("export"); // weights only
+    println!(
+        "\nexported inference-only artifact: {:.1} KB",
+        artifact.len() as f64 / 1024.0
+    );
+    let serving_db = Database::new();
+    let served = ModelArtifact::from_json(&artifact)
+        .expect("parse artifact")
+        .import_into(&serving_db, "news_prod")
+        .expect("import");
+
+    // Serve a prediction from the fresh database. The features of one test
+    // item are copied over as "incoming traffic".
+    let one_item = db
+        .export_csv("SELECT n, j, w FROM ng_features WHERE n = 3999")
+        .expect("export item");
+    serving_db
+        .execute("CREATE TABLE incoming (n INTEGER, j TEXT, w REAL)")
+        .unwrap();
+    serving_db
+        .import_csv("incoming", &one_item, true)
+        .expect("import item");
+    let pred = served
+        .predict(&DataSpec::new("SELECT n, j, w FROM incoming"))
+        .expect("predict");
+    if let Some((n, k)) = pred.first() {
+        println!("serving database predicted item {n} → {k}");
+    }
+}

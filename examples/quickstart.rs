@@ -1,0 +1,69 @@
+//! Quickstart: train, deploy, predict, and explain a BornSQL model on a
+//! handful of documents — everything happens inside the SQL database.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use sqlengine::Database;
+
+fn main() {
+    // 1. An ordinary relational database with normalized text data.
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE docs (id INTEGER PRIMARY KEY, label TEXT);
+         CREATE TABLE doc_terms (doc_id INTEGER, term TEXT, cnt REAL);
+         INSERT INTO docs VALUES
+            (1, 'ai'), (2, 'ai'), (3, 'stats'), (4, 'stats'), (5, 'ops');
+         INSERT INTO doc_terms VALUES
+            (1, 'robot', 2.0), (1, 'neural', 1.0),
+            (2, 'neural', 1.0), (2, 'vision', 2.0),
+            (3, 'variance', 2.0), (3, 'poisson', 1.0),
+            (4, 'sample', 1.0), (4, 'variance', 1.0),
+            (5, 'queue', 1.0), (5, 'inventory', 2.0);",
+    )
+    .expect("schema + data");
+
+    // 2. Create a model. Its whole state lives in database tables.
+    let model = BornSqlModel::create(&db, "quickstart", ModelOptions::default())
+        .expect("create model");
+
+    // 3. Describe where features and targets come from — plain SQL, the
+    //    paper's q_x and q_y queries.
+    let train = DataSpec::new("SELECT doc_id AS n, 'term:' || term AS j, cnt AS w FROM doc_terms")
+        .with_targets("SELECT id AS n, label AS k, 1.0 AS w FROM docs");
+    model.fit(&train).expect("fit");
+    println!(
+        "trained: {} features × {} classes ({} corpus cells)",
+        model.n_features().unwrap(),
+        model.n_classes().unwrap(),
+        model.corpus_cells().unwrap()
+    );
+
+    // 4. Deploy (pre-compute the cached weights) to accelerate inference.
+    model.deploy().expect("deploy");
+
+    // 5. Predict a brand-new item: write its features to a temp table.
+    db.execute_script(
+        "CREATE TABLE new_doc (doc_id INTEGER, term TEXT, cnt REAL);
+         INSERT INTO new_doc VALUES (100, 'robot', 1.0), (100, 'vision', 1.0);",
+    )
+    .unwrap();
+    let test = DataSpec::new("SELECT doc_id AS n, 'term:' || term AS j, cnt AS w FROM new_doc");
+    let predictions = model.predict(&test).expect("predict");
+    for (n, k) in &predictions {
+        println!("item {n} → predicted class {k}");
+    }
+
+    // 6. Probabilities and explanations.
+    for (n, k, p) in model.predict_proba(&test).expect("proba") {
+        println!("item {n}: P(class = {k}) = {p:.3}");
+    }
+    println!("\ntop global feature weights:");
+    for (j, k, w) in model.explain_global(Some(5)).expect("explain") {
+        println!("  {j} → {k}: {w:.4}");
+    }
+    println!("\nwhy was item 100 classified that way?");
+    for (j, k, w) in model.explain_local(&test, Some(5)).expect("explain local") {
+        println!("  {j} → {k}: {w:.4}");
+    }
+}

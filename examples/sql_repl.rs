@@ -1,0 +1,96 @@
+//! An interactive SQL shell over the bundled engine, pre-loaded with a
+//! small Scopus-like database and a trained BornSQL model — poke at the
+//! paper's tables by hand.
+//!
+//! Run with: `cargo run --release --example sql_repl`
+//! (pipe a script: `echo "SELECT COUNT(*) FROM publication;" | cargo run --example sql_repl`)
+//!
+//! Meta commands: `.tables`, `.explain <query>`, `.quit`.
+
+use std::io::{BufRead, Write};
+
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use datasets::scopus::{self, ScopusConfig};
+use sqlengine::Database;
+
+fn main() {
+    let db = Database::new();
+    eprintln!("loading scopus-like sample (1000 publications) and training model 'demo' ...");
+    let data = scopus::generate(&ScopusConfig {
+        n_publications: 1_000,
+        ..Default::default()
+    });
+    data.load_into(&db).expect("load");
+    let model = BornSqlModel::create(
+        &db,
+        "demo",
+        ModelOptions {
+            class_type: "INTEGER",
+            ..Default::default()
+        },
+    )
+    .expect("create model");
+    let mut spec = DataSpec::default();
+    for arm in scopus::qx_arms(false) {
+        spec = spec.with_features(arm);
+    }
+    model
+        .fit(&spec.with_targets(scopus::qy()))
+        .expect("fit");
+    model.deploy().expect("deploy");
+    eprintln!(
+        "ready. tables: {}. try:\n  SELECT j, k, w FROM demo_weights ORDER BY w DESC LIMIT 5;\n  .explain SELECT pubname, COUNT(*) FROM publication GROUP BY pubname ORDER BY 2 DESC LIMIT 3;",
+        db.table_names().join(", ")
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("sql> ");
+        } else {
+            eprint!("...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                ".quit" | ".exit" => break,
+                ".tables" => {
+                    println!("{}", db.table_names().join("\n"));
+                    continue;
+                }
+                t if t.starts_with(".explain ") => {
+                    match db.explain(t.trim_start_matches(".explain ")) {
+                        Ok(plan) => print!("{plan}"),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue; // accumulate a multi-line statement
+        }
+        let sql = std::mem::take(&mut buffer);
+        match db.execute(sql.trim().trim_end_matches(';')) {
+            Ok(sqlengine::StatementResult::Rows(r)) => {
+                println!("{}", r.columns.join(" | "));
+                for row in &r.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                eprintln!("({} rows)", r.rows.len());
+            }
+            Ok(sqlengine::StatementResult::Affected(n)) => eprintln!("ok ({n} rows affected)"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Continuous learning and GDPR-style unlearning (paper Sections 2.1 and 7).
+//!
+//! A stream of user documents arrives in batches; the model is updated
+//! incrementally (exact incremental learning, eq. 3). Later one user
+//! withdraws consent, and their documents are unlearned (exact unlearning,
+//! eq. 6). The example verifies the paper's exactness guarantee: the
+//! unlearned model is *identical* to one retrained without that user.
+//!
+//! Run with: `cargo run --example unlearning_gdpr`
+
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use sqlengine::Database;
+
+fn main() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE messages (id INTEGER PRIMARY KEY, user_id INTEGER, body_term TEXT, label TEXT);",
+    )
+    .unwrap();
+
+    // Three users' labelled messages (normalized: one term per row for
+    // brevity; a real schema would use a terms table).
+    let rows: &[(i64, i64, &str, &str)] = &[
+        (1, 100, "invoice", "billing"),
+        (2, 100, "payment", "billing"),
+        (3, 100, "refund", "billing"),
+        (4, 200, "crash", "support"),
+        (5, 200, "error", "support"),
+        (6, 200, "bug", "support"),
+        (7, 300, "invoice", "billing"),
+        (8, 300, "upgrade", "sales"),
+        (9, 300, "pricing", "sales"),
+    ];
+    for (id, user, term, label) in rows {
+        db.execute(&format!(
+            "INSERT INTO messages VALUES ({id}, {user}, '{term}', '{label}')"
+        ))
+        .unwrap();
+    }
+
+    let model = BornSqlModel::create(&db, "inbox", ModelOptions::default()).unwrap();
+    let spec_for = |filter: &str| {
+        DataSpec::new("SELECT id AS n, 'term:' || body_term AS j, 1.0 AS w FROM messages")
+            .with_targets("SELECT id AS n, label AS k, 1.0 AS w FROM messages")
+            .with_items(format!("SELECT id AS n FROM messages WHERE {filter}"))
+    };
+
+    // --- Continuous learning: one batch per user, as data arrives. ---
+    for user in [100i64, 200, 300] {
+        model
+            .partial_fit(&spec_for(&format!("user_id = {user}")))
+            .unwrap();
+        println!(
+            "after learning user {user}: {} corpus cells, {} classes",
+            model.corpus_cells().unwrap(),
+            model.n_classes().unwrap()
+        );
+    }
+
+    // --- User 300 withdraws consent: unlearn their data. ---
+    println!("\nuser 300 invokes the right to be forgotten …");
+    model.unlearn(&spec_for("user_id = 300")).unwrap();
+    println!(
+        "after unlearning: {} corpus cells, {} classes",
+        model.corpus_cells().unwrap(),
+        model.n_classes().unwrap()
+    );
+
+    // --- Exactness check: retrain from scratch without user 300. ---
+    let control = BornSqlModel::create(&db, "control", ModelOptions::default()).unwrap();
+    control.fit(&spec_for("user_id <> 300")).unwrap();
+
+    let unlearned = model.corpus().unwrap();
+    let retrained = control.corpus().unwrap();
+    assert_eq!(
+        unlearned.len(),
+        retrained.len(),
+        "corpus sizes must match"
+    );
+    let max_diff = unlearned
+        .iter()
+        .zip(&retrained)
+        .map(|((_, _, a), (_, _, b))| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max |unlearned − retrained| corpus cell difference: {max_diff:.2e}");
+    assert!(max_diff < 1e-9, "unlearning must be exact");
+
+    // The "sales" class existed only in user 300's data — it must be gone.
+    assert_eq!(model.n_classes().unwrap(), 2);
+    println!("'sales' class (known only from user 300) has been forgotten ✓");
+
+    // The model still serves predictions for the remaining users' patterns.
+    db.execute_script(
+        "CREATE TABLE incoming (id INTEGER, term TEXT);
+         INSERT INTO incoming VALUES (999, 'refund');",
+    )
+    .unwrap();
+    model.deploy().unwrap();
+    let pred = model
+        .predict(
+            &DataSpec::new("SELECT id AS n, 'term:' || term AS j, 1.0 AS w FROM incoming"),
+        )
+        .unwrap();
+    println!("incoming message 999 ('refund') → {}", pred[0].1);
+}

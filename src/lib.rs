@@ -1,0 +1,12 @@
+//! Umbrella crate for the BornSQL reproduction workspace.
+//!
+//! Re-exports the individual crates so that examples and integration tests
+//! can use a single dependency. See `DESIGN.md` at the repository root for
+//! the system inventory and the per-experiment index.
+
+pub use baselines;
+pub use born;
+pub use bornsql;
+pub use datasets;
+pub use sqlengine;
+pub use textproc;
