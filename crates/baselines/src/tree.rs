@@ -96,10 +96,7 @@ impl Builder<'_> {
     fn build(&self, idxs: &[usize], depth: usize) -> Node {
         let counts = self.class_counts(idxs);
         let node_gini = gini(&counts, idxs.len());
-        if depth >= self.max_depth
-            || idxs.len() < self.min_samples_split
-            || node_gini == 0.0
-        {
+        if depth >= self.max_depth || idxs.len() < self.min_samples_split || node_gini == 0.0 {
             return Node::Leaf {
                 class: majority(&counts),
             };
@@ -205,7 +202,11 @@ impl DenseClassifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

@@ -30,6 +30,41 @@ fn join_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation 6: executor parallelism sweep on an aggregate/join-heavy query —
+/// the morsel-parallel executor at 1, 2, and 4 workers over the same data.
+fn parallelism_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallelism");
+    group.sample_size(10);
+    let query = "SELECT t.g, COUNT(*) AS n, SUM(t.w) AS sw, COUNT(DISTINCT t.x) AS dx \
+                 FROM t JOIN dim ON t.g = dim.g \
+                 WHERE t.x > -400 GROUP BY t.g ORDER BY t.g";
+    for parallelism in [1usize, 2, 4] {
+        let db = Database::with_config(EngineConfig::default().with_parallelism(parallelism));
+        db.execute("CREATE TABLE t (g INTEGER, x INTEGER, w REAL)")
+            .unwrap();
+        db.execute("CREATE TABLE dim (g INTEGER, name TEXT)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..200_000i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 64),
+                    Value::Int((i * 7919) % 1000 - 500),
+                    Value::Float((i % 977) as f64 / 4.0),
+                ]
+            })
+            .collect();
+        db.insert_rows("t", rows).unwrap();
+        let dim: Vec<Vec<Value>> = (0..64i64)
+            .map(|g| vec![Value::Int(g), Value::text(format!("group-{g}"))])
+            .collect();
+        db.insert_rows("dim", dim).unwrap();
+        group.bench_function(format!("workers_{parallelism}"), |b| {
+            b.iter(|| db.query(query).unwrap())
+        });
+    }
+    group.finish();
+}
+
 /// Ablation 2: upsert throughput into the PK-indexed corpus table.
 fn upsert_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_upsert");
@@ -39,10 +74,8 @@ fn upsert_throughput(c: &mut Criterion) {
             let db = Database::new();
             db.execute("CREATE TABLE c (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k))")
                 .unwrap();
-            db.execute(
-                "CREATE TABLE src (j TEXT, k INTEGER, w REAL)",
-            )
-            .unwrap();
+            db.execute("CREATE TABLE src (j TEXT, k INTEGER, w REAL)")
+                .unwrap();
             let rows: Vec<Vec<Value>> = (0..5_000)
                 .map(|i| {
                     vec![
@@ -78,11 +111,15 @@ fn sparse_vs_dense(c: &mut Criterion) {
             adult.load_into(&db, "a").unwrap();
         })
     });
-    group.bench_function("dense_materialize", |b| {
-        b.iter(|| densify(&adult))
-    });
+    group.bench_function("dense_materialize", |b| b.iter(|| densify(&adult)));
     group.finish();
 }
 
-criterion_group!(benches, join_strategies, upsert_throughput, sparse_vs_dense);
+criterion_group!(
+    benches,
+    join_strategies,
+    parallelism_sweep,
+    upsert_throughput,
+    sparse_vs_dense
+);
 criterion_main!(benches);

@@ -37,10 +37,16 @@ fn operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_operators");
     group.sample_size(20);
     group.bench_function("filter_scan_20k", |b| {
-        b.iter(|| db.query("SELECT x FROM t WHERE x % 7 = 3 AND w > 2.0").unwrap())
+        b.iter(|| {
+            db.query("SELECT x FROM t WHERE x % 7 = 3 AND w > 2.0")
+                .unwrap()
+        })
     });
     group.bench_function("hash_aggregate_20k", |b| {
-        b.iter(|| db.query("SELECT g, SUM(w), COUNT(*) FROM t GROUP BY g").unwrap())
+        b.iter(|| {
+            db.query("SELECT g, SUM(w), COUNT(*) FROM t GROUP BY g")
+                .unwrap()
+        })
     });
     group.bench_function("self_hash_join_20k", |b| {
         b.iter(|| {
@@ -49,14 +55,15 @@ fn operators(c: &mut Criterion) {
         })
     });
     group.bench_function("sort_20k", |b| {
-        b.iter(|| db.query("SELECT x FROM t ORDER BY w DESC LIMIT 100").unwrap())
+        b.iter(|| {
+            db.query("SELECT x FROM t ORDER BY w DESC LIMIT 100")
+                .unwrap()
+        })
     });
     group.bench_function("window_row_number_20k", |b| {
         b.iter(|| {
-            db.query(
-                "SELECT g, ROW_NUMBER() OVER (PARTITION BY g ORDER BY w DESC) AS r FROM t",
-            )
-            .unwrap()
+            db.query("SELECT g, ROW_NUMBER() OVER (PARTITION BY g ORDER BY w DESC) AS r FROM t")
+                .unwrap()
         })
     });
     group.finish();

@@ -24,18 +24,13 @@ fn fit_scaling(c: &mut Criterion) {
                 )),
                 false,
             );
-            group.bench_with_input(
-                BenchmarkId::new(profile, pct),
-                &spec,
-                |b, spec| {
-                    b.iter(|| {
-                        let model =
-                            BornSqlModel::create(&db, "bench_fit", scopus_model_options())
-                                .unwrap();
-                        model.fit(spec).unwrap();
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(profile, pct), &spec, |b, spec| {
+                b.iter(|| {
+                    let model =
+                        BornSqlModel::create(&db, "bench_fit", scopus_model_options()).unwrap();
+                    model.fit(spec).unwrap();
+                })
+            });
         }
     }
     group.finish();

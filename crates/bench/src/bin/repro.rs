@@ -20,7 +20,12 @@ use datasets::scopus::{self, ScopusConfig};
 /// Build chart series from a result table: rows grouped by column
 /// `group_col` (or all in one series when `None`), with numeric columns
 /// `x_col`/`y_col`. Rows with non-numeric cells are skipped.
-fn table_series(table: &Table, group_col: Option<usize>, x_col: usize, y_col: usize) -> Vec<Series> {
+fn table_series(
+    table: &Table,
+    group_col: Option<usize>,
+    x_col: usize,
+    y_col: usize,
+) -> Vec<Series> {
     let mut by_group: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for row in &table.rows {
         let (Ok(x), Ok(y)) = (row[x_col].parse::<f64>(), row[y_col].parse::<f64>()) else {
@@ -168,7 +173,9 @@ fn main() {
             n_publications: scopus_n.min(5_000),
             ..Default::default()
         });
-        let nnz = data.pub_lexeme.len() + data.pub_author.len() + data.pub_keyword.len()
+        let nnz = data.pub_lexeme.len()
+            + data.pub_author.len()
+            + data.pub_keyword.len()
             + data.publications.len();
         let mut features: BTreeSet<String> = BTreeSet::new();
         for p in &data.publications {

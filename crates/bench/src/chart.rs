@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn renders_linear_series() {
-        let s = Series::new("fit", (1..=10).map(|i| (i as f64, i as f64 * 0.2)).collect());
+        let s = Series::new(
+            "fit",
+            (1..=10).map(|i| (i as f64, i as f64 * 0.2)).collect(),
+        );
         let chart = render("Figure 3", "items", "seconds", &[s]);
         assert!(chart.contains("## Figure 3"));
         assert!(chart.contains("* fit"));

@@ -3,8 +3,8 @@
 
 use std::time::Duration;
 
-use baselines::{DecisionTree, DenseClassifier, LinearSvm, LogisticRegression, NaiveBayes};
 use baselines::dense::{dense_storage_bytes, densify_with_vocab};
+use baselines::{DecisionTree, DenseClassifier, LinearSvm, LogisticRegression, NaiveBayes};
 use born::{accuracy, macro_prf};
 use bornsql::{BornSqlModel, DataSpec, ModelOptions};
 use datasets::{adult_like, rlcp_like, SparseDataset, SparseItem, TabularConfig};
@@ -18,10 +18,7 @@ use crate::harness::{secs, time_it, Table};
 /// binary defaults to a smaller scale and reports it).
 pub fn dataset_sizes(scale: f64) -> ((usize, usize), (usize, usize)) {
     let s = |v: f64| ((v * scale) as usize).max(100);
-    (
-        (s(32_561.0), s(16_281.0)),
-        (s(4_600_000.0), s(1_149_132.0)),
-    )
+    ((s(32_561.0), s(16_281.0)), (s(4_600_000.0), s(1_149_132.0)))
 }
 
 /// Timings of one classifier on one dataset.
@@ -73,7 +70,12 @@ pub fn run_bornsql(train: &[SparseItem], test: &[SparseItem]) -> RunTimes {
     }
     let predictions = test
         .iter()
-        .map(|item| by_id.get(&item.id).cloned().unwrap_or_else(|| majority.clone()))
+        .map(|item| {
+            by_id
+                .get(&item.id)
+                .cloned()
+                .unwrap_or_else(|| majority.clone())
+        })
         .collect();
 
     RunTimes {
@@ -127,15 +129,20 @@ pub fn run_baseline(
 }
 
 /// §5.2 runtimes + Table 5 metrics for one dataset.
-pub fn compare_on(
-    name: &str,
-    train: &[SparseItem],
-    test: &[SparseItem],
-) -> (Table, Table) {
+pub fn compare_on(name: &str, train: &[SparseItem], test: &[SparseItem]) -> (Table, Table) {
     let truth: Vec<&str> = test.iter().map(|i| i.label.as_str()).collect();
     let mut times = Table::new(
-        format!("Section 5.2 runtimes on {name} ({} train / {} test)", train.len(), test.len()),
-        &["algorithm", "preprocess/deploy (s)", "train (s)", "predict (s)"],
+        format!(
+            "Section 5.2 runtimes on {name} ({} train / {} test)",
+            train.len(),
+            test.len()
+        ),
+        &[
+            "algorithm",
+            "preprocess/deploy (s)",
+            "train (s)",
+            "predict (s)",
+        ],
     );
     let mut metrics = Table::new(
         format!("Table 5 metrics on {name}"),
@@ -323,6 +330,9 @@ mod tests {
     fn storage_table_reproduces_32tb() {
         let t = storage_comparison(10_000, 50_000, 400_000);
         let paper_row = &t.rows[2];
-        assert!(paper_row[4].contains("TB"), "paper-scale row: {paper_row:?}");
+        assert!(
+            paper_row[4].contains("TB"),
+            "paper-scale row: {paper_row:?}"
+        );
     }
 }

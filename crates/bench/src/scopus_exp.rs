@@ -9,8 +9,14 @@ use crate::harness::{secs, time_it, Table};
 /// Engine profiles standing in for the paper's three DBMSs (see DESIGN.md).
 pub fn engine_profiles() -> Vec<(&'static str, EngineConfig)> {
     vec![
-        ("engine-A (hash joins, pipelined CTEs)", EngineConfig::profile_a()),
-        ("engine-B (hash joins, materialized CTEs)", EngineConfig::profile_b()),
+        (
+            "engine-A (hash joins, pipelined CTEs)",
+            EngineConfig::profile_a(),
+        ),
+        (
+            "engine-B (hash joins, materialized CTEs)",
+            EngineConfig::profile_b(),
+        ),
         ("engine-C (sort-merge joins)", EngineConfig::profile_c()),
     ]
 }
@@ -119,7 +125,9 @@ pub fn table2(db: &Database, item: i64) -> Table {
         .collect::<Vec<_>>()
         .join(" UNION ALL ");
     let rows = db
-        .query(&format!("SELECT n, j, w FROM ({union}) AS x ORDER BY j LIMIT 15"))
+        .query(&format!(
+            "SELECT n, j, w FROM ({union}) AS x ORDER BY j LIMIT 15"
+        ))
         .expect("table 2 query");
     for row in rows.rows {
         t.row(vec![
@@ -140,7 +148,13 @@ pub fn table2(db: &Database, item: i64) -> Table {
 pub fn figure3(n: usize, steps: &[usize]) -> Table {
     let mut t = Table::new(
         format!("Figure 3: training time vs items (scopus-like, n = {n})"),
-        &["engine", "subsample %", "items", "fit (s)", "partial fit (s)"],
+        &[
+            "engine",
+            "subsample %",
+            "items",
+            "fit (s)",
+            "partial fit (s)",
+        ],
     );
     for (name, config) in engine_profiles() {
         let db = setup(n, false, config);
@@ -276,12 +290,7 @@ pub fn figure5(n: usize, steps: &[usize]) -> Table {
 pub fn figure6(n: usize, steps: &[usize], batch: usize) -> Table {
     let mut t = Table::new(
         format!("Figure 6: inference time for one item vs model size (n = {n})"),
-        &[
-            "training %",
-            "features",
-            "undeployed (s)",
-            "deployed (s)",
-        ],
+        &["training %", "features", "undeployed (s)", "deployed (s)"],
     );
     let db = setup(n, false, EngineConfig::profile_a());
     let item_spec = test_spec("SELECT 13 AS n".to_string());
@@ -348,8 +357,7 @@ pub fn full_model(n: usize) -> (Database, &'static str) {
 }
 
 pub fn table3(db: &Database, model_name: &str, per_class: usize) -> Table {
-    let model =
-        BornSqlModel::attach(db, model_name, scopus_model_options()).expect("attach model");
+    let model = BornSqlModel::attach(db, model_name, scopus_model_options()).expect("attach model");
     let mut t = Table::new(
         "Table 3: global explanation (top features per class)",
         &["k", "j", "w"],
@@ -371,25 +379,22 @@ pub fn table3(db: &Database, model_name: &str, per_class: usize) -> Table {
 }
 
 pub fn table4(db: &Database, model_name: &str, item: i64, top: usize) -> Table {
-    let model =
-        BornSqlModel::attach(db, model_name, scopus_model_options()).expect("attach model");
+    let model = BornSqlModel::attach(db, model_name, scopus_model_options()).expect("attach model");
     let mut t = Table::new(
         format!("Table 4: local explanation for item n = {item}"),
         &["k", "j", "w"],
     );
     let spec = test_spec(format!("SELECT {item} AS n"));
-    let local = model.explain_local(&spec, Some(top)).expect("local explanation");
+    let local = model
+        .explain_local(&spec, Some(top))
+        .expect("local explanation");
     for (j, k, w) in local {
         t.row(vec![k.to_string(), j.to_string(), format!("{w:.6}")]);
     }
     // Context: the model's prediction for the item.
     let pred = model.predict(&spec).expect("prediction");
     if let Some((n, k)) = pred.first() {
-        t.row(vec![
-            format!("predicted[{n}]"),
-            "→".into(),
-            k.to_string(),
-        ]);
+        t.row(vec![format!("predicted[{n}]"), "→".into(), k.to_string()]);
     }
     t
 }

@@ -138,8 +138,7 @@ where
     /// that were originally learned; the entries they contributed are
     /// subtracted exactly.
     pub fn unlearn(&mut self, items: &[TrainItem<J, K>]) {
-        let negated: Vec<TrainItem<J, K>> =
-            items.iter().map(|i| i.clone().negated()).collect();
+        let negated: Vec<TrainItem<J, K>> = items.iter().map(|i| i.clone().negated()).collect();
         self.partial_fit(&negated);
     }
 
@@ -338,8 +337,7 @@ where
         scores
             .into_iter()
             .max_by(|(ka, wa), (kb, wb)| {
-                wa.total_cmp(wb)
-                    .then_with(|| kb.cmp(ka)) // prefer the smaller key on ties
+                wa.total_cmp(wb).then_with(|| kb.cmp(ka)) // prefer the smaller key on ties
             })
             .map(|(k, _)| k)
     }
@@ -518,7 +516,11 @@ mod tests {
             item(vec![("common", 1.0)], "k2"),
         ];
         let model = BornClassifier::fit(&items)
-            .deploy(HyperParams { a: 0.5, b: 1.0, h: 1.0 })
+            .deploy(HyperParams {
+                a: 0.5,
+                b: 1.0,
+                h: 1.0,
+            })
             .unwrap();
         let global = model.explain_global();
         let w_common_k1 = global
@@ -550,7 +552,11 @@ mod tests {
             item(vec![("odd2", 1.0)], "k2"),
         ];
         let model = BornClassifier::fit(&items)
-            .deploy(HyperParams { a: 0.5, b: 1.0, h: 1.0 })
+            .deploy(HyperParams {
+                a: 0.5,
+                b: 1.0,
+                h: 1.0,
+            })
             .unwrap();
         let scores = model.scores(&[("even", 1.0)]);
         for (_, s) in scores {

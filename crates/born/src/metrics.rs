@@ -43,11 +43,7 @@ pub fn accuracy<K: PartialEq>(truth: &[K], predicted: &[K]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -74,7 +70,11 @@ pub fn macro_prf<K: Ord + Clone>(truth: &[K], predicted: &[K]) -> ClassMetrics {
         };
         precision += p;
         recall += r;
-        f1 += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        f1 += if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
     }
     ClassMetrics {
         precision: precision / n,

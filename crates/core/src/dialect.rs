@@ -56,9 +56,7 @@ impl Dialect {
                 // MySQL has no ON CONFLICT; the equivalent idiom:
                 format!("ON DUPLICATE KEY UPDATE w = {table}.w + VALUES(w)")
             }
-            _ => format!(
-                "ON CONFLICT (j, k) DO UPDATE SET w = {table}.w + excluded.w"
-            ),
+            _ => format!("ON CONFLICT (j, k) DO UPDATE SET w = {table}.w + excluded.w"),
         }
     }
 

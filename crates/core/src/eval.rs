@@ -32,7 +32,8 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     /// provided by `qy` (a query returning `(n, k, w)` rows like the
     /// training `q_y`; weights are ignored, ties are not supported).
     pub fn evaluate(&self, spec: &DataSpec, qy: &str) -> Result<Evaluation> {
-        spec.validate_for_inference().map_err(BornSqlError::Config)?;
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
         let predictions = self.predict(spec)?;
         // Truth restricted to the same items when the spec filters by q_n.
         let truth_sql = match &spec.qn {
@@ -43,8 +44,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         };
         let truth = self.backend().query_sql(&truth_sql)?;
 
-        let mut predicted_by_item: std::collections::BTreeMap<String, Value> =
-            Default::default();
+        let mut predicted_by_item: std::collections::BTreeMap<String, Value> = Default::default();
         for (n, k) in predictions {
             predicted_by_item.insert(n.to_string(), k);
         }
@@ -55,10 +55,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         for row in &truth.rows {
             let n = row[0].to_string();
             let actual = row[1].clone();
-            let predicted = predicted_by_item
-                .get(&n)
-                .cloned()
-                .unwrap_or(Value::Null);
+            let predicted = predicted_by_item.get(&n).cloned().unwrap_or(Value::Null);
             if actual.sql_eq(&predicted) == Some(true) {
                 hits += 1;
             }
@@ -86,12 +83,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     ///
     /// This is the paper's §2.2.1 tuning procedure: the corpus is computed
     /// once; only the cached weights change per candidate.
-    pub fn tune(
-        &self,
-        val_spec: &DataSpec,
-        qy: &str,
-        grid: &[Params],
-    ) -> Result<(Params, f64)> {
+    pub fn tune(&self, val_spec: &DataSpec, qy: &str, grid: &[Params]) -> Result<(Params, f64)> {
         if grid.is_empty() {
             return Err(BornSqlError::Config("empty tuning grid".into()));
         }
@@ -154,8 +146,7 @@ mod tests {
     }
 
     fn spec() -> DataSpec {
-        DataSpec::new("SELECT n, j, w FROM d")
-            .with_targets("SELECT n, k AS k, 1.0 AS w FROM l")
+        DataSpec::new("SELECT n, j, w FROM d").with_targets("SELECT n, k AS k, 1.0 AS w FROM l")
     }
 
     #[test]
@@ -170,7 +161,10 @@ mod tests {
         assert_eq!(eval.n_items, 40);
         assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
         // Confusion matrix: only diagonal cells.
-        assert!(eval.confusion.iter().all(|(a, p, _)| a.sql_eq(p) == Some(true)));
+        assert!(eval
+            .confusion
+            .iter()
+            .all(|(a, p, _)| a.sql_eq(p) == Some(true)));
     }
 
     #[test]
@@ -192,8 +186,16 @@ mod tests {
         let model = BornSqlModel::create(&db, "m", ModelOptions::default()).unwrap();
         model.fit(&spec()).unwrap();
         let grid = [
-            Params { a: 0.5, b: 1.0, h: 1.0 },
-            Params { a: 2.0, b: 0.0, h: 0.0 },
+            Params {
+                a: 0.5,
+                b: 1.0,
+                h: 1.0,
+            },
+            Params {
+                a: 2.0,
+                b: 0.0,
+                h: 0.0,
+            },
         ];
         let (best, acc) = model
             .tune(&spec(), "SELECT n, k AS k, 1.0 AS w FROM l", &grid)

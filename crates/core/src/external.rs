@@ -6,7 +6,6 @@
 //! is dropped. Likewise, externally computed `P_jk` increments can be
 //! merged into the corpus without importing the raw training data.
 
-
 use crate::error::Result;
 use crate::model::{BornSqlModel, Prediction, Probability, SqlBackend, Weight};
 use crate::spec::DataSpec;
@@ -23,9 +22,8 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         let table = format!("{}_external_items", self.name());
         self.backend()
             .execute_sql(&format!("DROP TABLE IF EXISTS {table}"))?;
-        self.backend().execute_sql(&format!(
-            "CREATE TABLE {table} (n INTEGER, j TEXT, w REAL)"
-        ))?;
+        self.backend()
+            .execute_sql(&format!("CREATE TABLE {table} (n INTEGER, j TEXT, w REAL)"))?;
         let quote = |s: &str| s.replace('\'', "''");
         for chunk in items.chunks(256) {
             let mut values = Vec::new();
@@ -37,15 +35,12 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
             if values.is_empty() {
                 continue;
             }
-            self.backend().execute_sql(&format!(
-                "INSERT INTO {table} VALUES {}",
-                values.join(", ")
-            ))?;
+            self.backend()
+                .execute_sql(&format!("INSERT INTO {table} VALUES {}", values.join(", ")))?;
         }
         let spec = DataSpec::new(format!("SELECT n, j, w FROM {table}"));
         let result = f(&spec);
-        self.backend()
-            .execute_sql(&format!("DROP TABLE {table}"))?;
+        self.backend().execute_sql(&format!("DROP TABLE {table}"))?;
         result
     }
 

@@ -146,10 +146,9 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
 
     pub fn params(&self) -> Result<Params> {
         let r = self.conn.query_sql(&self.gen.get_params())?;
-        let row = r
-            .rows
-            .first()
-            .ok_or_else(|| BornSqlError::State(format!("model '{}' has no params row", self.name())))?;
+        let row = r.rows.first().ok_or_else(|| {
+            BornSqlError::State(format!("model '{}' has no params row", self.name()))
+        })?;
         Ok(Params {
             a: value_f64(&row[0])?,
             b: value_f64(&row[1])?,
@@ -224,7 +223,8 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     /// Classify the items selected by the spec: `(n, argmax_k u_k)` rows.
     /// Items with no feature known to the model produce no row.
     pub fn predict(&self, spec: &DataSpec) -> Result<Vec<Prediction>> {
-        spec.validate_for_inference().map_err(BornSqlError::Config)?;
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict(spec, self.deployed_flag());
         let r = self.conn.query_sql(&sql)?;
         Ok(r.rows
@@ -239,7 +239,8 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
 
     /// Class probabilities `(n, k, p)` for the selected items.
     pub fn predict_proba(&self, spec: &DataSpec) -> Result<Vec<Probability>> {
-        spec.validate_for_inference().map_err(BornSqlError::Config)?;
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict_proba(spec, self.deployed_flag());
         let r = self.conn.query_sql(&sql)?;
         r.rows
@@ -267,7 +268,8 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     /// Local explanation for the items selected by the spec:
     /// `(j, k, HW_jk · z_j^a)` sorted by descending weight.
     pub fn explain_local(&self, spec: &DataSpec, limit: Option<usize>) -> Result<Vec<Weight>> {
-        spec.validate_for_inference().map_err(BornSqlError::Config)?;
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
         let sql = self.gen.explain_local(spec, self.deployed_flag(), limit);
         let r = self.conn.query_sql(&sql)?;
         rows_to_weights(r)
@@ -387,8 +389,20 @@ mod tests {
     #[test]
     fn params_validation() {
         assert!(validate_params(Params::default()).is_ok());
-        assert!(validate_params(Params { a: 0.0, ..Default::default() }).is_err());
-        assert!(validate_params(Params { b: 2.0, ..Default::default() }).is_err());
-        assert!(validate_params(Params { h: -1.0, ..Default::default() }).is_err());
+        assert!(validate_params(Params {
+            a: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(validate_params(Params {
+            b: 2.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(validate_params(Params {
+            h: -1.0,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

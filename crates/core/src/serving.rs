@@ -99,27 +99,26 @@ impl ModelArtifact {
             },
         )?;
         let quote = |s: &str| format!("'{}'", s.replace('\'', "''"));
-        let insert_cells =
-            |table: &str, cells: &[(String, String, f64)]| -> Result<()> {
-                for chunk in cells.chunks(512) {
-                    let values: Vec<String> = chunk
-                        .iter()
-                        .map(|(j, k, w)| {
-                            let k_lit = if class_type == "INTEGER" {
-                                k.clone()
-                            } else {
-                                quote(k)
-                            };
-                            format!("({}, {}, {})", quote(j), k_lit, w)
-                        })
-                        .collect();
-                    conn.execute_sql(&format!(
-                        "INSERT INTO {table} (j, k, w) VALUES {}",
-                        values.join(", ")
-                    ))?;
-                }
-                Ok(())
-            };
+        let insert_cells = |table: &str, cells: &[(String, String, f64)]| -> Result<()> {
+            for chunk in cells.chunks(512) {
+                let values: Vec<String> = chunk
+                    .iter()
+                    .map(|(j, k, w)| {
+                        let k_lit = if class_type == "INTEGER" {
+                            k.clone()
+                        } else {
+                            quote(k)
+                        };
+                        format!("({}, {}, {})", quote(j), k_lit, w)
+                    })
+                    .collect();
+                conn.execute_sql(&format!(
+                    "INSERT INTO {table} (j, k, w) VALUES {}",
+                    values.join(", ")
+                ))?;
+            }
+            Ok(())
+        };
         if !self.corpus.is_empty() {
             insert_cells(&model.generator().corpus_table(), &self.corpus)?;
         }

@@ -112,9 +112,9 @@ impl SqlGenerator {
         let mut ctes = Vec::new();
         let filtered = |q: &str, alias: &str, cols: &str| -> String {
             match &spec.qn {
-                Some(_) => format!(
-                    "SELECT {cols} FROM ({q}) AS {alias}, n_n WHERE {alias}.n = n_n.n"
-                ),
+                Some(_) => {
+                    format!("SELECT {cols} FROM ({q}) AS {alias}, n_n WHERE {alias}.n = n_n.n")
+                }
                 None => format!("SELECT {cols} FROM ({q}) AS {alias}"),
             }
         };
@@ -363,7 +363,9 @@ impl SqlGenerator {
         }
         ctes.extend(self.preprocessing_ctes(spec, false, true));
         // X_n = Σ_j x_nj                                        (eq. 31)
-        ctes.push("x_n AS (SELECT x_nj.n AS n, SUM(x_nj.w) AS w FROM x_nj GROUP BY x_nj.n)".to_string());
+        ctes.push(
+            "x_n AS (SELECT x_nj.n AS n, SUM(x_nj.w) AS w FROM x_nj GROUP BY x_nj.n)".to_string(),
+        );
         // Z_j = Σ_n w_n·x_nj / X_n                              (eq. 32 / eq. 30)
         let z_j = match &spec.qw {
             Some(_) => "z_j AS (SELECT x_nj.j AS j, SUM(w_n.w * x_nj.w / x_n.w) AS w \
@@ -453,7 +455,10 @@ mod tests {
         let unfit = g.partial_fit(&spec(), -1.0);
         assert!(fit.contains("SUM(1.0 *"));
         assert!(unfit.contains("SUM(-1.0 *"));
-        assert_eq!(fit.replace("SUM(1.0 *", ""), unfit.replace("SUM(-1.0 *", ""));
+        assert_eq!(
+            fit.replace("SUM(1.0 *", ""),
+            unfit.replace("SUM(-1.0 *", "")
+        );
     }
 
     #[test]
@@ -481,7 +486,13 @@ mod tests {
         let sql = generator(Dialect::Generic).deploy();
         for fragment in [
             "abh AS (SELECT a, b, h FROM params WHERE model = 'm')",
-            "p_j AS", "p_k AS", "w_jk AS", "w_j AS", "h_jk AS", "h_j AS", "hw_jk AS",
+            "p_j AS",
+            "p_k AS",
+            "w_jk AS",
+            "w_j AS",
+            "h_jk AS",
+            "h_j AS",
+            "hw_jk AS",
             "POW(p_k.w, b) * POW(p_j.w, 1.0 - b)",
             "LN(n_k.n)",
             "POW(h_j.w, h) * POW(w_jk.w, a)",
@@ -496,7 +507,10 @@ mod tests {
         let sql = generator(Dialect::Generic).predict(&spec(), true);
         assert!(sql.contains("ROW_NUMBER() OVER (PARTITION BY n ORDER BY w DESC, k ASC)"));
         assert!(sql.contains("FROM m_weights AS hw"));
-        assert!(!sql.contains("p_jk AS"), "deployed path must not recompute weights");
+        assert!(
+            !sql.contains("p_jk AS"),
+            "deployed path must not recompute weights"
+        );
     }
 
     #[test]

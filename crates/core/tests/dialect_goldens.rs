@@ -74,10 +74,9 @@ SELECT j, k, w FROM hw_jk";
 
 #[test]
 fn generic_predict_deployed_golden() {
-    let test_spec = DataSpec::new(
-        "SELECT id as n, 'pubname:' || pubname as j, 1.0 as w FROM publication",
-    )
-    .with_items("SELECT 13 as n");
+    let test_spec =
+        DataSpec::new("SELECT id as n, 'pubname:' || pubname as j, 1.0 as w FROM publication")
+            .with_items("SELECT 13 as n");
     let sql = generator(Dialect::Generic).predict(&test_spec, true);
     let expected = "WITH abh AS (SELECT a, b, h FROM params WHERE model = 'scopus'), \
 n_n AS (SELECT 13 as n), \
@@ -117,10 +116,7 @@ fn all_dialects_render_every_operation() {
         ];
         for s in &statements {
             assert!(!s.is_empty());
-            assert!(
-                !s.contains("{"),
-                "unexpanded template in {dialect:?}: {s}"
-            );
+            assert!(!s.contains("{"), "unexpanded template in {dialect:?}: {s}");
         }
     }
 }

@@ -157,7 +157,10 @@ fn predictions_match_oracle_deployed_and_undeployed() {
     // Deployed (cached weights) must give identical answers.
     model.deploy().unwrap();
     let deployed: Vec<_> = model.predict(&test).unwrap();
-    assert_eq!(undeployed, deployed, "deployment must not change predictions");
+    assert_eq!(
+        undeployed, deployed,
+        "deployment must not change predictions"
+    );
 
     let mut n_checked = 0;
     for (n, k) in &deployed {
@@ -273,7 +276,10 @@ fn local_explanation_matches_oracle() {
             panic!()
         };
         let expected = oracle_local[&(j.to_string(), k.to_string())];
-        assert!(close(w, expected), "local[{j},{k}] = {w}, oracle {expected}");
+        assert!(
+            close(w, expected),
+            "local[{j},{k}] = {w}, oracle {expected}"
+        );
     }
 }
 
@@ -318,10 +324,8 @@ fn sample_weights_match_oracle() {
     let docs = random_docs(111, 40);
     let db = load_db(&docs);
     // Weight = 2.0 for even ids, 1.0 for odd.
-    db.execute(
-        "CREATE TABLE sweights (n INTEGER, w REAL)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE sweights (n INTEGER, w REAL)")
+        .unwrap();
     let rows: Vec<Vec<Value>> = docs
         .iter()
         .map(|d| {
@@ -398,10 +402,7 @@ fn multilabel_targets_match_oracle() {
     .unwrap();
     let model = BornSqlModel::create(&db, "ml", ModelOptions::default()).unwrap();
     model
-        .fit(
-            &DataSpec::new("SELECT n, j, w FROM f")
-                .with_targets("SELECT n, k, w FROM y"),
-        )
+        .fit(&DataSpec::new("SELECT n, j, w FROM f").with_targets("SELECT n, k, w FROM y"))
         .unwrap();
 
     let oracle = BornClassifier::fit(&[
@@ -434,10 +435,7 @@ fn weighted_targets_match_oracle() {
     .unwrap();
     let model = BornSqlModel::create(&db, "wt", ModelOptions::default()).unwrap();
     model
-        .fit(
-            &DataSpec::new("SELECT n, j, w FROM f")
-                .with_targets("SELECT n, k, w FROM y"),
-        )
+        .fit(&DataSpec::new("SELECT n, j, w FROM f").with_targets("SELECT n, k, w FROM y"))
         .unwrap();
     let oracle = BornClassifier::fit(&[TrainItem {
         x: vec![("a".to_string(), 1.0)],

@@ -220,8 +220,7 @@ pub fn generate(config: &ScopusConfig) -> ScopusData {
                 fresh_author
             } else {
                 // Class pools are disjoint ranges of author ids.
-                (class * config.authors_per_class + author_zipf.sample(&mut rng)) as i64
-                    + 1_000_000
+                (class * config.authors_per_class + author_zipf.sample(&mut rng)) as i64 + 1_000_000
             };
             pub_author.push((id, authid));
         }
@@ -354,8 +353,7 @@ pub fn qx_arms(abstract_only: bool) -> Vec<String> {
             "SELECT pubid AS n, 'authid:' || authid AS j, 1.0 AS w FROM pub_author".to_string(),
         );
         arms.push(
-            "SELECT pubid AS n, 'keyword:' || keyword AS j, 1.0 AS w FROM pub_keyword"
-                .to_string(),
+            "SELECT pubid AS n, 'keyword:' || keyword AS j, 1.0 AS w FROM pub_keyword".to_string(),
         );
     }
     arms.push(

@@ -53,18 +53,12 @@ impl SparseDataset {
         db.execute(&format!(
             "CREATE TABLE {prefix}_features (n INTEGER, j TEXT, w REAL)"
         ))?;
-        db.execute(&format!(
-            "CREATE TABLE {prefix}_labels (n INTEGER, k TEXT)"
-        ))?;
+        db.execute(&format!("CREATE TABLE {prefix}_labels (n INTEGER, k TEXT)"))?;
         let mut frows = Vec::new();
         let mut lrows = Vec::new();
         for item in &self.items {
             for (j, w) in &item.features {
-                frows.push(vec![
-                    Value::Int(item.id),
-                    Value::text(j),
-                    Value::Float(*w),
-                ]);
+                frows.push(vec![Value::Int(item.id), Value::text(j), Value::Float(*w)]);
             }
             lrows.push(vec![Value::Int(item.id), Value::text(&item.label)]);
         }

@@ -142,7 +142,12 @@ mod tests {
             let sel: Vec<_> = d.items.iter().filter(|i| i.label == label).collect();
             let agrees: usize = sel
                 .iter()
-                .map(|i| i.features.iter().filter(|(j, _)| j.ends_with(":match")).count())
+                .map(|i| {
+                    i.features
+                        .iter()
+                        .filter(|(j, _)| j.ends_with(":match"))
+                        .count()
+                })
                 .sum();
             agrees as f64 / sel.len().max(1) as f64
         };

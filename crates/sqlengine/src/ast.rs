@@ -29,6 +29,12 @@ pub enum Statement {
         assignments: Vec<(String, Expr)>,
         predicate: Option<Expr>,
     },
+    /// `EXPLAIN [ANALYZE] query` — render the physical plan (ANALYZE also
+    /// executes it and reports per-operator row counts and timings).
+    Explain {
+        analyze: bool,
+        query: Query,
+    },
     /// `BEGIN [TRANSACTION]`
     Begin,
     /// `COMMIT`
@@ -202,7 +208,10 @@ pub enum Expr {
         negated: bool,
     },
     /// `[NOT] EXISTS (SELECT ...)` (uncorrelated).
-    Exists { query: Box<Query>, negated: bool },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
 }
 
 /// Supported ranking window functions.
@@ -339,11 +348,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
@@ -383,9 +388,7 @@ impl Expr {
             Expr::Between {
                 expr, low, high, ..
             } => expr.contains_window() || low.contains_window() || high.contains_window(),
-            Expr::Like { expr, pattern, .. } => {
-                expr.contains_window() || pattern.contains_window()
-            }
+            Expr::Like { expr, pattern, .. } => expr.contains_window() || pattern.contains_window(),
             Expr::Case {
                 operand,
                 branches,

@@ -132,7 +132,11 @@ impl Table {
     }
 
     /// Outcome of inserting one row.
-    pub fn insert_row(&mut self, row: Row, on_conflict: Option<&ResolvedConflict>) -> Result<InsertOutcome> {
+    pub fn insert_row(
+        &mut self,
+        row: Row,
+        on_conflict: Option<&ResolvedConflict>,
+    ) -> Result<InsertOutcome> {
         let row = self.coerce(row)?;
         if let Some(primary) = &mut self.primary {
             let key = primary.key_for(&row);
@@ -256,7 +260,10 @@ pub enum InsertOutcome {
     Inserted,
     Ignored,
     /// A conflicting row exists; the caller runs the DO UPDATE assignments.
-    Conflict { existing_idx: usize, proposed: Row },
+    Conflict {
+        existing_idx: usize,
+        proposed: Row,
+    },
 }
 
 /// The catalog: a name → table map (case-insensitive names).
@@ -294,7 +301,9 @@ impl Catalog {
 
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
         if self.tables.remove(&Self::key(name)).is_none() && !if_exists {
-            return Err(EngineError::catalog(format!("table '{name}' does not exist")));
+            return Err(EngineError::catalog(format!(
+                "table '{name}' does not exist"
+            )));
         }
         Ok(())
     }
@@ -358,8 +367,12 @@ mod tests {
             InsertOutcome::Ignored
         ));
         assert!(matches!(
-            t.insert_row(row, Some(&ResolvedConflict::DoUpdate)).unwrap(),
-            InsertOutcome::Conflict { existing_idx: 0, .. }
+            t.insert_row(row, Some(&ResolvedConflict::DoUpdate))
+                .unwrap(),
+            InsertOutcome::Conflict {
+                existing_idx: 0,
+                ..
+            }
         ));
     }
 
@@ -379,7 +392,11 @@ mod tests {
         let mut t = Table::new("c".into(), schema_jk(), &["j".into()]).unwrap();
         for i in 0..5 {
             t.insert_row(
-                vec![Value::text(format!("x{i}")), Value::Int(i), Value::Float(0.0)],
+                vec![
+                    Value::text(format!("x{i}")),
+                    Value::Int(i),
+                    Value::Float(0.0),
+                ],
                 None,
             )
             .unwrap();
@@ -394,8 +411,11 @@ mod tests {
     #[test]
     fn replace_row_updates_key() {
         let mut t = Table::new("c".into(), schema_jk(), &["j".into()]).unwrap();
-        t.insert_row(vec![Value::text("a"), Value::Int(1), Value::Float(0.0)], None)
-            .unwrap();
+        t.insert_row(
+            vec![Value::text("a"), Value::Int(1), Value::Float(0.0)],
+            None,
+        )
+        .unwrap();
         t.replace_row(0, vec![Value::text("b"), Value::Int(1), Value::Float(0.0)])
             .unwrap();
         let primary = t.primary.as_ref().unwrap();
@@ -410,7 +430,9 @@ mod tests {
             .unwrap();
         assert!(c.get("foo").is_ok());
         assert!(c.get("FOO").is_ok());
-        assert!(c.create_table(Table::new("FOO".into(), schema_jk(), &[]).unwrap(), false).is_err());
+        assert!(c
+            .create_table(Table::new("FOO".into(), schema_jk(), &[]).unwrap(), false)
+            .is_err());
         c.drop_table("fOo", false).unwrap();
         assert!(c.get("foo").is_err());
     }

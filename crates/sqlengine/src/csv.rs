@@ -131,7 +131,9 @@ mod tests {
         let r2 = db.query("SELECT name FROM t WHERE id = 3").unwrap();
         assert!(r2.rows[0][0].is_null());
 
-        let csv = db.export_csv("SELECT id, name, w FROM t ORDER BY id").unwrap();
+        let csv = db
+            .export_csv("SELECT id, name, w FROM t ORDER BY id")
+            .unwrap();
         assert!(csv.starts_with("id,name,w\n1,alice,0.5\n"));
         assert!(csv.contains("\"bob, the second\""));
 

@@ -4,6 +4,8 @@
 //! plan under a read lock and execute on `Arc` row snapshots after the lock
 //! is released; DML takes the write lock for its duration.
 
+use std::sync::Arc;
+
 use parking_lot::RwLock;
 
 use crate::ast::{ConflictAction, Expr, InsertSource, Statement};
@@ -11,6 +13,7 @@ use crate::catalog::{
     Catalog, Column, InsertOutcome, ResolvedConflict, Schema, SecondaryIndex, Table, UniqueIndex,
 };
 use crate::error::{EngineError, Result};
+use crate::exec::{ExecContext, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::{Planner, PlannerConfig};
@@ -25,6 +28,11 @@ pub struct EngineConfig {
     pub join_algo: crate::plan::JoinAlgo,
     /// Materialize CTEs once instead of inlining their plans.
     pub materialize_ctes: bool,
+    /// Number of executor worker threads. `1` (the default, and what every
+    /// benchmark profile uses) runs the exact serial interpreter path;
+    /// `>= 2` enables the morsel-parallel operators backed by a persistent
+    /// worker pool owned by the [`Database`].
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +40,7 @@ impl Default for EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: false,
+            parallelism: 1,
         }
     }
 }
@@ -42,6 +51,7 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: false,
+            parallelism: 1,
         }
     }
 
@@ -50,6 +60,7 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: true,
+            parallelism: 1,
         }
     }
 
@@ -60,7 +71,14 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::SortMerge,
             materialize_ctes: false,
+            parallelism: 1,
         }
+    }
+
+    /// Builder-style override of the executor parallelism (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     fn planner(&self) -> PlannerConfig {
@@ -104,9 +122,7 @@ impl StatementResult {
     pub fn into_rows(self) -> Result<QueryResult> {
         match self {
             StatementResult::Rows(r) => Ok(r),
-            StatementResult::Affected(_) => {
-                Err(EngineError::exec("statement did not return rows"))
-            }
+            StatementResult::Affected(_) => Err(EngineError::exec("statement did not return rows")),
         }
     }
 
@@ -122,6 +138,9 @@ impl StatementResult {
 pub struct Database {
     catalog: RwLock<Catalog>,
     config: EngineConfig,
+    /// Executor worker pool, spawned once when `config.parallelism >= 2` so
+    /// individual queries never pay thread-spawn latency.
+    pool: Option<Arc<WorkerPool>>,
     /// Snapshot of the catalog taken at `BEGIN`, restored on `ROLLBACK`.
     txn_backup: parking_lot::Mutex<Option<Catalog>>,
 }
@@ -140,8 +159,18 @@ impl Database {
     pub fn with_config(config: EngineConfig) -> Self {
         Database {
             catalog: RwLock::new(Catalog::new()),
+            pool: (config.parallelism > 1).then(|| Arc::new(WorkerPool::new(config.parallelism))),
             config,
             txn_backup: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// The execution context queries run under: the configured parallelism
+    /// plus the shared worker pool.
+    fn exec_ctx(&self) -> ExecContext {
+        match &self.pool {
+            Some(pool) => ExecContext::with_pool(self.config.parallelism, Arc::clone(pool)),
+            None => ExecContext::serial(),
         }
     }
 
@@ -231,12 +260,44 @@ impl Database {
         Ok(crate::explain::render_plan(&planned.plan))
     }
 
+    /// Run a `SELECT` and also return the per-operator runtime statistics
+    /// tree (rows in/out and elapsed time per operator).
+    pub fn query_analyzed(&self, sql: &str) -> Result<(QueryResult, OpStats)> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Query(query) = stmt else {
+            return Err(EngineError::plan("ANALYZE supports only SELECT queries"));
+        };
+        let planned = {
+            let catalog = self.catalog.read();
+            let mut planner = Planner::new(&catalog, &[], self.config.planner());
+            planner.plan_query(&query)?
+        };
+        let (rows, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+        Ok((
+            QueryResult {
+                columns: planned.columns,
+                rows,
+            },
+            stats,
+        ))
+    }
+
+    /// Execute a query and render its `EXPLAIN ANALYZE` tree.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let (_, stats) = self.query_analyzed(sql)?;
+        Ok(crate::explain::render_analyze(&stats))
+    }
+
     /// Dump a table's schema, primary-key columns, and rows (used by
     /// snapshots).
     pub fn dump_table(
         &self,
         name: &str,
-    ) -> Result<(crate::catalog::Schema, Vec<String>, std::sync::Arc<Vec<Row>>)> {
+    ) -> Result<(
+        crate::catalog::Schema,
+        Vec<String>,
+        std::sync::Arc<Vec<Row>>,
+    )> {
         let catalog = self.catalog.read();
         let t = catalog.get(name)?;
         let pk = t
@@ -281,10 +342,30 @@ impl Database {
                     let mut planner = Planner::new(&catalog, params, self.config.planner());
                     planner.plan_query(query)?
                 };
-                let rows = crate::exec::execute(&planned.plan)?;
+                let rows = self.exec_ctx().execute(&planned.plan)?;
                 Ok(StatementResult::Rows(QueryResult {
                     columns: planned.columns,
                     rows,
+                }))
+            }
+            Statement::Explain { analyze, query } => {
+                let planned = {
+                    let catalog = self.catalog.read();
+                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    planner.plan_query(query)?
+                };
+                let rendered = if *analyze {
+                    let (_, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+                    crate::explain::render_analyze(&stats)
+                } else {
+                    crate::explain::render_plan(&planned.plan)
+                };
+                Ok(StatementResult::Rows(QueryResult {
+                    columns: vec!["plan".to_string()],
+                    rows: rendered
+                        .lines()
+                        .map(|l| vec![Value::Str(l.into())])
+                        .collect(),
                 }))
             }
             Statement::CreateTable(ct) => {
@@ -328,8 +409,11 @@ impl Database {
                         map: Default::default(),
                     };
                     for (i, row) in table.rows.iter().enumerate() {
-                        let key: Vec<Value> =
-                            primary.key_columns.iter().map(|&c| row[c].clone()).collect();
+                        let key: Vec<Value> = primary
+                            .key_columns
+                            .iter()
+                            .map(|&c| row[c].clone())
+                            .collect();
                         if primary.map.insert(key, i).is_some() {
                             return Err(EngineError::exec(format!(
                                 "cannot create unique index '{}': duplicate keys",
@@ -367,7 +451,7 @@ impl Database {
                     let mut planner = Planner::new(&catalog, params, self.config.planner());
                     planner.plan_query(query)?
                 };
-                let rows = crate::exec::execute(&planned.plan)?;
+                let rows = self.exec_ctx().execute(&planned.plan)?;
                 let schema = Schema::new(
                     planned
                         .columns
@@ -492,9 +576,18 @@ impl Database {
         Ok(Some(pred))
     }
 
-    fn execute_insert(&self, insert: &crate::ast::Insert, params: &[Value]) -> Result<StatementResult> {
-        // Evaluate the source rows first (queries plan against a snapshot,
-        // so `INSERT INTO t SELECT .. FROM t` reads consistent data).
+    fn execute_insert(
+        &self,
+        insert: &crate::ast::Insert,
+        params: &[Value],
+    ) -> Result<StatementResult> {
+        // Evaluate the source rows to completion *before* taking the write
+        // lock. The source query plans under a read lock and captures `Arc`
+        // snapshots of every table it scans, so `INSERT INTO t SELECT .. FROM
+        // t` reads a consistent pre-statement image of `t` — newly inserted
+        // rows can never feed back into the same statement's source, even
+        // though the scan snapshot and the write below are separate lock
+        // acquisitions (the catalog rows are copy-on-write via `Arc`).
         let source_rows: Vec<Row> = match &insert.source {
             InsertSource::Values(rows) => {
                 let scope = Scope::default();
@@ -514,7 +607,7 @@ impl Database {
                     let mut planner = Planner::new(&catalog, params, self.config.planner());
                     planner.plan_query(q)?
                 };
-                crate::exec::execute(&planned.plan)?
+                self.exec_ctx().execute(&planned.plan)?
             }
         };
 

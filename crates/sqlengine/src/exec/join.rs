@@ -1,0 +1,431 @@
+//! Join operators: hash join (serial and partitioned-parallel), sort-merge
+//! join, and nested-loop join.
+//!
+//! The parallel hash join runs in three phases: (1) morsel-parallel key
+//! extraction over the build (right) side, (2) one build job per partition
+//! (`hash(key) % P`) assembling that partition's table in original row
+//! order, (3) morsel-parallel probe over the left side. Because every probe
+//! chunk preserves left order and match lists preserve right order, the
+//! concatenated output is identical to the serial join's output.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::ast::JoinKind;
+use crate::error::Result;
+use crate::expr::PhysExpr;
+use crate::plan::PhysPlan;
+use crate::value::{Row, Value};
+
+use super::context::ChunkJob;
+use super::{ExecContext, NodeOut};
+
+/// Hash of an equi-join key. `DefaultHasher::new()` is deterministic within
+/// a process, so build and probe agree on partition assignment.
+/// A build-side row reduced to (key hash, key values, original index).
+type KeyedRow = (u64, Vec<Value>, usize);
+
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Evaluate join-key expressions for one row; `None` when any key is NULL
+/// (NULL never matches an equi-join key).
+fn eval_key(row: &[Value], keys: &[PhysExpr]) -> Result<Option<Vec<Value>>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = k.eval(row)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let left_rows = super::run_input(left, ctx, &mut children, &mut rows_in)?;
+    let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
+
+    let rows = if ctx.should_parallelize(left_rows.len().max(right_rows.len())) {
+        parallel_hash_join(
+            left_rows,
+            right_rows,
+            left_keys,
+            right_keys,
+            kind,
+            right_width,
+            residual,
+            ctx,
+        )?
+    } else {
+        serial_hash_join(
+            &left_rows,
+            &right_rows,
+            left_keys,
+            right_keys,
+            kind,
+            right_width,
+            residual,
+        )?
+    };
+    Ok(NodeOut {
+        rows,
+        rows_in,
+        children,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serial_hash_join(
+    left_rows: &[Row],
+    right_rows: &[Row],
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+) -> Result<Vec<Row>> {
+    // Build on the right side, probe with the left (preserves left order,
+    // which also gives LEFT JOIN for free). The table is pre-sized from the
+    // build side's row count.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    for (i, row) in right_rows.iter().enumerate() {
+        if let Some(key) = eval_key(row, right_keys)? {
+            table.entry(key).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for lrow in left_rows {
+        probe_one(
+            lrow,
+            left_keys,
+            |key| table.get(key),
+            right_rows,
+            kind,
+            right_width,
+            residual,
+            &mut out,
+        )?;
+    }
+    Ok(out)
+}
+
+/// Probe the table for one left row, appending joined rows (and the LEFT
+/// JOIN NULL-fill when unmatched) to `out`.
+#[allow(clippy::too_many_arguments)]
+fn probe_one<'t>(
+    lrow: &Row,
+    left_keys: &[PhysExpr],
+    lookup: impl FnOnce(&[Value]) -> Option<&'t Vec<usize>>,
+    right_rows: &[Row],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    let mut matched = false;
+    if let Some(key) = eval_key(lrow, left_keys)? {
+        if let Some(idxs) = lookup(&key) {
+            for &ri in idxs {
+                let mut joined = lrow.clone();
+                joined.extend(right_rows[ri].iter().cloned());
+                if let Some(r) = residual {
+                    if r.eval(&joined)?.as_bool()? != Some(true) {
+                        continue;
+                    }
+                }
+                matched = true;
+                out.push(joined);
+            }
+        }
+    }
+    if !matched && kind == JoinKind::Left {
+        let mut joined = lrow.clone();
+        joined.extend(std::iter::repeat_n(Value::Null, right_width));
+        out.push(joined);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parallel_hash_join(
+    left_rows: Arc<Vec<Row>>,
+    right_rows: Arc<Vec<Row>>,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+    ctx: &ExecContext,
+) -> Result<Vec<Row>> {
+    let partitions = ctx.parallelism();
+
+    // Phase 1: morsel-parallel key extraction over the build side.
+    let right_keys_arc: Arc<Vec<PhysExpr>> = Arc::new(right_keys.to_vec());
+    let extract_jobs: Vec<ChunkJob<Result<Vec<KeyedRow>>>> = ctx
+        .morsels(right_rows.len())
+        .into_iter()
+        .map(|range| {
+            let rows = Arc::clone(&right_rows);
+            let keys = Arc::clone(&right_keys_arc);
+            let job: ChunkJob<Result<Vec<KeyedRow>>> = Box::new(move || {
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    if let Some(key) = eval_key(&rows[i], &keys)? {
+                        out.push((hash_key(&key), key, i));
+                    }
+                }
+                Ok(out)
+            });
+            job
+        })
+        .collect();
+    let mut keyed: Vec<Vec<KeyedRow>> = Vec::new();
+    for chunk in ctx.run_jobs(extract_jobs) {
+        keyed.push(chunk?);
+    }
+    let keyed = Arc::new(keyed);
+    let keyed_total: usize = keyed.iter().map(Vec::len).sum();
+
+    // Phase 2: one build job per partition. Chunks are walked in order, so
+    // each partition's match lists hold right indices in ascending order.
+    let build_jobs: Vec<ChunkJob<HashMap<Vec<Value>, Vec<usize>>>> = (0..partitions)
+        .map(|p| {
+            let keyed = Arc::clone(&keyed);
+            let cap = keyed_total / partitions + 1;
+            let job: ChunkJob<HashMap<Vec<Value>, Vec<usize>>> = Box::new(move || {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(cap);
+                for chunk in keyed.iter() {
+                    for (h, key, i) in chunk {
+                        if *h as usize % partitions == p {
+                            table.entry(key.clone()).or_default().push(*i);
+                        }
+                    }
+                }
+                table
+            });
+            job
+        })
+        .collect();
+    let tables = Arc::new(ctx.run_jobs(build_jobs));
+
+    // Phase 3: morsel-parallel probe with the left side.
+    let left_keys_arc: Arc<Vec<PhysExpr>> = Arc::new(left_keys.to_vec());
+    let residual_arc: Arc<Option<PhysExpr>> = Arc::new(residual.clone());
+    let probe_jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
+        .morsels(left_rows.len())
+        .into_iter()
+        .map(|range| {
+            let left = Arc::clone(&left_rows);
+            let right = Arc::clone(&right_rows);
+            let tables = Arc::clone(&tables);
+            let keys = Arc::clone(&left_keys_arc);
+            let residual = Arc::clone(&residual_arc);
+            let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
+                let mut out = Vec::new();
+                for lrow in &left[range] {
+                    probe_one(
+                        lrow,
+                        &keys,
+                        |key| tables[hash_key(key) as usize % partitions].get(key),
+                        &right,
+                        kind,
+                        right_width,
+                        &residual,
+                        &mut out,
+                    )?;
+                }
+                Ok(out)
+            });
+            job
+        })
+        .collect();
+    let mut out = Vec::new();
+    for chunk in ctx.run_jobs(probe_jobs) {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sort_merge_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    left_keys: &[PhysExpr],
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+    right_width: usize,
+    residual: &Option<PhysExpr>,
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let left_rows = super::run_input(left, ctx, &mut children, &mut rows_in)?;
+    let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
+
+    // Materialize (key, index) pairs and sort both sides. NULL keys never
+    // match and are dropped from the merge (LEFT JOIN keeps their rows).
+    // This operator emulates an engine without hash joins (profile C), so it
+    // stays serial by design.
+    let keyed = |rows: &[Row], keys: &[PhysExpr]| -> Result<Vec<(Vec<Value>, usize)>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(k) = eval_key(row, keys)? {
+                out.push((k, i));
+            }
+        }
+        out.sort_by(|(a, _), (b, _)| cmp_keys(a, b));
+        Ok(out)
+    };
+    let lk = keyed(&left_rows, left_keys)?;
+    let rk = keyed(&right_rows, right_keys)?;
+
+    let mut matched_left = vec![false; left_rows.len()];
+    let mut out = Vec::new();
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < lk.len() && ri < rk.len() {
+        match cmp_keys(&lk[li].0, &rk[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                // Extent of the equal run on each side.
+                let lstart = li;
+                while li < lk.len() && cmp_keys(&lk[li].0, &rk[ri].0).is_eq() {
+                    li += 1;
+                }
+                let rstart = ri;
+                while ri < rk.len() && cmp_keys(&lk[lstart].0, &rk[ri].0).is_eq() {
+                    ri += 1;
+                }
+                for &(_, l_idx) in &lk[lstart..li] {
+                    for &(_, r_idx) in &rk[rstart..ri] {
+                        let mut joined = left_rows[l_idx].clone();
+                        joined.extend(right_rows[r_idx].iter().cloned());
+                        if let Some(r) = residual {
+                            if r.eval(&joined)?.as_bool()? != Some(true) {
+                                continue;
+                            }
+                        }
+                        matched_left[l_idx] = true;
+                        out.push(joined);
+                    }
+                }
+            }
+        }
+    }
+    if kind == JoinKind::Left {
+        for (i, row) in left_rows.iter().enumerate() {
+            if !matched_left[i] {
+                let mut joined = row.clone();
+                joined.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push(joined);
+            }
+        }
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+pub(crate) fn nested_loop_join(
+    left: &PhysPlan,
+    right: &PhysPlan,
+    kind: JoinKind,
+    right_width: usize,
+    predicate: &Option<PhysExpr>,
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let left_rows = super::run_input(left, ctx, &mut children, &mut rows_in)?;
+    let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
+
+    let rows = if ctx.should_parallelize(left_rows.len()) {
+        let predicate_arc: Arc<Option<PhysExpr>> = Arc::new(predicate.clone());
+        let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
+            .morsels(left_rows.len())
+            .into_iter()
+            .map(|range| {
+                let left = Arc::clone(&left_rows);
+                let right = Arc::clone(&right_rows);
+                let predicate = Arc::clone(&predicate_arc);
+                let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
+                    nested_loop_chunk(&left[range], &right, kind, right_width, &predicate)
+                });
+                job
+            })
+            .collect();
+        let mut out = Vec::new();
+        for chunk in ctx.run_jobs(jobs) {
+            out.extend(chunk?);
+        }
+        out
+    } else {
+        nested_loop_chunk(&left_rows, &right_rows, kind, right_width, predicate)?
+    };
+    Ok(NodeOut {
+        rows,
+        rows_in,
+        children,
+    })
+}
+
+fn nested_loop_chunk(
+    left_rows: &[Row],
+    right_rows: &[Row],
+    kind: JoinKind,
+    right_width: usize,
+    predicate: &Option<PhysExpr>,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for lrow in left_rows {
+        let mut matched = false;
+        for rrow in right_rows {
+            let mut joined = lrow.clone();
+            joined.extend(rrow.iter().cloned());
+            let keep = match predicate {
+                None => true,
+                Some(p) => p.eval(&joined)?.as_bool()? == Some(true),
+            };
+            if keep {
+                matched = true;
+                out.push(joined);
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            let mut joined = lrow.clone();
+            joined.extend(std::iter::repeat_n(Value::Null, right_width));
+            out.push(joined);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,314 @@
+//! Scan-side operators: chunked Filter/Project morsel pipelines.
+//!
+//! Consecutive `Filter`/`Project` nodes over a common source are executed as
+//! one fused pipeline: the source is materialized (or borrowed straight from
+//! the base-table snapshot), then every morsel of it flows through all
+//! stages before the next morsel starts. In parallel mode the morsels are
+//! processed by the worker pool; per-stage row counters and (when
+//! `EXPLAIN ANALYZE` runs) per-stage worker time are accumulated so the
+//! stats tree still reports each operator individually.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::Result;
+use crate::explain::op_label;
+use crate::expr::PhysExpr;
+use crate::plan::PhysPlan;
+use crate::value::{Row, Value};
+
+use super::context::{ChunkJob, StageCounter};
+use super::{ExecContext, NodeOut, OpStats};
+
+/// One owned stage of a fused pipeline (owned so morsel jobs are `'static`;
+/// the clone happens once per operator per query, not per row).
+enum StageSpec {
+    Filter(PhysExpr),
+    Project(Vec<PhysExpr>),
+}
+
+/// A morsel flowing between pipeline stages. Filters over a shared source
+/// keep row *references* — nothing is cloned until a `Project` rebuilds the
+/// rows or the morsel is materialized at the end of the pipeline. This makes
+/// the common `Scan → Filter → Project` shape clone-free on the parallel
+/// path, matching the move-only serial path's allocation behaviour.
+enum Morsel<'a> {
+    Borrowed(Vec<&'a Row>),
+    Owned(Vec<Row>),
+}
+
+impl Morsel<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Morsel::Borrowed(refs) => refs.len(),
+            Morsel::Owned(rows) => rows.len(),
+        }
+    }
+
+    /// Materialize the morsel; clones only if no stage ever owned the rows
+    /// (i.e. a filter-only pipeline over a shared source).
+    fn into_rows(self) -> Vec<Row> {
+        match self {
+            Morsel::Borrowed(refs) => refs.into_iter().cloned().collect(),
+            Morsel::Owned(rows) => rows,
+        }
+    }
+}
+
+impl StageSpec {
+    fn of(node: &PhysPlan) -> StageSpec {
+        match node {
+            PhysPlan::Filter { predicate, .. } => StageSpec::Filter(predicate.clone()),
+            PhysPlan::Project { exprs, .. } => StageSpec::Project(exprs.clone()),
+            _ => unreachable!("pipeline stages are Filter/Project only"),
+        }
+    }
+
+    /// First stage: read from the shared source slice.
+    fn apply_slice<'a>(&self, rows: &'a [Row]) -> Result<Morsel<'a>> {
+        match self {
+            StageSpec::Filter(pred) => {
+                let mut out = Vec::new();
+                for row in rows {
+                    if pred.eval(row)?.as_bool()? == Some(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(Morsel::Borrowed(out))
+            }
+            StageSpec::Project(exprs) => {
+                let mut out = Vec::with_capacity(rows.len());
+                project_into(rows, exprs, &mut out)?;
+                Ok(Morsel::Owned(out))
+            }
+        }
+    }
+
+    /// Later stages: consume the morsel produced by the previous stage.
+    fn apply<'a>(&self, morsel: Morsel<'a>) -> Result<Morsel<'a>> {
+        match (self, morsel) {
+            (StageSpec::Filter(pred), Morsel::Borrowed(refs)) => {
+                let mut out = Vec::new();
+                for row in refs {
+                    if pred.eval(row)?.as_bool()? == Some(true) {
+                        out.push(row);
+                    }
+                }
+                Ok(Morsel::Borrowed(out))
+            }
+            (StageSpec::Filter(pred), Morsel::Owned(rows)) => {
+                Ok(Morsel::Owned(filter_owned(rows, pred)?))
+            }
+            (StageSpec::Project(exprs), Morsel::Borrowed(refs)) => {
+                let mut out = Vec::with_capacity(refs.len());
+                let mut scratch: Vec<Value> = Vec::with_capacity(exprs.len());
+                for row in refs {
+                    for e in exprs {
+                        scratch.push(e.eval(row)?);
+                    }
+                    out.push(scratch.split_off(0));
+                }
+                Ok(Morsel::Owned(out))
+            }
+            (StageSpec::Project(exprs), Morsel::Owned(rows)) => {
+                Ok(Morsel::Owned(project_owned(rows, exprs)?))
+            }
+        }
+    }
+}
+
+/// Walk a chain of `Filter`/`Project` nodes down to its source. Returns the
+/// stage nodes innermost-first plus the source plan.
+fn collect_chain(mut plan: &PhysPlan) -> (Vec<&PhysPlan>, &PhysPlan) {
+    let mut nodes = Vec::new();
+    while let PhysPlan::Filter { input, .. } | PhysPlan::Project { input, .. } = plan {
+        nodes.push(plan);
+        plan = input;
+    }
+    nodes.reverse();
+    (nodes, plan)
+}
+
+/// Execute the Filter/Project chain rooted at `plan`.
+pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
+    let (nodes, source) = collect_chain(plan);
+    let n_stages = nodes.len();
+
+    let mut children = Vec::new();
+    let mut source_count = 0usize;
+    let source_rows = super::run_input(source, ctx, &mut children, &mut source_count)?;
+
+    let counters: Arc<Vec<StageCounter>> =
+        Arc::new((0..n_stages).map(|_| StageCounter::default()).collect());
+    let timed = ctx.stats_enabled();
+
+    let rows = if ctx.should_parallelize(source_rows.len()) {
+        let specs: Arc<Vec<StageSpec>> = Arc::new(nodes.iter().map(|n| StageSpec::of(n)).collect());
+        let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
+            .morsels(source_rows.len())
+            .into_iter()
+            .map(|range| {
+                let specs = Arc::clone(&specs);
+                let counters = Arc::clone(&counters);
+                let source = Arc::clone(&source_rows);
+                let job: ChunkJob<Result<Vec<Row>>> =
+                    Box::new(move || run_morsel(&source[range], &specs, &counters, timed));
+                job
+            })
+            .collect();
+        let mut rows = Vec::new();
+        for chunk in ctx.run_jobs(jobs) {
+            rows.extend(chunk?);
+        }
+        rows
+    } else {
+        // Serial path: stage-at-a-time over the whole input, moving rows
+        // between stages exactly like the original interpreter. When the
+        // source is an intermediate result (sole owner), unwrap the Arc so
+        // the first stage moves rows too instead of cloning survivors.
+        let specs: Vec<StageSpec> = nodes.iter().map(|n| StageSpec::of(n)).collect();
+        if Arc::strong_count(&source_rows) == 1 {
+            run_chain_owned(super::into_owned(source_rows), &specs, &counters, timed)?
+        } else {
+            run_morsel(&source_rows, &specs, &counters, timed)?
+        }
+    };
+
+    // Assemble per-stage stats for every stage but the outermost (which the
+    // dispatcher wraps with wall-clock time).
+    if ctx.stats_enabled() {
+        for (i, node) in nodes.iter().enumerate().take(n_stages - 1) {
+            let (rows_in, rows_out, elapsed) = counters[i].snapshot();
+            children = vec![OpStats {
+                label: op_label(node),
+                rows_in,
+                rows_out,
+                elapsed,
+                children: std::mem::take(&mut children),
+            }];
+        }
+    }
+    let rows_in = counters[n_stages - 1].snapshot().0;
+    Ok(NodeOut {
+        rows,
+        rows_in,
+        children,
+    })
+}
+
+/// Push one morsel through every stage. The first stage reads the shared
+/// slice; later stages consume the previous stage's output in place.
+fn run_morsel(
+    source: &[Row],
+    specs: &[StageSpec],
+    counters: &[StageCounter],
+    timed: bool,
+) -> Result<Vec<Row>> {
+    let mut cur: Option<Morsel> = None;
+    for (spec, counter) in specs.iter().zip(counters) {
+        let started = timed.then(Instant::now);
+        let (rows_in, out) = match cur.take() {
+            None => (source.len(), spec.apply_slice(source)?),
+            Some(morsel) => (morsel.len(), spec.apply(morsel)?),
+        };
+        let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        counter.add(rows_in, out.len(), nanos);
+        cur = Some(out);
+    }
+    Ok(cur.expect("pipeline has at least one stage").into_rows())
+}
+
+/// Serial variant of [`run_morsel`] that owns its input outright, so every
+/// stage (including the first) moves rows instead of cloning them.
+fn run_chain_owned(
+    rows: Vec<Row>,
+    specs: &[StageSpec],
+    counters: &[StageCounter],
+    timed: bool,
+) -> Result<Vec<Row>> {
+    let mut cur = rows;
+    for (spec, counter) in specs.iter().zip(counters) {
+        let started = timed.then(Instant::now);
+        let rows_in = cur.len();
+        cur = match spec.apply(Morsel::Owned(cur))? {
+            Morsel::Owned(rows) => rows,
+            Morsel::Borrowed(_) => unreachable!("owned morsels stay owned"),
+        };
+        let nanos = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        counter.add(rows_in, cur.len(), nanos);
+    }
+    Ok(cur)
+}
+
+/// Filter owned rows, moving survivors (the original serial behaviour).
+pub(crate) fn filter_owned(rows: Vec<Row>, predicate: &PhysExpr) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    for row in rows {
+        if predicate.eval(&row)?.as_bool()? == Some(true) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// If every projection expression is a bare column reference, return the
+/// column indices.
+fn column_only(exprs: &[PhysExpr]) -> Option<Vec<usize>> {
+    exprs
+        .iter()
+        .map(|e| match e {
+            PhysExpr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Project a shared slice into `out`.
+///
+/// Pure-column projections skip expression evaluation entirely; general
+/// expression lists are evaluated through one reused scratch buffer instead
+/// of allocating a fresh working `Vec` per row.
+pub(crate) fn project_into(rows: &[Row], exprs: &[PhysExpr], out: &mut Vec<Row>) -> Result<()> {
+    out.reserve(rows.len());
+    if let Some(cols) = column_only(exprs) {
+        for row in rows {
+            out.push(cols.iter().map(|&i| row[i].clone()).collect());
+        }
+        return Ok(());
+    }
+    let mut scratch: Vec<Value> = Vec::with_capacity(exprs.len());
+    for row in rows {
+        for e in exprs {
+            scratch.push(e.eval(row)?);
+        }
+        out.push(scratch.split_off(0));
+    }
+    Ok(())
+}
+
+/// Project owned rows. Pure-column projections over distinct columns move
+/// the values out of the input rows instead of cloning them — this is the
+/// common shape of the planner's hidden-sort-column strip and of `SELECT`
+/// lists that only reorder columns.
+pub(crate) fn project_owned(rows: Vec<Row>, exprs: &[PhysExpr]) -> Result<Vec<Row>> {
+    if let Some(cols) = column_only(exprs) {
+        let distinct = {
+            let mut seen = cols.clone();
+            seen.sort_unstable();
+            seen.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct {
+            return Ok(rows
+                .into_iter()
+                .map(|mut row| {
+                    cols.iter()
+                        .map(|&i| std::mem::replace(&mut row[i], Value::Null))
+                        .collect()
+                })
+                .collect());
+        }
+    }
+    let mut out = Vec::new();
+    project_into(&rows, exprs, &mut out)?;
+    Ok(out)
+}

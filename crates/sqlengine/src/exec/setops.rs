@@ -1,0 +1,86 @@
+//! Set operations and row-count operators: `LIMIT`/`OFFSET`, `UNION ALL`,
+//! `DISTINCT`.
+
+use std::collections::HashSet;
+
+use crate::error::Result;
+use crate::plan::PhysPlan;
+use crate::value::Row;
+
+use super::{ExecContext, NodeOut};
+
+/// `LIMIT`/`OFFSET`. The window is taken in place (drain the offset prefix,
+/// truncate the tail) instead of cloning `rows[start..end]`. When the child
+/// is a `Sort` and a limit is present, the sort runs as top-k: it only ever
+/// produces the first `offset + limit` rows.
+pub(crate) fn limit(
+    input: &PhysPlan,
+    limit: Option<usize>,
+    offset: usize,
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let (mut rows, rows_in, children) = match (input, limit) {
+        (PhysPlan::Sort { .. }, Some(l)) => {
+            let (rows, stats) = super::sort::top_k(input, offset + l, ctx)?;
+            let rows_in = rows.len();
+            (rows, rows_in, stats.into_iter().collect())
+        }
+        _ => {
+            let mut children = Vec::new();
+            let mut rows_in = 0usize;
+            let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+            (super::into_owned(shared), rows_in, children)
+        }
+    };
+
+    if let Some(l) = limit {
+        rows.truncate((offset + l).min(rows.len()));
+    }
+    if offset > 0 {
+        rows.drain(..offset.min(rows.len()));
+    }
+    Ok(NodeOut {
+        rows,
+        rows_in,
+        children,
+    })
+}
+
+pub(crate) fn union_all(inputs: &[PhysPlan], ctx: &ExecContext) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let mut out = Vec::new();
+    for input in inputs {
+        let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+        let owned = super::into_owned(shared);
+        if out.is_empty() {
+            out = owned;
+        } else {
+            out.extend(owned);
+        }
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}
+
+pub(crate) fn distinct(input: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+    let rows = super::into_owned(shared);
+    let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
+    let mut out = Vec::new();
+    for row in rows {
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}

@@ -1,0 +1,244 @@
+//! Sort, top-k (`ORDER BY ... LIMIT`), and window ranking.
+//!
+//! Sorting stays a serial stable sort (the comparator ties on original row
+//! index, so the result is deterministic); in parallel mode only the
+//! per-row sort-key evaluation is spread over morsels. Top-k avoids the full
+//! sort with a `select_nth_unstable_by` partition followed by sorting just
+//! the head — the comparator's index tiebreak makes it a total order, so the
+//! head is exactly the first k rows the stable full sort would produce.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::ast::WindowFunc;
+use crate::error::Result;
+use crate::explain::op_label;
+use crate::expr::PhysExpr;
+use crate::plan::PhysPlan;
+use crate::value::{Row, Value};
+
+use super::context::ChunkJob;
+use super::{ExecContext, NodeOut, OpStats};
+
+/// Evaluate sort keys for every row, morsel-parallel when worthwhile.
+fn eval_keys(
+    rows: &Arc<Vec<Row>>,
+    keys: &[(PhysExpr, bool)],
+    ctx: &ExecContext,
+) -> Result<Vec<Vec<Value>>> {
+    if ctx.should_parallelize(rows.len()) {
+        let exprs: Arc<Vec<PhysExpr>> = Arc::new(keys.iter().map(|(e, _)| e.clone()).collect());
+        let jobs: Vec<ChunkJob<Result<Vec<Vec<Value>>>>> = ctx
+            .morsels(rows.len())
+            .into_iter()
+            .map(|range| {
+                let rows = Arc::clone(rows);
+                let exprs = Arc::clone(&exprs);
+                let job: ChunkJob<Result<Vec<Vec<Value>>>> = Box::new(move || {
+                    let mut out = Vec::with_capacity(range.len());
+                    for row in &rows[range] {
+                        let mut kv = Vec::with_capacity(exprs.len());
+                        for e in exprs.iter() {
+                            kv.push(e.eval(row)?);
+                        }
+                        out.push(kv);
+                    }
+                    Ok(out)
+                });
+                job
+            })
+            .collect();
+        let mut out = Vec::with_capacity(rows.len());
+        for chunk in ctx.run_jobs(jobs) {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    } else {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows.iter() {
+            let mut kv = Vec::with_capacity(keys.len());
+            for (expr, _) in keys {
+                kv.push(expr.eval(row)?);
+            }
+            out.push(kv);
+        }
+        Ok(out)
+    }
+}
+
+/// Total-order comparator over (key values, original index). The index
+/// tiebreak reproduces stable-sort semantics even through unstable
+/// selection/sorting.
+fn cmp_keyed(
+    keys: &[(PhysExpr, bool)],
+    (ka, ia): &(Vec<Value>, usize),
+    (kb, ib): &(Vec<Value>, usize),
+) -> std::cmp::Ordering {
+    for (i, (_, desc)) in keys.iter().enumerate() {
+        let ord = ka[i].total_cmp(&kb[i]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    ia.cmp(ib)
+}
+
+pub(crate) fn sort(
+    input: &PhysPlan,
+    keys: &[(PhysExpr, bool)],
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+
+    let key_values = eval_keys(&shared, keys, ctx)?;
+    let mut keyed: Vec<(Vec<Value>, usize)> = key_values
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+    keyed.sort_by(|a, b| cmp_keyed(keys, a, b));
+
+    let mut rows = super::into_owned(shared);
+    let mut out = Vec::with_capacity(rows.len());
+    for (_, i) in keyed {
+        out.push(std::mem::take(&mut rows[i]));
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}
+
+/// `ORDER BY ... LIMIT`: return only the first `k` rows of the sort, found by
+/// partition-selection instead of a full sort. Called by the `Limit`
+/// operator; `plan` must be the `Sort` node, and the returned stats (when
+/// collected) describe it.
+pub(crate) fn top_k(
+    plan: &PhysPlan,
+    k: usize,
+    ctx: &ExecContext,
+) -> Result<(Vec<Row>, Option<OpStats>)> {
+    let PhysPlan::Sort { input, keys } = plan else {
+        unreachable!("top_k is only called on Sort nodes");
+    };
+    let start = ctx.stats_enabled().then(Instant::now);
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+
+    let key_values = eval_keys(&shared, keys, ctx)?;
+    let mut keyed: Vec<(Vec<Value>, usize)> = key_values
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+    if k < keyed.len() && k > 0 {
+        keyed.select_nth_unstable_by(k - 1, |a, b| cmp_keyed(keys, a, b));
+        keyed.truncate(k);
+    }
+    keyed.sort_by(|a, b| cmp_keyed(keys, a, b));
+    if k == 0 {
+        keyed.clear();
+    }
+
+    let mut rows = super::into_owned(shared);
+    let mut out = Vec::with_capacity(keyed.len());
+    for (_, i) in keyed {
+        out.push(std::mem::take(&mut rows[i]));
+    }
+    let stats = start.map(|t| OpStats {
+        label: format!("{} (top-k, k={k})", op_label(plan)),
+        rows_in,
+        rows_out: out.len(),
+        elapsed: t.elapsed(),
+        children,
+    });
+    Ok((out, stats))
+}
+
+pub(crate) fn window_rank(
+    input: &PhysPlan,
+    func: WindowFunc,
+    partition: &[PhysExpr],
+    order: &[(PhysExpr, bool)],
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let rows = super::run_input(input, ctx, &mut children, &mut rows_in)?;
+
+    // (partition key, order key, original index)
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let mut pk = Vec::with_capacity(partition.len());
+        for p in partition {
+            pk.push(p.eval(row)?);
+        }
+        let mut ok = Vec::with_capacity(order.len());
+        for (e, _) in order {
+            ok.push(e.eval(row)?);
+        }
+        keyed.push((pk, ok, i));
+    }
+    let cmp_order = |oa: &[Value], ob: &[Value]| {
+        for (i, (_, desc)) in order.iter().enumerate() {
+            let ord = oa[i].total_cmp(&ob[i]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    };
+    keyed.sort_by(|(pa, oa, ia), (pb, ob, ib)| {
+        for (x, y) in pa.iter().zip(pb) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        cmp_order(oa, ob).then(ia.cmp(ib))
+    });
+    let mut out = vec![Vec::new(); rows.len()];
+    let mut row_number = 0i64; // position within partition
+    let mut rank = 0i64; // RANK (with gaps)
+    let mut dense = 0i64; // DENSE_RANK
+    let mut prev_partition: Option<&Vec<Value>> = None;
+    let mut prev_order: Option<&Vec<Value>> = None;
+    for (pk, ok, i) in &keyed {
+        let same_partition = prev_partition == Some(pk);
+        if same_partition {
+            row_number += 1;
+            let tie = prev_order
+                .map(|po| cmp_order(po, ok) == std::cmp::Ordering::Equal)
+                .unwrap_or(false);
+            if !tie {
+                rank = row_number;
+                dense += 1;
+            }
+        } else {
+            row_number = 1;
+            rank = 1;
+            dense = 1;
+        }
+        prev_partition = Some(pk);
+        prev_order = Some(ok);
+        let value = match func {
+            WindowFunc::RowNumber => row_number,
+            WindowFunc::Rank => rank,
+            WindowFunc::DenseRank => dense,
+        };
+        let mut row = rows[*i].clone();
+        row.push(Value::Int(value));
+        out[*i] = row;
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}

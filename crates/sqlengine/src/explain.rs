@@ -2,8 +2,11 @@
 //!
 //! [`Database::explain`](crate::Database::explain) plans a query and renders
 //! the physical operator tree, which is how the benchmark harness verifies
-//! which join strategy a profile actually selected.
+//! which join strategy a profile actually selected. `EXPLAIN ANALYZE`
+//! renders the [`OpStats`] tree recorded during an actual execution instead,
+//! annotating every operator with observed row counts and wall-clock time.
 
+use crate::exec::OpStats;
 use crate::plan::{JoinAlgo, PhysPlan};
 
 /// Render a plan as an indented operator tree.
@@ -11,6 +14,47 @@ pub fn render_plan(plan: &PhysPlan) -> String {
     let mut out = String::new();
     render(plan, 0, &mut out);
     out
+}
+
+/// One-line label for an operator node, shared between `EXPLAIN` rendering
+/// and the executor's `EXPLAIN ANALYZE` stats collection.
+pub(crate) fn op_label(plan: &PhysPlan) -> String {
+    match plan {
+        PhysPlan::Scan { rows, width } => format!("Scan [{} rows × {} cols]", rows.len(), width),
+        PhysPlan::OneRow => "OneRow".to_string(),
+        PhysPlan::Filter { .. } => "Filter".to_string(),
+        PhysPlan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
+        PhysPlan::HashJoin {
+            left_keys,
+            kind,
+            algo,
+            residual,
+            ..
+        } => {
+            let algo_name = match algo {
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::SortMerge => "SortMergeJoin",
+            };
+            format!(
+                "{algo_name} [{kind:?}, {} keys{}]",
+                left_keys.len(),
+                if residual.is_some() { ", residual" } else { "" }
+            )
+        }
+        PhysPlan::NestedLoopJoin { kind, .. } => format!("NestedLoopJoin [{kind:?}]"),
+        PhysPlan::Aggregate { keys, aggs, .. } => {
+            format!("Aggregate [{} keys, {} aggs]", keys.len(), aggs.len())
+        }
+        PhysPlan::Window { partition, .. } => {
+            format!("Window [row_number, {} partition keys]", partition.len())
+        }
+        PhysPlan::Sort { keys, .. } => format!("Sort [{} keys]", keys.len()),
+        PhysPlan::Limit { limit, offset, .. } => {
+            format!("Limit [limit={limit:?}, offset={offset}]")
+        }
+        PhysPlan::UnionAll { inputs } => format!("UnionAll [{} inputs]", inputs.len()),
+        PhysPlan::Distinct { .. } => "Distinct".to_string(),
+    }
 }
 
 fn line(out: &mut String, depth: usize, text: &str) {
@@ -22,86 +66,47 @@ fn line(out: &mut String, depth: usize, text: &str) {
 }
 
 fn render(plan: &PhysPlan, depth: usize, out: &mut String) {
+    line(out, depth, &op_label(plan));
     match plan {
-        PhysPlan::Scan { rows, width } => line(
-            out,
-            depth,
-            &format!("Scan [{} rows × {} cols]", rows.len(), width),
-        ),
-        PhysPlan::OneRow => line(out, depth, "OneRow"),
-        PhysPlan::Filter { input, .. } => {
-            line(out, depth, "Filter");
-            render(input, depth + 1, out);
-        }
-        PhysPlan::Project { input, exprs } => {
-            line(out, depth, &format!("Project [{} exprs]", exprs.len()));
-            render(input, depth + 1, out);
-        }
-        PhysPlan::HashJoin {
-            left,
-            right,
-            left_keys,
-            kind,
-            algo,
-            residual,
-            ..
-        } => {
-            let algo_name = match algo {
-                JoinAlgo::Hash => "HashJoin",
-                JoinAlgo::SortMerge => "SortMergeJoin",
-            };
-            line(
-                out,
-                depth,
-                &format!(
-                    "{algo_name} [{kind:?}, {} keys{}]",
-                    left_keys.len(),
-                    if residual.is_some() { ", residual" } else { "" }
-                ),
-            );
+        PhysPlan::Scan { .. } | PhysPlan::OneRow => {}
+        PhysPlan::Filter { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Aggregate { input, .. }
+        | PhysPlan::Window { input, .. }
+        | PhysPlan::Sort { input, .. }
+        | PhysPlan::Limit { input, .. }
+        | PhysPlan::Distinct { input } => render(input, depth + 1, out),
+        PhysPlan::HashJoin { left, right, .. } | PhysPlan::NestedLoopJoin { left, right, .. } => {
             render(left, depth + 1, out);
             render(right, depth + 1, out);
-        }
-        PhysPlan::NestedLoopJoin {
-            left, right, kind, ..
-        } => {
-            line(out, depth, &format!("NestedLoopJoin [{kind:?}]"));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
-        PhysPlan::Aggregate { input, keys, aggs } => {
-            line(
-                out,
-                depth,
-                &format!("Aggregate [{} keys, {} aggs]", keys.len(), aggs.len()),
-            );
-            render(input, depth + 1, out);
-        }
-        PhysPlan::Window { input, partition, .. } => {
-            line(
-                out,
-                depth,
-                &format!("Window [row_number, {} partition keys]", partition.len()),
-            );
-            render(input, depth + 1, out);
-        }
-        PhysPlan::Sort { input, keys } => {
-            line(out, depth, &format!("Sort [{} keys]", keys.len()));
-            render(input, depth + 1, out);
-        }
-        PhysPlan::Limit { input, limit, offset } => {
-            line(out, depth, &format!("Limit [limit={limit:?}, offset={offset}]"));
-            render(input, depth + 1, out);
         }
         PhysPlan::UnionAll { inputs } => {
-            line(out, depth, &format!("UnionAll [{} inputs]", inputs.len()));
             for i in inputs {
                 render(i, depth + 1, out);
             }
         }
-        PhysPlan::Distinct { input } => {
-            line(out, depth, "Distinct");
-            render(input, depth + 1, out);
-        }
+    }
+}
+
+/// Render an executed plan's stats tree (`EXPLAIN ANALYZE`): every operator
+/// line is annotated with observed input/output row counts and elapsed time.
+pub fn render_analyze(stats: &OpStats) -> String {
+    let mut out = String::new();
+    render_stats(stats, 0, &mut out);
+    out
+}
+
+fn render_stats(stats: &OpStats, depth: usize, out: &mut String) {
+    let micros = stats.elapsed.as_secs_f64() * 1e6;
+    line(
+        out,
+        depth,
+        &format!(
+            "{} (rows_in={} rows_out={} time={micros:.1}µs)",
+            stats.label, stats.rows_in, stats.rows_out
+        ),
+    );
+    for child in &stats.children {
+        render_stats(child, depth + 1, out);
     }
 }

@@ -623,9 +623,7 @@ fn eval_function(func: ScalarFunc, args: &[PhysExpr], row: &[Value]) -> Result<V
         }
         ScalarFunc::Length => match &vals[0] {
             Value::Null => Ok(Value::Null),
-            v => Ok(Value::Int(
-                v.as_str_lossy()?.unwrap().chars().count() as i64
-            )),
+            v => Ok(Value::Int(v.as_str_lossy()?.unwrap().chars().count() as i64)),
         },
         ScalarFunc::Lower => match &vals[0] {
             Value::Null => Ok(Value::Null),
@@ -756,6 +754,18 @@ fn like_match(text: &str, pattern: &str) -> bool {
     pi == p.len()
 }
 
+// Bound expressions are evaluated concurrently by executor workers against
+// shared row snapshots; `Value` rides inside rows and aggregation state that
+// cross thread boundaries. Neither may grow non-`Send`/`Sync` interior state
+// (e.g. `Rc`, `RefCell`) — this assertion turns such a change into a compile
+// error at the definition site.
+#[allow(dead_code)]
+fn _assert_expr_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<PhysExpr>();
+    assert::<crate::value::Value>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -822,7 +832,10 @@ mod tests {
             eval("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END"),
             Value::text("b")
         );
-        assert_eq!(eval("CASE 3 WHEN 1 THEN 'x' WHEN 3 THEN 'y' END"), Value::text("y"));
+        assert_eq!(
+            eval("CASE 3 WHEN 1 THEN 'x' WHEN 3 THEN 'y' END"),
+            Value::text("y")
+        );
         assert!(eval("CASE WHEN 0 THEN 1 END").is_null());
     }
 

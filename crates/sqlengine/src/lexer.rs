@@ -45,15 +45,91 @@ pub enum Token {
 
 /// Words treated as keywords by the parser. Anything else is an identifier.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "AND",
-    "OR", "NOT", "NULL", "IS", "IN", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
-    "CAST", "CREATE", "TABLE", "INDEX", "DROP", "IF", "EXISTS", "INSERT", "INTO", "VALUES",
-    "DELETE", "UPDATE", "SET", "ON", "CONFLICT", "DO", "NOTHING", "PRIMARY", "KEY", "UNIQUE",
-    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT", "WITH",
-    "OVER", "PARTITION", "ASC", "DESC", "INTEGER", "INT", "BIGINT", "REAL", "DOUBLE", "FLOAT",
-    "TEXT", "VARCHAR", "ROW_NUMBER", "RANK", "DENSE_RANK", "COUNT", "SUM", "AVG", "MIN", "MAX",
-    "TRUE", "FALSE", "EXCLUDED", "TEMP", "TEMPORARY", "PRECISION", "BEGIN", "COMMIT",
-    "ROLLBACK", "TRANSACTION",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "IS",
+    "IN",
+    "LIKE",
+    "BETWEEN",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "CAST",
+    "CREATE",
+    "TABLE",
+    "INDEX",
+    "DROP",
+    "IF",
+    "EXISTS",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "DELETE",
+    "UPDATE",
+    "SET",
+    "ON",
+    "CONFLICT",
+    "DO",
+    "NOTHING",
+    "PRIMARY",
+    "KEY",
+    "UNIQUE",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "OUTER",
+    "CROSS",
+    "UNION",
+    "ALL",
+    "DISTINCT",
+    "WITH",
+    "OVER",
+    "PARTITION",
+    "ASC",
+    "DESC",
+    "INTEGER",
+    "INT",
+    "BIGINT",
+    "REAL",
+    "DOUBLE",
+    "FLOAT",
+    "TEXT",
+    "VARCHAR",
+    "ROW_NUMBER",
+    "RANK",
+    "DENSE_RANK",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+    "EXCLUDED",
+    "TEMP",
+    "TEMPORARY",
+    "PRECISION",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION",
+    "EXPLAIN",
+    "ANALYZE",
 ];
 
 fn is_keyword(word: &str) -> bool {
@@ -147,22 +223,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::NotEq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::LtEq);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::NotEq);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::GtEq);
@@ -374,7 +448,10 @@ mod tests {
     #[test]
     fn positional_params_autonumber() {
         let toks = tokenize("? ?5 ?").unwrap();
-        assert_eq!(toks, vec![Token::Param(1), Token::Param(5), Token::Param(6)]);
+        assert_eq!(
+            toks,
+            vec![Token::Param(1), Token::Param(5), Token::Param(6)]
+        );
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   `INSERT ... ON CONFLICT DO UPDATE`; `UPDATE`; `DELETE`);
 //! * a planner with predicate pushdown, equi-join detection (hash joins),
 //!   and inline-vs-materialized CTE strategies;
-//! * a row-oriented executor with hash joins, hash aggregation, window and
-//!   sort operators;
+//! * a morsel-parallel row executor (one module per operator family) with
+//!   hash joins, hash aggregation, window and sort operators, an optional
+//!   worker pool (`EngineConfig::parallelism`), and per-operator runtime
+//!   statistics surfaced through `EXPLAIN ANALYZE`;
 //! * an in-memory catalog with primary-key (unique) and secondary indexes.
 //!
 //! ## Quick example
@@ -43,6 +45,7 @@ pub mod value;
 
 pub use engine::{Database, EngineConfig, Prepared, QueryResult, StatementResult};
 pub use error::{EngineError, Result};
+pub use exec::{ExecContext, OpStats, WorkerPool};
 pub use plan::JoinAlgo;
 pub use snapshot::Snapshot;
 pub use value::{DataType, Row, Value};

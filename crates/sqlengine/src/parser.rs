@@ -113,8 +113,20 @@ impl Parser {
             Some(Token::Keyword(k))
                 if matches!(
                     k.as_str(),
-                    "KEY" | "INDEX" | "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "SET" | "ALL"
-                        | "LEFT" | "RIGHT" | "DO" | "TEXT" | "REAL"
+                    "KEY"
+                        | "INDEX"
+                        | "COUNT"
+                        | "SUM"
+                        | "AVG"
+                        | "MIN"
+                        | "MAX"
+                        | "SET"
+                        | "ALL"
+                        | "LEFT"
+                        | "RIGHT"
+                        | "DO"
+                        | "TEXT"
+                        | "REAL"
                 ) =>
             {
                 Ok(k.to_lowercase())
@@ -131,6 +143,14 @@ impl Parser {
         match self.peek() {
             Some(Token::Keyword(k)) => match k.as_str() {
                 "SELECT" | "WITH" => Ok(Statement::Query(self.query()?)),
+                "EXPLAIN" => {
+                    self.pos += 1;
+                    let analyze = self.consume_keyword("ANALYZE");
+                    Ok(Statement::Explain {
+                        analyze,
+                        query: self.query()?,
+                    })
+                }
                 "CREATE" => self.create(),
                 "DROP" => self.drop_table(),
                 "INSERT" => self.insert(),
@@ -611,22 +631,24 @@ impl Parser {
         if self.consume_if(&Token::LParen) {
             let query = self.query()?;
             self.expect(&Token::RParen)?;
-            let alias = if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
-                self.identifier()?
-            } else {
-                return Err(self.err("derived table requires an alias".into()));
-            };
+            let alias =
+                if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
+                    self.identifier()?
+                } else {
+                    return Err(self.err("derived table requires an alias".into()));
+                };
             Ok(TableRef::Derived {
                 query: Box::new(query),
                 alias,
             })
         } else {
             let name = self.identifier()?;
-            let alias = if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
-                Some(self.identifier()?)
-            } else {
-                None
-            };
+            let alias =
+                if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
             Ok(TableRef::Named { name, alias })
         }
     }
@@ -849,8 +871,7 @@ impl Parser {
             }
             Some(Token::LParen) => {
                 self.pos += 1;
-                if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT" || k == "WITH")
-                {
+                if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT" || k == "WITH") {
                     let query = self.query()?;
                     self.expect(&Token::RParen)?;
                     return Ok(Expr::ScalarSubquery(Box::new(query)));
@@ -1087,9 +1108,7 @@ mod tests {
             "WITH a AS (SELECT 1 AS x), b AS (SELECT 2 AS x) \
              SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x DESC LIMIT 1",
         );
-        let Statement::Query(q) = stmt else {
-            panic!()
-        };
+        let Statement::Query(q) = stmt else { panic!() };
         assert_eq!(q.ctes.len(), 2);
         assert!(matches!(q.body, SetExpr::Union { all: true, .. }));
         assert_eq!(q.order_by.len(), 1);
@@ -1099,15 +1118,10 @@ mod tests {
 
     #[test]
     fn parses_row_number_window() {
-        let stmt = parse(
-            "SELECT n, k, ROW_NUMBER() OVER (PARTITION BY n ORDER BY w DESC) AS r FROM t",
-        );
-        let Statement::Query(q) = stmt else {
-            panic!()
-        };
-        let SetExpr::Select(s) = q.body else {
-            panic!()
-        };
+        let stmt =
+            parse("SELECT n, k, ROW_NUMBER() OVER (PARTITION BY n ORDER BY w DESC) AS r FROM t");
+        let Statement::Query(q) = stmt else { panic!() };
+        let SetExpr::Select(s) = q.body else { panic!() };
         let SelectItem::Expr { expr, .. } = &s.projection[2] else {
             panic!()
         };
@@ -1177,7 +1191,8 @@ mod tests {
 
     #[test]
     fn parses_script() {
-        let stmts = parse_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);").unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);").unwrap();
         assert_eq!(stmts.len(), 2);
     }
 

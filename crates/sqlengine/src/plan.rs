@@ -66,7 +66,10 @@ pub struct AggSpec {
 #[derive(Debug, Clone)]
 pub enum PhysPlan {
     /// Scan a snapshot of a base table (or a materialized CTE).
-    Scan { rows: Arc<Vec<Row>>, width: usize },
+    Scan {
+        rows: Arc<Vec<Row>>,
+        width: usize,
+    },
     /// One empty row — the FROM-less `SELECT`.
     OneRow,
     Filter {
@@ -118,8 +121,21 @@ pub enum PhysPlan {
         limit: Option<usize>,
         offset: usize,
     },
-    UnionAll { inputs: Vec<PhysPlan> },
-    Distinct { input: Box<PhysPlan> },
+    UnionAll {
+        inputs: Vec<PhysPlan>,
+    },
+    Distinct {
+        input: Box<PhysPlan>,
+    },
+}
+
+// Plans (and the expressions they embed) are shared with executor worker
+// threads via `Arc`, so the whole tree must stay `Send + Sync`.
+#[allow(dead_code)]
+fn _assert_plan_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<PhysPlan>();
+    assert::<AggSpec>();
 }
 
 /// Output of planning a query: the plan plus its output column names.
@@ -175,6 +191,10 @@ impl<'a> Planner<'a> {
         for cte in &query.ctes {
             let entry = if self.config.materialize_ctes {
                 // Plan and evaluate the CTE eagerly; references scan the rows.
+                // Planner-time executions (materialized CTEs here, and the
+                // uncorrelated subqueries in `resolve_subqueries`) run on the
+                // serial executor: they happen under the planner's catalog
+                // borrow, and their results become plain row snapshots.
                 self.cte_frames.push(frame.clone());
                 let planned = self.plan_query(&cte.query);
                 self.cte_frames.pop();
@@ -306,10 +326,8 @@ impl<'a> Planner<'a> {
                         }
                         CteEntry::Table(rows, cols) => {
                             let width = cols.len();
-                            let labels = cols
-                                .iter()
-                                .map(|c| ColLabel::new(Some(&qual), c))
-                                .collect();
+                            let labels =
+                                cols.iter().map(|c| ColLabel::new(Some(&qual), c)).collect();
                             Ok((PhysPlan::Scan { rows, width }, Scope::new(labels)))
                         }
                     }
@@ -519,9 +537,7 @@ impl<'a> Planner<'a> {
             // Cheap structural probe; cloning only when needed.
             fn probe(e: &Expr) -> bool {
                 match e {
-                    Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
-                        true
-                    }
+                    Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => true,
                     _ => {
                         let mut found = false;
                         visit_children(e, &mut |c| found |= probe(c));
@@ -667,9 +683,7 @@ impl<'a> Planner<'a> {
                 };
             }
         } else if select.having.is_some() {
-            return Err(EngineError::plan(
-                "HAVING requires GROUP BY or aggregates",
-            ));
+            return Err(EngineError::plan("HAVING requires GROUP BY or aggregates"));
         }
 
         // 5. Window functions.

@@ -190,7 +190,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            db2.query("SELECT w FROM m_corpus WHERE j = 'a'").unwrap().rows[0][0],
+            db2.query("SELECT w FROM m_corpus WHERE j = 'a'")
+                .unwrap()
+                .rows[0][0],
             Value::Float(1.5)
         );
     }
@@ -205,7 +207,10 @@ mod tests {
         .unwrap();
         let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
         let db2 = Database::new();
-        Snapshot::from_json(&json).unwrap().restore_into(&db2).unwrap();
+        Snapshot::from_json(&json)
+            .unwrap()
+            .restore_into(&db2)
+            .unwrap();
         let r = db2.query("SELECT a, b, c FROM t ORDER BY a").unwrap();
         assert_eq!(r.rows[0], vec![Value::Null, Value::Null, Value::Null]);
         assert_eq!(

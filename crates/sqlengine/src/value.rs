@@ -126,17 +126,21 @@ impl Value {
             DataType::Integer => match self {
                 Value::Int(i) => Ok(Value::Int(*i)),
                 Value::Float(f) => Ok(Value::Int(*f as i64)),
-                Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-                    EngineError::exec(format!("cannot cast '{s}' to INTEGER"))
-                }),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| EngineError::exec(format!("cannot cast '{s}' to INTEGER"))),
                 Value::Null => unreachable!(),
             },
             DataType::Real => match self {
                 Value::Int(i) => Ok(Value::Float(*i as f64)),
                 Value::Float(f) => Ok(Value::Float(*f)),
-                Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
-                    EngineError::exec(format!("cannot cast '{s}' to REAL"))
-                }),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| EngineError::exec(format!("cannot cast '{s}' to REAL"))),
                 Value::Null => unreachable!(),
             },
             DataType::Text => Ok(Value::text(
@@ -285,7 +289,10 @@ mod tests {
     fn int_float_compare_numerically() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -323,7 +330,10 @@ mod tests {
 
     #[test]
     fn string_sorts_after_numbers() {
-        assert_eq!(Value::text("a").total_cmp(&Value::Int(999)), Ordering::Greater);
+        assert_eq!(
+            Value::text("a").total_cmp(&Value::Int(999)),
+            Ordering::Greater
+        );
     }
 
     #[test]

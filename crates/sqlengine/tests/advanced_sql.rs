@@ -41,7 +41,9 @@ fn scalar_subquery_in_projection() {
     let r = db
         .query("SELECT id, salary - (SELECT AVG(salary) FROM emp) AS diff FROM emp WHERE id = 1")
         .unwrap();
-    let Value::Float(diff) = r.rows[0][1] else { panic!() };
+    let Value::Float(diff) = r.rows[0][1] else {
+        panic!()
+    };
     assert!((diff - (100.0 - 103.0)).abs() < 1e-9);
 }
 
@@ -80,9 +82,7 @@ fn exists_subquery() {
 #[test]
 fn scalar_subquery_multi_row_errors() {
     let db = sample_db();
-    assert!(db
-        .query("SELECT (SELECT salary FROM emp) AS s")
-        .is_err());
+    assert!(db.query("SELECT (SELECT salary FROM emp) AS s").is_err());
 }
 
 #[test]
@@ -100,7 +100,8 @@ fn subquery_in_delete_and_update() {
     db.execute("UPDATE emp SET salary = salary + 1 WHERE salary < (SELECT AVG(salary) FROM emp)")
         .unwrap();
     assert_eq!(
-        db.query_scalar("SELECT salary FROM emp WHERE id = 4").unwrap(),
+        db.query_scalar("SELECT salary FROM emp WHERE id = 4")
+            .unwrap(),
         v_i(81)
     );
     db.execute("DELETE FROM emp WHERE id IN (SELECT id FROM emp WHERE dept = 'ops')")
@@ -134,7 +135,10 @@ fn commit_keeps_changes() {
     db.execute("BEGIN TRANSACTION").unwrap();
     db.execute("UPDATE emp SET salary = 0").unwrap();
     db.execute("COMMIT").unwrap();
-    assert_eq!(db.query_scalar("SELECT SUM(salary) FROM emp").unwrap(), v_i(0));
+    assert_eq!(
+        db.query_scalar("SELECT SUM(salary) FROM emp").unwrap(),
+        v_i(0)
+    );
     // Rollback after commit is an error — nothing to roll back.
     assert!(db.execute("ROLLBACK").is_err());
 }
@@ -243,7 +247,8 @@ fn string_function_suite() {
 #[test]
 fn explain_shows_join_strategy() {
     let db = sample_db();
-    db.execute("CREATE TABLE dept (name TEXT, head TEXT)").unwrap();
+    db.execute("CREATE TABLE dept (name TEXT, head TEXT)")
+        .unwrap();
     let plan = db
         .explain("SELECT emp.id FROM emp, dept WHERE emp.dept = dept.name")
         .unwrap();
@@ -251,13 +256,9 @@ fn explain_shows_join_strategy() {
     assert!(plan.contains("Scan"));
 
     let db2 = Database::with_config(sqlengine::EngineConfig::profile_c());
-    db2.execute_script(
-        "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);",
-    )
-    .unwrap();
-    let plan2 = db2
-        .explain("SELECT a.x FROM a, b WHERE a.x = b.x")
+    db2.execute_script("CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);")
         .unwrap();
+    let plan2 = db2.explain("SELECT a.x FROM a, b WHERE a.x = b.x").unwrap();
     assert!(plan2.contains("SortMergeJoin"), "plan:\n{plan2}");
 }
 
@@ -266,7 +267,10 @@ fn snapshot_roundtrip_through_json() {
     let db = sample_db();
     let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
     let db2 = Database::new();
-    Snapshot::from_json(&json).unwrap().restore_into(&db2).unwrap();
+    Snapshot::from_json(&json)
+        .unwrap()
+        .restore_into(&db2)
+        .unwrap();
     assert_eq!(
         db.query("SELECT * FROM emp ORDER BY id").unwrap().rows,
         db2.query("SELECT * FROM emp ORDER BY id").unwrap().rows
@@ -305,8 +309,11 @@ fn create_table_as_select_materializes() {
 #[test]
 fn create_table_as_respects_if_not_exists() {
     let db = sample_db();
-    db.execute("CREATE TABLE copy AS SELECT id FROM emp").unwrap();
-    assert!(db.execute("CREATE TABLE copy AS SELECT id FROM emp").is_err());
+    db.execute("CREATE TABLE copy AS SELECT id FROM emp")
+        .unwrap();
+    assert!(db
+        .execute("CREATE TABLE copy AS SELECT id FROM emp")
+        .is_err());
     db.execute("CREATE TABLE IF NOT EXISTS copy AS SELECT id FROM emp")
         .unwrap();
 }

@@ -12,13 +12,12 @@ struct Fixture {
 }
 
 fn arb_fixture() -> impl Strategy<Value = Fixture> {
-    prop::collection::vec((0i64..6, -20i64..20, 0u32..50), 0..60)
-        .prop_map(|v| Fixture {
-            rows: v
-                .into_iter()
-                .map(|(g, x, w)| (g, x, w as f64 / 4.0))
-                .collect(),
-        })
+    prop::collection::vec((0i64..6, -20i64..20, 0u32..50), 0..60).prop_map(|v| Fixture {
+        rows: v
+            .into_iter()
+            .map(|(g, x, w)| (g, x, w as f64 / 4.0))
+            .collect(),
+    })
 }
 
 fn load(db: &Database, f: &Fixture) {
@@ -191,6 +190,98 @@ proptest! {
             rns.sort_unstable();
             let expect: Vec<i64> = (1..=rns.len() as i64).collect();
             prop_assert_eq!(rns, expect);
+        }
+    }
+}
+
+/// A larger random table, sized to cross the executor's parallel-path row
+/// threshold so `parallelism = 4` genuinely exercises the morsel operators.
+fn arb_big_fixture() -> impl Strategy<Value = Fixture> {
+    prop::collection::vec((0i64..8, -50i64..50, 0u32..100), 150..400).prop_map(|v| Fixture {
+        rows: v
+            .into_iter()
+            // w is a multiple of 0.25 (a dyadic rational), so float sums are
+            // exact and serial/parallel results compare exactly.
+            .map(|(g, x, w)| (g, x, w as f64 / 4.0))
+            .collect(),
+    })
+}
+
+/// Queries covering every data-parallel operator family.
+const PARALLEL_QUERIES: &[&str] = &[
+    "SELECT g, x, w FROM t WHERE x > 0",
+    "SELECT x + g, w * 2.0 FROM t WHERE x % 3 = 0",
+    "SELECT g, COUNT(*), SUM(x), SUM(w), MIN(x), MAX(x), AVG(w) FROM t GROUP BY g",
+    "SELECT g, COUNT(DISTINCT x), SUM(DISTINCT w) FROM t GROUP BY g",
+    "SELECT COUNT(*), SUM(w) FROM t",
+    "SELECT a.g, a.x, b.x FROM t AS a JOIN t AS b ON a.g = b.g AND a.x = b.x",
+    "SELECT a.g, a.x, b.g FROM t AS a LEFT JOIN t AS b ON a.x = b.g",
+    "SELECT DISTINCT g, x FROM t",
+    "SELECT g, x FROM t ORDER BY x, g, w LIMIT 25 OFFSET 3",
+    "SELECT g FROM t WHERE x > 0 UNION ALL SELECT g FROM t WHERE x <= 0",
+];
+
+/// Sort rows into a canonical order (NULLs first, then by value) so result
+/// sets can be compared independent of operator output order.
+fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every query produces identical rows at parallelism 1 and 4, for every
+    /// engine profile (after canonical ordering).
+    #[test]
+    fn parallel_execution_matches_serial(f in arb_big_fixture()) {
+        for config in all_profiles() {
+            let serial = Database::with_config(config);
+            load(&serial, &f);
+            let parallel = Database::with_config(config.with_parallelism(4));
+            load(&parallel, &f);
+            for query in PARALLEL_QUERIES {
+                let a = serial.query(query).unwrap();
+                let b = parallel.query(query).unwrap();
+                prop_assert_eq!(&a.columns, &b.columns, "columns differ for {}", query);
+                prop_assert_eq!(
+                    canonical(a.rows),
+                    canonical(b.rows),
+                    "rows differ for {} under {:?}",
+                    query,
+                    config
+                );
+            }
+        }
+    }
+
+    /// `EXPLAIN ANALYZE` row accounting matches the actual result set at both
+    /// parallelism levels.
+    #[test]
+    fn explain_analyze_counts_match_results(f in arb_big_fixture()) {
+        for parallelism in [1usize, 4] {
+            let db = Database::with_config(
+                EngineConfig::default().with_parallelism(parallelism),
+            );
+            load(&db, &f);
+            for query in PARALLEL_QUERIES {
+                let (result, stats) = db.query_analyzed(query).unwrap();
+                prop_assert_eq!(
+                    stats.rows_out,
+                    result.rows.len(),
+                    "root rows_out mismatch for {} at parallelism {}",
+                    query,
+                    parallelism
+                );
+            }
         }
     }
 }

@@ -5,10 +5,8 @@ use sqlengine::{Database, EngineError, Value};
 
 fn db_with_t() -> Database {
     let db = Database::new();
-    db.execute_script(
-        "CREATE TABLE t (a INTEGER, b TEXT); INSERT INTO t VALUES (1, 'x');",
-    )
-    .unwrap();
+    db.execute_script("CREATE TABLE t (a INTEGER, b TEXT); INSERT INTO t VALUES (1, 'x');")
+        .unwrap();
     db
 }
 
@@ -55,13 +53,13 @@ fn plan_errors() {
         Err(EngineError::Catalog(_))
     ));
     for sql in [
-        "SELECT zzz FROM t",                       // unknown column
-        "SELECT x.a FROM t",                       // unknown qualifier
-        "SELECT NOSUCHFUNC(a) FROM t",             // unknown function
-        "SELECT POW(a) FROM t",                    // wrong arity
-        "SELECT a FROM t HAVING a > 1",            // HAVING without aggregate
-        "SELECT a FROM t ORDER BY 99",             // ordinal out of range
-        "SELECT SUM(a) FROM t GROUP BY a LIMIT x", // non-constant limit
+        "SELECT zzz FROM t",                        // unknown column
+        "SELECT x.a FROM t",                        // unknown qualifier
+        "SELECT NOSUCHFUNC(a) FROM t",              // unknown function
+        "SELECT POW(a) FROM t",                     // wrong arity
+        "SELECT a FROM t HAVING a > 1",             // HAVING without aggregate
+        "SELECT a FROM t ORDER BY 99",              // ordinal out of range
+        "SELECT SUM(a) FROM t GROUP BY a LIMIT x",  // non-constant limit
         "SELECT a FROM t UNION SELECT a, b FROM t", // width mismatch
     ] {
         let result = db.execute(sql);
@@ -75,10 +73,8 @@ fn plan_errors() {
 #[test]
 fn ambiguous_column_is_reported() {
     let db = Database::new();
-    db.execute_script(
-        "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);",
-    )
-    .unwrap();
+    db.execute_script("CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);")
+        .unwrap();
     let err = db.query("SELECT x FROM a, b").unwrap_err();
     assert!(err.to_string().contains("ambiguous"), "{err}");
 }
@@ -131,7 +127,8 @@ fn catalog_errors() {
 #[test]
 fn on_conflict_without_unique_index_is_rejected() {
     let db = Database::new();
-    db.execute("CREATE TABLE plain (a INTEGER, b REAL)").unwrap();
+    db.execute("CREATE TABLE plain (a INTEGER, b REAL)")
+        .unwrap();
     let err = db
         .execute(
             "INSERT INTO plain VALUES (1, 2.0) \

@@ -119,10 +119,8 @@ fn cte_pipeline_three_deep() {
 fn upsert_on_conflict_do_update_accumulates() {
     // The paper's incremental-learning upsert (Section 3.2).
     let db = Database::new();
-    db.execute(
-        "CREATE TABLE m_corpus (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k))",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE m_corpus (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k))")
+        .unwrap();
     db.execute("INSERT INTO m_corpus (j, k, w) VALUES ('a', 17, 1.5)")
         .unwrap();
     db.execute(
@@ -130,9 +128,7 @@ fn upsert_on_conflict_do_update_accumulates() {
          ON CONFLICT (j, k) DO UPDATE SET w = m_corpus.w + excluded.w",
     )
     .unwrap();
-    let r = db
-        .query("SELECT j, k, w FROM m_corpus ORDER BY j")
-        .unwrap();
+    let r = db.query("SELECT j, k, w FROM m_corpus ORDER BY j").unwrap();
     assert_eq!(
         r.rows,
         vec![
@@ -233,7 +229,9 @@ fn modulo_subsampling_predicates() {
         db.execute_with("INSERT INTO p VALUES (?)", &[v_i(i)])
             .unwrap();
     }
-    let r = db.query("SELECT id AS n FROM p WHERE id % 10 <= 1").unwrap();
+    let r = db
+        .query("SELECT id AS n FROM p WHERE id % 10 <= 1")
+        .unwrap();
     assert_eq!(r.rows.len(), 20);
 }
 
@@ -249,8 +247,13 @@ fn pow_and_ln_in_aggregates() {
     let r = db
         .query("SELECT j, 1.0 + SUM(w * LN(w)) / LN(2.0) AS h FROM h_jk GROUP BY j")
         .unwrap();
-    let Value::Float(h) = r.rows[0][1] else { panic!() };
-    assert!(h.abs() < 1e-12, "entropy of uniform 2-dist must be 0, got {h}");
+    let Value::Float(h) = r.rows[0][1] else {
+        panic!()
+    };
+    assert!(
+        h.abs() < 1e-12,
+        "entropy of uniform 2-dist must be 0, got {h}"
+    );
 }
 
 #[test]
@@ -277,8 +280,16 @@ fn delete_and_update() {
          INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0);",
     )
     .unwrap();
-    assert_eq!(db.execute("UPDATE t SET w = w * 10 WHERE id >= 2").unwrap().affected(), 2);
-    assert_eq!(db.execute("DELETE FROM t WHERE id = 1").unwrap().affected(), 1);
+    assert_eq!(
+        db.execute("UPDATE t SET w = w * 10 WHERE id >= 2")
+            .unwrap()
+            .affected(),
+        2
+    );
+    assert_eq!(
+        db.execute("DELETE FROM t WHERE id = 1").unwrap().affected(),
+        1
+    );
     let r = db.query("SELECT SUM(w) FROM t").unwrap();
     assert_eq!(r.rows[0][0], v_f(50.0));
 }
@@ -292,9 +303,7 @@ fn having_and_count_distinct() {
     )
     .unwrap();
     let r = db
-        .query(
-            "SELECT g, COUNT(DISTINCT x) AS c FROM t GROUP BY g HAVING COUNT(*) > 1 ORDER BY g",
-        )
+        .query("SELECT g, COUNT(DISTINCT x) AS c FROM t GROUP BY g HAVING COUNT(*) > 1 ORDER BY g")
         .unwrap();
     assert_eq!(r.rows, vec![vec![v_i(1), v_i(2)]]);
 }
@@ -344,10 +353,8 @@ fn aggregates_on_empty_input() {
 #[test]
 fn distinct_rows() {
     let db = Database::new();
-    db.execute_script(
-        "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (1), (2);",
-    )
-    .unwrap();
+    db.execute_script("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (1), (2);")
+        .unwrap();
     let r = db.query("SELECT DISTINCT x FROM t ORDER BY x").unwrap();
     assert_eq!(r.rows, vec![vec![v_i(1)], vec![v_i(2)]]);
 }
@@ -366,9 +373,12 @@ fn limit_offset() {
     let db = Database::new();
     db.execute("CREATE TABLE t (x INTEGER)").unwrap();
     for i in 0..10 {
-        db.execute_with("INSERT INTO t VALUES (?)", &[v_i(i)]).unwrap();
+        db.execute_with("INSERT INTO t VALUES (?)", &[v_i(i)])
+            .unwrap();
     }
-    let r = db.query("SELECT x FROM t ORDER BY x LIMIT 3 OFFSET 4").unwrap();
+    let r = db
+        .query("SELECT x FROM t ORDER BY x LIMIT 3 OFFSET 4")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![v_i(4)], vec![v_i(5)], vec![v_i(6)]]);
 }
 
@@ -422,7 +432,8 @@ fn drop_table_if_exists() {
 #[test]
 fn create_index_statements_accepted() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (j TEXT, k INTEGER, w REAL)").unwrap();
+    db.execute("CREATE TABLE t (j TEXT, k INTEGER, w REAL)")
+        .unwrap();
     db.execute("INSERT INTO t VALUES ('a', 1, 0.5)").unwrap();
     db.execute("CREATE INDEX t_j ON t (j)").unwrap();
     db.execute("CREATE UNIQUE INDEX t_jk ON t (j, k)").unwrap();
@@ -437,7 +448,8 @@ fn create_index_statements_accepted() {
 #[test]
 fn params_bind_in_dml_and_queries() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (id INTEGER, name TEXT)").unwrap();
+    db.execute("CREATE TABLE t (id INTEGER, name TEXT)")
+        .unwrap();
     db.execute_with("INSERT INTO t VALUES (?, ?)", &[v_i(1), v_s("x")])
         .unwrap();
     let r = db
@@ -449,10 +461,8 @@ fn params_bind_in_dml_and_queries() {
 #[test]
 fn cte_referenced_twice() {
     let db = Database::new();
-    db.execute_script(
-        "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);",
-    )
-    .unwrap();
+    db.execute_script("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);")
+        .unwrap();
     for config in [EngineConfig::profile_a(), EngineConfig::profile_b()] {
         let db2 = Database::with_config(config);
         db2.execute_script("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1), (2), (3);")
@@ -501,10 +511,7 @@ fn order_by_aggregate_expression() {
     let r = db
         .query("SELECT g FROM t GROUP BY g ORDER BY SUM(w) DESC")
         .unwrap();
-    assert_eq!(
-        r.rows,
-        vec![vec![v_s("b")], vec![v_s("c")], vec![v_s("a")]]
-    );
+    assert_eq!(r.rows, vec![vec![v_s("b")], vec![v_s("c")], vec![v_s("a")]]);
 }
 
 #[test]

@@ -3,16 +3,16 @@
 
 /// Words excluded by [`crate::Tokenizer`] when stop-word filtering is on.
 pub const ENGLISH: &[&str] = &[
-    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as",
-    "at", "be", "because", "been", "before", "being", "below", "between", "both", "but", "by",
-    "can", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for",
-    "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him",
-    "his", "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most",
-    "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
-    "out", "over", "own", "same", "she", "should", "so", "some", "such", "than", "that",
-    "the", "their", "them", "then", "there", "these", "they", "this", "those", "through",
-    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when",
-    "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+    "a", "about", "above", "after", "again", "all", "also", "an", "and", "any", "are", "as", "at",
+    "be", "because", "been", "before", "being", "below", "between", "both", "but", "by", "can",
+    "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
+    "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
+    "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "out", "over", "own",
+    "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "them", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why",
+    "will", "with", "would", "you", "your",
 ];
 
 /// Binary-search membership test (the list above is sorted).

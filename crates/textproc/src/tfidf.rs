@@ -119,11 +119,7 @@ mod tests {
     #[test]
     fn idf_formula_matches_smooth_variant() {
         // 3 docs, df("x") = 1 → idf = ln(4/2) + 1.
-        let docs = [
-            doc(&[("x", 1.0)]),
-            doc(&[("y", 1.0)]),
-            doc(&[("y", 1.0)]),
-        ];
+        let docs = [doc(&[("x", 1.0)]), doc(&[("y", 1.0)]), doc(&[("y", 1.0)])];
         let tfidf = TfIdf::fit(docs.iter().map(|d| d.as_slice()));
         assert!((tfidf.idf("x") - (2.0f64.ln() + 1.0)).abs() < 1e-12);
     }

@@ -75,8 +75,7 @@ fn main() {
 
     // And a worked local explanation for one individual.
     println!("\nwhy is item 1 predicted as it is?");
-    let one = DataSpec::new("SELECT n, j, w FROM adult_features")
-        .with_items("SELECT 1 AS n");
+    let one = DataSpec::new("SELECT n, j, w FROM adult_features").with_items("SELECT 1 AS n");
     let pred = model.predict(&one).unwrap();
     if let Some((_, k)) = pred.first() {
         println!("  prediction: {k}");

@@ -24,8 +24,8 @@ fn main() {
     .expect("schema + data");
 
     // 2. Create a model. Its whole state lives in database tables.
-    let model = BornSqlModel::create(&db, "quickstart", ModelOptions::default())
-        .expect("create model");
+    let model =
+        BornSqlModel::create(&db, "quickstart", ModelOptions::default()).expect("create model");
 
     // 3. Describe where features and targets come from — plain SQL, the
     //    paper's q_x and q_y queries.

@@ -34,9 +34,7 @@ fn main() {
     for arm in scopus::qx_arms(false) {
         spec = spec.with_features(arm);
     }
-    model
-        .fit(&spec.with_targets(scopus::qy()))
-        .expect("fit");
+    model.fit(&spec.with_targets(scopus::qy())).expect("fit");
     model.deploy().expect("deploy");
     eprintln!(
         "ready. tables: {}. try:\n  SELECT j, k, w FROM demo_weights ORDER BY w DESC LIMIT 5;\n  .explain SELECT pubname, COUNT(*) FROM publication GROUP BY pubname ORDER BY 2 DESC LIMIT 3;",

@@ -72,11 +72,7 @@ fn main() {
 
     let unlearned = model.corpus().unwrap();
     let retrained = control.corpus().unwrap();
-    assert_eq!(
-        unlearned.len(),
-        retrained.len(),
-        "corpus sizes must match"
-    );
+    assert_eq!(unlearned.len(), retrained.len(), "corpus sizes must match");
     let max_diff = unlearned
         .iter()
         .zip(&retrained)
@@ -97,9 +93,9 @@ fn main() {
     .unwrap();
     model.deploy().unwrap();
     let pred = model
-        .predict(
-            &DataSpec::new("SELECT id AS n, 'term:' || term AS j, 1.0 AS w FROM incoming"),
-        )
+        .predict(&DataSpec::new(
+            "SELECT id AS n, 'term:' || term AS j, 1.0 AS w FROM incoming",
+        ))
         .unwrap();
     println!("incoming message 999 ('refund') → {}", pred[0].1);
 }

@@ -117,7 +117,11 @@ fn textproc_vectorizer_feeds_bornsql() {
     let docs = [
         (1i64, "robots and robot vision with neural control", "ai"),
         (2, "neural networks for image vision tasks", "ai"),
-        (3, "the variance of the sample mean and poisson models", "stats"),
+        (
+            3,
+            "the variance of the sample mean and poisson models",
+            "stats",
+        ),
         (4, "sampling variance in statistical estimation", "stats"),
     ];
     let db = Database::new();
@@ -196,8 +200,14 @@ fn external_data_training_via_direct_corpus_writes() {
     // Paper §7 "External data": compute P_jk outside the database and write
     // it into {model}_corpus directly; the model must behave identically.
     let items = vec![
-        TrainItem::labeled(vec![("a".to_string(), 2.0), ("b".to_string(), 1.0)], "x".to_string()),
-        TrainItem::labeled(vec![("b".to_string(), 1.0), ("c".to_string(), 1.0)], "y".to_string()),
+        TrainItem::labeled(
+            vec![("a".to_string(), 2.0), ("b".to_string(), 1.0)],
+            "x".to_string(),
+        ),
+        TrainItem::labeled(
+            vec![("b".to_string(), 1.0), ("c".to_string(), 1.0)],
+            "y".to_string(),
+        ),
         TrainItem::labeled(vec![("a".to_string(), 1.0)], "x".to_string()),
     ];
     let oracle = BornClassifier::fit(&items);
@@ -284,7 +294,11 @@ fn hyperparameters_change_predictions_without_refit() {
         .unwrap();
     model.deploy().unwrap();
     let proba_h0 = model.predict_proba(&spec).unwrap();
-    assert_eq!(model.corpus_cells().unwrap(), cells, "no retraining happened");
+    assert_eq!(
+        model.corpus_cells().unwrap(),
+        cells,
+        "no retraining happened"
+    );
     assert_ne!(proba_default, proba_h0, "hyper-parameters must matter");
 }
 
@@ -338,8 +352,8 @@ fn postgres_dialect_text_also_executes_on_the_engine() {
         },
     )
     .unwrap();
-    let spec = DataSpec::new("SELECT n, j, w FROM d")
-        .with_targets("SELECT n, k AS k, 1.0 AS w FROM l");
+    let spec =
+        DataSpec::new("SELECT n, j, w FROM d").with_targets("SELECT n, k AS k, 1.0 AS w FROM l");
     model.fit(&spec).unwrap();
     model.deploy().unwrap();
     let preds = model
@@ -407,8 +421,7 @@ fn concurrent_inference_while_learning_continues() {
     for t in 0..3 {
         let reader_db = Arc::clone(&db);
         readers.push(std::thread::spawn(move || {
-            let model =
-                BornSqlModel::attach(reader_db.as_ref(), "live", scopus_options()).unwrap();
+            let model = BornSqlModel::attach(reader_db.as_ref(), "live", scopus_options()).unwrap();
             let mut test = DataSpec::default();
             for arm in scopus::qx_arms(false) {
                 test = test.with_features(arm);
