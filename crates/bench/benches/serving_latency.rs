@@ -1,0 +1,46 @@
+//! Criterion bench for the serving hot path: repeated single-item and
+//! small-batch `predict` calls against a deployed model, comparing the
+//! cold-plan path (plan cache disabled, every call re-parses and re-plans)
+//! with the default cached-plan path (repeat calls skip straight to
+//! execution). Run on 1 CPU this isolates planning overhead; the index-scan
+//! access path is identical in both configurations.
+
+use bench::scopus_exp::{scopus_model_options, setup, test_spec, train_spec};
+use bornsql::BornSqlModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlengine::EngineConfig;
+
+fn serving_latency(c: &mut Criterion) {
+    let n = 2_000;
+    let one = test_spec("SELECT 13 AS n".to_string());
+    // 20 items out of 2000 — a realistic small serving batch.
+    let batch = test_spec("SELECT id AS n FROM publication WHERE id % 100 = 13".to_string());
+
+    let mut group = c.benchmark_group("serving_latency");
+    group.sample_size(20);
+
+    for (label, config) in [
+        (
+            "cold_plan",
+            EngineConfig::profile_a().with_plan_cache(false),
+        ),
+        ("cached_plan", EngineConfig::profile_a()),
+    ] {
+        let db = setup(n, false, config);
+        let model = BornSqlModel::create(&db, "bench_serve", scopus_model_options()).unwrap();
+        model.fit(&train_spec(None, false)).unwrap();
+        model.deploy().unwrap();
+
+        group.bench_function(format!("single_item_{label}"), |b| {
+            b.iter(|| model.predict(&one).unwrap())
+        });
+        group.bench_function(format!("batch_20_{label}"), |b| {
+            b.iter(|| model.predict(&batch).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, serving_latency);
+criterion_main!(benches);

@@ -99,6 +99,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         let m = BornSqlModel { conn, gen };
         m.conn.execute_sql(&m.gen.create_params_table())?;
         m.conn.execute_sql(&m.gen.create_corpus_table())?;
+        m.conn.execute_sql(&m.gen.create_corpus_index())?;
         m.set_params(options.params)?;
         Ok(m)
     }
@@ -164,6 +165,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     pub fn fit(&self, spec: &DataSpec) -> Result<()> {
         self.conn.execute_sql(&self.gen.drop_corpus_table())?;
         self.conn.execute_sql(&self.gen.create_corpus_table())?;
+        self.conn.execute_sql(&self.gen.create_corpus_index())?;
         self.partial_fit(spec)
     }
 
@@ -190,11 +192,15 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     // ------------------------------------------------------------------
 
     /// Pre-compute and materialize `HW_jk` into `{model}_weights` to
-    /// accelerate inference (paper Section 3.3 / 4.4).
+    /// accelerate inference (paper Section 3.3 / 4.4). Also creates a
+    /// secondary index on the weights `j` column — the serving-path join key
+    /// — after the bulk insert, so index-aware engines can answer repeated
+    /// `predict` calls with point lookups instead of full scans.
     pub fn deploy(&self) -> Result<()> {
         self.conn.execute_sql(&self.gen.drop_weights_table())?;
         self.conn.execute_sql(&self.gen.create_weights_table())?;
         self.conn.execute_sql(&self.gen.deploy())?;
+        self.conn.execute_sql(&self.gen.create_weights_index())?;
         Ok(())
     }
 

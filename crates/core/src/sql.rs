@@ -67,6 +67,26 @@ impl SqlGenerator {
         )
     }
 
+    /// Secondary index on the weights table's `j` column. The serving hot
+    /// path joins `{model}_weights` to `x_nj` on `j` (eq. 27), so deployment
+    /// creates this index to let the engine pick an index-nested-loop join
+    /// for small inference batches instead of hashing the whole table.
+    pub fn create_weights_index(&self) -> String {
+        format!(
+            "CREATE INDEX IF NOT EXISTS {t}_j ON {t} (j)",
+            t = self.weights_table()
+        )
+    }
+
+    /// Secondary index on the corpus `(j, k)` pair, backing the point
+    /// lookups issued by incremental fit / unlearning upserts.
+    pub fn create_corpus_index(&self) -> String {
+        format!(
+            "CREATE INDEX IF NOT EXISTS {t}_jk ON {t} (j, k)",
+            t = self.corpus_table()
+        )
+    }
+
     pub fn drop_weights_table(&self) -> String {
         format!("DROP TABLE IF EXISTS {}", self.weights_table())
     }
@@ -500,6 +520,19 @@ mod tests {
         ] {
             assert!(sql.contains(fragment), "missing {fragment:?} in\n{sql}");
         }
+    }
+
+    #[test]
+    fn index_statements_name_by_table() {
+        let g = generator(Dialect::Generic);
+        assert_eq!(
+            g.create_weights_index(),
+            "CREATE INDEX IF NOT EXISTS m_weights_j ON m_weights (j)"
+        );
+        assert_eq!(
+            g.create_corpus_index(),
+            "CREATE INDEX IF NOT EXISTS m_corpus_jk ON m_corpus (j, k)"
+        );
     }
 
     #[test]

@@ -45,11 +45,13 @@ impl Schema {
 }
 
 /// A unique index over a set of column positions, mapping key tuples to row
-/// indexes. Used to implement PRIMARY KEY and `ON CONFLICT`.
+/// indexes. Used to implement PRIMARY KEY, `ON CONFLICT`, and planner point
+/// lookups. The map lives behind an `Arc` so plans can snapshot it as
+/// cheaply as they snapshot rows; maintenance is copy-on-write.
 #[derive(Debug, Clone, Default)]
 pub struct UniqueIndex {
     pub key_columns: Vec<usize>,
-    pub map: HashMap<Vec<Value>, usize>,
+    pub map: Arc<HashMap<Vec<Value>, usize>>,
 }
 
 impl UniqueIndex {
@@ -58,16 +60,17 @@ impl UniqueIndex {
     }
 }
 
-/// Metadata for a secondary (non-unique) index. The join and aggregate
-/// operators build their hash tables on the fly, so secondary indexes exist
-/// to (a) accept the same DDL the paper issues, (b) enforce uniqueness when
-/// promoted to the primary slot, and (c) stay maintained across DML so a
-/// future index-scan optimization can use them.
+/// Metadata for a secondary (non-unique) index, mapping key tuples to the
+/// row indexes holding that key (in no guaranteed order — the index-scan
+/// operators sort fetched indexes). The planner matches equality /
+/// `IN`-list predicates and join keys against these to emit `IndexScan` and
+/// index-nested-loop plans instead of full scans; like table rows, the map
+/// is shared behind an `Arc` so plan snapshots are cheap.
 #[derive(Debug, Clone)]
 pub struct SecondaryIndex {
     pub name: String,
     pub key_columns: Vec<usize>,
-    pub map: HashMap<Vec<Value>, Vec<usize>>,
+    pub map: Arc<HashMap<Vec<Value>, Vec<usize>>>,
 }
 
 /// A table: schema, rows, optional primary-key index, secondary indexes.
@@ -97,7 +100,7 @@ impl Table {
         } else {
             Some(UniqueIndex {
                 key_columns,
-                map: HashMap::new(),
+                map: Arc::new(HashMap::new()),
             })
         };
         Ok(Table {
@@ -157,55 +160,103 @@ impl Table {
                     }
                 }
             }
-            primary.map.insert(key, self.rows.len());
+            Arc::make_mut(&mut primary.map).insert(key, self.rows.len());
         }
         let idx = self.rows.len();
         Arc::make_mut(&mut self.rows).push(row.clone());
         for index in &mut self.secondary {
             let key: Vec<Value> = index.key_columns.iter().map(|&i| row[i].clone()).collect();
-            index.map.entry(key).or_default().push(idx);
+            Arc::make_mut(&mut index.map)
+                .entry(key)
+                .or_default()
+                .push(idx);
         }
         Ok(InsertOutcome::Inserted)
     }
 
     /// Replace the row at `idx` with `row` (used by ON CONFLICT DO UPDATE and
-    /// UPDATE). Maintains indexes.
+    /// UPDATE). Maintains indexes. Key columns are compared in place first,
+    /// so the common UPDATE that leaves keys untouched allocates no key
+    /// tuples at all.
     pub fn replace_row(&mut self, idx: usize, row: Row) -> Result<()> {
         let row = self.coerce(row)?;
-        let old = self.rows[idx].clone();
-        if let Some(primary) = &mut self.primary {
-            let old_key = primary.key_for(&old);
-            let new_key = primary.key_for(&row);
-            if old_key != new_key {
+        let old = &self.rows[idx];
+        if let Some(primary) = &self.primary {
+            if !primary.key_columns.iter().all(|&i| old[i] == row[i]) {
+                let old_key = primary.key_for(old);
+                let new_key = primary.key_for(&row);
                 if primary.map.contains_key(&new_key) {
                     return Err(EngineError::exec(format!(
                         "UNIQUE constraint violated on table '{}'",
                         self.name
                     )));
                 }
-                primary.map.remove(&old_key);
-                primary.map.insert(new_key, idx);
+                let map = Arc::make_mut(&mut self.primary.as_mut().expect("checked above").map);
+                map.remove(&old_key);
+                map.insert(new_key, idx);
             }
         }
         for index in &mut self.secondary {
+            if index.key_columns.iter().all(|&i| old[i] == row[i]) {
+                continue;
+            }
             let old_key: Vec<Value> = index.key_columns.iter().map(|&i| old[i].clone()).collect();
             let new_key: Vec<Value> = index.key_columns.iter().map(|&i| row[i].clone()).collect();
-            if old_key != new_key {
-                if let Some(list) = index.map.get_mut(&old_key) {
-                    list.retain(|&r| r != idx);
+            let map = Arc::make_mut(&mut index.map);
+            if let Some(list) = map.get_mut(&old_key) {
+                list.retain(|&r| r != idx);
+                if list.is_empty() {
+                    map.remove(&old_key);
                 }
-                index.map.entry(new_key).or_default().push(idx);
             }
+            map.entry(new_key).or_default().push(idx);
         }
         Arc::make_mut(&mut self.rows)[idx] = row;
         Ok(())
     }
 
-    /// Delete the rows at the given (sorted, deduplicated) indexes and
-    /// rebuild indexes.
+    /// Delete the rows at the given indexes, maintaining indexes
+    /// incrementally: deleted keys are removed and surviving entries have
+    /// their row indexes shifted in place (no re-hash, no key clones). Mass
+    /// deletes fall back to a wholesale rebuild, which is cheaper than
+    /// patching when most entries are going away anyway.
     pub fn delete_rows(&mut self, mut idxs: Vec<usize>) -> Result<usize> {
         idxs.sort_unstable();
         idxs.dedup();
+        if idxs.is_empty() {
+            return Ok(0);
+        }
+        let incremental = idxs.len() * 2 <= self.rows.len();
+        if incremental {
+            // Remove the deleted rows' keys while the rows are still present.
+            if let Some(primary) = &mut self.primary {
+                let map = Arc::make_mut(&mut primary.map);
+                for &i in &idxs {
+                    let key: Vec<Value> = primary
+                        .key_columns
+                        .iter()
+                        .map(|&c| self.rows[i][c].clone())
+                        .collect();
+                    map.remove(&key);
+                }
+            }
+            for index in &mut self.secondary {
+                let map = Arc::make_mut(&mut index.map);
+                for &i in &idxs {
+                    let key: Vec<Value> = index
+                        .key_columns
+                        .iter()
+                        .map(|&c| self.rows[i][c].clone())
+                        .collect();
+                    if let Some(list) = map.get_mut(&key) {
+                        list.retain(|&r| r != i);
+                        if list.is_empty() {
+                            map.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
         let rows = Arc::make_mut(&mut self.rows);
         let mut keep = vec![true; rows.len()];
         for &i in &idxs {
@@ -217,18 +268,41 @@ impl Table {
             i += 1;
             k
         });
-        self.rebuild_indexes()?;
+        if incremental {
+            // Surviving row index `i` moved down by the number of deleted
+            // indexes below it; patch entries in place.
+            let shift = |i: usize| i - idxs.partition_point(|&d| d < i);
+            if let Some(primary) = &mut self.primary {
+                for v in Arc::make_mut(&mut primary.map).values_mut() {
+                    *v = shift(*v);
+                }
+            }
+            for index in &mut self.secondary {
+                for list in Arc::make_mut(&mut index.map).values_mut() {
+                    for v in list.iter_mut() {
+                        *v = shift(*v);
+                    }
+                }
+            }
+        } else {
+            self.rebuild_indexes()?;
+        }
         Ok(idxs.len())
     }
 
     /// Rebuild primary and secondary indexes from current rows.
     pub fn rebuild_indexes(&mut self) -> Result<()> {
         if let Some(primary) = &mut self.primary {
-            primary.map.clear();
-            primary.map.reserve(self.rows.len());
+            let map = Arc::make_mut(&mut primary.map);
+            map.clear();
+            map.reserve(self.rows.len());
             for (i, row) in self.rows.iter().enumerate() {
-                let key = primary.key_for(row);
-                if primary.map.insert(key, i).is_some() {
+                let key: Vec<Value> = primary
+                    .key_columns
+                    .iter()
+                    .map(|&c| row[c].clone())
+                    .collect();
+                if map.insert(key, i).is_some() {
                     return Err(EngineError::exec(format!(
                         "UNIQUE constraint violated on table '{}'",
                         self.name
@@ -237,10 +311,11 @@ impl Table {
             }
         }
         for index in &mut self.secondary {
-            index.map.clear();
+            let map = Arc::make_mut(&mut index.map);
+            map.clear();
             for (i, row) in self.rows.iter().enumerate() {
                 let key: Vec<Value> = index.key_columns.iter().map(|&c| row[c].clone()).collect();
-                index.map.entry(key).or_default().push(i);
+                map.entry(key).or_default().push(i);
             }
         }
         Ok(())
@@ -268,8 +343,9 @@ pub enum InsertOutcome {
 
 /// The catalog: a name → table map (case-insensitive names).
 ///
-/// `Clone` is cheap-ish (rows are shared behind `Arc`; index maps are deep
-/// copies) and backs the engine's snapshot-based transactions.
+/// `Clone` is cheap (rows and index maps are both shared behind `Arc` with
+/// copy-on-write maintenance) and backs the engine's snapshot-based
+/// transactions.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
@@ -421,6 +497,52 @@ mod tests {
         let primary = t.primary.as_ref().unwrap();
         assert!(primary.map.contains_key(&vec![Value::text("b")]));
         assert!(!primary.map.contains_key(&vec![Value::text("a")]));
+    }
+
+    #[test]
+    fn incremental_delete_patches_secondary_index() {
+        let mut t = Table::new("c".into(), schema_jk(), &["j".into()]).unwrap();
+        t.secondary.push(SecondaryIndex {
+            name: "c_k".into(),
+            key_columns: vec![1],
+            map: Arc::new(HashMap::new()),
+        });
+        for i in 0..10 {
+            t.insert_row(
+                vec![
+                    Value::text(format!("x{i}")),
+                    Value::Int(i % 3),
+                    Value::Float(0.0),
+                ],
+                None,
+            )
+            .unwrap();
+        }
+        // Deletes a minority of rows: the incremental patch path.
+        t.delete_rows(vec![0, 4]).unwrap();
+        assert_eq!(t.row_count(), 8);
+        let mut rebuilt = t.clone();
+        rebuilt.rebuild_indexes().unwrap();
+        assert_eq!(
+            *t.primary.as_ref().unwrap().map,
+            *rebuilt.primary.as_ref().unwrap().map
+        );
+        let patched = &t.secondary[0].map;
+        let fresh = &rebuilt.secondary[0].map;
+        assert_eq!(patched.len(), fresh.len());
+        for (k, list) in patched.iter() {
+            let mut a = list.clone();
+            let mut b = fresh[k].clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "secondary entries diverge for key {k:?}");
+        }
+        // Deletes a majority: the rebuild fallback path.
+        t.delete_rows((0..6).collect()).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.primary.as_ref().unwrap().map.len(), 2);
+        let total: usize = t.secondary[0].map.values().map(Vec::len).sum();
+        assert_eq!(total, 2);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! plan under a read lock and execute on `Arc` row snapshots after the lock
 //! is released; DML takes the write lock for its duration.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::ast::{ConflictAction, Expr, InsertSource, Statement};
+use crate::ast::{ConflictAction, Expr, InsertSource, Query, Statement};
 use crate::catalog::{
     Catalog, Column, InsertOutcome, ResolvedConflict, Schema, SecondaryIndex, Table, UniqueIndex,
 };
@@ -16,7 +18,7 @@ use crate::error::{EngineError, Result};
 use crate::exec::{ExecContext, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script, parse_statement};
-use crate::plan::{Planner, PlannerConfig};
+use crate::plan::{PlannedQuery, Planner, PlannerConfig};
 use crate::value::{Row, Value};
 
 /// Engine configuration. The three profiles used by the benchmark harness to
@@ -33,6 +35,13 @@ pub struct EngineConfig {
     /// `>= 2` enables the morsel-parallel operators backed by a persistent
     /// worker pool owned by the [`Database`].
     pub parallelism: usize,
+    /// Match equality / `IN`-list predicates and join keys against table
+    /// indexes, planning `IndexScan` / index-nested-loop joins instead of
+    /// full scans. Disable to force full-scan plans.
+    pub use_indexes: bool,
+    /// Cache the bound physical plans of parameterless queries keyed by SQL
+    /// text + catalog version, so repeated serving calls skip parse + plan.
+    pub plan_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +50,8 @@ impl Default for EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: false,
             parallelism: 1,
+            use_indexes: true,
+            plan_cache: true,
         }
     }
 }
@@ -51,7 +62,7 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: false,
-            parallelism: 1,
+            ..EngineConfig::default()
         }
     }
 
@@ -60,7 +71,7 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::Hash,
             materialize_ctes: true,
-            parallelism: 1,
+            ..EngineConfig::default()
         }
     }
 
@@ -71,7 +82,7 @@ impl EngineConfig {
         EngineConfig {
             join_algo: crate::plan::JoinAlgo::SortMerge,
             materialize_ctes: false,
-            parallelism: 1,
+            ..EngineConfig::default()
         }
     }
 
@@ -81,10 +92,23 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style toggle of index-aware planning.
+    pub fn with_index_scans(mut self, on: bool) -> Self {
+        self.use_indexes = on;
+        self
+    }
+
+    /// Builder-style toggle of the physical-plan cache.
+    pub fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
+        self
+    }
+
     fn planner(&self) -> PlannerConfig {
         PlannerConfig {
             join_algo: self.join_algo,
             materialize_ctes: self.materialize_ctes,
+            use_indexes: self.use_indexes,
         }
     }
 }
@@ -134,6 +158,17 @@ impl StatementResult {
     }
 }
 
+/// Upper bound on cached plans. Serving workloads cycle through a handful of
+/// statement texts; the bound only guards against unbounded ad-hoc traffic.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// A cached physical plan tagged with the catalog version it was planned
+/// against; served only while the version still matches.
+struct CachedPlan {
+    version: u64,
+    planned: Arc<PlannedQuery>,
+}
+
 /// An embedded, in-memory relational database.
 pub struct Database {
     catalog: RwLock<Catalog>,
@@ -143,6 +178,16 @@ pub struct Database {
     pool: Option<Arc<WorkerPool>>,
     /// Snapshot of the catalog taken at `BEGIN`, restored on `ROLLBACK`.
     txn_backup: parking_lot::Mutex<Option<Catalog>>,
+    /// Monotonic version bumped *before* any catalog write (DDL, DML, and
+    /// `ROLLBACK` restores). Cached plans embed row/index snapshots, so any
+    /// change to data or schema must invalidate them; the counter never goes
+    /// backwards, which keeps a rolled-back catalog from aliasing a future
+    /// version number.
+    catalog_version: AtomicU64,
+    /// Physical plans of parameterless queries, keyed by SQL text.
+    plan_cache: Mutex<HashMap<String, CachedPlan>>,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
 }
 
 impl Default for Database {
@@ -162,7 +207,91 @@ impl Database {
             pool: (config.parallelism > 1).then(|| Arc::new(WorkerPool::new(config.parallelism))),
             config,
             txn_backup: parking_lot::Mutex::new(None),
+            catalog_version: AtomicU64::new(0),
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Take the catalog write lock, bumping the catalog version first so any
+    /// plan cached from here on is tagged with a version that postdates the
+    /// upcoming mutation (see `plan_and_cache` for the ordering argument).
+    fn write_catalog(&self) -> parking_lot::RwLockWriteGuard<'_, Catalog> {
+        self.catalog_version.fetch_add(1, Ordering::Release);
+        self.catalog.write()
+    }
+
+    /// Current catalog version (bumped by every DDL/DML write).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version.load(Ordering::Acquire)
+    }
+
+    /// Lifetime plan-cache counters as `(hits, misses)`.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plan_cache_hits.load(Ordering::Relaxed),
+            self.plan_cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Look `sql` up in the plan cache; a hit requires the entry's catalog
+    /// version to match the current one.
+    fn cached_plan(&self, sql: &str) -> Option<Arc<PlannedQuery>> {
+        let version = self.catalog_version.load(Ordering::Acquire);
+        let cache = self.plan_cache.lock();
+        match cache.get(sql) {
+            Some(c) if c.version == version => {
+                self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&c.planned))
+            }
+            _ => {
+                self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Plan a parameterless query and store it in the plan cache.
+    ///
+    /// The version is read *before* planning and writers bump it *before*
+    /// taking the write lock, so a plan that raced a writer is tagged with
+    /// the pre-write version and can never be served against the post-write
+    /// catalog — the stale-side error is always a harmless replan.
+    fn plan_and_cache(&self, sql: &str, query: &Query) -> Result<Arc<PlannedQuery>> {
+        let version = self.catalog_version.load(Ordering::Acquire);
+        let planned = {
+            let catalog = self.catalog.read();
+            let mut planner = Planner::new(&catalog, &[], self.config.planner());
+            Arc::new(planner.plan_query(query)?)
+        };
+        let mut cache = self.plan_cache.lock();
+        if cache.len() >= PLAN_CACHE_CAPACITY && !cache.contains_key(sql) {
+            // Evict stale entries first; fall back to dropping everything
+            // (plans embed table snapshots, so a full clear also releases
+            // pinned row memory).
+            cache.retain(|_, c| c.version == version);
+            if cache.len() >= PLAN_CACHE_CAPACITY {
+                cache.clear();
+            }
+        }
+        cache.insert(
+            sql.to_string(),
+            CachedPlan {
+                version,
+                planned: Arc::clone(&planned),
+            },
+        );
+        Ok(planned)
+    }
+
+    /// Execute a cached (or just-cached) planned query.
+    fn execute_planned(&self, planned: &PlannedQuery) -> Result<StatementResult> {
+        let rows = self.exec_ctx().execute(&planned.plan)?;
+        Ok(StatementResult::Rows(QueryResult {
+            columns: planned.columns.clone(),
+            rows,
+        }))
     }
 
     /// The execution context queries run under: the configured parallelism
@@ -189,7 +318,23 @@ impl Database {
     }
 
     /// Execute one statement with positional parameters (`?`, `?1`).
+    ///
+    /// Parameterless queries go through the plan cache (when enabled): a hit
+    /// skips parsing and planning entirely. Parameterized statements bypass
+    /// the cache because `bind_expr` inlines parameter values into the
+    /// physical plan.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
+        if self.config.plan_cache && params.is_empty() {
+            if let Some(planned) = self.cached_plan(sql) {
+                return self.execute_planned(&planned);
+            }
+            let stmt = parse_statement(sql)?;
+            if let Statement::Query(query) = &stmt {
+                let planned = self.plan_and_cache(sql, query)?;
+                return self.execute_planned(&planned);
+            }
+            return self.execute_statement(&stmt, params);
+        }
         let stmt = parse_statement(sql)?;
         self.execute_statement(&stmt, params)
     }
@@ -239,11 +384,14 @@ impl Database {
     }
 
     /// Parse a statement once for repeated execution with different
-    /// parameters (planning still happens per execution, against current
-    /// data — only parsing is amortized).
+    /// parameters. Parameterless queries additionally go through the plan
+    /// cache, so repeated executions reuse the bound physical plan until a
+    /// catalog write invalidates it; parameterized executions re-plan against
+    /// current data (parameter values are inlined into plans).
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
         Ok(Prepared {
             db: self,
+            sql: sql.to_string(),
             stmt: parse_statement(sql)?,
         })
     }
@@ -318,13 +466,13 @@ impl Database {
         for row in rows {
             table.insert_row(row, None)?;
         }
-        self.catalog.write().create_table(table, false)
+        self.write_catalog().create_table(table, false)
     }
 
     /// Bulk-insert pre-built rows into a table (fast path used by data
     /// generators; equivalent to `INSERT INTO t VALUES ...`).
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        let mut catalog = self.catalog.write();
+        let mut catalog = self.write_catalog();
         let t = catalog.get_mut(table)?;
         let n = rows.len();
         for row in rows {
@@ -379,11 +527,11 @@ impl Database {
                         .collect(),
                 );
                 let table = Table::new(ct.name.clone(), schema, &ct.primary_key)?;
-                self.catalog.write().create_table(table, ct.if_not_exists)?;
+                self.write_catalog().create_table(table, ct.if_not_exists)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
-                let mut catalog = self.catalog.write();
+                let mut catalog = self.write_catalog();
                 let table = catalog.get_mut(&ci.table)?;
                 let mut key_columns = Vec::with_capacity(ci.columns.len());
                 for c in &ci.columns {
@@ -404,41 +552,36 @@ impl Database {
                     )));
                 }
                 if ci.unique && table.primary.is_none() {
-                    let mut primary = UniqueIndex {
-                        key_columns,
-                        map: Default::default(),
-                    };
+                    let mut map = HashMap::with_capacity(table.rows.len());
                     for (i, row) in table.rows.iter().enumerate() {
-                        let key: Vec<Value> = primary
-                            .key_columns
-                            .iter()
-                            .map(|&c| row[c].clone())
-                            .collect();
-                        if primary.map.insert(key, i).is_some() {
+                        let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
+                        if map.insert(key, i).is_some() {
                             return Err(EngineError::exec(format!(
                                 "cannot create unique index '{}': duplicate keys",
                                 ci.name
                             )));
                         }
                     }
-                    table.primary = Some(primary);
+                    table.primary = Some(UniqueIndex {
+                        key_columns,
+                        map: Arc::new(map),
+                    });
                 } else {
-                    let mut index = SecondaryIndex {
+                    let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                    for (i, row) in table.rows.iter().enumerate() {
+                        let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
+                        map.entry(key).or_default().push(i);
+                    }
+                    table.secondary.push(SecondaryIndex {
                         name: ci.name.clone(),
                         key_columns,
-                        map: Default::default(),
-                    };
-                    for (i, row) in table.rows.iter().enumerate() {
-                        let key: Vec<Value> =
-                            index.key_columns.iter().map(|&c| row[c].clone()).collect();
-                        index.map.entry(key).or_default().push(i);
-                    }
-                    table.secondary.push(index);
+                        map: Arc::new(map),
+                    });
                 }
                 Ok(StatementResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.write().drop_table(name, *if_exists)?;
+                self.write_catalog().drop_table(name, *if_exists)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateTableAs {
@@ -467,7 +610,7 @@ impl Database {
                 for row in rows {
                     table.insert_row(row, None)?;
                 }
-                self.catalog.write().create_table(table, *if_not_exists)?;
+                self.write_catalog().create_table(table, *if_not_exists)?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Begin => {
@@ -489,7 +632,7 @@ impl Database {
                 let mut backup = self.txn_backup.lock();
                 match backup.take() {
                     Some(saved) => {
-                        *self.catalog.write() = saved;
+                        *self.write_catalog() = saved;
                         Ok(StatementResult::Affected(0))
                     }
                     None => Err(EngineError::exec("no transaction in progress")),
@@ -498,7 +641,7 @@ impl Database {
             Statement::Insert(insert) => self.execute_insert(insert, params),
             Statement::Delete { table, predicate } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
-                let mut catalog = self.catalog.write();
+                let mut catalog = self.write_catalog();
                 let t = catalog.get_mut(table)?;
                 let idxs = match &predicate {
                     None => (0..t.row_count()).collect(),
@@ -523,7 +666,7 @@ impl Database {
                 predicate,
             } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
-                let mut catalog = self.catalog.write();
+                let mut catalog = self.write_catalog();
                 let t = catalog.get_mut(table)?;
                 let scope = table_scope(t);
                 let bound_pred = predicate
@@ -611,7 +754,7 @@ impl Database {
             }
         };
 
-        let mut catalog = self.catalog.write();
+        let mut catalog = self.write_catalog();
         let t = catalog.get_mut(&insert.table)?;
 
         // Map provided columns to schema positions.
@@ -742,12 +885,22 @@ impl Database {
 /// A statement parsed once, executable many times with fresh parameters.
 pub struct Prepared<'db> {
     db: &'db Database,
+    sql: String,
     stmt: Statement,
 }
 
 impl Prepared<'_> {
     /// Execute with the given parameters.
     pub fn execute(&self, params: &[Value]) -> Result<StatementResult> {
+        if self.db.config.plan_cache && params.is_empty() {
+            if let Statement::Query(query) = &self.stmt {
+                let planned = match self.db.cached_plan(&self.sql) {
+                    Some(p) => p,
+                    None => self.db.plan_and_cache(&self.sql, query)?,
+                };
+                return self.db.execute_planned(&planned);
+            }
+        }
         self.db.execute_statement(&self.stmt, params)
     }
 

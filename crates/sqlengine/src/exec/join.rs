@@ -429,3 +429,82 @@ fn nested_loop_chunk(
     }
     Ok(out)
 }
+
+/// Index-nested-loop join: run the probe side, then look each probe row's key
+/// tuple up in the inner side's index — the inner table is never scanned.
+///
+/// Matched inner row indexes are sorted ascending per probe row (secondary
+/// index postings lists are unordered after in-place UPDATE maintenance), so
+/// with the probe on the left the output ordering matches the serial hash
+/// join exactly. `inner_is_left` flips the column order of the output rows to
+/// match the FROM-clause scope when the indexed table was the left item.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn index_join(
+    probe: &PhysPlan,
+    probe_keys: &[PhysExpr],
+    inner: &PhysPlan,
+    inner_is_left: bool,
+    kind: JoinKind,
+    inner_width: usize,
+    residual: &Option<PhysExpr>,
+    ctx: &ExecContext,
+) -> Result<NodeOut> {
+    let PhysPlan::IndexScan {
+        rows: inner_rows,
+        index,
+        ..
+    } = inner
+    else {
+        return Err(crate::error::EngineError::exec(
+            "IndexJoin inner side must be an IndexScan",
+        ));
+    };
+    let mut children = Vec::new();
+    let mut rows_in = 0usize;
+    let probe_rows = super::run_input(probe, ctx, &mut children, &mut rows_in)?;
+
+    let mut out = Vec::new();
+    let mut idxs: Vec<usize> = Vec::new();
+    let mut fetched = 0usize;
+    for prow in probe_rows.iter() {
+        let mut matched = false;
+        if let Some(key) = eval_key(prow, probe_keys)? {
+            idxs.clear();
+            index.lookup_into(&key, &mut idxs);
+            idxs.sort_unstable();
+            fetched += idxs.len();
+            for &ii in &idxs {
+                let irow = &inner_rows[ii];
+                let joined: Row = if inner_is_left {
+                    irow.iter().chain(prow.iter()).cloned().collect()
+                } else {
+                    prow.iter().chain(irow.iter()).cloned().collect()
+                };
+                if let Some(r) = residual {
+                    if r.eval(&joined)?.as_bool()? != Some(true) {
+                        continue;
+                    }
+                }
+                matched = true;
+                out.push(joined);
+            }
+        }
+        if !matched && kind == JoinKind::Left {
+            // The probe side is the outer side; null-fill the inner columns.
+            let mut joined = prow.clone();
+            joined.extend(std::iter::repeat_n(Value::Null, inner_width));
+            out.push(joined);
+        }
+    }
+    if ctx.stats_enabled() {
+        children.push(super::OpStats::leaf(
+            crate::explain::op_label(inner),
+            fetched,
+        ));
+    }
+    Ok(NodeOut {
+        rows: out,
+        rows_in,
+        children,
+    })
+}

@@ -86,6 +86,32 @@ pub(crate) fn run(plan: &PhysPlan, ctx: &ExecContext) -> Result<(Vec<Row>, Optio
 fn dispatch(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
     match plan {
         PhysPlan::Scan { rows, .. } => Ok(NodeOut::new(rows.as_ref().clone())),
+        PhysPlan::IndexScan {
+            rows, index, keys, ..
+        } => match keys {
+            Some(keys) => Ok(scan::index_scan(rows, index, keys)),
+            None => Err(crate::error::EngineError::exec(
+                "probe-driven IndexScan can only run inside an IndexJoin",
+            )),
+        },
+        PhysPlan::IndexJoin {
+            probe,
+            probe_keys,
+            inner,
+            inner_is_left,
+            kind,
+            inner_width,
+            residual,
+        } => join::index_join(
+            probe,
+            probe_keys,
+            inner,
+            *inner_is_left,
+            *kind,
+            *inner_width,
+            residual,
+            ctx,
+        ),
         PhysPlan::OneRow => Ok(NodeOut::new(vec![Vec::new()])),
         PhysPlan::Filter { .. } | PhysPlan::Project { .. } => scan::run_pipeline(plan, ctx),
         PhysPlan::HashJoin {

@@ -117,6 +117,29 @@ impl StageSpec {
     }
 }
 
+/// Point / multi-point index lookup: fetch the rows stored under each literal
+/// key tuple. Key tuples containing NULL are skipped (`col = NULL` and
+/// `col IN (..., NULL, ...)` never match), and the fetched row indexes are
+/// sorted and deduplicated so the output preserves table order — exactly the
+/// rows a full scan + filter would produce, in the same order.
+pub(crate) fn index_scan(
+    rows: &Arc<Vec<Row>>,
+    index: &crate::plan::IndexRef,
+    keys: &[Vec<Value>],
+) -> NodeOut {
+    let mut idxs: Vec<usize> = Vec::new();
+    for key in keys {
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        index.lookup_into(key, &mut idxs);
+    }
+    idxs.sort_unstable();
+    idxs.dedup();
+    let out: Vec<Row> = idxs.iter().map(|&i| rows[i].clone()).collect();
+    NodeOut::new(out)
+}
+
 /// Walk a chain of `Filter`/`Project` nodes down to its source. Returns the
 /// stage nodes innermost-first plus the source plan.
 fn collect_chain(mut plan: &PhysPlan) -> (Vec<&PhysPlan>, &PhysPlan) {

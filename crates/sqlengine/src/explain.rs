@@ -21,6 +21,29 @@ pub fn render_plan(plan: &PhysPlan) -> String {
 pub(crate) fn op_label(plan: &PhysPlan) -> String {
     match plan {
         PhysPlan::Scan { rows, width } => format!("Scan [{} rows × {} cols]", rows.len(), width),
+        PhysPlan::IndexScan {
+            rows,
+            index_name,
+            keys,
+            ..
+        } => match keys {
+            Some(k) => format!(
+                "IndexScan {index_name} ({} keys) [of {} rows]",
+                k.len(),
+                rows.len()
+            ),
+            None => format!("IndexScan {index_name} (probed) [of {} rows]", rows.len()),
+        },
+        PhysPlan::IndexJoin {
+            kind,
+            probe_keys,
+            residual,
+            ..
+        } => format!(
+            "IndexNestedLoopJoin [{kind:?}, {} keys{}]",
+            probe_keys.len(),
+            if residual.is_some() { ", residual" } else { "" }
+        ),
         PhysPlan::OneRow => "OneRow".to_string(),
         PhysPlan::Filter { .. } => "Filter".to_string(),
         PhysPlan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
@@ -68,7 +91,11 @@ fn line(out: &mut String, depth: usize, text: &str) {
 fn render(plan: &PhysPlan, depth: usize, out: &mut String) {
     line(out, depth, &op_label(plan));
     match plan {
-        PhysPlan::Scan { .. } | PhysPlan::OneRow => {}
+        PhysPlan::Scan { .. } | PhysPlan::IndexScan { .. } | PhysPlan::OneRow => {}
+        PhysPlan::IndexJoin { probe, inner, .. } => {
+            render(probe, depth + 1, out);
+            render(inner, depth + 1, out);
+        }
         PhysPlan::Filter { input, .. }
         | PhysPlan::Project { input, .. }
         | PhysPlan::Aggregate { input, .. }

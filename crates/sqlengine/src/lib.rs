@@ -8,13 +8,21 @@
 //!   (`SELECT` with CTEs, joins, `GROUP BY`/`HAVING`, window `ROW_NUMBER`,
 //!   `UNION [ALL]`, `ORDER BY`/`LIMIT`; `CREATE TABLE`/`INDEX`;
 //!   `INSERT ... ON CONFLICT DO UPDATE`; `UPDATE`; `DELETE`);
-//! * a planner with predicate pushdown, equi-join detection (hash joins),
-//!   and inline-vs-materialized CTE strategies;
+//! * an index-aware planner with predicate pushdown, equi-join detection
+//!   (hash joins), inline-vs-materialized CTE strategies, index-scan
+//!   selection for equality and `IN`-list predicates, and a cost-gated
+//!   index-nested-loop join for small probes against indexed tables;
 //! * a morsel-parallel row executor (one module per operator family) with
-//!   hash joins, hash aggregation, window and sort operators, an optional
-//!   worker pool (`EngineConfig::parallelism`), and per-operator runtime
-//!   statistics surfaced through `EXPLAIN ANALYZE`;
-//! * an in-memory catalog with primary-key (unique) and secondary indexes.
+//!   hash joins, index scans/joins, hash aggregation, window and sort
+//!   operators, an optional worker pool (`EngineConfig::parallelism`), and
+//!   per-operator runtime statistics surfaced through `EXPLAIN ANALYZE`;
+//! * an in-memory catalog with maintained primary-key (unique) and
+//!   secondary indexes (`CREATE [UNIQUE] INDEX`), kept up to date
+//!   incrementally across `INSERT`/`UPDATE`/`DELETE` and used by the
+//!   planner for point and multi-point lookups;
+//! * a plan cache keyed by SQL text and catalog version: repeated
+//!   parameterless queries (the model-serving hot path) skip parsing and
+//!   planning entirely, and any DDL/DML invalidates stale entries.
 //!
 //! ## Quick example
 //!

@@ -41,6 +41,10 @@ pub struct PlannerConfig {
     /// Evaluate each CTE once into an in-memory table instead of inlining
     /// its plan at every reference.
     pub materialize_ctes: bool,
+    /// Match equality / `IN`-list predicates and join keys against table
+    /// indexes, emitting `IndexScan` / index-nested-loop plans. Disabled for
+    /// the forced-full-scan differential tests.
+    pub use_indexes: bool,
 }
 
 impl Default for PlannerConfig {
@@ -48,9 +52,22 @@ impl Default for PlannerConfig {
         PlannerConfig {
             join_algo: JoinAlgo::Hash,
             materialize_ctes: false,
+            use_indexes: true,
         }
     }
 }
+
+/// Cartesian-product cap on the number of point lookups one `IndexScan` may
+/// carry; predicates expanding past this stay as full-scan filters.
+const MAX_INDEX_KEYS: usize = 64;
+
+/// The inner side of an index-nested-loop join must have at least this many
+/// rows for the lookup path to beat a hash build over it.
+const MIN_INDEX_JOIN_INNER_ROWS: usize = 64;
+
+/// The probe side's estimated cardinality must be at most `inner /
+/// INDEX_JOIN_SELECTIVITY` for an index-nested-loop join to be chosen.
+const INDEX_JOIN_SELECTIVITY: usize = 8;
 
 /// Aggregate specification inside an [`PhysPlan::Aggregate`].
 #[derive(Debug, Clone)]
@@ -61,6 +78,30 @@ pub struct AggSpec {
     pub distinct: bool,
 }
 
+/// A snapshot of one table index usable by the executor (shared with the
+/// catalog behind `Arc`, like row snapshots).
+#[derive(Debug, Clone)]
+pub enum IndexRef {
+    /// Primary / unique index: key → row index.
+    Unique(Arc<HashMap<Vec<Value>, usize>>),
+    /// Secondary index: key → row indexes.
+    Multi(Arc<HashMap<Vec<Value>, Vec<usize>>>),
+}
+
+impl IndexRef {
+    /// Append the row indexes stored under `key` to `out`.
+    pub(crate) fn lookup_into(&self, key: &[Value], out: &mut Vec<usize>) {
+        match self {
+            IndexRef::Unique(map) => out.extend(map.get(key).copied()),
+            IndexRef::Multi(map) => {
+                if let Some(list) = map.get(key) {
+                    out.extend_from_slice(list);
+                }
+            }
+        }
+    }
+}
+
 /// A physical, immediately executable plan. Scans hold `Arc` snapshots of
 /// table rows, so execution never touches the catalog.
 #[derive(Debug, Clone)]
@@ -69,6 +110,39 @@ pub enum PhysPlan {
     Scan {
         rows: Arc<Vec<Row>>,
         width: usize,
+    },
+    /// Point / multi-point lookup against a table index instead of a full
+    /// scan. `keys` holds the literal key tuples when the planner resolved
+    /// them from equality / `IN` predicates; it is `None` when this node is
+    /// the inner side of an [`PhysPlan::IndexJoin`] and is probed with keys
+    /// computed from the outer side at runtime.
+    IndexScan {
+        rows: Arc<Vec<Row>>,
+        width: usize,
+        index_name: String,
+        index: IndexRef,
+        keys: Option<Vec<Vec<Value>>>,
+    },
+    /// Index-nested-loop join: for each probe row, evaluate `probe_keys` and
+    /// look the tuple up in the inner side's index — the inner table is never
+    /// scanned. Chosen by the planner when the probe side is estimated to be
+    /// much smaller than the indexed side.
+    IndexJoin {
+        probe: Box<PhysPlan>,
+        /// Key expressions bound against the probe side's scope, in the
+        /// inner index's key-column order.
+        probe_keys: Vec<PhysExpr>,
+        /// Always an [`PhysPlan::IndexScan`] with `keys: None`.
+        inner: Box<PhysPlan>,
+        /// When true the inner table's columns precede the probe columns in
+        /// the output row (the inner side was the left FROM item).
+        inner_is_left: bool,
+        /// `Inner`, or `Left` when the probe side is the outer side of a
+        /// LEFT JOIN (requires `inner_is_left == false`).
+        kind: JoinKind,
+        inner_width: usize,
+        /// Residual predicate evaluated on joined rows (scope order).
+        residual: Option<PhysExpr>,
     },
     /// One empty row — the FROM-less `SELECT`.
     OneRow,
@@ -143,6 +217,188 @@ pub struct PlannedQuery {
     pub plan: PhysPlan,
     pub columns: Vec<String>,
     pub scope: Scope,
+}
+
+/// A planned FROM item: its plan, scope, and — while the plan is still the
+/// bare scan of a base table — the table's access paths, so later planning
+/// steps can swap the scan for an index lookup.
+struct PlannedItem {
+    plan: PhysPlan,
+    scope: Scope,
+    access: Option<TableAccess>,
+}
+
+/// Access-path metadata of a base table captured at planning time.
+#[derive(Clone)]
+struct TableAccess {
+    rows: Arc<Vec<Row>>,
+    width: usize,
+    /// Primary index first, then secondaries in creation order — the match
+    /// loop takes the first covering index, so this is the preference order.
+    indexes: Vec<IndexMeta>,
+}
+
+#[derive(Clone)]
+struct IndexMeta {
+    name: String,
+    key_columns: Vec<usize>,
+    index: IndexRef,
+}
+
+/// If every key expression is a bare column and some index's key columns are
+/// exactly that column set, return the index plus the permutation mapping
+/// each index key column to its position in `keys`.
+fn covering_index(access: &TableAccess, keys: &[PhysExpr]) -> Option<(IndexMeta, Vec<usize>)> {
+    let cols: Vec<usize> = keys
+        .iter()
+        .map(|k| match k {
+            PhysExpr::Column(c) => Some(*c),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    for idx in &access.indexes {
+        if idx.key_columns.len() != cols.len() {
+            continue;
+        }
+        let perm: Option<Vec<usize>> = idx
+            .key_columns
+            .iter()
+            .map(|&kc| cols.iter().position(|&c| c == kc))
+            .collect();
+        if let Some(perm) = perm {
+            return Some((idx.clone(), perm));
+        }
+    }
+    None
+}
+
+/// Crude cardinality estimate used for the index-nested-loop join choice —
+/// exact for scans, heuristic elsewhere. Over-estimating only costs us the
+/// optimization; under-estimating costs one hash build we'd have paid anyway.
+fn estimate_rows(plan: &PhysPlan) -> usize {
+    match plan {
+        PhysPlan::Scan { rows, .. } => rows.len(),
+        PhysPlan::IndexScan {
+            rows, index, keys, ..
+        } => match keys {
+            Some(k) => match index {
+                IndexRef::Unique(_) => k.len(),
+                IndexRef::Multi(_) => k.len().saturating_mul(2),
+            },
+            None => rows.len(),
+        },
+        PhysPlan::OneRow => 1,
+        PhysPlan::Filter { input, .. } => estimate_rows(input) / 3 + 1,
+        PhysPlan::Project { input, .. }
+        | PhysPlan::Window { input, .. }
+        | PhysPlan::Sort { input, .. }
+        | PhysPlan::Distinct { input } => estimate_rows(input),
+        PhysPlan::Limit { input, limit, .. } => {
+            let est = estimate_rows(input);
+            limit.map_or(est, |l| l.min(est))
+        }
+        PhysPlan::HashJoin { left, right, .. } => estimate_rows(left).min(estimate_rows(right)),
+        PhysPlan::IndexJoin { probe, .. } => estimate_rows(probe),
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            let product = estimate_rows(left).saturating_mul(estimate_rows(right));
+            if predicate.is_some() {
+                product / 3 + 1
+            } else {
+                product
+            }
+        }
+        PhysPlan::Aggregate { input, keys, .. } => {
+            if keys.is_empty() {
+                1
+            } else {
+                estimate_rows(input) / 4 + 1
+            }
+        }
+        PhysPlan::UnionAll { inputs } => inputs.iter().map(estimate_rows).sum(),
+    }
+}
+
+/// Decide whether an equi join should run as an index nested loop.
+///
+/// Returns `(inner_is_left, index, perm)` where `perm[i]` is the position in
+/// the probe-side key list of the i-th index key column. The inner side must
+/// still be a bare indexed scan, large enough to be worth avoiding a hash
+/// build, and the probe side must look at least `INDEX_JOIN_SELECTIVITY`×
+/// smaller. Probing the left side into a right-side index (`inner_is_left ==
+/// false`) preserves outer-join semantics, so it is valid for LEFT joins;
+/// the reverse orientation is inner-join only.
+fn index_join_choice(
+    l: &PlannedItem,
+    left_keys: &[PhysExpr],
+    r: &PlannedItem,
+    right_keys: &[PhysExpr],
+    kind: JoinKind,
+) -> Option<(bool, IndexMeta, Vec<usize>)> {
+    if let Some(acc) = &r.access {
+        if let Some((meta, perm)) = covering_index(acc, right_keys) {
+            let inner_rows = acc.rows.len();
+            if inner_rows >= MIN_INDEX_JOIN_INNER_ROWS
+                && estimate_rows(&l.plan).saturating_mul(INDEX_JOIN_SELECTIVITY) <= inner_rows
+            {
+                return Some((false, meta, perm));
+            }
+        }
+    }
+    if kind == JoinKind::Inner {
+        if let Some(acc) = &l.access {
+            if let Some((meta, perm)) = covering_index(acc, left_keys) {
+                let inner_rows = acc.rows.len();
+                if inner_rows >= MIN_INDEX_JOIN_INNER_ROWS
+                    && estimate_rows(&r.plan).saturating_mul(INDEX_JOIN_SELECTIVITY) <= inner_rows
+                {
+                    return Some((true, meta, perm));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Assemble the `IndexJoin` plan for a choice made by `index_join_choice`.
+fn build_index_join(
+    l: PlannedItem,
+    left_keys: Vec<PhysExpr>,
+    r: PlannedItem,
+    right_keys: Vec<PhysExpr>,
+    kind: JoinKind,
+    residual: Option<PhysExpr>,
+    (inner_is_left, meta, perm): (bool, IndexMeta, Vec<usize>),
+) -> PhysPlan {
+    let (probe_plan, probe_key_src, inner_item) = if inner_is_left {
+        (r.plan, right_keys, l)
+    } else {
+        (l.plan, left_keys, r)
+    };
+    let access = inner_item
+        .access
+        .expect("index_join_choice picked an inner side with access metadata");
+    let probe_keys = perm.iter().map(|&p| probe_key_src[p].clone()).collect();
+    let inner = PhysPlan::IndexScan {
+        rows: access.rows,
+        width: access.width,
+        index_name: meta.name,
+        index: meta.index,
+        keys: None,
+    };
+    PhysPlan::IndexJoin {
+        probe: Box::new(probe_plan),
+        probe_keys,
+        inner: Box::new(inner),
+        inner_is_left,
+        kind,
+        inner_width: access.width,
+        residual,
+    }
 }
 
 /// Plans statements against a catalog snapshot.
@@ -308,8 +564,9 @@ impl<'a> Planner<'a> {
     // FROM clause
     // ------------------------------------------------------------------
 
-    /// Plan a single table factor, producing its plan and scope.
-    fn plan_table_ref(&mut self, tref: &TableRef) -> Result<(PhysPlan, Scope)> {
+    /// Plan a single table factor, producing its plan, scope, and (for bare
+    /// base-table scans) the table's access paths.
+    fn plan_table_ref(&mut self, tref: &TableRef) -> Result<PlannedItem> {
         match tref {
             TableRef::Named { name, alias } => {
                 let qual = alias.clone().unwrap_or_else(|| name.clone());
@@ -322,13 +579,21 @@ impl<'a> Planner<'a> {
                                 .iter()
                                 .map(|c| ColLabel::new(Some(&qual), c))
                                 .collect();
-                            Ok((planned.plan, Scope::new(labels)))
+                            Ok(PlannedItem {
+                                plan: planned.plan,
+                                scope: Scope::new(labels),
+                                access: None,
+                            })
                         }
                         CteEntry::Table(rows, cols) => {
                             let width = cols.len();
                             let labels =
                                 cols.iter().map(|c| ColLabel::new(Some(&qual), c)).collect();
-                            Ok((PhysPlan::Scan { rows, width }, Scope::new(labels)))
+                            Ok(PlannedItem {
+                                plan: PhysPlan::Scan { rows, width },
+                                scope: Scope::new(labels),
+                                access: None,
+                            })
                         }
                     }
                 } else {
@@ -339,13 +604,38 @@ impl<'a> Planner<'a> {
                         .iter()
                         .map(|c| ColLabel::new(Some(&qual), &c.name))
                         .collect();
-                    Ok((
-                        PhysPlan::Scan {
+                    let access = if self.config.use_indexes {
+                        let mut indexes = Vec::new();
+                        if let Some(p) = &table.primary {
+                            indexes.push(IndexMeta {
+                                name: format!("{}.pk", table.name),
+                                key_columns: p.key_columns.clone(),
+                                index: IndexRef::Unique(Arc::clone(&p.map)),
+                            });
+                        }
+                        for s in &table.secondary {
+                            indexes.push(IndexMeta {
+                                name: s.name.clone(),
+                                key_columns: s.key_columns.clone(),
+                                index: IndexRef::Multi(Arc::clone(&s.map)),
+                            });
+                        }
+                        Some(TableAccess {
+                            rows: Arc::clone(&table.rows),
+                            width: table.schema.len(),
+                            indexes,
+                        })
+                    } else {
+                        None
+                    };
+                    Ok(PlannedItem {
+                        plan: PhysPlan::Scan {
                             rows: Arc::clone(&table.rows),
                             width: table.schema.len(),
                         },
-                        Scope::new(labels),
-                    ))
+                        scope: Scope::new(labels),
+                        access,
+                    })
                 }
             }
             TableRef::Derived { query, alias } => {
@@ -355,7 +645,11 @@ impl<'a> Planner<'a> {
                     .iter()
                     .map(|c| ColLabel::new(Some(alias), c))
                     .collect();
-                Ok((planned.plan, Scope::new(labels)))
+                Ok(PlannedItem {
+                    plan: planned.plan,
+                    scope: Scope::new(labels),
+                    access: None,
+                })
             }
             TableRef::Join {
                 left,
@@ -363,29 +657,30 @@ impl<'a> Planner<'a> {
                 kind,
                 on,
             } => {
-                let (lp, ls) = self.plan_table_ref(left)?;
-                let (rp, rs) = self.plan_table_ref(right)?;
-                self.plan_join(lp, ls, rp, rs, *kind, on.as_ref())
+                let l = self.plan_table_ref(left)?;
+                let r = self.plan_table_ref(right)?;
+                self.plan_join(l, r, *kind, on.as_ref())
             }
         }
     }
 
     /// Build a join between two planned inputs, detecting equi-keys in `on`.
+    /// Equi joins prefer an index-nested-loop plan when one side is a bare
+    /// base-table scan with an index covering the join keys and the probe
+    /// side is estimated small enough; otherwise they hash-join.
     fn plan_join(
         &mut self,
-        lp: PhysPlan,
-        ls: Scope,
-        rp: PhysPlan,
-        rs: Scope,
+        l: PlannedItem,
+        r: PlannedItem,
         kind: JoinKind,
         on: Option<&Expr>,
-    ) -> Result<(PhysPlan, Scope)> {
-        let joined_scope = ls.join(&rs);
-        let right_width = rs.len();
+    ) -> Result<PlannedItem> {
+        let joined_scope = l.scope.join(&r.scope);
+        let right_width = r.scope.len();
         let plan = match on {
             None => PhysPlan::NestedLoopJoin {
-                left: Box::new(lp),
-                right: Box::new(rp),
+                left: Box::new(l.plan),
+                right: Box::new(r.plan),
                 kind,
                 right_width,
                 predicate: None,
@@ -395,7 +690,7 @@ impl<'a> Planner<'a> {
                 let (mut left_keys, mut right_keys, mut residual) =
                     (Vec::new(), Vec::new(), Vec::new());
                 for c in &conjuncts {
-                    if let Some((le, re)) = self.as_equi_key(c, &ls, &rs)? {
+                    if let Some((le, re)) = self.as_equi_key(c, &l.scope, &r.scope)? {
                         left_keys.push(le);
                         right_keys.push(re);
                         continue;
@@ -406,8 +701,8 @@ impl<'a> Planner<'a> {
                     let predicate = conjoin(&conjuncts);
                     let bound = bind_expr(&predicate, &joined_scope, self.params)?;
                     PhysPlan::NestedLoopJoin {
-                        left: Box::new(lp),
-                        right: Box::new(rp),
+                        left: Box::new(l.plan),
+                        right: Box::new(r.plan),
                         kind,
                         right_width,
                         predicate: Some(bound),
@@ -419,20 +714,28 @@ impl<'a> Planner<'a> {
                         let refs: Vec<&Expr> = residual.iter().collect();
                         Some(bind_expr(&conjoin(&refs), &joined_scope, self.params)?)
                     };
-                    PhysPlan::HashJoin {
-                        left: Box::new(lp),
-                        right: Box::new(rp),
-                        left_keys,
-                        right_keys,
-                        kind,
-                        right_width,
-                        residual,
-                        algo: self.config.join_algo,
+                    if let Some(choice) = index_join_choice(&l, &left_keys, &r, &right_keys, kind) {
+                        build_index_join(l, left_keys, r, right_keys, kind, residual, choice)
+                    } else {
+                        PhysPlan::HashJoin {
+                            left: Box::new(l.plan),
+                            right: Box::new(r.plan),
+                            left_keys,
+                            right_keys,
+                            kind,
+                            right_width,
+                            residual,
+                            algo: self.config.join_algo,
+                        }
                     }
                 }
             }
         };
-        Ok((plan, joined_scope))
+        Ok(PlannedItem {
+            plan,
+            scope: joined_scope,
+            access: None,
+        })
     }
 
     /// If `expr` is `a = b` with `a` bindable purely in `ls` and `b` in `rs`
@@ -577,7 +880,7 @@ impl<'a> Planner<'a> {
         };
 
         // 1. FROM: plan each comma item.
-        let mut items: Vec<(PhysPlan, Scope)> = Vec::with_capacity(select.from.len());
+        let mut items: Vec<PlannedItem> = Vec::with_capacity(select.from.len());
         for tref in &select.from {
             items.push(self.plan_table_ref(tref)?);
         }
@@ -810,22 +1113,25 @@ impl<'a> Planner<'a> {
     }
 
     /// Greedy left-deep join of comma-separated FROM items using WHERE
-    /// conjuncts. Single-item conjuncts are pushed down as filters; equi
-    /// conjuncts become hash-join keys. Conjuncts that cannot be placed are
-    /// stored in `self.leftover_conjuncts` for the caller.
+    /// conjuncts. Single-item conjuncts are pushed down as filters — or, when
+    /// they match an index on a bare base-table scan, converted into an
+    /// `IndexScan` point/multi-point lookup. Equi conjuncts become hash-join
+    /// keys, or an index-nested-loop join when one side is a bare indexed
+    /// scan and the other is estimated small. Conjuncts that cannot be
+    /// placed are stored in `self.leftover_conjuncts` for the caller.
     fn join_comma_items(
         &mut self,
-        mut items: Vec<(PhysPlan, Scope)>,
+        mut items: Vec<PlannedItem>,
         conjuncts: &[Expr],
     ) -> Result<(PhysPlan, Scope)> {
         let mut remaining: Vec<Expr> = conjuncts.to_vec();
 
         // Push single-item predicates down onto their item.
-        for (plan, scope) in items.iter_mut() {
+        for item in items.iter_mut() {
             let mut kept = Vec::new();
             let mut pushed: Vec<Expr> = Vec::new();
             for c in remaining.drain(..) {
-                if bind_expr(&c, scope, self.params).is_ok() {
+                if bind_expr(&c, &item.scope, self.params).is_ok() {
                     pushed.push(c);
                 } else {
                     kept.push(c);
@@ -833,23 +1139,43 @@ impl<'a> Planner<'a> {
             }
             remaining = kept;
             if !pushed.is_empty() {
-                let refs: Vec<&Expr> = pushed.iter().collect();
-                let predicate = bind_expr(&conjoin(&refs), scope, self.params)?;
-                let input = std::mem::replace(plan, PhysPlan::OneRow);
-                *plan = PhysPlan::Filter {
-                    input: Box::new(input),
-                    predicate,
-                };
+                // Equality / IN conjuncts covering an index turn the scan
+                // into index lookups; whatever they don't consume stays as a
+                // filter on top.
+                let mut residual = pushed;
+                if let Some(access) = &item.access {
+                    if let Some((scan, consumed)) =
+                        self.try_index_scan(access, &item.scope, &residual)?
+                    {
+                        item.plan = scan;
+                        residual = residual
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(i, _)| !consumed.contains(i))
+                            .map(|(_, c)| c)
+                            .collect();
+                    }
+                }
+                item.access = None;
+                if !residual.is_empty() {
+                    let refs: Vec<&Expr> = residual.iter().collect();
+                    let predicate = bind_expr(&conjoin(&refs), &item.scope, self.params)?;
+                    let input = std::mem::replace(&mut item.plan, PhysPlan::OneRow);
+                    item.plan = PhysPlan::Filter {
+                        input: Box::new(input),
+                        predicate,
+                    };
+                }
             }
         }
 
-        let (mut plan, mut scope) = items.remove(0);
+        let mut cur = items.remove(0);
         while !items.is_empty() {
             // Find an item connected to the current scope by an equi conjunct.
             let mut chosen: Option<usize> = None;
-            'outer: for (idx, (_, iscope)) in items.iter().enumerate() {
+            'outer: for (idx, item) in items.iter().enumerate() {
                 for c in &remaining {
-                    if self.as_equi_key(c, &scope, iscope)?.is_some() {
+                    if self.as_equi_key(c, &cur.scope, &item.scope)?.is_some() {
                         chosen = Some(idx);
                         break 'outer;
                     }
@@ -857,12 +1183,12 @@ impl<'a> Planner<'a> {
             }
             match chosen {
                 Some(idx) => {
-                    let (rp, rs) = items.remove(idx);
+                    let ritem = items.remove(idx);
                     let mut left_keys = Vec::new();
                     let mut right_keys = Vec::new();
                     let mut kept = Vec::new();
                     for c in remaining.drain(..) {
-                        if let Some((le, re)) = self.as_equi_key(&c, &scope, &rs)? {
+                        if let Some((le, re)) = self.as_equi_key(&c, &cur.scope, &ritem.scope)? {
                             left_keys.push(le);
                             right_keys.push(re);
                         } else {
@@ -870,28 +1196,47 @@ impl<'a> Planner<'a> {
                         }
                     }
                     remaining = kept;
-                    let right_width = rs.len();
-                    scope = scope.join(&rs);
-                    plan = PhysPlan::HashJoin {
-                        left: Box::new(plan),
-                        right: Box::new(rp),
-                        left_keys,
-                        right_keys,
-                        kind: JoinKind::Inner,
-                        right_width,
-                        residual: None,
-                        algo: self.config.join_algo,
+                    let right_width = ritem.scope.len();
+                    let scope = cur.scope.join(&ritem.scope);
+                    let plan = if let Some(choice) =
+                        index_join_choice(&cur, &left_keys, &ritem, &right_keys, JoinKind::Inner)
+                    {
+                        build_index_join(
+                            cur,
+                            left_keys,
+                            ritem,
+                            right_keys,
+                            JoinKind::Inner,
+                            None,
+                            choice,
+                        )
+                    } else {
+                        PhysPlan::HashJoin {
+                            left: Box::new(cur.plan),
+                            right: Box::new(ritem.plan),
+                            left_keys,
+                            right_keys,
+                            kind: JoinKind::Inner,
+                            right_width,
+                            residual: None,
+                            algo: self.config.join_algo,
+                        }
+                    };
+                    cur = PlannedItem {
+                        plan,
+                        scope,
+                        access: None,
                     };
                 }
                 None => {
                     // Cross join with the next item; applicable predicates
                     // (now bindable over the union scope) are applied after.
-                    let (rp, rs) = items.remove(0);
-                    let right_width = rs.len();
-                    scope = scope.join(&rs);
-                    plan = PhysPlan::NestedLoopJoin {
-                        left: Box::new(plan),
-                        right: Box::new(rp),
+                    let ritem = items.remove(0);
+                    let right_width = ritem.scope.len();
+                    let scope = cur.scope.join(&ritem.scope);
+                    let mut plan = PhysPlan::NestedLoopJoin {
+                        left: Box::new(cur.plan),
+                        right: Box::new(ritem.plan),
                         kind: JoinKind::Cross,
                         right_width,
                         predicate: None,
@@ -916,11 +1261,137 @@ impl<'a> Planner<'a> {
                             predicate,
                         };
                     }
+                    cur = PlannedItem {
+                        plan,
+                        scope,
+                        access: None,
+                    };
                 }
             }
         }
         self.leftover_conjuncts = remaining;
-        Ok((plan, scope))
+        Ok((cur.plan, cur.scope))
+    }
+
+    /// Try to convert pushed-down conjuncts over a bare base-table scan into
+    /// an `IndexScan`. Recognizes `col = <const>` and non-negated
+    /// `col IN (<consts>)`; if some index's key columns are all constrained,
+    /// returns the lookup plan plus the indexes (into `conjuncts`) of the
+    /// conjuncts it fully consumed. NULL values are dropped from the key sets
+    /// (`col = NULL` matches nothing), and the cartesian product of IN-list
+    /// values is capped at `MAX_INDEX_KEYS` per index.
+    fn try_index_scan(
+        &self,
+        access: &TableAccess,
+        scope: &Scope,
+        conjuncts: &[Expr],
+    ) -> Result<Option<(PhysPlan, Vec<usize>)>> {
+        // col → (conjunct index, candidate values). First conjunct per
+        // column wins; a second one stays behind as a residual filter.
+        let mut candidates: HashMap<usize, (usize, Vec<Value>)> = HashMap::new();
+        for (ci, c) in conjuncts.iter().enumerate() {
+            let (col, values) = match c {
+                Expr::Binary {
+                    left,
+                    op: ast::BinaryOp::Eq,
+                    right,
+                } => {
+                    if let (Some(col), Some(v)) =
+                        (self.as_scope_column(left, scope), self.const_value(right))
+                    {
+                        (col, vec![v])
+                    } else if let (Some(col), Some(v)) =
+                        (self.as_scope_column(right, scope), self.const_value(left))
+                    {
+                        (col, vec![v])
+                    } else {
+                        continue;
+                    }
+                }
+                Expr::InList {
+                    expr,
+                    list,
+                    negated: false,
+                } => {
+                    let Some(col) = self.as_scope_column(expr, scope) else {
+                        continue;
+                    };
+                    let Some(values) = list
+                        .iter()
+                        .map(|e| self.const_value(e))
+                        .collect::<Option<Vec<_>>>()
+                    else {
+                        continue;
+                    };
+                    (col, values)
+                }
+                _ => continue,
+            };
+            candidates.entry(col).or_insert((ci, values));
+        }
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        'indexes: for idx in &access.indexes {
+            if !idx.key_columns.iter().all(|c| candidates.contains_key(c)) {
+                continue;
+            }
+            // Cartesian product of per-column value sets, NULLs dropped and
+            // duplicates removed (index maps compare with `Value`'s total
+            // equality, which matches `=` for non-NULL operands).
+            let mut keys: Vec<Vec<Value>> = vec![Vec::new()];
+            for c in &idx.key_columns {
+                let (_, values) = &candidates[c];
+                let mut uniq: Vec<&Value> = Vec::new();
+                for v in values {
+                    if !matches!(v, Value::Null) && !uniq.contains(&v) {
+                        uniq.push(v);
+                    }
+                }
+                let mut next = Vec::with_capacity(keys.len() * uniq.len());
+                for k in &keys {
+                    for v in &uniq {
+                        if next.len() >= MAX_INDEX_KEYS {
+                            continue 'indexes;
+                        }
+                        let mut k2 = k.clone();
+                        k2.push((*v).clone());
+                        next.push(k2);
+                    }
+                }
+                keys = next;
+            }
+            let consumed: Vec<usize> = idx.key_columns.iter().map(|c| candidates[c].0).collect();
+            return Ok(Some((
+                PhysPlan::IndexScan {
+                    rows: Arc::clone(&access.rows),
+                    width: access.width,
+                    index_name: idx.name.clone(),
+                    index: idx.index.clone(),
+                    keys: Some(keys),
+                },
+                consumed,
+            )));
+        }
+        Ok(None)
+    }
+
+    /// `e` as a bare column reference resolved in `scope`, if it is one.
+    fn as_scope_column(&self, e: &Expr, scope: &Scope) -> Option<usize> {
+        if !matches!(e, Expr::Column { .. }) {
+            return None;
+        }
+        match bind_expr(e, scope, self.params) {
+            Ok(PhysExpr::Column(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// `e` as a constant `Value`, if it binds without any column references
+    /// and const-evaluates (parameters are inlined by `bind_expr`).
+    fn const_value(&self, e: &Expr) -> Option<Value> {
+        let bound = bind_expr(e, &Scope::default(), self.params).ok()?;
+        bound.eval_const().ok()
     }
 
     /// Build the Aggregate node and rewrite projection/HAVING/ORDER BY in

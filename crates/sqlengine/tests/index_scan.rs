@@ -1,0 +1,389 @@
+//! Index-aware planning and plan-cache tests.
+//!
+//! The differential half mirrors `parallel_exec.rs`: fixtures come from a
+//! deterministic LCG (no external crates), and every query runs twice — once
+//! on a default database (index scans + plan cache on) and once on a database
+//! with both forced off — asserting identical result sets. Plan shapes are
+//! verified through `EXPLAIN` text, cache behaviour through the hit/miss
+//! counters, and invalidation through DDL/DML/ROLLBACK sequences.
+
+use sqlengine::{Database, EngineConfig, Value};
+
+/// Tiny deterministic PRNG so fixtures are identical on every run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+const ROWS: usize = 400;
+
+/// A weights-shaped table (pk on (j, k), secondary on j) plus a small dim
+/// table, with NULLs sprinkled into the non-key columns and a keyless table
+/// `u` that gets NULLs in its indexed column too.
+fn seeded_db(config: EngineConfig) -> Database {
+    let db = Database::with_config(config);
+    db.execute("CREATE TABLE w (j INTEGER, k INTEGER, v REAL, PRIMARY KEY (j, k))")
+        .unwrap();
+    db.execute("CREATE INDEX w_j ON w (j)").unwrap();
+    db.execute("CREATE TABLE u (j INTEGER, s TEXT)").unwrap();
+    db.execute("CREATE INDEX u_j ON u (j)").unwrap();
+    db.execute("CREATE TABLE dim (j INTEGER, name TEXT)")
+        .unwrap();
+    let mut rng = Lcg(0x1D5EED);
+    let mut rows = Vec::with_capacity(ROWS);
+    let mut seen = std::collections::HashSet::new();
+    while rows.len() < ROWS {
+        let j = (rng.next() % 50) as i64;
+        let k = (rng.next() % 10) as i64;
+        if !seen.insert((j, k)) {
+            continue;
+        }
+        let v = (rng.next() % 10_000) as f64 / 100.0;
+        rows.push(vec![Value::Int(j), Value::Int(k), Value::Float(v)]);
+    }
+    db.insert_rows("w", rows).unwrap();
+    let mut urows = Vec::new();
+    for _ in 0..ROWS {
+        let j = if rng.next().is_multiple_of(7) {
+            Value::Null
+        } else {
+            Value::Int((rng.next() % 50) as i64)
+        };
+        urows.push(vec![j, Value::text(format!("s{}", rng.next() % 20))]);
+    }
+    db.insert_rows("u", urows).unwrap();
+    let mut dim = Vec::new();
+    for j in 0..5i64 {
+        dim.push(vec![Value::Int(j), Value::text(format!("dim-{j}"))]);
+    }
+    db.insert_rows("dim", dim).unwrap();
+    db
+}
+
+fn no_index_config() -> EngineConfig {
+    EngineConfig::default()
+        .with_index_scans(false)
+        .with_plan_cache(false)
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort();
+    rows
+}
+
+const QUERIES: &[&str] = &[
+    // Primary-index point lookup (full key).
+    "SELECT j, k, v FROM w WHERE j = 7 AND k = 3",
+    // Reversed operand order and cross-type (Float literal on Int column).
+    "SELECT j, k, v FROM w WHERE 7 = j AND k = 3.0",
+    // IN-list on both key columns (multi-point lookup).
+    "SELECT j, k, v FROM w WHERE j IN (1, 2, 3) AND k IN (0, 5)",
+    // NULL in the IN list never matches; NULL equality matches nothing.
+    "SELECT j, s FROM u WHERE j IN (4, NULL, 9)",
+    "SELECT j, s FROM u WHERE j = NULL",
+    // Secondary index with duplicates, plus a residual predicate.
+    "SELECT j, s FROM u WHERE j = 12 AND s <> 's3'",
+    // Partial key (j only) cannot use the (j, k) primary; must still be right.
+    "SELECT j, k, v FROM w WHERE j = 7",
+    // Index-nested-loop join: small probe vs indexed w.
+    "SELECT w.j, w.k, w.v, dim.name FROM w, dim WHERE w.j = dim.j",
+    // The same join written with JOIN ... ON.
+    "SELECT w.j, w.v, dim.name FROM w JOIN dim ON w.j = dim.j WHERE w.k = 1",
+    // Aggregation over an index lookup.
+    "SELECT COUNT(*) AS n, SUM(v) AS sv FROM w WHERE j IN (10, 20, 30)",
+];
+
+#[test]
+fn index_plans_match_full_scans() {
+    let indexed = seeded_db(EngineConfig::default());
+    let full = seeded_db(no_index_config());
+    for q in QUERIES {
+        let a = sorted(indexed.query(q).unwrap().rows);
+        let b = sorted(full.query(q).unwrap().rows);
+        assert_eq!(a, b, "row mismatch for {q}");
+    }
+}
+
+#[test]
+fn index_plans_match_full_scans_after_delete_and_update() {
+    let indexed = seeded_db(EngineConfig::default());
+    let full = seeded_db(no_index_config());
+    for db in [&indexed, &full] {
+        // Incremental delete path (small fraction of rows), then an UPDATE
+        // that moves some rows to new index keys, then a bulk delete that
+        // triggers the rebuild fallback on `u`.
+        db.execute("DELETE FROM w WHERE j = 7 OR k = 9").unwrap();
+        db.execute("UPDATE w SET k = k + 100 WHERE j = 11").unwrap();
+        db.execute("UPDATE u SET j = 99 WHERE j = 12").unwrap();
+        db.execute("DELETE FROM u WHERE s <> 's3' AND s <> 's4'")
+            .unwrap();
+    }
+    let post_queries = [
+        "SELECT j, k, v FROM w WHERE j = 7",
+        "SELECT j, k, v FROM w WHERE j = 11 AND k = 103",
+        "SELECT j, k, v FROM w WHERE j IN (11, 12, 13)",
+        "SELECT j, s FROM u WHERE j = 99",
+        "SELECT j, s FROM u WHERE j IN (12, 99, NULL)",
+        "SELECT w.j, w.k, dim.name FROM w, dim WHERE w.j = dim.j",
+    ];
+    for q in &post_queries {
+        let a = sorted(indexed.query(q).unwrap().rows);
+        let b = sorted(full.query(q).unwrap().rows);
+        assert_eq!(a, b, "row mismatch for {q}");
+    }
+}
+
+#[test]
+fn explain_shows_index_scan_for_point_lookup() {
+    let db = seeded_db(EngineConfig::default());
+    let plan = db.explain("SELECT v FROM w WHERE j = 7 AND k = 3").unwrap();
+    assert!(plan.contains("IndexScan w.pk (1 keys)"), "plan:\n{plan}");
+    let plan = db.explain("SELECT s FROM u WHERE j IN (1, 2, 3)").unwrap();
+    assert!(plan.contains("IndexScan u_j (3 keys)"), "plan:\n{plan}");
+    // Forced-off config keeps full scans.
+    let db = seeded_db(no_index_config());
+    let plan = db.explain("SELECT v FROM w WHERE j = 7 AND k = 3").unwrap();
+    assert!(!plan.contains("IndexScan"), "plan:\n{plan}");
+}
+
+#[test]
+fn explain_shows_index_nested_loop_join() {
+    let db = seeded_db(EngineConfig::default());
+    let plan = db
+        .explain("SELECT w.v, dim.name FROM w, dim WHERE w.j = dim.j")
+        .unwrap();
+    assert!(plan.contains("IndexNestedLoopJoin"), "plan:\n{plan}");
+    assert!(plan.contains("IndexScan w_j (probed)"), "plan:\n{plan}");
+    // EXPLAIN ANALYZE reports the rows fetched through the index.
+    let analyzed = db
+        .explain_analyze("SELECT w.v, dim.name FROM w, dim WHERE w.j = dim.j")
+        .unwrap();
+    assert!(analyzed.contains("IndexScan"), "analyze:\n{analyzed}");
+}
+
+#[test]
+fn large_in_lists_fall_back_to_filter() {
+    let db = seeded_db(EngineConfig::default());
+    // 9 × 8 = 72 key combinations exceeds the planner's 64-key cap on the
+    // (j, k) primary, so planning falls back to the single-column j index
+    // with the k predicate as a residual filter.
+    let q = "SELECT v FROM w WHERE j IN (1,2,3,4,5,6,7,8,9) \
+             AND k IN (0,1,2,3,4,5,6,7)";
+    let plan = db.explain(q).unwrap();
+    assert!(!plan.contains("IndexScan w.pk"), "plan:\n{plan}");
+    assert!(plan.contains("IndexScan w_j (9 keys)"), "plan:\n{plan}");
+    let a = sorted(db.query(q).unwrap().rows);
+    let b = sorted(seeded_db(no_index_config()).query(q).unwrap().rows);
+    assert_eq!(a, b);
+
+    // A single IN list past the cap keeps the full scan.
+    let vals: Vec<String> = (0..70).map(|i| i.to_string()).collect();
+    let q = format!("SELECT s FROM u WHERE j IN ({})", vals.join(","));
+    let plan = db.explain(&q).unwrap();
+    assert!(!plan.contains("IndexScan"), "plan:\n{plan}");
+    let a = sorted(db.query(&q).unwrap().rows);
+    let b = sorted(seeded_db(no_index_config()).query(&q).unwrap().rows);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn plan_cache_hits_on_repeat_and_serves_fresh_data() {
+    let db = seeded_db(EngineConfig::default());
+    let q = "SELECT COUNT(*) AS n FROM u WHERE j = 4";
+    let first = db.query(q).unwrap();
+    let (h0, _) = db.plan_cache_stats();
+    let second = db.query(q).unwrap();
+    let (h1, _) = db.plan_cache_stats();
+    assert_eq!(first, second);
+    assert_eq!(h1, h0 + 1, "repeat of the same SQL should hit the cache");
+
+    // DML invalidates: the next run re-plans against the new data.
+    db.execute("INSERT INTO u (j, s) VALUES (4, 'fresh')")
+        .unwrap();
+    let third = db.query(q).unwrap();
+    let n = |r: &sqlengine::QueryResult| match r.scalar().unwrap() {
+        Value::Int(n) => *n,
+        other => panic!("expected Int, got {other:?}"),
+    };
+    assert_eq!(n(&third), n(&second) + 1, "cached plan served stale rows");
+}
+
+#[test]
+fn plan_cache_invalidated_by_ddl() {
+    let db = Database::with_config(EngineConfig::default());
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER)").unwrap();
+    let mut rows = Vec::new();
+    for i in 0..200i64 {
+        rows.push(vec![Value::Int(i % 20), Value::Int(i)]);
+    }
+    db.insert_rows("t", rows).unwrap();
+    let q = "SELECT b FROM t WHERE a = 3";
+    db.query(q).unwrap();
+    let v0 = db.catalog_version();
+
+    // CREATE INDEX bumps the version; the replanned query now uses it.
+    assert!(!db.explain(q).unwrap().contains("IndexScan"));
+    db.execute("CREATE INDEX t_a ON t (a)").unwrap();
+    assert!(db.catalog_version() > v0);
+    let (_, m0) = db.plan_cache_stats();
+    let rows = sorted(db.query(q).unwrap().rows);
+    let (_, m1) = db.plan_cache_stats();
+    assert_eq!(m1, m0 + 1, "CREATE INDEX must invalidate the cached plan");
+    assert!(db.explain(q).unwrap().contains("IndexScan t_a"));
+    assert_eq!(rows, sorted(db.query(q).unwrap().rows));
+
+    // DROP + recreate with a different shape: the cached plan must go.
+    db.execute("DROP TABLE t").unwrap();
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (3, 'new')").unwrap();
+    let r = db.query(q).unwrap();
+    assert_eq!(r.rows, vec![vec![Value::text("new")]]);
+}
+
+#[test]
+fn plan_cache_invalidated_by_rollback() {
+    let db = Database::with_config(EngineConfig::default());
+    db.execute("CREATE TABLE t (a INTEGER)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    let q = "SELECT COUNT(*) AS n FROM t";
+    assert_eq!(db.query_scalar(q).unwrap(), Value::Int(2));
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+    // Caches a plan over the in-transaction snapshot.
+    assert_eq!(db.query_scalar(q).unwrap(), Value::Int(3));
+    db.execute("ROLLBACK").unwrap();
+    // The rolled-back catalog must not be served from the cache.
+    assert_eq!(db.query_scalar(q).unwrap(), Value::Int(2));
+}
+
+#[test]
+fn prepared_statements_reuse_cached_plans() {
+    let db = seeded_db(EngineConfig::default());
+    let stmt = db.prepare("SELECT v FROM w WHERE j = 7 AND k = 3").unwrap();
+    let first = stmt.query(&[]).unwrap();
+    let (h0, _) = db.plan_cache_stats();
+    for _ in 0..5 {
+        assert_eq!(stmt.query(&[]).unwrap(), first);
+    }
+    let (h1, _) = db.plan_cache_stats();
+    assert_eq!(h1, h0 + 5, "prepared re-executions should all hit");
+
+    // Parameterized statements bypass the cache (values are inlined into
+    // plans) but stay correct.
+    let stmt = db.prepare("SELECT v FROM w WHERE j = ? AND k = ?").unwrap();
+    let a = stmt.query(&[Value::Int(7), Value::Int(3)]).unwrap();
+    assert_eq!(a.rows, first.rows);
+    let b = stmt.query(&[Value::Int(8), Value::Int(3)]).unwrap();
+    assert_ne!(a.rows, b.rows);
+}
+
+/// The BornSQL serving hot path, replayed at the engine layer: the deployed
+/// `predict` query shape (as emitted by the core crate's generator) must plan
+/// an index-nested-loop join probing the weights `j` index, with the `params`
+/// and item lookups served by primary-index point lookups.
+#[test]
+fn serving_query_shape_uses_weights_index() {
+    let predict_sql = "WITH abh AS (SELECT a, b, h FROM params WHERE model = 'm'), \
+         n_n AS (SELECT n FROM labels WHERE n = 3), \
+         x_nj AS (SELECT qx.n AS n, qx.j AS j, qx.w AS w \
+         FROM (SELECT n, term AS j, cnt AS w FROM features) AS qx, n_n \
+         WHERE qx.n = n_n.n), \
+         hwx_nk AS (SELECT x_nj.n AS n, hw.k AS k, \
+         SUM(hw.w * POW(x_nj.w, a)) AS w \
+         FROM m_weights AS hw, x_nj, abh \
+         WHERE hw.j = x_nj.j GROUP BY x_nj.n, hw.k) \
+         SELECT r_nk.n AS n, r_nk.k AS k FROM (\
+         SELECT n, k, ROW_NUMBER() OVER (PARTITION BY n ORDER BY w DESC, k ASC) AS r \
+         FROM hwx_nk) AS r_nk WHERE r_nk.r = 1 ORDER BY n";
+
+    let serving_db = |config: EngineConfig| {
+        let db = Database::with_config(config);
+        db.execute_script(
+            "CREATE TABLE params (model TEXT PRIMARY KEY, a REAL, b REAL, h REAL);
+             CREATE TABLE m_weights (j TEXT, k TEXT, w REAL, PRIMARY KEY (j, k));
+             CREATE INDEX m_weights_j ON m_weights (j);
+             CREATE TABLE features (n INTEGER, term TEXT, cnt REAL);
+             CREATE TABLE labels (n INTEGER, label TEXT, PRIMARY KEY (n));
+             INSERT INTO params (model, a, b, h) VALUES ('m', 0.5, 1.0, 1.0);",
+        )
+        .unwrap();
+        // 80 weights cells — comfortably past the 64-row inner-side floor of
+        // the index-join cost gate.
+        let mut wrows = Vec::new();
+        for j in 0..40i64 {
+            for k in ["a", "b"] {
+                wrows.push(vec![
+                    Value::text(format!("t{j}")),
+                    Value::text(k),
+                    Value::Float(0.01 + (j as f64) / ((j + 40) as f64)),
+                ]);
+            }
+        }
+        db.insert_rows("m_weights", wrows).unwrap();
+        let mut frows = Vec::new();
+        let mut lrows = Vec::new();
+        for n in 1..=20i64 {
+            for i in 0..4i64 {
+                frows.push(vec![
+                    Value::Int(n),
+                    Value::text(format!("t{}", (n + i * 7) % 40)),
+                    Value::Float(1.0 + i as f64),
+                ]);
+            }
+            lrows.push(vec![
+                Value::Int(n),
+                Value::text(if n % 2 == 0 { "a" } else { "b" }),
+            ]);
+        }
+        db.insert_rows("features", frows).unwrap();
+        db.insert_rows("labels", lrows).unwrap();
+        db
+    };
+
+    let db = serving_db(EngineConfig::default());
+    let plan = db.explain(predict_sql).unwrap();
+    assert!(
+        plan.contains("IndexScan m_weights_j (probed)"),
+        "serving query must probe the weights index:\n{plan}"
+    );
+    assert!(
+        plan.contains("IndexNestedLoopJoin"),
+        "expected index-nested-loop join:\n{plan}"
+    );
+    assert!(
+        plan.contains("IndexScan params.pk (1 keys)"),
+        "params lookup should be a point lookup:\n{plan}"
+    );
+    assert!(
+        plan.contains("IndexScan labels.pk (1 keys)"),
+        "item lookup should be a point lookup:\n{plan}"
+    );
+
+    // Differential: same predictions without any index machinery.
+    let full = serving_db(no_index_config());
+    let a = db.query(predict_sql).unwrap();
+    let b = full.query(predict_sql).unwrap();
+    assert_eq!(a.rows, b.rows);
+
+    // Repeated serving calls hit the plan cache.
+    let (h0, _) = db.plan_cache_stats();
+    for _ in 0..3 {
+        assert_eq!(db.query(predict_sql).unwrap().rows, a.rows);
+    }
+    let (h1, _) = db.plan_cache_stats();
+    assert_eq!(h1, h0 + 3, "repeated predicts should hit the plan cache");
+
+    // EXPLAIN ANALYZE reports rows fetched through the index probe.
+    let analyzed = db.explain_analyze(predict_sql).unwrap();
+    assert!(
+        analyzed.contains("IndexScan m_weights_j (probed)"),
+        "analyze output should show the index probe:\n{analyzed}"
+    );
+}
