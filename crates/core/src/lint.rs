@@ -1,0 +1,203 @@
+//! BornSQL query-conformance linter: static analysis of every statement the
+//! generator can emit, for every dialect, against a shadow catalog — with
+//! zero query execution.
+//!
+//! BornSQL's contribution is machine-generated SQL, so a malformed template
+//! or emitter drift would otherwise only surface as a runtime error deep in
+//! a fit/predict pipeline. The linter instead renders the full
+//! operation × dialect matrix and runs each statement through the engine's
+//! semantic analyzer ([`sqlengine::Database::check`]): name resolution,
+//! type inference, aggregate/window placement, and constant folding all
+//! happen at lint time against the *expected* catalog shape, and any
+//! failure carries a byte-span diagnostic pointing into the generated text.
+//!
+//! Non-executable dialect text (MySQL's upsert tail) is normalized to the
+//! engine's equivalent syntax before checking, so the analyzed statement is
+//! semantically identical to what the foreign engine would run.
+
+use crate::dialect::Dialect;
+use crate::spec::DataSpec;
+use crate::sql::SqlGenerator;
+use sqlengine::Database;
+
+/// One statically rejected generated statement.
+#[derive(Debug, Clone)]
+pub struct LintFailure {
+    pub dialect: &'static str,
+    pub operation: &'static str,
+    /// The analyzer's message.
+    pub message: String,
+    /// Message plus caret snippet into the generated SQL.
+    pub rendered: String,
+    /// The (normalized) statement that failed.
+    pub sql: String,
+}
+
+/// Outcome of a conformance sweep.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Number of statements checked.
+    pub checked: usize,
+    pub failures: Vec<LintFailure>,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn merge(&mut self, other: LintReport) {
+        self.checked += other.checked;
+        self.failures.extend(other.failures);
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} statements checked, {} failure(s)",
+            self.checked,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(
+                f,
+                "[{} / {}] {}",
+                fail.dialect, fail.operation, fail.rendered
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Every operation the generator emits for a *trainable* spec (one that has
+/// targets), paired with a stable operation name. Covers the whole paper
+/// surface: schema management, fit, incremental fit, unlearning, deployment,
+/// both inference paths (deployed and on-the-fly), explainability, and
+/// introspection.
+pub fn emitted_statements(g: &SqlGenerator, spec: &DataSpec) -> Vec<(&'static str, String)> {
+    vec![
+        ("create_params_table", g.create_params_table()),
+        ("create_corpus_table", g.create_corpus_table()),
+        ("create_weights_table", g.create_weights_table()),
+        ("create_weights_index", g.create_weights_index()),
+        ("create_corpus_index", g.create_corpus_index()),
+        ("drop_weights_table", g.drop_weights_table()),
+        ("drop_corpus_table", g.drop_corpus_table()),
+        ("set_params", g.set_params(0.5, 1.0, 0.5)),
+        ("get_params", g.get_params()),
+        ("fit", g.partial_fit(spec, 1.0)),
+        ("unlearn", g.partial_fit(spec, -1.0)),
+        ("prune_corpus", g.prune_corpus()),
+        ("deploy", g.deploy()),
+        ("predict_deployed", g.predict(spec, true)),
+        ("predict_undeployed", g.predict(spec, false)),
+        ("predict_proba_deployed", g.predict_proba(spec, true)),
+        ("predict_proba_undeployed", g.predict_proba(spec, false)),
+        ("explain_global_deployed", g.explain_global(true, Some(10))),
+        ("explain_global_undeployed", g.explain_global(false, None)),
+        (
+            "explain_local_deployed",
+            g.explain_local(spec, true, Some(10)),
+        ),
+        (
+            "explain_local_undeployed",
+            g.explain_local(spec, false, None),
+        ),
+        ("count_corpus_cells", g.count_corpus_cells()),
+        ("count_features", g.count_features()),
+        ("count_classes", g.count_classes()),
+    ]
+}
+
+/// Rewrite dialect-specific text the bundled engine cannot parse into the
+/// engine's semantically equivalent form. Only MySQL's upsert tail differs;
+/// `POWER` is accepted by the engine directly.
+pub fn normalize_for_engine(g: &SqlGenerator, sql: &str) -> String {
+    let mut out = sql.to_string();
+    for table in [g.corpus_table(), g.weights_table()] {
+        let mysql = format!("ON DUPLICATE KEY UPDATE w = {table}.w + VALUES(w)");
+        let generic = format!("ON CONFLICT (j, k) DO UPDATE SET w = {table}.w + excluded.w");
+        out = out.replace(&mysql, &generic);
+    }
+    out
+}
+
+/// Build the shadow catalog a deployed model of this shape would have:
+/// the user's source tables plus `params`, `{model}_corpus`,
+/// `{model}_weights`, and their indexes. Only DDL runs; no rows exist and
+/// no generated query is ever executed.
+pub fn shadow_catalog(
+    model: &str,
+    class_type: &'static str,
+    user_schema: &[&str],
+) -> sqlengine::Result<Database> {
+    let db = Database::new();
+    for ddl in user_schema {
+        db.execute(ddl)?;
+    }
+    let g = SqlGenerator::new(model, Dialect::Generic, class_type);
+    db.execute(&g.create_params_table())?;
+    db.execute(&g.create_corpus_table())?;
+    db.execute(&g.create_weights_table())?;
+    db.execute(&g.create_weights_index())?;
+    db.execute(&g.create_corpus_index())?;
+    Ok(db)
+}
+
+/// Statically check one generated statement against a shadow catalog.
+pub fn check_statement(
+    db: &Database,
+    g: &SqlGenerator,
+    operation: &'static str,
+    sql: &str,
+) -> Result<(), LintFailure> {
+    let normalized = normalize_for_engine(g, sql);
+    match db.check(&normalized) {
+        Ok(_) => Ok(()),
+        Err(e) => Err(LintFailure {
+            dialect: g.dialect.name(),
+            operation,
+            message: e.message().to_string(),
+            rendered: e.display_with_source(&normalized),
+            sql: normalized,
+        }),
+    }
+}
+
+/// Lint every operation of one generator against a shadow catalog built
+/// from `user_schema`.
+pub fn lint_generator(g: &SqlGenerator, spec: &DataSpec, user_schema: &[&str]) -> LintReport {
+    let db =
+        shadow_catalog(&g.model, g.class_type, user_schema).expect("shadow catalog DDL must apply");
+    let mut report = LintReport::default();
+    for (operation, sql) in emitted_statements(g, spec) {
+        report.checked += 1;
+        if let Err(fail) = check_statement(&db, g, operation, &sql) {
+            report.failures.push(fail);
+        }
+    }
+    report
+}
+
+/// The full conformance sweep: all four dialects × every operation, for one
+/// model shape. This is the CI gate for emitter changes.
+pub fn lint_all_dialects(
+    model: &str,
+    class_type: &'static str,
+    spec: &DataSpec,
+    user_schema: &[&str],
+) -> LintReport {
+    let mut report = LintReport::default();
+    for dialect in [
+        Dialect::Generic,
+        Dialect::Postgres,
+        Dialect::MySql,
+        Dialect::Sqlite,
+    ] {
+        let g = SqlGenerator::new(model, dialect, class_type);
+        report.merge(lint_generator(&g, spec, user_schema));
+    }
+    report
+}

@@ -1,0 +1,168 @@
+//! The BornSQL conformance sweep: every statement emitted by every dialect
+//! for every operation must pass the engine's static semantic analyzer
+//! against a shadow catalog — with zero query execution. This is the CI
+//! gate for emitter changes: corrupting a template fails here with a
+//! spanned diagnostic instead of failing at runtime deep inside a pipeline.
+
+use bornsql::dialect::Dialect;
+use bornsql::lint::{
+    check_statement, emitted_statements, lint_all_dialects, normalize_for_engine, shadow_catalog,
+};
+use bornsql::spec::DataSpec;
+use bornsql::sql::SqlGenerator;
+
+const USER_SCHEMA: &[&str] = &[
+    "CREATE TABLE docs (id INTEGER, body TEXT, label TEXT)",
+    "CREATE TABLE meta (id INTEGER, tag TEXT, y INTEGER)",
+];
+
+fn base_spec() -> DataSpec {
+    DataSpec::new("SELECT id AS n, 'w:' || body AS j, 1.0 AS w FROM docs")
+        .with_targets("SELECT id AS n, label AS k, 1.0 AS w FROM docs")
+}
+
+/// Spec variants exercising every preprocessing shape of Section 3.1:
+/// single/multi-arm `q_x`, with/without item filter `q_n` and sample
+/// weights `q_w`.
+fn spec_variants() -> Vec<(&'static str, DataSpec)> {
+    vec![
+        ("base", base_spec()),
+        (
+            "multi_arm",
+            base_spec().with_features("SELECT id AS n, 't:' || tag AS j, 0.5 AS w FROM meta"),
+        ),
+        (
+            "filtered",
+            base_spec().with_items("SELECT id AS n FROM docs WHERE id <= 100"),
+        ),
+        (
+            "weighted",
+            base_spec().with_weights("SELECT id AS n, 2.0 AS w FROM docs"),
+        ),
+        (
+            "full",
+            base_spec()
+                .with_features("SELECT id AS n, 't:' || tag AS j, 0.5 AS w FROM meta")
+                .with_items("SELECT id AS n FROM docs WHERE id <= 100")
+                .with_weights("SELECT id AS n, 2.0 AS w FROM docs"),
+        ),
+    ]
+}
+
+/// The exhaustive generator × dialect × operation sweep. Nothing executes:
+/// only DDL builds the shadow catalog, and every generated statement goes
+/// through `Database::check` alone.
+#[test]
+fn all_dialects_all_operations_pass_static_analysis() {
+    let mut total = 0;
+    for class_type in ["TEXT", "INTEGER"] {
+        // An INTEGER class column comes from an integer-valued target query.
+        let retarget = |spec: DataSpec| -> DataSpec {
+            if class_type == "INTEGER" {
+                DataSpec {
+                    qy: Some("SELECT id AS n, y AS k, 1.0 AS w FROM meta".to_string()),
+                    ..spec
+                }
+            } else {
+                spec
+            }
+        };
+        for (variant, spec) in spec_variants() {
+            let spec = retarget(spec);
+            let report = lint_all_dialects("m", class_type, &spec, USER_SCHEMA);
+            assert!(
+                report.is_clean(),
+                "conformance failures for {class_type}/{variant}:\n{report}"
+            );
+            total += report.checked;
+        }
+    }
+    // 4 dialects × 24 operations × 5 variants × 2 class types.
+    assert_eq!(total, 4 * 24 * 5 * 2);
+}
+
+/// The shadow catalog never gains rows: the sweep is check-only.
+#[test]
+fn sweep_performs_no_execution() {
+    let db = shadow_catalog("m", "TEXT", USER_SCHEMA).unwrap();
+    let g = SqlGenerator::new("m", Dialect::Generic, "TEXT");
+    let spec = base_spec();
+    for (op, sql) in emitted_statements(&g, &spec) {
+        check_statement(&db, &g, op, &sql).unwrap_or_else(|f| panic!("{op}: {}", f.rendered));
+    }
+    for table in ["m_corpus", "m_weights", "params", "docs"] {
+        assert_eq!(
+            db.table_rows(table).unwrap(),
+            0,
+            "lint sweep must not insert into {table}"
+        );
+    }
+}
+
+/// Corrupting an emitted query the way a template regression would (e.g.
+/// dropping a column from a GROUP BY) fails the sweep with a spanned
+/// diagnostic pointing into the generated SQL.
+#[test]
+fn corrupted_emitter_fails_with_spanned_diagnostic() {
+    let db = shadow_catalog("m", "TEXT", USER_SCHEMA).unwrap();
+    let g = SqlGenerator::new("m", Dialect::Generic, "TEXT");
+    let spec = base_spec();
+
+    // Drop `hw.k` from the score aggregation's GROUP BY.
+    let sql = g.predict(&spec, true);
+    assert!(
+        sql.contains("GROUP BY x_nj.n, hw.k"),
+        "emitter changed: {sql}"
+    );
+    let corrupted = sql.replace("GROUP BY x_nj.n, hw.k", "GROUP BY x_nj.n");
+    let fail = check_statement(&db, &g, "predict_deployed", &corrupted)
+        .expect_err("corrupted GROUP BY must be rejected");
+    assert!(
+        fail.message
+            .contains("must appear in the GROUP BY clause or be used in an aggregate function"),
+        "{}",
+        fail.rendered
+    );
+    assert!(
+        fail.rendered.contains('^'),
+        "no caret snippet:\n{}",
+        fail.rendered
+    );
+
+    // Misspell a join column.
+    let sql = g.deploy();
+    let corrupted = sql.replace("p_jk.j = p_j.j", "p_jk.jj = p_j.j");
+    let fail = check_statement(&db, &g, "deploy", &corrupted)
+        .expect_err("unknown column must be rejected");
+    assert_eq!(fail.message, "unknown column 'p_jk.jj'");
+    assert!(
+        fail.rendered.contains('^'),
+        "no caret snippet:\n{}",
+        fail.rendered
+    );
+
+    // And the untouched statements still pass after the corruption attempts.
+    check_statement(&db, &g, "predict_deployed", &g.predict(&spec, true)).unwrap();
+    check_statement(&db, &g, "deploy", &g.deploy()).unwrap();
+}
+
+/// MySQL's upsert tail is the one non-executable fragment; normalization
+/// must rewrite exactly it and nothing else, so the analyzed statement is
+/// semantically identical.
+#[test]
+fn mysql_normalization_is_exact() {
+    let g = SqlGenerator::new("m", Dialect::MySql, "TEXT");
+    let sql = g.partial_fit(&base_spec(), 1.0);
+    assert!(sql.contains("ON DUPLICATE KEY UPDATE w = m_corpus.w + VALUES(w)"));
+    let normalized = normalize_for_engine(&g, &sql);
+    assert!(normalized.contains("ON CONFLICT (j, k) DO UPDATE SET w = m_corpus.w + excluded.w"));
+    assert!(!normalized.contains("ON DUPLICATE KEY"));
+    // Everything before the tail is untouched.
+    assert_eq!(
+        sql.split("ON DUPLICATE").next().unwrap(),
+        normalized
+            .split("ON CONFLICT (j, k) DO UPDATE SET w = m_corpus.w")
+            .next()
+            .unwrap()
+    );
+}

@@ -1,5 +1,11 @@
 //! Abstract syntax tree for the supported SQL subset.
+//!
+//! Expression nodes carry the byte [`Span`] of the source text they were
+//! parsed from so the semantic analyzer can attach precise locations to
+//! diagnostics. Spans compare equal to each other unconditionally, so AST
+//! equality stays purely structural.
 
+use crate::error::Span;
 use crate::value::{DataType, Value};
 
 /// A full SQL statement.
@@ -22,17 +28,21 @@ pub enum Statement {
     Insert(Insert),
     Delete {
         table: String,
+        table_span: Span,
         predicate: Option<Expr>,
     },
     Update {
         table: String,
+        table_span: Span,
         assignments: Vec<(String, Expr)>,
         predicate: Option<Expr>,
     },
-    /// `EXPLAIN [ANALYZE] query` — render the physical plan (ANALYZE also
-    /// executes it and reports per-operator row counts and timings).
+    /// `EXPLAIN [ANALYZE | (CHECK)] query` — render the physical plan
+    /// (ANALYZE also executes it and reports per-operator row counts and
+    /// timings; CHECK only runs semantic analysis and reports the typed
+    /// output schema).
     Explain {
-        analyze: bool,
+        mode: ExplainMode,
         query: Query,
     },
     /// `BEGIN [TRANSACTION]`
@@ -41,6 +51,17 @@ pub enum Statement {
     Commit,
     /// `ROLLBACK`
     Rollback,
+}
+
+/// What `EXPLAIN` should do with the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// Render the physical plan without executing.
+    Plan,
+    /// Execute and report per-operator statistics.
+    Analyze,
+    /// Run semantic analysis only and report the typed output schema.
+    Check,
 }
 
 /// A query: optional `WITH` clause plus a set-expression body and an
@@ -90,7 +111,7 @@ pub enum SelectItem {
     /// `*`
     Wildcard,
     /// `alias.*`
-    QualifiedWildcard(String),
+    QualifiedWildcard(String, Span),
     /// `expr [AS alias]`
     Expr { expr: Expr, alias: Option<String> },
 }
@@ -99,7 +120,11 @@ pub enum SelectItem {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableRef {
     /// Base table or CTE, with optional alias.
-    Named { name: String, alias: Option<String> },
+    Named {
+        name: String,
+        alias: Option<String>,
+        span: Span,
+    },
     /// Derived table `(query) AS alias`.
     Derived { query: Box<Query>, alias: String },
     /// Explicit join: `left JOIN right ON cond`.
@@ -125,37 +150,43 @@ pub struct OrderItem {
     pub descending: bool,
 }
 
-/// Scalar expressions.
+/// Scalar expressions. Every variant carries the byte span of the source
+/// fragment it was parsed from (empty for synthesized nodes).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal value.
-    Literal(Value),
+    Literal(Value, Span),
     /// Positional parameter (1-based).
-    Param(usize),
+    Param(usize, Span),
     /// Possibly-qualified column reference: `[qualifier.]name`.
     Column {
         qualifier: Option<String>,
         name: String,
+        span: Span,
     },
     Unary {
         op: UnaryOp,
         expr: Box<Expr>,
+        span: Span,
     },
     Binary {
         left: Box<Expr>,
         op: BinaryOp,
         right: Box<Expr>,
+        span: Span,
     },
     /// `expr IS [NOT] NULL`
     IsNull {
         expr: Box<Expr>,
         negated: bool,
+        span: Span,
     },
     /// `expr [NOT] IN (e1, e2, ...)`
     InList {
         expr: Box<Expr>,
         list: Vec<Expr>,
         negated: bool,
+        span: Span,
     },
     /// `expr [NOT] BETWEEN low AND high`
     Between {
@@ -163,54 +194,63 @@ pub enum Expr {
         low: Box<Expr>,
         high: Box<Expr>,
         negated: bool,
+        span: Span,
     },
     /// `expr [NOT] LIKE pattern` (`%` and `_` wildcards)
     Like {
         expr: Box<Expr>,
         pattern: Box<Expr>,
         negated: bool,
+        span: Span,
     },
     /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`
     Case {
         operand: Option<Box<Expr>>,
         branches: Vec<(Expr, Expr)>,
         else_expr: Option<Box<Expr>>,
+        span: Span,
     },
     /// `CAST(expr AS type)`
     Cast {
         expr: Box<Expr>,
         ty: DataType,
+        span: Span,
     },
     /// Scalar function call: `POW(a, b)`, `LN(x)`, ...
     Function {
         name: String,
         args: Vec<Expr>,
+        span: Span,
     },
     /// Aggregate function call in a projection/HAVING.
     Aggregate {
         func: AggregateFunc,
         arg: Option<Box<Expr>>,
         distinct: bool,
+        span: Span,
     },
     /// `ROW_NUMBER() / RANK() / DENSE_RANK() OVER (PARTITION BY ... ORDER BY ...)`
     WindowRowNumber {
         func: WindowFunc,
         partition_by: Vec<Expr>,
         order_by: Vec<OrderItem>,
+        span: Span,
     },
     /// `(SELECT ...)` used as a scalar. Only uncorrelated subqueries are
     /// supported; they are evaluated once during planning.
-    ScalarSubquery(Box<Query>),
+    ScalarSubquery(Box<Query>, Span),
     /// `expr [NOT] IN (SELECT ...)` (uncorrelated).
     InSubquery {
         expr: Box<Expr>,
         query: Box<Query>,
         negated: bool,
+        span: Span,
     },
     /// `[NOT] EXISTS (SELECT ...)` (uncorrelated).
     Exists {
         query: Box<Query>,
         negated: bool,
+        span: Span,
     },
 }
 
@@ -297,6 +337,7 @@ pub struct CreateIndex {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Insert {
     pub table: String,
+    pub table_span: Span,
     pub columns: Vec<String>,
     pub source: InsertSource,
     pub on_conflict: Option<OnConflict>,
@@ -330,6 +371,30 @@ impl Expr {
         Expr::Column {
             qualifier: None,
             name: name.into(),
+            span: Span::default(),
+        }
+    }
+
+    /// The source span of this node.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Literal(_, span)
+            | Expr::Param(_, span)
+            | Expr::ScalarSubquery(_, span)
+            | Expr::Column { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::IsNull { span, .. }
+            | Expr::InList { span, .. }
+            | Expr::Between { span, .. }
+            | Expr::Like { span, .. }
+            | Expr::Case { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Function { span, .. }
+            | Expr::Aggregate { span, .. }
+            | Expr::WindowRowNumber { span, .. }
+            | Expr::InSubquery { span, .. }
+            | Expr::Exists { span, .. } => *span,
         }
     }
 
@@ -337,7 +402,7 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Aggregate { .. } => true,
-            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
+            Expr::Literal(..) | Expr::Param(..) | Expr::Column { .. } => false,
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Binary { left, right, .. } => {
                 left.contains_aggregate() || right.contains_aggregate()
@@ -356,6 +421,7 @@ impl Expr {
                 operand,
                 branches,
                 else_expr,
+                ..
             } => {
                 operand.as_deref().is_some_and(Expr::contains_aggregate)
                     || branches
@@ -368,7 +434,7 @@ impl Expr {
             // Subqueries are planned independently; window functions never
             // contain aggregates of the enclosing query.
             Expr::WindowRowNumber { .. }
-            | Expr::ScalarSubquery(_)
+            | Expr::ScalarSubquery(..)
             | Expr::InSubquery { .. }
             | Expr::Exists { .. } => false,
         }
@@ -378,7 +444,7 @@ impl Expr {
     pub fn contains_window(&self) -> bool {
         match self {
             Expr::WindowRowNumber { .. } => true,
-            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
+            Expr::Literal(..) | Expr::Param(..) | Expr::Column { .. } => false,
             Expr::Unary { expr, .. } => expr.contains_window(),
             Expr::Binary { left, right, .. } => left.contains_window() || right.contains_window(),
             Expr::IsNull { expr, .. } => expr.contains_window(),
@@ -393,6 +459,7 @@ impl Expr {
                 operand,
                 branches,
                 else_expr,
+                ..
             } => {
                 operand.as_deref().is_some_and(Expr::contains_window)
                     || branches
@@ -403,7 +470,7 @@ impl Expr {
             Expr::Cast { expr, .. } => expr.contains_window(),
             Expr::Function { args, .. } => args.iter().any(Expr::contains_window),
             Expr::Aggregate { arg, .. } => arg.as_deref().is_some_and(Expr::contains_window),
-            Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => false,
+            Expr::ScalarSubquery(..) | Expr::InSubquery { .. } | Expr::Exists { .. } => false,
         }
     }
 }

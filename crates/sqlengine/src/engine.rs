@@ -260,10 +260,14 @@ impl Database {
     /// catalog — the stale-side error is always a harmless replan.
     fn plan_and_cache(&self, sql: &str, query: &Query) -> Result<Arc<PlannedQuery>> {
         let version = self.catalog_version.load(Ordering::Acquire);
+        // Fold constant expressions once here so the cached plan — the
+        // serving hot path — embeds pre-evaluated literals.
+        let mut query = query.clone();
+        crate::sema::fold::fold_query(&mut query);
         let planned = {
             let catalog = self.catalog.read();
             let mut planner = Planner::new(&catalog, &[], self.config.planner());
-            Arc::new(planner.plan_query(query)?)
+            Arc::new(planner.plan_query(&query)?)
         };
         let mut cache = self.plan_cache.lock();
         if cache.len() >= PLAN_CACHE_CAPACITY && !cache.contains_key(sql) {
@@ -329,6 +333,7 @@ impl Database {
                 return self.execute_planned(&planned);
             }
             let stmt = parse_statement(sql)?;
+            self.analyze_statement(&stmt)?;
             if let Statement::Query(query) = &stmt {
                 let planned = self.plan_and_cache(sql, query)?;
                 return self.execute_planned(&planned);
@@ -336,6 +341,7 @@ impl Database {
             return self.execute_statement(&stmt, params);
         }
         let stmt = parse_statement(sql)?;
+        self.analyze_statement(&stmt)?;
         self.execute_statement(&stmt, params)
     }
 
@@ -345,6 +351,9 @@ impl Database {
         let stmts = parse_script(sql)?;
         let mut last = StatementResult::Affected(0);
         for stmt in &stmts {
+            // Checked per statement (not up front): earlier statements may
+            // create the tables later ones refer to.
+            self.analyze_statement(stmt)?;
             last = self.execute_statement(stmt, &[])?;
         }
         Ok(last)
@@ -389,11 +398,28 @@ impl Database {
     /// catalog write invalidates it; parameterized executions re-plan against
     /// current data (parameter values are inlined into plans).
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
+        let stmt = parse_statement(sql)?;
+        self.analyze_statement(&stmt)?;
         Ok(Prepared {
             db: self,
             sql: sql.to_string(),
-            stmt: parse_statement(sql)?,
+            stmt,
         })
+    }
+
+    /// Statically check a statement against the current catalog without
+    /// planning or executing it. Returns the typed output schema for
+    /// queries (empty for DML/DDL). All execution entry points run the same
+    /// analysis first, so a statement rejected here never executes.
+    pub fn check(&self, sql: &str) -> Result<crate::sema::CheckReport> {
+        let stmt = parse_statement(sql)?;
+        let catalog = self.catalog.read();
+        crate::sema::check_statement(&catalog, &stmt)
+    }
+
+    fn analyze_statement(&self, stmt: &Statement) -> Result<()> {
+        let catalog = self.catalog.read();
+        crate::sema::check_statement(&catalog, stmt).map(|_| ())
     }
 
     /// Render the physical plan of a query (an `EXPLAIN` equivalent).
@@ -403,6 +429,7 @@ impl Database {
             return Err(EngineError::plan("EXPLAIN supports only SELECT queries"));
         };
         let catalog = self.catalog.read();
+        crate::sema::check_query(&catalog, &query)?;
         let mut planner = Planner::new(&catalog, &[], self.config.planner());
         let planned = planner.plan_query(&query)?;
         Ok(crate::explain::render_plan(&planned.plan))
@@ -417,6 +444,7 @@ impl Database {
         };
         let planned = {
             let catalog = self.catalog.read();
+            crate::sema::check_query(&catalog, &query)?;
             let mut planner = Planner::new(&catalog, &[], self.config.planner());
             planner.plan_query(&query)?
         };
@@ -496,13 +524,31 @@ impl Database {
                     rows,
                 }))
             }
-            Statement::Explain { analyze, query } => {
+            Statement::Explain { mode, query } => {
+                if *mode == crate::ast::ExplainMode::Check {
+                    // Semantic analysis only: report the typed output schema
+                    // without planning or executing anything.
+                    let report = {
+                        let catalog = self.catalog.read();
+                        crate::sema::check_query(&catalog, query)?
+                    };
+                    return Ok(StatementResult::Rows(QueryResult {
+                        columns: vec!["column".to_string(), "type".to_string()],
+                        rows: report
+                            .columns
+                            .into_iter()
+                            .map(|(name, ty)| {
+                                vec![Value::Str(name.into()), Value::Str(ty.to_string().into())]
+                            })
+                            .collect(),
+                    }));
+                }
                 let planned = {
                     let catalog = self.catalog.read();
                     let mut planner = Planner::new(&catalog, params, self.config.planner());
                     planner.plan_query(query)?
                 };
-                let rendered = if *analyze {
+                let rendered = if *mode == crate::ast::ExplainMode::Analyze {
                     let (_, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
                     crate::explain::render_analyze(&stats)
                 } else {
@@ -639,7 +685,9 @@ impl Database {
                 }
             }
             Statement::Insert(insert) => self.execute_insert(insert, params),
-            Statement::Delete { table, predicate } => {
+            Statement::Delete {
+                table, predicate, ..
+            } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
                 let mut catalog = self.write_catalog();
                 let t = catalog.get_mut(table)?;
@@ -664,6 +712,7 @@ impl Database {
                 table,
                 assignments,
                 predicate,
+                ..
             } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
                 let mut catalog = self.write_catalog();
@@ -911,29 +960,30 @@ impl Prepared<'_> {
 }
 
 /// Scope of a base table for DML binding: columns visible bare and
-/// table-qualified.
+/// table-qualified, carrying their declared types.
 fn table_scope(t: &Table) -> Scope {
     Scope::new(
         t.schema
             .columns
             .iter()
-            .map(|c| ColLabel::new(Some(&t.name), &c.name))
+            .map(|c| ColLabel::new(Some(&t.name), &c.name).with_ty(c.ty))
             .collect(),
     )
 }
 
 /// Qualify unqualified column references with `table` (AST rewrite used for
-/// `ON CONFLICT DO UPDATE` expressions).
-fn qualify_bare_columns(e: &mut Expr, table: &str) {
+/// `ON CONFLICT DO UPDATE` expressions and mirrored by the semantic
+/// analyzer's upsert checks).
+pub(crate) fn qualify_bare_columns(e: &mut Expr, table: &str) {
     match e {
         Expr::Column { qualifier, .. } => {
             if qualifier.is_none() {
                 *qualifier = Some(table.to_string());
             }
         }
-        Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::Literal(..) | Expr::Param(..) => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
-            qualify_bare_columns(expr, table)
+            qualify_bare_columns(expr, table);
         }
         Expr::Binary { left, right, .. } => {
             qualify_bare_columns(left, table);
@@ -960,6 +1010,7 @@ fn qualify_bare_columns(e: &mut Expr, table: &str) {
             operand,
             branches,
             else_expr,
+            ..
         } => {
             if let Some(o) = operand {
                 qualify_bare_columns(o, table);
@@ -995,7 +1046,7 @@ fn qualify_bare_columns(e: &mut Expr, table: &str) {
             }
         }
         // Subquery bodies have their own scopes.
-        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => qualify_bare_columns(expr, table),
     }
 }

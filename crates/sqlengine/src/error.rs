@@ -2,6 +2,84 @@
 
 use std::fmt;
 
+/// A half-open byte range `start..end` into the original SQL text.
+///
+/// Spans are *annotations*: two AST nodes that differ only in their spans are
+/// considered equal, so `PartialEq` here is always true. This keeps the
+/// planner's structural rewrites (subtree replacement, aggregate
+/// deduplication) span-agnostic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`. An empty
+    /// (default) span is treated as absent.
+    pub fn cover(self, other: Span) -> Span {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+impl PartialEq for Span {
+    /// Always true: spans never participate in structural equality.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Render a single-line caret snippet pointing at `span` within `sql`, or an
+/// empty string when the span is empty / out of bounds.
+pub fn span_snippet(sql: &str, span: Span) -> String {
+    let (start, end) = (span.start as usize, span.end as usize);
+    if span.is_empty() || end > sql.len() || start > end {
+        return String::new();
+    }
+    // Locate the line containing the span start.
+    let line_start = sql[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+    let line_end = sql[start..]
+        .find('\n')
+        .map(|p| start + p)
+        .unwrap_or(sql.len());
+    let line = &sql[line_start..line_end];
+    let col = start - line_start;
+    let width = end.min(line_end).saturating_sub(start).max(1);
+    format!("{line}\n{:col$}{}", "", "^".repeat(width), col = col)
+}
+
 /// Any error produced while lexing, parsing, planning, or executing SQL.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -9,6 +87,10 @@ pub enum EngineError {
     Lex { message: String, position: usize },
     /// Syntax error produced by the parser.
     Parse { message: String, position: usize },
+    /// Static semantic error found before planning (unknown table/column,
+    /// ambiguous reference, aggregate misuse, type mismatch, ...), carrying
+    /// the byte span of the offending source fragment.
+    Sema { message: String, span: Span },
     /// Semantic error produced during planning (unknown table/column,
     /// ambiguous reference, wrong arity, ...).
     Plan(String),
@@ -33,6 +115,42 @@ impl EngineError {
     pub(crate) fn catalog(msg: impl Into<String>) -> Self {
         EngineError::Catalog(msg.into())
     }
+
+    pub(crate) fn sema(msg: impl Into<String>, span: Span) -> Self {
+        EngineError::Sema {
+            message: msg.into(),
+            span,
+        }
+    }
+
+    /// The error message without the variant prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            EngineError::Lex { message, .. }
+            | EngineError::Parse { message, .. }
+            | EngineError::Sema { message, .. } => message,
+            EngineError::Plan(m)
+            | EngineError::Exec(m)
+            | EngineError::Catalog(m)
+            | EngineError::Parameter(m) => m,
+        }
+    }
+
+    /// Render the error with a caret snippet of the offending source when a
+    /// span is available.
+    pub fn display_with_source(&self, sql: &str) -> String {
+        match self {
+            EngineError::Sema { span, .. } if !span.is_empty() => {
+                let snippet = span_snippet(sql, *span);
+                if snippet.is_empty() {
+                    self.to_string()
+                } else {
+                    format!("{self}\n{snippet}")
+                }
+            }
+            _ => self.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +161,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::Parse { message, position } => {
                 write!(f, "parse error at token {position}: {message}")
+            }
+            EngineError::Sema { message, span } => {
+                if span.is_empty() {
+                    write!(f, "sema error: {message}")
+                } else {
+                    write!(f, "sema error at byte {span}: {message}")
+                }
             }
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
@@ -56,3 +181,39 @@ impl std::error::Error for EngineError {}
 
 /// Convenience result alias used throughout the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_equality_transparent() {
+        assert_eq!(Span::new(0, 5), Span::new(7, 9));
+    }
+
+    #[test]
+    fn cover_merges_and_ignores_empty() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        let c = a.cover(b);
+        assert_eq!((c.start, c.end), (3, 12));
+        let d = Span::default().cover(a);
+        assert_eq!((d.start, d.end), (3, 7));
+        let e = a.cover(Span::default());
+        assert_eq!((e.start, e.end), (3, 7));
+    }
+
+    #[test]
+    fn snippet_points_at_span() {
+        let sql = "SELECT bogus FROM t";
+        let s = span_snippet(sql, Span::new(7, 12));
+        assert_eq!(s, "SELECT bogus FROM t\n       ^^^^^");
+    }
+
+    #[test]
+    fn snippet_handles_multiline() {
+        let sql = "SELECT a\nFROM missing";
+        let s = span_snippet(sql, Span::new(14, 21));
+        assert_eq!(s, "FROM missing\n     ^^^^^^^");
+    }
+}

@@ -11,11 +11,14 @@ use crate::ast::{self, BinaryOp, UnaryOp};
 use crate::error::{EngineError, Result};
 use crate::value::{DataType, Value};
 
-/// A column label visible in a scope: optional table qualifier plus name.
-#[derive(Debug, Clone, PartialEq)]
+/// A column label visible in a scope: optional table qualifier plus name,
+/// and the statically inferred type of the column (from the catalog for base
+/// tables, from type inference for derived columns, `Any` when unknown).
+#[derive(Debug, Clone)]
 pub struct ColLabel {
     pub qualifier: Option<String>,
     pub name: String,
+    pub ty: DataType,
 }
 
 impl ColLabel {
@@ -23,6 +26,7 @@ impl ColLabel {
         ColLabel {
             qualifier: qualifier.map(|s| s.to_string()),
             name: name.to_string(),
+            ty: DataType::Any,
         }
     }
 
@@ -30,7 +34,22 @@ impl ColLabel {
         ColLabel {
             qualifier: None,
             name: name.to_string(),
+            ty: DataType::Any,
         }
+    }
+
+    /// Attach a statically known type to this label.
+    pub fn with_ty(mut self, ty: DataType) -> Self {
+        self.ty = ty;
+        self
+    }
+}
+
+impl PartialEq for ColLabel {
+    /// Labels compare by identity (qualifier + name); the inferred type is an
+    /// annotation and never participates in equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.qualifier == other.qualifier && self.name == other.name
     }
 }
 
@@ -146,7 +165,7 @@ impl ScalarFunc {
         })
     }
 
-    fn arity_ok(&self, n: usize) -> bool {
+    pub(crate) fn arity_ok(&self, n: usize) -> bool {
         match self {
             ScalarFunc::Pow | ScalarFunc::NullIf | ScalarFunc::Mod | ScalarFunc::Instr => n == 2,
             ScalarFunc::Replace => n == 3,
@@ -216,8 +235,8 @@ pub enum PhysExpr {
 pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<PhysExpr> {
     use ast::Expr as E;
     Ok(match expr {
-        E::Literal(v) => PhysExpr::Literal(v.clone()),
-        E::Param(i) => {
+        E::Literal(v, _) => PhysExpr::Literal(v.clone()),
+        E::Param(i, _) => {
             let v = params.get(i - 1).ok_or_else(|| {
                 EngineError::Parameter(format!(
                     "parameter ?{i} referenced but only {} bound",
@@ -226,19 +245,21 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             })?;
             PhysExpr::Literal(v.clone())
         }
-        E::Column { qualifier, name } => {
-            PhysExpr::Column(scope.resolve(qualifier.as_deref(), name)?)
-        }
-        E::Unary { op, expr } => PhysExpr::Unary {
+        E::Column {
+            qualifier, name, ..
+        } => PhysExpr::Column(scope.resolve(qualifier.as_deref(), name)?),
+        E::Unary { op, expr, .. } => PhysExpr::Unary {
             op: *op,
             expr: Box::new(bind_expr(expr, scope, params)?),
         },
-        E::Binary { left, op, right } => PhysExpr::Binary {
+        E::Binary {
+            left, op, right, ..
+        } => PhysExpr::Binary {
             left: Box::new(bind_expr(left, scope, params)?),
             op: *op,
             right: Box::new(bind_expr(right, scope, params)?),
         },
-        E::IsNull { expr, negated } => PhysExpr::IsNull {
+        E::IsNull { expr, negated, .. } => PhysExpr::IsNull {
             expr: Box::new(bind_expr(expr, scope, params)?),
             negated: *negated,
         },
@@ -246,6 +267,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             expr,
             list,
             negated,
+            ..
         } => PhysExpr::InList {
             expr: Box::new(bind_expr(expr, scope, params)?),
             list: list
@@ -259,6 +281,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             low,
             high,
             negated,
+            ..
         } => PhysExpr::Between {
             expr: Box::new(bind_expr(expr, scope, params)?),
             low: Box::new(bind_expr(low, scope, params)?),
@@ -269,6 +292,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             expr,
             pattern,
             negated,
+            ..
         } => PhysExpr::Like {
             expr: Box::new(bind_expr(expr, scope, params)?),
             pattern: Box::new(bind_expr(pattern, scope, params)?),
@@ -278,6 +302,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             operand,
             branches,
             else_expr,
+            ..
         } => PhysExpr::Case {
             operand: operand
                 .as_ref()
@@ -292,11 +317,11 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
                 .map(|e| bind_expr(e, scope, params).map(Box::new))
                 .transpose()?,
         },
-        E::Cast { expr, ty } => PhysExpr::Cast {
+        E::Cast { expr, ty, .. } => PhysExpr::Cast {
             expr: Box::new(bind_expr(expr, scope, params)?),
             ty: *ty,
         },
-        E::Function { name, args } => {
+        E::Function { name, args, .. } => {
             let func = ScalarFunc::from_name(name)
                 .ok_or_else(|| EngineError::plan(format!("unknown function '{name}'")))?;
             if !func.arity_ok(args.len()) {
@@ -323,7 +348,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
                 "window function used in an unsupported position",
             ))
         }
-        E::ScalarSubquery(_) | E::InSubquery { .. } | E::Exists { .. } => {
+        E::ScalarSubquery(..) | E::InSubquery { .. } | E::Exists { .. } => {
             return Err(EngineError::plan(
                 "subquery used in a position where it cannot be resolved \
                  (only uncorrelated subqueries in SELECT/WHERE/HAVING are supported)",
@@ -487,53 +512,106 @@ fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
     }
 }
 
+/// Static outcome of applying a binary operator to a pair of operand types.
+///
+/// This table is the single source of truth for implicit coercions: the
+/// runtime evaluator ([`eval_binary`]) dispatches through it, and the
+/// semantic analyzer consults it to predict result types and reject
+/// type-shaped runtime errors before execution. `DataType::Any` only occurs
+/// on the static side (unknown column types, NULL literals); runtime values
+/// that survive NULL propagation always have a concrete type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinCoercion {
+    /// Integer arithmetic: `Int op Int → Int` (wrapping; `/` and `%` error
+    /// on a zero divisor).
+    IntArith,
+    /// Float arithmetic: any numeric mix involving a `Real → Real`.
+    FloatArith,
+    /// Arithmetic over an operand of unknown type: result type unknown.
+    AnyArith,
+    /// `||` stringifies both sides (numbers render lossily) `→ Text`.
+    Concat,
+    /// Comparison via the total value order `→ Int` (boolean). Never errors:
+    /// a string compares after every number instead of failing (SQLite
+    /// type-order semantics) — pinned by the coercion matrix tests.
+    Compare,
+    /// `AND`/`OR` over boolean-coercible operands `→ Int` (boolean).
+    Bool,
+    /// Arithmetic over a definitely-`Text` operand: always a type error
+    /// ("expected a numeric value").
+    ErrTextArith,
+    /// `AND`/`OR`/`NOT` over a definitely-`Text` operand: always a type
+    /// error ("used in a boolean context").
+    ErrTextBool,
+}
+
+/// The coercion decision for `l op r`. Shared by the evaluator and sema.
+pub(crate) fn coerce(op: BinaryOp, l: DataType, r: DataType) -> BinCoercion {
+    use BinaryOp::*;
+    use DataType::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => match (l, r) {
+            (Text, _) | (_, Text) => BinCoercion::ErrTextArith,
+            (Integer, Integer) => BinCoercion::IntArith,
+            (Any, _) | (_, Any) => BinCoercion::AnyArith,
+            _ => BinCoercion::FloatArith,
+        },
+        Concat => BinCoercion::Concat,
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => BinCoercion::Compare,
+        And | Or => match (l, r) {
+            (Text, _) | (_, Text) => BinCoercion::ErrTextBool,
+            _ => BinCoercion::Bool,
+        },
+    }
+}
+
 fn eval_binary(l: Value, op: BinaryOp, r: Value) -> Result<Value> {
     use BinaryOp::*;
-    match op {
-        Add | Sub | Mul | Div | Mod => {
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
-            }
-            match (&l, &r) {
-                (Value::Int(a), Value::Int(b)) => {
-                    let (a, b) = (*a, *b);
-                    Ok(match op {
-                        Add => Value::Int(a.wrapping_add(b)),
-                        Sub => Value::Int(a.wrapping_sub(b)),
-                        Mul => Value::Int(a.wrapping_mul(b)),
-                        Div => {
-                            if b == 0 {
-                                return Err(EngineError::exec("integer division by zero"));
-                            }
-                            Value::Int(a / b)
-                        }
-                        Mod => {
-                            if b == 0 {
-                                return Err(EngineError::exec("integer modulo by zero"));
-                            }
-                            Value::Int(a % b)
-                        }
-                        _ => unreachable!(),
-                    })
+    // Every operator that reaches here propagates NULL (AND/OR short-circuit
+    // in `eval` and never arrive).
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match coerce(op, l.data_type(), r.data_type()) {
+        BinCoercion::IntArith => {
+            let (Value::Int(a), Value::Int(b)) = (&l, &r) else {
+                unreachable!("IntArith implies two integers")
+            };
+            let (a, b) = (*a, *b);
+            Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(EngineError::exec("integer division by zero"));
+                    }
+                    Value::Int(a / b)
                 }
-                _ => {
-                    let a = l.as_f64()?.expect("null handled");
-                    let b = r.as_f64()?.expect("null handled");
-                    Ok(Value::Float(match op {
-                        Add => a + b,
-                        Sub => a - b,
-                        Mul => a * b,
-                        Div => a / b,
-                        Mod => a % b,
-                        _ => unreachable!(),
-                    }))
+                Mod => {
+                    if b == 0 {
+                        return Err(EngineError::exec("integer modulo by zero"));
+                    }
+                    Value::Int(a % b)
                 }
-            }
+                _ => unreachable!(),
+            })
         }
-        Concat => {
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
-            }
+        BinCoercion::FloatArith | BinCoercion::AnyArith | BinCoercion::ErrTextArith => {
+            // `as_f64` raises the canonical "expected a numeric value" error
+            // for text operands (left operand reported first).
+            let a = l.as_f64()?.expect("null handled");
+            let b = r.as_f64()?.expect("null handled");
+            Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Mod => a % b,
+                _ => unreachable!(),
+            }))
+        }
+        BinCoercion::Concat => {
             let a = l.as_str_lossy()?.unwrap();
             let b = r.as_str_lossy()?.unwrap();
             let mut s = String::with_capacity(a.len() + b.len());
@@ -541,10 +619,7 @@ fn eval_binary(l: Value, op: BinaryOp, r: Value) -> Result<Value> {
             s.push_str(&b);
             Ok(Value::Str(Arc::from(s.as_str())))
         }
-        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
-            if l.is_null() || r.is_null() {
-                return Ok(Value::Null);
-            }
+        BinCoercion::Compare => {
             let ord = l.total_cmp(&r);
             let b = match op {
                 Eq => ord == std::cmp::Ordering::Equal,
@@ -557,7 +632,9 @@ fn eval_binary(l: Value, op: BinaryOp, r: Value) -> Result<Value> {
             };
             Ok(Value::Int(b as i64))
         }
-        And | Or => unreachable!("handled in eval with short-circuit"),
+        BinCoercion::Bool | BinCoercion::ErrTextBool => {
+            unreachable!("AND/OR handled in eval with short-circuit")
+        }
     }
 }
 
@@ -884,6 +961,68 @@ mod tests {
         assert!(eval("5 IN (1, NULL)").is_null());
         assert_eq!(eval("2 BETWEEN 1 AND 3"), Value::Int(1));
         assert_eq!(eval("0 NOT BETWEEN 1 AND 3"), Value::Int(1));
+    }
+
+    #[test]
+    fn coercion_matrix_arithmetic() {
+        use BinaryOp::*;
+        use DataType::*;
+        // Integer-only arithmetic stays integer.
+        assert_eq!(coerce(Add, Integer, Integer), BinCoercion::IntArith);
+        assert_eq!(coerce(Div, Integer, Integer), BinCoercion::IntArith);
+        // Any Real operand promotes to float.
+        assert_eq!(coerce(Add, Integer, Real), BinCoercion::FloatArith);
+        assert_eq!(coerce(Mul, Real, Real), BinCoercion::FloatArith);
+        // Text in arithmetic is a type error regardless of the other side.
+        assert_eq!(coerce(Add, Text, Integer), BinCoercion::ErrTextArith);
+        assert_eq!(coerce(Sub, Real, Text), BinCoercion::ErrTextArith);
+        assert_eq!(coerce(Mod, Text, Any), BinCoercion::ErrTextArith);
+        // Unknown operand type: outcome unknown until runtime.
+        assert_eq!(coerce(Add, Any, Integer), BinCoercion::AnyArith);
+        assert_eq!(coerce(Div, Any, Any), BinCoercion::AnyArith);
+    }
+
+    #[test]
+    fn coercion_matrix_compare_concat_bool() {
+        use BinaryOp::*;
+        use DataType::*;
+        // Comparisons never error — strings order after numbers.
+        for lt in [Integer, Real, Text, Any] {
+            for rt in [Integer, Real, Text, Any] {
+                assert_eq!(coerce(Eq, lt, rt), BinCoercion::Compare);
+                assert_eq!(coerce(Lt, lt, rt), BinCoercion::Compare);
+            }
+        }
+        // Concat stringifies everything.
+        assert_eq!(coerce(Concat, Integer, Text), BinCoercion::Concat);
+        assert_eq!(coerce(Concat, Real, Any), BinCoercion::Concat);
+        // Logic over text is a type error; over numbers/unknown it is fine.
+        assert_eq!(coerce(And, Text, Integer), BinCoercion::ErrTextBool);
+        assert_eq!(coerce(Or, Any, Text), BinCoercion::ErrTextBool);
+        assert_eq!(coerce(And, Integer, Any), BinCoercion::Bool);
+    }
+
+    #[test]
+    fn runtime_agrees_with_coercion_table() {
+        // IntArith
+        assert_eq!(eval("3 + 4"), Value::Int(7));
+        // FloatArith
+        assert_eq!(eval("3 + 4.5"), Value::Float(7.5));
+        // ErrTextArith: text in arithmetic errors with the canonical message.
+        let err = bind("'x' + 1", &Scope::default(), &[])
+            .eval(&[])
+            .unwrap_err();
+        assert!(err.to_string().contains("expected a numeric value"));
+        // Compare never errors: a string sorts after every number.
+        assert_eq!(eval("'x' > 999"), Value::Int(1));
+        assert_eq!(eval("'1' = 1"), Value::Int(0));
+        // Concat stringifies numbers.
+        assert_eq!(eval("1 || 2.5"), Value::text("12.5"));
+        // ErrTextBool
+        let err = bind("'x' AND 1", &Scope::default(), &[])
+            .eval(&[])
+            .unwrap_err();
+        assert!(err.to_string().contains("used in a boolean context"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! case but compare case-insensitively downstream. String literals use single
 //! quotes with `''` escaping; double-quoted identifiers are supported.
 
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, Result, Span};
 
 /// A single lexical token.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,15 +136,23 @@ fn is_keyword(word: &str) -> bool {
     KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(word))
 }
 
-/// Tokenize `sql` into a vector of tokens.
+/// Tokenize `sql` into a vector of tokens, discarding spans.
 pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(sql)?.0)
+}
+
+/// Tokenize `sql`, also returning the byte span of each token (parallel to
+/// the token vector).
+pub fn tokenize_spanned(sql: &str) -> Result<(Vec<Token>, Vec<Span>)> {
     let bytes = sql.as_bytes();
     let mut tokens = Vec::new();
+    let mut spans: Vec<Span> = Vec::new();
     let mut i = 0;
     let mut next_param = 1usize;
 
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let tok_start = i;
         match c {
             c if c.is_ascii_whitespace() => i += 1,
             '-' if bytes.get(i + 1) == Some(&b'-') => {
@@ -396,8 +404,12 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 });
             }
         }
+        // Any tokens pushed by this iteration share the iteration's span.
+        while spans.len() < tokens.len() {
+            spans.push(Span::new(tok_start, i));
+        }
     }
-    Ok(tokens)
+    Ok((tokens, spans))
 }
 
 fn utf8_len(first_byte: u8) -> usize {
@@ -487,5 +499,16 @@ mod tests {
     fn quoted_identifier() {
         let toks = tokenize("SELECT \"weird name\"").unwrap();
         assert_eq!(toks[1], Token::Ident("weird name".into()));
+    }
+
+    #[test]
+    fn spans_cover_each_token() {
+        let sql = "SELECT abc + 'x''y'";
+        let (toks, spans) = tokenize_spanned(sql).unwrap();
+        assert_eq!(toks.len(), spans.len());
+        assert_eq!(&sql[spans[0].range()], "SELECT");
+        assert_eq!(&sql[spans[1].range()], "abc");
+        assert_eq!(&sql[spans[2].range()], "+");
+        assert_eq!(&sql[spans[3].range()], "'x''y'");
     }
 }

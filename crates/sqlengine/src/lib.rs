@@ -20,6 +20,11 @@
 //!   secondary indexes (`CREATE [UNIQUE] INDEX`), kept up to date
 //!   incrementally across `INSERT`/`UPDATE`/`DELETE` and used by the
 //!   planner for point and multi-point lookups;
+//! * a static semantic analyzer (`sema`) that runs between parsing and
+//!   planning on every execution path: scoped name resolution, bottom-up
+//!   type inference from declared column types, aggregate/window placement
+//!   rules, and constant folding, all reported as spanned diagnostics
+//!   before anything executes (`Database::check`, `EXPLAIN (CHECK)`);
 //! * a plan cache keyed by SQL text and catalog version: repeated
 //!   parameterless queries (the model-serving hot path) skip parsing and
 //!   planning entirely, and any DDL/DML invalidates stale entries.
@@ -48,12 +53,15 @@ pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod sema;
 pub mod snapshot;
 pub mod value;
 
+pub use ast::ExplainMode;
 pub use engine::{Database, EngineConfig, Prepared, QueryResult, StatementResult};
-pub use error::{EngineError, Result};
+pub use error::{EngineError, Result, Span};
 pub use exec::{ExecContext, OpStats, WorkerPool};
 pub use plan::JoinAlgo;
+pub use sema::CheckReport;
 pub use snapshot::Snapshot;
 pub use value::{DataType, Row, Value};

@@ -1,14 +1,18 @@
 //! Recursive-descent parser for the supported SQL subset.
 
 use crate::ast::*;
-use crate::error::{EngineError, Result};
-use crate::lexer::{tokenize, Token};
+use crate::error::{EngineError, Result, Span};
+use crate::lexer::{tokenize_spanned, Token};
 use crate::value::{DataType, Value};
 
 /// Parse a single SQL statement (a trailing semicolon is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let (tokens, spans) = tokenize_spanned(sql)?;
+    let mut p = Parser {
+        tokens,
+        spans,
+        pos: 0,
+    };
     let stmt = p.statement()?;
     p.consume_if(&Token::Semicolon);
     if !p.at_end() {
@@ -19,8 +23,12 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 
 /// Parse a script of semicolon-separated statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
-    let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let (tokens, spans) = tokenize_spanned(sql)?;
+    let mut p = Parser {
+        tokens,
+        spans,
+        pos: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_end() {
         if p.consume_if(&Token::Semicolon) {
@@ -36,6 +44,7 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
 
 struct Parser {
     tokens: Vec<Token>,
+    spans: Vec<Span>,
     pos: usize,
 }
 
@@ -45,6 +54,20 @@ impl Parser {
             message,
             position: self.pos,
         }
+    }
+
+    /// Byte span of the token at `pos` (empty when out of range).
+    fn span_at(&self, pos: usize) -> Span {
+        self.spans.get(pos).copied().unwrap_or_default()
+    }
+
+    /// Byte span covering tokens `start .. self.pos` (exclusive end).
+    fn span_from(&self, start: usize) -> Span {
+        let end = self.pos.min(self.spans.len());
+        if start >= end {
+            return Span::default();
+        }
+        self.spans[start].cover(self.spans[end - 1])
     }
 
     fn at_end(&self) -> bool {
@@ -145,9 +168,22 @@ impl Parser {
                 "SELECT" | "WITH" => Ok(Statement::Query(self.query()?)),
                 "EXPLAIN" => {
                     self.pos += 1;
-                    let analyze = self.consume_keyword("ANALYZE");
+                    let mode = if self.consume_keyword("ANALYZE") {
+                        ExplainMode::Analyze
+                    } else if self.peek() == Some(&Token::LParen)
+                        && matches!(
+                            self.peek_ahead(1),
+                            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("check")
+                        )
+                        && self.peek_ahead(2) == Some(&Token::RParen)
+                    {
+                        self.pos += 3;
+                        ExplainMode::Check
+                    } else {
+                        ExplainMode::Plan
+                    };
                     Ok(Statement::Explain {
-                        analyze,
+                        mode,
                         query: self.query()?,
                     })
                 }
@@ -327,6 +363,7 @@ impl Parser {
     fn insert(&mut self) -> Result<Statement> {
         self.expect_keyword("INSERT")?;
         self.expect_keyword("INTO")?;
+        let table_span = self.span_at(self.pos);
         let table = self.identifier()?;
         let mut columns = Vec::new();
         if self.consume_if(&Token::LParen) {
@@ -397,6 +434,7 @@ impl Parser {
         };
         Ok(Statement::Insert(Insert {
             table,
+            table_span,
             columns,
             source,
             on_conflict,
@@ -406,17 +444,23 @@ impl Parser {
     fn delete(&mut self) -> Result<Statement> {
         self.expect_keyword("DELETE")?;
         self.expect_keyword("FROM")?;
+        let table_span = self.span_at(self.pos);
         let table = self.identifier()?;
         let predicate = if self.consume_keyword("WHERE") {
             Some(self.expr()?)
         } else {
             None
         };
-        Ok(Statement::Delete { table, predicate })
+        Ok(Statement::Delete {
+            table,
+            table_span,
+            predicate,
+        })
     }
 
     fn update(&mut self) -> Result<Statement> {
         self.expect_keyword("UPDATE")?;
+        let table_span = self.span_at(self.pos);
         let table = self.identifier()?;
         self.expect_keyword("SET")?;
         let mut assignments = Vec::new();
@@ -435,6 +479,7 @@ impl Parser {
         };
         Ok(Statement::Update {
             table,
+            table_span,
             assignments,
             predicate,
         })
@@ -571,8 +616,9 @@ impl Parser {
             (self.peek(), self.peek_ahead(1), self.peek_ahead(2))
         {
             let name = name.clone();
+            let span = self.span_at(self.pos).cover(self.span_at(self.pos + 2));
             self.pos += 3;
-            return Ok(SelectItem::QualifiedWildcard(name));
+            return Ok(SelectItem::QualifiedWildcard(name, span));
         }
         let expr = self.expr()?;
         let alias = if self.consume_keyword("AS") {
@@ -642,6 +688,7 @@ impl Parser {
                 alias,
             })
         } else {
+            let span = self.span_at(self.pos);
             let name = self.identifier()?;
             let alias =
                 if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
@@ -649,7 +696,7 @@ impl Parser {
                 } else {
                     None
                 };
-            Ok(TableRef::Named { name, alias })
+            Ok(TableRef::Named { name, alias, span })
         }
     }
 
@@ -673,6 +720,7 @@ impl Parser {
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let mut left = self.and_expr()?;
         while self.consume_keyword("OR") {
             let right = self.and_expr()?;
@@ -680,12 +728,14 @@ impl Parser {
                 left: Box::new(left),
                 op: BinaryOp::Or,
                 right: Box::new(right),
+                span: self.span_from(start),
             };
         }
         Ok(left)
     }
 
     fn and_expr(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let mut left = self.not_expr()?;
         while self.consume_keyword("AND") {
             let right = self.not_expr()?;
@@ -693,17 +743,20 @@ impl Parser {
                 left: Box::new(left),
                 op: BinaryOp::And,
                 right: Box::new(right),
+                span: self.span_from(start),
             };
         }
         Ok(left)
     }
 
     fn not_expr(&mut self) -> Result<Expr> {
+        let start = self.pos;
         if self.consume_keyword("NOT") {
             let inner = self.not_expr()?;
             Ok(Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(inner),
+                span: self.span_from(start),
             })
         } else {
             self.comparison()
@@ -711,6 +764,7 @@ impl Parser {
     }
 
     fn comparison(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let left = self.additive()?;
         // IS [NOT] NULL
         if self.consume_keyword("IS") {
@@ -719,6 +773,7 @@ impl Parser {
             return Ok(Expr::IsNull {
                 expr: Box::new(left),
                 negated,
+                span: self.span_from(start),
             });
         }
         let negated = if self.peek_keyword("NOT")
@@ -740,6 +795,7 @@ impl Parser {
                     expr: Box::new(left),
                     query: Box::new(query),
                     negated,
+                    span: self.span_from(start),
                 });
             }
             let mut list = Vec::new();
@@ -754,6 +810,7 @@ impl Parser {
                 expr: Box::new(left),
                 list,
                 negated,
+                span: self.span_from(start),
             });
         }
         if self.consume_keyword("BETWEEN") {
@@ -765,6 +822,7 @@ impl Parser {
                 low: Box::new(low),
                 high: Box::new(high),
                 negated,
+                span: self.span_from(start),
             });
         }
         if self.consume_keyword("LIKE") {
@@ -773,6 +831,7 @@ impl Parser {
                 expr: Box::new(left),
                 pattern: Box::new(pattern),
                 negated,
+                span: self.span_from(start),
             });
         }
         let op = match self.peek() {
@@ -791,6 +850,7 @@ impl Parser {
                 left: Box::new(left),
                 op,
                 right: Box::new(right),
+                span: self.span_from(start),
             })
         } else {
             Ok(left)
@@ -798,6 +858,7 @@ impl Parser {
     }
 
     fn additive(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let mut left = self.multiplicative()?;
         loop {
             let op = match self.peek() {
@@ -812,12 +873,14 @@ impl Parser {
                 left: Box::new(left),
                 op,
                 right: Box::new(right),
+                span: self.span_from(start),
             };
         }
         Ok(left)
     }
 
     fn multiplicative(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let mut left = self.unary()?;
         loop {
             let op = match self.peek() {
@@ -832,17 +895,20 @@ impl Parser {
                 left: Box::new(left),
                 op,
                 right: Box::new(right),
+                span: self.span_from(start),
             };
         }
         Ok(left)
     }
 
     fn unary(&mut self) -> Result<Expr> {
+        let start = self.pos;
         if self.consume_if(&Token::Minus) {
             let inner = self.unary()?;
             Ok(Expr::Unary {
                 op: UnaryOp::Neg,
                 expr: Box::new(inner),
+                span: self.span_from(start),
             })
         } else if self.consume_if(&Token::Plus) {
             self.unary()
@@ -852,29 +918,30 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr> {
+        let start = self.pos;
         match self.peek().cloned() {
             Some(Token::Int(v)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Int(v)))
+                Ok(Expr::Literal(Value::Int(v), self.span_from(start)))
             }
             Some(Token::Float(v)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Float(v)))
+                Ok(Expr::Literal(Value::Float(v), self.span_from(start)))
             }
             Some(Token::Str(s)) => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::text(s)))
+                Ok(Expr::Literal(Value::text(s), self.span_from(start)))
             }
             Some(Token::Param(i)) => {
                 self.pos += 1;
-                Ok(Expr::Param(i))
+                Ok(Expr::Param(i, self.span_from(start)))
             }
             Some(Token::LParen) => {
                 self.pos += 1;
                 if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT" || k == "WITH") {
                     let query = self.query()?;
                     self.expect(&Token::RParen)?;
-                    return Ok(Expr::ScalarSubquery(Box::new(query)));
+                    return Ok(Expr::ScalarSubquery(Box::new(query), self.span_from(start)));
                 }
                 let inner = self.expr()?;
                 self.expect(&Token::RParen)?;
@@ -887,18 +954,19 @@ impl Parser {
     }
 
     fn keyword_primary(&mut self, k: &str) -> Result<Expr> {
+        let start = self.pos;
         match k {
             "NULL" => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Null))
+                Ok(Expr::Literal(Value::Null, self.span_from(start)))
             }
             "TRUE" => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Int(1)))
+                Ok(Expr::Literal(Value::Int(1), self.span_from(start)))
             }
             "FALSE" => {
                 self.pos += 1;
-                Ok(Expr::Literal(Value::Int(0)))
+                Ok(Expr::Literal(Value::Int(0), self.span_from(start)))
             }
             "CASE" => self.case_expr(),
             "CAST" => {
@@ -911,13 +979,14 @@ impl Parser {
                 Ok(Expr::Cast {
                     expr: Box::new(expr),
                     ty,
+                    span: self.span_from(start),
                 })
             }
             "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
                 // Aggregate unless not followed by '(' (then treat as column).
                 if self.peek_ahead(1) != Some(&Token::LParen) {
                     self.pos += 1;
-                    return self.ident_tail(k.to_lowercase());
+                    return self.ident_tail(k.to_lowercase(), start);
                 }
                 let func = match k {
                     "COUNT" => AggregateFunc::Count,
@@ -942,6 +1011,7 @@ impl Parser {
                     func,
                     arg,
                     distinct,
+                    span: self.span_from(start),
                 })
             }
             "ROW_NUMBER" | "RANK" | "DENSE_RANK" => {
@@ -980,6 +1050,7 @@ impl Parser {
                     func,
                     partition_by,
                     order_by,
+                    span: self.span_from(start),
                 })
             }
             "EXISTS" => {
@@ -990,6 +1061,7 @@ impl Parser {
                 Ok(Expr::Exists {
                     query: Box::new(query),
                     negated: false,
+                    span: self.span_from(start),
                 })
             }
             "EXCLUDED" => {
@@ -1000,6 +1072,7 @@ impl Parser {
                 Ok(Expr::Column {
                     qualifier: Some("excluded".into()),
                     name,
+                    span: self.span_from(start),
                 })
             }
             other => Err(self.err(format!("unexpected keyword '{other}' in expression"))),
@@ -1007,6 +1080,7 @@ impl Parser {
     }
 
     fn case_expr(&mut self) -> Result<Expr> {
+        let start = self.pos;
         self.expect_keyword("CASE")?;
         let operand = if !self.peek_keyword("WHEN") {
             Some(Box::new(self.expr()?))
@@ -1033,17 +1107,20 @@ impl Parser {
             operand,
             branches,
             else_expr,
+            span: self.span_from(start),
         })
     }
 
     fn ident_primary(&mut self) -> Result<Expr> {
+        let start = self.pos;
         let name = self.identifier()?;
-        self.ident_tail(name)
+        self.ident_tail(name, start)
     }
 
     /// Continue parsing a primary whose leading identifier (`name`) has
     /// already been consumed: function call, qualified column, or bare column.
-    fn ident_tail(&mut self, name: String) -> Result<Expr> {
+    /// `start` is the token position of that identifier.
+    fn ident_tail(&mut self, name: String, start: usize) -> Result<Expr> {
         // Function call?
         if self.peek() == Some(&Token::LParen) {
             self.pos += 1;
@@ -1060,6 +1137,7 @@ impl Parser {
             return Ok(Expr::Function {
                 name: name.to_uppercase(),
                 args,
+                span: self.span_from(start),
             });
         }
         // Qualified column?
@@ -1068,11 +1146,13 @@ impl Parser {
             return Ok(Expr::Column {
                 qualifier: Some(name),
                 name: col,
+                span: self.span_from(start),
             });
         }
         Ok(Expr::Column {
             qualifier: None,
             name,
+            span: self.span_from(start),
         })
     }
 }

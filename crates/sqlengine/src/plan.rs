@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crate::ast::{self, Expr, JoinKind, OrderItem, Query, Select, SelectItem, SetExpr, TableRef};
 use crate::catalog::Catalog;
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, Result, Span};
 use crate::expr::{bind_expr, ColLabel, PhysExpr, Scope};
 use crate::value::{Row, Value};
 
@@ -568,7 +568,7 @@ impl<'a> Planner<'a> {
     /// base-table scans) the table's access paths.
     fn plan_table_ref(&mut self, tref: &TableRef) -> Result<PlannedItem> {
         match tref {
-            TableRef::Named { name, alias } => {
+            TableRef::Named { name, alias, .. } => {
                 let qual = alias.clone().unwrap_or_else(|| name.clone());
                 if let Some(entry) = self.lookup_cte(name) {
                     match entry {
@@ -602,7 +602,7 @@ impl<'a> Planner<'a> {
                         .schema
                         .columns
                         .iter()
-                        .map(|c| ColLabel::new(Some(&qual), &c.name))
+                        .map(|c| ColLabel::new(Some(&qual), &c.name).with_ty(c.ty))
                         .collect();
                     let access = if self.config.use_indexes {
                         let mut indexes = Vec::new();
@@ -750,6 +750,7 @@ impl<'a> Planner<'a> {
             left,
             op: ast::BinaryOp::Eq,
             right,
+            ..
         } = expr
         else {
             return Ok(None);
@@ -775,7 +776,8 @@ impl<'a> Planner<'a> {
     /// bind inside the subquery's own scope.
     pub(crate) fn resolve_subqueries(&mut self, e: &mut Expr) -> Result<()> {
         match e {
-            Expr::ScalarSubquery(q) => {
+            Expr::ScalarSubquery(q, span) => {
+                let span = *span;
                 let planned = self.plan_query(q)?;
                 let rows = crate::exec::execute(&planned.plan)?;
                 if rows.len() > 1 {
@@ -789,13 +791,15 @@ impl<'a> Planner<'a> {
                     .next()
                     .and_then(|r| r.into_iter().next())
                     .unwrap_or(Value::Null);
-                *e = Expr::Literal(v);
+                *e = Expr::Literal(v, span);
             }
             Expr::InSubquery {
                 expr,
                 query,
                 negated,
+                span,
             } => {
+                let span = *span;
                 self.resolve_subqueries(expr)?;
                 let planned = self.plan_query(query)?;
                 if planned.columns.len() != 1 {
@@ -807,18 +811,24 @@ impl<'a> Planner<'a> {
                 let rows = crate::exec::execute(&planned.plan)?;
                 let list = rows
                     .into_iter()
-                    .map(|mut r| Expr::Literal(r.pop().expect("one column")))
+                    .map(|mut r| Expr::Literal(r.pop().expect("one column"), Span::default()))
                     .collect();
                 *e = Expr::InList {
                     expr: expr.clone(),
                     list,
                     negated: *negated,
+                    span,
                 };
             }
-            Expr::Exists { query, negated } => {
+            Expr::Exists {
+                query,
+                negated,
+                span,
+            } => {
+                let span = *span;
                 let planned = self.plan_query(query)?;
                 let rows = crate::exec::execute(&planned.plan)?;
-                *e = Expr::Literal(Value::Int((rows.is_empty() == *negated) as i64));
+                *e = Expr::Literal(Value::Int((rows.is_empty() == *negated) as i64), span);
             }
             _ => {
                 let mut result = Ok(());
@@ -840,7 +850,9 @@ impl<'a> Planner<'a> {
             // Cheap structural probe; cloning only when needed.
             fn probe(e: &Expr) -> bool {
                 match e {
-                    Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => true,
+                    Expr::ScalarSubquery(..) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+                        true
+                    }
                     _ => {
                         let mut found = false;
                         visit_children(e, &mut |c| found |= probe(c));
@@ -923,12 +935,13 @@ impl<'a> Planner<'a> {
                             Expr::Column {
                                 qualifier: label.qualifier.clone(),
                                 name: label.name.clone(),
+                                span: Span::default(),
                             },
                             Some(label.name.clone()),
                         ));
                     }
                 }
-                SelectItem::QualifiedWildcard(q) => {
+                SelectItem::QualifiedWildcard(q, wspan) => {
                     let mut any = false;
                     for label in &scope.labels {
                         if label
@@ -940,6 +953,7 @@ impl<'a> Planner<'a> {
                                 Expr::Column {
                                     qualifier: label.qualifier.clone(),
                                     name: label.name.clone(),
+                                    span: *wspan,
                                 },
                                 Some(label.name.clone()),
                             ));
@@ -999,6 +1013,7 @@ impl<'a> Planner<'a> {
                 func,
                 partition_by,
                 order_by: worder,
+                ..
             } = &w
             else {
                 unreachable!()
@@ -1046,7 +1061,7 @@ impl<'a> Planner<'a> {
         let mut sort_keys: Vec<(PhysExpr, bool)> = Vec::new();
         let mut hidden: Vec<PhysExpr> = Vec::new();
         for oi in &order_items {
-            if let Expr::Literal(Value::Int(ordinal)) = oi.expr {
+            if let Expr::Literal(Value::Int(ordinal), _) = oi.expr {
                 let idx = (ordinal as usize)
                     .checked_sub(1)
                     .filter(|&i| i < out_width)
@@ -1295,6 +1310,7 @@ impl<'a> Planner<'a> {
                     left,
                     op: ast::BinaryOp::Eq,
                     right,
+                    ..
                 } => {
                     if let (Some(col), Some(v)) =
                         (self.as_scope_column(left, scope), self.const_value(right))
@@ -1312,6 +1328,7 @@ impl<'a> Planner<'a> {
                     expr,
                     list,
                     negated: false,
+                    ..
                 } => {
                     let Some(col) = self.as_scope_column(expr, scope) else {
                         continue;
@@ -1435,6 +1452,7 @@ impl<'a> Planner<'a> {
                     func,
                     arg,
                     distinct,
+                    ..
                 } = e
                 else {
                     unreachable!()
@@ -1454,9 +1472,9 @@ impl<'a> Planner<'a> {
         let mut labels = Vec::with_capacity(group_by.len() + agg_exprs.len());
         for (i, g) in group_by.iter().enumerate() {
             match g {
-                Expr::Column { qualifier, name } => {
-                    labels.push(ColLabel::new(qualifier.as_deref(), name))
-                }
+                Expr::Column {
+                    qualifier, name, ..
+                } => labels.push(ColLabel::new(qualifier.as_deref(), name)),
                 _ => labels.push(ColLabel::bare(&format!("#g{i}"))),
             }
         }
@@ -1516,7 +1534,7 @@ impl<'a> Planner<'a> {
         order_by
             .iter()
             .map(|oi| {
-                if let Expr::Literal(Value::Int(ordinal)) = oi.expr {
+                if let Expr::Literal(Value::Int(ordinal), _) = oi.expr {
                     let idx = (ordinal as usize)
                         .checked_sub(1)
                         .filter(|&i| i < columns.len())
@@ -1532,13 +1550,14 @@ impl<'a> Planner<'a> {
 }
 
 /// Split an expression into its top-level AND conjuncts.
-fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
+pub(crate) fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
     let mut out = Vec::new();
     fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary {
             left,
             op: ast::BinaryOp::And,
             right,
+            ..
         } = e
         {
             walk(left, out);
@@ -1552,19 +1571,23 @@ fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
 }
 
 /// AND a list of conjuncts back together. Panics on empty input.
-fn conjoin(conjuncts: &[&Expr]) -> Expr {
+pub(crate) fn conjoin(conjuncts: &[&Expr]) -> Expr {
     let mut it = conjuncts.iter();
     let first = (*it.next().expect("conjoin of empty list")).clone();
-    it.fold(first, |acc, e| Expr::Binary {
-        left: Box::new(acc),
-        op: ast::BinaryOp::And,
-        right: Box::new((*e).clone()),
+    it.fold(first, |acc, e| {
+        let span = acc.span().cover(e.span());
+        Expr::Binary {
+            left: Box::new(acc),
+            op: ast::BinaryOp::And,
+            right: Box::new((*e).clone()),
+            span,
+        }
     })
 }
 
 /// Collect aggregate sub-expressions (structurally deduplicated, outermost
 /// only — nested aggregates are invalid and rejected at bind time).
-fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
+pub(crate) fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
     match e {
         Expr::Aggregate { .. } => {
             if !out.contains(e) {
@@ -1576,7 +1599,7 @@ fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
 }
 
 /// Collect window sub-expressions (structurally deduplicated).
-fn collect_windows(e: &Expr, out: &mut Vec<Expr>) {
+pub(crate) fn collect_windows(e: &Expr, out: &mut Vec<Expr>) {
     match e {
         Expr::WindowRowNumber { .. } => {
             if !out.contains(e) {
@@ -1587,9 +1610,9 @@ fn collect_windows(e: &Expr, out: &mut Vec<Expr>) {
     }
 }
 
-fn visit_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
+pub(crate) fn visit_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
     match e {
-        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Literal(..) | Expr::Param(..) | Expr::Column { .. } => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => f(expr),
         Expr::Binary { left, right, .. } => {
             f(left);
@@ -1614,6 +1637,7 @@ fn visit_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
             operand,
             branches,
             else_expr,
+            ..
         } => {
             if let Some(o) = operand {
                 f(o);
@@ -1644,15 +1668,15 @@ fn visit_children(e: &Expr, f: &mut impl FnMut(&Expr)) {
         }
         // Subquery bodies are independent scopes; only visit the scalar
         // side of IN.
-        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => f(expr),
     }
 }
 
 /// Mutable twin of [`visit_children`].
-fn visit_children_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+pub(crate) fn visit_children_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
     match e {
-        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Literal(..) | Expr::Param(..) | Expr::Column { .. } => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => f(expr),
         Expr::Binary { left, right, .. } => {
             f(left);
@@ -1677,6 +1701,7 @@ fn visit_children_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
             operand,
             branches,
             else_expr,
+            ..
         } => {
             if let Some(o) = operand {
                 f(o);
@@ -1705,21 +1730,21 @@ fn visit_children_mut(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
                 f(&mut oi.expr);
             }
         }
-        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => f(expr),
     }
 }
 
 /// Replace every subtree structurally equal to `target` with `replacement`.
-fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
+pub(crate) fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
     if e == target {
         *e = replacement.clone();
         return;
     }
     match e {
-        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+        Expr::Literal(..) | Expr::Param(..) | Expr::Column { .. } => {}
         Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
-            replace_subtree(expr, target, replacement)
+            replace_subtree(expr, target, replacement);
         }
         Expr::Binary { left, right, .. } => {
             replace_subtree(left, target, replacement);
@@ -1746,6 +1771,7 @@ fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
             operand,
             branches,
             else_expr,
+            ..
         } => {
             if let Some(o) = operand {
                 replace_subtree(o, target, replacement);
@@ -1780,13 +1806,13 @@ fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
                 replace_subtree(&mut oi.expr, target, replacement);
             }
         }
-        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => replace_subtree(expr, target, replacement),
     }
 }
 
 /// Derive a display name for an unaliased projection expression.
-fn display_name(e: &Expr, index: usize) -> String {
+pub(crate) fn display_name(e: &Expr, index: usize) -> String {
     match e {
         Expr::Column { name, .. } => name.clone(),
         Expr::Aggregate { func, .. } => func.name().to_lowercase(),

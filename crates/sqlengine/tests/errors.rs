@@ -47,12 +47,10 @@ fn parse_errors() {
 #[test]
 fn plan_errors() {
     let db = db_with_t();
-    // Unknown tables are a catalog error, not a plan error.
-    assert!(matches!(
-        db.execute("SELECT * FROM missing"),
-        Err(EngineError::Catalog(_))
-    ));
+    // These were plan/catalog errors before the semantic analyzer existed;
+    // now every one is caught statically before planning.
     for sql in [
+        "SELECT * FROM missing",                    // unknown table
         "SELECT zzz FROM t",                        // unknown column
         "SELECT x.a FROM t",                        // unknown qualifier
         "SELECT NOSUCHFUNC(a) FROM t",              // unknown function
@@ -64,8 +62,8 @@ fn plan_errors() {
     ] {
         let result = db.execute(sql);
         assert!(
-            matches!(result, Err(EngineError::Plan(_))),
-            "expected plan error for {sql:?}, got {result:?}"
+            matches!(result, Err(EngineError::Sema { .. })),
+            "expected sema error for {sql:?}, got {result:?}"
         );
     }
 }
@@ -82,13 +80,17 @@ fn ambiguous_column_is_reported() {
 #[test]
 fn exec_errors() {
     let db = db_with_t();
+    // `a / 0` is not a compile-time constant (the left side is a column),
+    // so division by zero still surfaces at execution time.
     assert!(matches!(
         db.query("SELECT a / 0 FROM t"),
         Err(EngineError::Exec(_))
     ));
+    // int + text involves a declared TEXT column, so the analyzer rejects
+    // it statically now.
     assert!(matches!(
-        db.query("SELECT a + b FROM t"), // int + text
-        Err(EngineError::Exec(_))
+        db.query("SELECT a + b FROM t"),
+        Err(EngineError::Sema { .. })
     ));
     // Wrong arity on insert.
     assert!(db.execute("INSERT INTO t VALUES (1)").is_err());
