@@ -1,0 +1,71 @@
+//! WAL overhead: commit latency of small writes at each fsync policy,
+//! against the pure in-memory engine as baseline. Quantifies what
+//! durability costs the serving/training hot path and what `OnCommit`
+//! buys back relative to `Always`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlengine::{Database, EngineConfig, MemIo, StorageIo, SyncPolicy, Value};
+
+fn durable(policy: SyncPolicy) -> Database {
+    Database::open_with_io(
+        Arc::new(MemIo::new()) as Arc<dyn StorageIo>,
+        EngineConfig::default()
+            .with_wal_sync(policy)
+            // Keep checkpoints out of the measurement window.
+            .with_checkpoint_after_bytes(0),
+    )
+    .unwrap()
+}
+
+fn create_table(db: &Database) {
+    db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, tag TEXT, w REAL)")
+        .unwrap();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_commit_latency");
+    let cases: Vec<(&str, Option<SyncPolicy>)> = vec![
+        ("memory_baseline", None),
+        ("wal_never", Some(SyncPolicy::Never)),
+        ("wal_on_commit", Some(SyncPolicy::OnCommit)),
+        ("wal_always", Some(SyncPolicy::Always)),
+    ];
+    for (name, policy) in cases {
+        let db = match policy {
+            None => Database::new(),
+            Some(p) => durable(p),
+        };
+        create_table(&db);
+        let mut next = 0i64;
+
+        // One auto-commit INSERT: a single WAL batch per iteration, the
+        // paper's `partial_fit`-shaped write.
+        group.bench_with_input(BenchmarkId::new("single_insert", name), &(), |b, ()| {
+            b.iter(|| {
+                next += 1;
+                db.execute_with("INSERT INTO kv VALUES (?, 'x', 0.5)", &[Value::Int(next)])
+                    .unwrap()
+            });
+        });
+
+        // An explicit 16-statement transaction: `OnCommit` fsyncs once
+        // here where `Always` pays per batch.
+        group.bench_with_input(BenchmarkId::new("txn_16_inserts", name), &(), |b, ()| {
+            b.iter(|| {
+                let mut script = String::from("BEGIN;");
+                for _ in 0..16 {
+                    next += 1;
+                    script.push_str(&format!("INSERT INTO kv VALUES ({next}, 'y', 1.5);"));
+                }
+                script.push_str("COMMIT;");
+                db.execute_script(&script).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit);
+criterion_main!(benches);

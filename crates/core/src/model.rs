@@ -211,6 +211,13 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         Ok(())
     }
 
+    /// Whether a deployed weights table exists. After reopening a persisted
+    /// database this tells whether `predict` will use the cached weights or
+    /// recompute from the corpus on the fly.
+    pub fn is_deployed(&self) -> bool {
+        self.deployed_flag()
+    }
+
     /// Whether a deployed weights table exists (used to pick the inference
     /// path automatically).
     fn deployed_flag(&self) -> bool {

@@ -290,6 +290,59 @@ impl Table {
         Ok(idxs.len())
     }
 
+    /// Create an index over the named columns, building its map from the
+    /// current rows. A unique index on a table without a primary key becomes
+    /// the primary index; any other index (including `UNIQUE` on a table
+    /// that already has a primary key) is maintained as a secondary index.
+    /// This is the single implementation behind `CREATE [UNIQUE] INDEX` and
+    /// write-ahead-log replay, so recovery rebuilds exactly the structures
+    /// the original statement did.
+    pub fn create_index(&mut self, name: &str, columns: &[String], unique: bool) -> Result<()> {
+        let mut key_columns = Vec::with_capacity(columns.len());
+        for c in columns {
+            key_columns.push(self.schema.position(c).ok_or_else(|| {
+                EngineError::catalog(format!("column '{c}' not found in table '{}'", self.name))
+            })?);
+        }
+        if self.secondary.iter().any(|s| s.name == name) {
+            return Err(EngineError::catalog(format!(
+                "index '{name}' already exists"
+            )));
+        }
+        if unique && self.primary.is_none() {
+            let mut map = HashMap::with_capacity(self.rows.len());
+            for (i, row) in self.rows.iter().enumerate() {
+                let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
+                if map.insert(key, i).is_some() {
+                    return Err(EngineError::exec(format!(
+                        "cannot create unique index '{name}': duplicate keys"
+                    )));
+                }
+            }
+            self.primary = Some(UniqueIndex {
+                key_columns,
+                map: Arc::new(map),
+            });
+        } else {
+            let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, row) in self.rows.iter().enumerate() {
+                let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
+                map.entry(key).or_default().push(i);
+            }
+            self.secondary.push(SecondaryIndex {
+                name: name.to_string(),
+                key_columns,
+                map: Arc::new(map),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether an index with this name exists on the table.
+    pub fn has_index(&self, name: &str) -> bool {
+        self.secondary.iter().any(|s| s.name == name)
+    }
+
     /// Rebuild primary and secondary indexes from current rows.
     pub fn rebuild_indexes(&mut self) -> Result<()> {
         if let Some(primary) = &mut self.primary {
@@ -360,11 +413,14 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
-    pub fn create_table(&mut self, table: Table, if_not_exists: bool) -> Result<()> {
+    /// Install a table. Returns whether the table was actually created
+    /// (`false` only for an `IF NOT EXISTS` no-op), so callers can decide
+    /// whether to log the DDL.
+    pub fn create_table(&mut self, table: Table, if_not_exists: bool) -> Result<bool> {
         let key = Self::key(&table.name);
         if self.tables.contains_key(&key) {
             if if_not_exists {
-                return Ok(());
+                return Ok(false);
             }
             return Err(EngineError::catalog(format!(
                 "table '{}' already exists",
@@ -372,16 +428,21 @@ impl Catalog {
             )));
         }
         self.tables.insert(key, table);
-        Ok(())
+        Ok(true)
     }
 
-    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
-        if self.tables.remove(&Self::key(name)).is_none() && !if_exists {
+    /// Remove a table. Returns whether a table was actually dropped
+    /// (`false` only for an `IF EXISTS` no-op).
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<bool> {
+        if self.tables.remove(&Self::key(name)).is_none() {
+            if if_exists {
+                return Ok(false);
+            }
             return Err(EngineError::catalog(format!(
                 "table '{name}' does not exist"
             )));
         }
-        Ok(())
+        Ok(true)
     }
 
     pub fn get(&self, name: &str) -> Result<&Table> {

@@ -7,19 +7,19 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::ast::{ConflictAction, Expr, InsertSource, Query, Statement};
-use crate::catalog::{
-    Catalog, Column, InsertOutcome, ResolvedConflict, Schema, SecondaryIndex, Table, UniqueIndex,
-};
+use crate::catalog::{Catalog, Column, InsertOutcome, ResolvedConflict, Schema, Table};
 use crate::error::{EngineError, Result};
 use crate::exec::{ExecContext, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::{PlannedQuery, Planner, PlannerConfig};
-use crate::value::{Row, Value};
+use crate::value::{DataType, Row, Value};
+use crate::wal::{self, push_insert, StorageIo, SyncPolicy, Wal, WalOp};
 
 /// Engine configuration. The three profiles used by the benchmark harness to
 /// emulate distinct DBMS behaviours are built from these knobs (see
@@ -42,6 +42,18 @@ pub struct EngineConfig {
     /// Cache the bound physical plans of parameterless queries keyed by SQL
     /// text + catalog version, so repeated serving calls skip parse + plan.
     pub plan_cache: bool,
+    /// Abort statements whose execution exceeds this wall-clock budget with
+    /// [`EngineError::Timeout`]. Checked at operator and morsel boundaries,
+    /// so a pathological plan (e.g. an unconstrained cross join) cannot run
+    /// unbounded. `None` (the default) disables the check.
+    pub statement_timeout: Option<Duration>,
+    /// Fsync policy for the write-ahead log of durable databases (ignored
+    /// by purely in-memory databases).
+    pub wal_sync: SyncPolicy,
+    /// Fold the log into a checkpoint once it exceeds this many bytes
+    /// (0 disables the automatic trigger; [`Database::checkpoint`] still
+    /// works). Ignored by purely in-memory databases.
+    pub checkpoint_after_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +64,9 @@ impl Default for EngineConfig {
             parallelism: 1,
             use_indexes: true,
             plan_cache: true,
+            statement_timeout: None,
+            wal_sync: SyncPolicy::OnCommit,
+            checkpoint_after_bytes: 4 << 20,
         }
     }
 }
@@ -101,6 +116,24 @@ impl EngineConfig {
     /// Builder-style toggle of the physical-plan cache.
     pub fn with_plan_cache(mut self, on: bool) -> Self {
         self.plan_cache = on;
+        self
+    }
+
+    /// Builder-style statement timeout.
+    pub fn with_statement_timeout(mut self, limit: Duration) -> Self {
+        self.statement_timeout = Some(limit);
+        self
+    }
+
+    /// Builder-style WAL fsync policy.
+    pub fn with_wal_sync(mut self, sync: SyncPolicy) -> Self {
+        self.wal_sync = sync;
+        self
+    }
+
+    /// Builder-style automatic-checkpoint threshold (bytes of WAL).
+    pub fn with_checkpoint_after_bytes(mut self, bytes: u64) -> Self {
+        self.checkpoint_after_bytes = bytes;
         self
     }
 
@@ -188,6 +221,9 @@ pub struct Database {
     plan_cache: Mutex<HashMap<String, CachedPlan>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    /// Write-ahead log of committed logical changes; `None` for purely
+    /// in-memory databases (`Database::new`).
+    wal: Option<Wal>,
 }
 
 impl Default for Database {
@@ -211,6 +247,70 @@ impl Database {
             plan_cache: Mutex::new(HashMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            wal: None,
+        }
+    }
+
+    /// Open a durable database rooted at `dir`: load the latest checkpoint,
+    /// replay the write-ahead log (truncating any torn tail), and attach a
+    /// WAL so every committed change is persisted. The directory is created
+    /// if it does not exist.
+    pub fn open(dir: impl AsRef<std::path::Path>, config: EngineConfig) -> Result<Database> {
+        Self::open_with_io(Arc::new(wal::FileIo::new(dir)?), config)
+    }
+
+    /// [`Database::open`] with the default configuration.
+    pub fn persistent(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        Self::open(dir, EngineConfig::default())
+    }
+
+    /// Open a durable database over an injectable storage backend. This is
+    /// how the fault-injection tests drive the WAL against in-memory and
+    /// failpoint-instrumented storage; applications normally use
+    /// [`Database::open`].
+    pub fn open_with_io(io: Arc<dyn StorageIo>, config: EngineConfig) -> Result<Database> {
+        let recovered = wal::recover(io.as_ref())?;
+        let wal = Wal::new(
+            io,
+            config.wal_sync,
+            config.checkpoint_after_bytes,
+            recovered.next_seq,
+            recovered.wal_len,
+        );
+        let mut db = Database::with_config(config);
+        db.catalog = RwLock::new(recovered.catalog);
+        db.wal = Some(wal);
+        Ok(db)
+    }
+
+    /// Fold the current state into a checkpoint and truncate the WAL.
+    /// Errors on in-memory databases and inside explicit transactions.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Err(EngineError::wal(
+                "checkpoint requires a durable database (Database::open)",
+            ));
+        };
+        if self.in_transaction() {
+            return Err(EngineError::exec("cannot checkpoint inside a transaction"));
+        }
+        let catalog = self.catalog.write();
+        wal.checkpoint(&catalog)
+    }
+
+    /// Bytes currently in the write-ahead log; `None` for in-memory
+    /// databases. Exposed for checkpoint-trigger tests and benches.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.wal_bytes())
+    }
+
+    /// Log one statement's ops to the WAL (no-op for in-memory databases).
+    /// Must be called while still holding the catalog write lock so WAL
+    /// order equals catalog mutation order.
+    fn wal_log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.log(catalog, ops),
+            None => Ok(()),
         }
     }
 
@@ -299,11 +399,16 @@ impl Database {
     }
 
     /// The execution context queries run under: the configured parallelism
-    /// plus the shared worker pool.
+    /// plus the shared worker pool, with the statement deadline (if any)
+    /// starting now.
     fn exec_ctx(&self) -> ExecContext {
-        match &self.pool {
+        let ctx = match &self.pool {
             Some(pool) => ExecContext::with_pool(self.config.parallelism, Arc::clone(pool)),
             None => ExecContext::serial(),
+        };
+        match self.config.statement_timeout {
+            Some(limit) => ctx.with_deadline(Instant::now() + limit),
+            None => ctx,
         }
     }
 
@@ -494,7 +599,59 @@ impl Database {
         for row in rows {
             table.insert_row(row, None)?;
         }
-        self.write_catalog().create_table(table, false)
+        self.install_table(table)
+    }
+
+    /// Install a fully built table into the catalog, logging its schema,
+    /// indexes, and rows to the WAL as one batch.
+    pub(crate) fn install_table(&self, table: Table) -> Result<()> {
+        let ops = self.wal.is_some().then(|| {
+            let primary_key: Vec<String> = table
+                .primary
+                .as_ref()
+                .map(|p| {
+                    p.key_columns
+                        .iter()
+                        .map(|&i| table.schema.columns[i].name.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut ops = vec![WalOp::CreateTable {
+                name: table.name.clone(),
+                columns: table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| (c.name.clone(), c.ty))
+                    .collect(),
+                primary_key,
+            }];
+            for index in &table.secondary {
+                ops.push(WalOp::CreateIndex {
+                    table: table.name.clone(),
+                    name: index.name.clone(),
+                    columns: index
+                        .key_columns
+                        .iter()
+                        .map(|&i| table.schema.columns[i].name.clone())
+                        .collect(),
+                    unique: false,
+                });
+            }
+            if !table.rows.is_empty() {
+                ops.push(WalOp::Insert {
+                    table: table.name.clone(),
+                    rows: table.rows.as_ref().clone(),
+                });
+            }
+            ops
+        });
+        let mut catalog = self.write_catalog();
+        catalog.create_table(table, false)?;
+        if let Some(ops) = ops {
+            self.wal_log(&catalog, ops)?;
+        }
+        Ok(())
     }
 
     /// Bulk-insert pre-built rows into a table (fast path used by data
@@ -502,10 +659,39 @@ impl Database {
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
         let mut catalog = self.write_catalog();
         let t = catalog.get_mut(table)?;
-        let n = rows.len();
+        let wal_on = self.wal.is_some();
+        let mut applied = Vec::new();
+        let mut n = 0usize;
+        let mut failure = None;
         for row in rows {
-            t.insert_row(row, None)?;
+            match t.insert_row(row, None) {
+                Ok(_) => {
+                    n += 1;
+                    if wal_on {
+                        applied.push(t.rows.last().expect("row just inserted").clone());
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
         }
+        let wal_result = if applied.is_empty() {
+            Ok(())
+        } else {
+            self.wal_log(
+                &catalog,
+                vec![WalOp::Insert {
+                    table: table.to_string(),
+                    rows: applied,
+                }],
+            )
+        };
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        wal_result?;
         Ok(n)
     }
 
@@ -563,32 +749,36 @@ impl Database {
                 }))
             }
             Statement::CreateTable(ct) => {
+                let columns: Vec<(String, DataType)> =
+                    ct.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
                 let schema = Schema::new(
-                    ct.columns
+                    columns
                         .iter()
-                        .map(|c| Column {
-                            name: c.name.clone(),
-                            ty: c.ty,
+                        .map(|(name, ty)| Column {
+                            name: name.clone(),
+                            ty: *ty,
                         })
                         .collect(),
                 );
                 let table = Table::new(ct.name.clone(), schema, &ct.primary_key)?;
-                self.write_catalog().create_table(table, ct.if_not_exists)?;
+                let mut catalog = self.write_catalog();
+                let created = catalog.create_table(table, ct.if_not_exists)?;
+                if created {
+                    self.wal_log(
+                        &catalog,
+                        vec![WalOp::CreateTable {
+                            name: ct.name.clone(),
+                            columns,
+                            primary_key: ct.primary_key.clone(),
+                        }],
+                    )?;
+                }
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
                 let mut catalog = self.write_catalog();
                 let table = catalog.get_mut(&ci.table)?;
-                let mut key_columns = Vec::with_capacity(ci.columns.len());
-                for c in &ci.columns {
-                    key_columns.push(table.schema.position(c).ok_or_else(|| {
-                        EngineError::catalog(format!(
-                            "column '{c}' not found in table '{}'",
-                            ci.table
-                        ))
-                    })?);
-                }
-                if table.secondary.iter().any(|s| s.name == ci.name) {
+                if table.has_index(&ci.name) {
                     if ci.if_not_exists {
                         return Ok(StatementResult::Affected(0));
                     }
@@ -597,37 +787,24 @@ impl Database {
                         ci.name
                     )));
                 }
-                if ci.unique && table.primary.is_none() {
-                    let mut map = HashMap::with_capacity(table.rows.len());
-                    for (i, row) in table.rows.iter().enumerate() {
-                        let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
-                        if map.insert(key, i).is_some() {
-                            return Err(EngineError::exec(format!(
-                                "cannot create unique index '{}': duplicate keys",
-                                ci.name
-                            )));
-                        }
-                    }
-                    table.primary = Some(UniqueIndex {
-                        key_columns,
-                        map: Arc::new(map),
-                    });
-                } else {
-                    let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                    for (i, row) in table.rows.iter().enumerate() {
-                        let key: Vec<Value> = key_columns.iter().map(|&c| row[c].clone()).collect();
-                        map.entry(key).or_default().push(i);
-                    }
-                    table.secondary.push(SecondaryIndex {
+                table.create_index(&ci.name, &ci.columns, ci.unique)?;
+                self.wal_log(
+                    &catalog,
+                    vec![WalOp::CreateIndex {
+                        table: ci.table.clone(),
                         name: ci.name.clone(),
-                        key_columns,
-                        map: Arc::new(map),
-                    });
-                }
+                        columns: ci.columns.clone(),
+                        unique: ci.unique,
+                    }],
+                )?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
-                self.write_catalog().drop_table(name, *if_exists)?;
+                let mut catalog = self.write_catalog();
+                let dropped = catalog.drop_table(name, *if_exists)?;
+                if dropped {
+                    self.wal_log(&catalog, vec![WalOp::DropTable { name: name.clone() }])?;
+                }
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateTableAs {
@@ -641,22 +818,46 @@ impl Database {
                     planner.plan_query(query)?
                 };
                 let rows = self.exec_ctx().execute(&planned.plan)?;
+                let columns: Vec<(String, DataType)> = planned
+                    .columns
+                    .iter()
+                    .map(|c| (c.clone(), DataType::Any))
+                    .collect();
                 let schema = Schema::new(
-                    planned
-                        .columns
+                    columns
                         .iter()
-                        .map(|c| Column {
-                            name: c.clone(),
-                            ty: crate::value::DataType::Any,
+                        .map(|(name, ty)| Column {
+                            name: name.clone(),
+                            ty: *ty,
                         })
                         .collect(),
                 );
                 let mut table = Table::new(name.clone(), schema, &[])?;
                 let n = rows.len();
+                // Clone the result rows for the log up front: the table takes
+                // ownership of them below.
+                let logged_rows = self.wal.is_some().then(|| rows.clone());
                 for row in rows {
                     table.insert_row(row, None)?;
                 }
-                self.write_catalog().create_table(table, *if_not_exists)?;
+                let mut catalog = self.write_catalog();
+                let created = catalog.create_table(table, *if_not_exists)?;
+                if created {
+                    let mut ops = vec![WalOp::CreateTable {
+                        name: name.clone(),
+                        columns,
+                        primary_key: Vec::new(),
+                    }];
+                    if let Some(rows) = logged_rows {
+                        if !rows.is_empty() {
+                            ops.push(WalOp::Insert {
+                                table: name.clone(),
+                                rows,
+                            });
+                        }
+                    }
+                    self.wal_log(&catalog, ops)?;
+                }
                 Ok(StatementResult::Affected(n))
             }
             Statement::Begin => {
@@ -665,20 +866,43 @@ impl Database {
                     return Err(EngineError::exec("a transaction is already in progress"));
                 }
                 *backup = Some(self.catalog.read().clone());
+                if let Some(wal) = &self.wal {
+                    wal.begin();
+                }
                 Ok(StatementResult::Affected(0))
             }
             Statement::Commit => {
                 let mut backup = self.txn_backup.lock();
-                if backup.take().is_none() {
+                if backup.is_none() {
                     return Err(EngineError::exec("no transaction in progress"));
                 }
+                // Flush the transaction's buffered ops as one batch while
+                // holding the catalog lock, so the flush serializes with any
+                // concurrent writer. A plain `write()` (no version bump): the
+                // catalog itself is not mutated here.
+                let flush = match &self.wal {
+                    Some(wal) => {
+                        let catalog = self.catalog.write();
+                        wal.commit(&catalog)
+                    }
+                    None => Ok(()),
+                };
+                backup.take();
+                flush?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::Rollback => {
                 let mut backup = self.txn_backup.lock();
                 match backup.take() {
                     Some(saved) => {
-                        *self.write_catalog() = saved;
+                        // Restore and discard the WAL's buffered ops under one
+                        // guard: nothing was written durably since BEGIN, so
+                        // the durable state already equals `saved`.
+                        let mut catalog = self.write_catalog();
+                        *catalog = saved;
+                        if let Some(wal) = &self.wal {
+                            wal.rollback();
+                        }
                         Ok(StatementResult::Affected(0))
                     }
                     None => Err(EngineError::exec("no transaction in progress")),
@@ -705,7 +929,20 @@ impl Database {
                         idxs
                     }
                 };
+                let logged_idxs = (self.wal.is_some() && !idxs.is_empty())
+                    .then(|| idxs.iter().map(|&i| i as u64).collect::<Vec<u64>>());
                 let n = t.delete_rows(idxs)?;
+                if let Some(idxs) = logged_idxs {
+                    if n > 0 {
+                        self.wal_log(
+                            &catalog,
+                            vec![WalOp::Delete {
+                                table: table.clone(),
+                                idxs,
+                            }],
+                        )?;
+                    }
+                }
                 Ok(StatementResult::Affected(n))
             }
             Statement::Update {
@@ -743,11 +980,38 @@ impl Database {
                         updates.push((i, new_row));
                     }
                 }
-                let n = updates.len();
+                let wal_on = self.wal.is_some();
+                let mut ops = Vec::new();
+                let mut applied = 0usize;
+                let mut failure = None;
                 for (i, new_row) in updates {
-                    t.replace_row(i, new_row)?;
+                    let logged = wal_on.then(|| new_row.clone());
+                    if let Err(e) = t.replace_row(i, new_row) {
+                        failure = Some(e);
+                        break;
+                    }
+                    applied += 1;
+                    if let Some(row) = logged {
+                        ops.push(WalOp::Replace {
+                            table: table.clone(),
+                            idx: i as u64,
+                            row,
+                        });
+                    }
                 }
-                Ok(StatementResult::Affected(n))
+                // A statement that failed midway still logs the prefix it
+                // applied — recovery must reproduce the in-memory state, not
+                // an idealized all-or-nothing one.
+                let wal_result = if ops.is_empty() {
+                    Ok(())
+                } else {
+                    self.wal_log(&catalog, ops)
+                };
+                if let Some(e) = failure {
+                    return Err(e);
+                }
+                wal_result?;
+                Ok(StatementResult::Affected(applied))
             }
         }
     }
@@ -892,26 +1156,42 @@ impl Database {
         };
 
         let width = t.schema.len();
+        let wal_on = self.wal.is_some();
+        let mut ops: Vec<WalOp> = Vec::new();
         let mut affected = 0usize;
-        for src in source_rows {
+        // Errors are captured rather than propagated with `?` so the ops of
+        // the successfully applied prefix still reach the WAL — recovery must
+        // reproduce the in-memory state a partially failed statement left
+        // behind, exactly.
+        let mut failure: Option<EngineError> = None;
+        'rows: for src in source_rows {
             if src.len() != positions.len() {
-                return Err(EngineError::exec(format!(
+                failure = Some(EngineError::exec(format!(
                     "INSERT expects {} values per row, got {}",
                     positions.len(),
                     src.len()
                 )));
+                break;
             }
             let mut row: Row = vec![Value::Null; width];
             for (pos, v) in positions.iter().zip(src) {
                 row[*pos] = v;
             }
-            match t.insert_row(row, resolved.as_ref())? {
-                InsertOutcome::Inserted => affected += 1,
-                InsertOutcome::Ignored => {}
-                InsertOutcome::Conflict {
+            match t.insert_row(row, resolved.as_ref()) {
+                Ok(InsertOutcome::Inserted) => {
+                    affected += 1;
+                    if wal_on {
+                        // Log the row as stored (insert_row may coerce
+                        // values), so replay matches byte for byte.
+                        let stored = t.rows.last().expect("row just inserted").clone();
+                        push_insert(&mut ops, &insert.table, stored);
+                    }
+                }
+                Ok(InsertOutcome::Ignored) => {}
+                Ok(InsertOutcome::Conflict {
                     existing_idx,
                     proposed,
-                } => {
+                }) => {
                     let assignments = do_update
                         .as_ref()
                         .expect("DoUpdate resolution implies bound assignments");
@@ -920,13 +1200,43 @@ impl Database {
                     eval_row.extend(proposed);
                     let mut new_row = t.rows[existing_idx].clone();
                     for (pos, e) in assignments {
-                        new_row[*pos] = e.eval(&eval_row)?;
+                        match e.eval(&eval_row) {
+                            Ok(v) => new_row[*pos] = v,
+                            Err(e) => {
+                                failure = Some(e);
+                                break 'rows;
+                            }
+                        }
                     }
-                    t.replace_row(existing_idx, new_row)?;
+                    let logged = wal_on.then(|| new_row.clone());
+                    if let Err(e) = t.replace_row(existing_idx, new_row) {
+                        failure = Some(e);
+                        break;
+                    }
                     affected += 1;
+                    if let Some(row) = logged {
+                        ops.push(WalOp::Replace {
+                            table: insert.table.clone(),
+                            idx: existing_idx as u64,
+                            row,
+                        });
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
                 }
             }
         }
+        let wal_result = if ops.is_empty() {
+            Ok(())
+        } else {
+            self.wal_log(&catalog, ops)
+        };
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        wal_result?;
         Ok(StatementResult::Affected(affected))
     }
 }

@@ -101,6 +101,14 @@ pub enum EngineError {
     Catalog(String),
     /// A statement referenced a parameter that was not bound.
     Parameter(String),
+    /// The statement exceeded `EngineConfig::statement_timeout`. Checked at
+    /// operator and morsel boundaries, so a pathological plan (e.g. an
+    /// unconstrained cross join) is cancelled instead of running unbounded.
+    Timeout,
+    /// A durability (write-ahead log / checkpoint) failure. The in-memory
+    /// state is still consistent, but the change that triggered the error
+    /// may not be durable.
+    Wal(String),
 }
 
 impl EngineError {
@@ -123,6 +131,10 @@ impl EngineError {
         }
     }
 
+    pub(crate) fn wal(msg: impl Into<String>) -> Self {
+        EngineError::Wal(msg.into())
+    }
+
     /// The error message without the variant prefix.
     pub fn message(&self) -> &str {
         match self {
@@ -132,7 +144,9 @@ impl EngineError {
             EngineError::Plan(m)
             | EngineError::Exec(m)
             | EngineError::Catalog(m)
-            | EngineError::Parameter(m) => m,
+            | EngineError::Parameter(m)
+            | EngineError::Wal(m) => m,
+            EngineError::Timeout => "statement timeout exceeded",
         }
     }
 
@@ -173,6 +187,8 @@ impl fmt::Display for EngineError {
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
             EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
             EngineError::Parameter(m) => write!(f, "parameter error: {m}"),
+            EngineError::Timeout => write!(f, "execution error: statement timeout exceeded"),
+            EngineError::Wal(m) => write!(f, "durability error: {m}"),
         }
     }
 }

@@ -16,9 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::plan::PhysPlan;
 use crate::value::Row;
 
@@ -97,9 +97,12 @@ impl WorkerPool {
                     .name(format!("sqlengine-worker-{i}"))
                     .spawn(move || loop {
                         // Take the lock only to receive; run the job unlocked
-                        // so other workers keep draining the channel.
+                        // so other workers keep draining the channel. A
+                        // poisoned lock just means some worker panicked while
+                        // *receiving* (jobs run unlocked and are
+                        // panic-caught); the channel itself is still sound.
                         let job = {
-                            let guard = rx.lock().expect("job channel poisoned");
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
                             guard.recv()
                         };
                         match job {
@@ -131,7 +134,10 @@ impl WorkerPool {
         let n = jobs.len();
         let (rtx, rrx) = mpsc::channel::<(usize, thread::Result<T>)>();
         {
-            let guard = self.tx.lock().expect("pool sender poisoned");
+            // Recover rather than propagate poisoning: the sender is only
+            // cloned under this lock, so a panic elsewhere cannot have left
+            // it half-updated.
+            let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
             let tx = guard.as_ref().expect("worker pool already shut down");
             for (i, job) in jobs.into_iter().enumerate() {
                 let rtx = rtx.clone();
@@ -159,20 +165,27 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop.
-        self.tx.lock().expect("pool sender poisoned").take();
-        for handle in self.workers.lock().expect("workers poisoned").drain(..) {
+        // Closing the channel ends every worker's recv loop. Poisoned locks
+        // are recovered, not propagated — panicking in drop aborts.
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Per-query execution context: parallelism knob, shared pool, stats switch.
+/// Per-query execution context: parallelism knob, shared pool, stats switch,
+/// and the statement deadline.
 #[derive(Clone)]
 pub struct ExecContext {
     parallelism: usize,
     pool: Option<Arc<WorkerPool>>,
     collect_stats: bool,
+    /// Absolute point after which execution aborts with
+    /// [`EngineError::Timeout`]. Checked at operator dispatch and morsel
+    /// boundaries; `None` disables the check.
+    deadline: Option<Instant>,
 }
 
 impl ExecContext {
@@ -183,6 +196,7 @@ impl ExecContext {
             parallelism: 1,
             pool: None,
             collect_stats: false,
+            deadline: None,
         }
     }
 
@@ -193,6 +207,7 @@ impl ExecContext {
             parallelism,
             pool: (parallelism > 1).then(|| Arc::new(WorkerPool::new(parallelism))),
             collect_stats: false,
+            deadline: None,
         }
     }
 
@@ -206,7 +221,25 @@ impl ExecContext {
             pool: (parallelism > 1).then_some(pool),
             parallelism,
             collect_stats: false,
+            deadline: None,
         }
+    }
+
+    /// Builder-style statement deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> ExecContext {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The statement deadline, if any (`Copy`, so morsel jobs can capture it
+    /// into `'static` closures).
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Error out if the statement deadline has passed.
+    pub(crate) fn check_timeout(&self) -> Result<()> {
+        check_deadline(self.deadline)
     }
 
     pub fn parallelism(&self) -> usize {
@@ -251,9 +284,19 @@ impl ExecContext {
             parallelism: self.parallelism,
             pool: self.pool.clone(),
             collect_stats: true,
+            deadline: self.deadline,
         };
         let (rows, stats) = super::run(plan, &ctx)?;
         Ok((rows, stats.expect("stats were requested")))
+    }
+}
+
+/// Free-function form of the deadline check, for morsel jobs that captured
+/// `Option<Instant>` rather than a whole context.
+pub(crate) fn check_deadline(deadline: Option<Instant>) -> Result<()> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(EngineError::Timeout),
+        _ => Ok(()),
     }
 }
 

@@ -369,6 +369,7 @@ pub(crate) fn nested_loop_join(
     let left_rows = super::run_input(left, ctx, &mut children, &mut rows_in)?;
     let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
 
+    let deadline = ctx.deadline();
     let rows = if ctx.should_parallelize(left_rows.len()) {
         let predicate_arc: Arc<Option<PhysExpr>> = Arc::new(predicate.clone());
         let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
@@ -379,7 +380,14 @@ pub(crate) fn nested_loop_join(
                 let right = Arc::clone(&right_rows);
                 let predicate = Arc::clone(&predicate_arc);
                 let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
-                    nested_loop_chunk(&left[range], &right, kind, right_width, &predicate)
+                    nested_loop_chunk(
+                        &left[range],
+                        &right,
+                        kind,
+                        right_width,
+                        &predicate,
+                        deadline,
+                    )
                 });
                 job
             })
@@ -390,7 +398,14 @@ pub(crate) fn nested_loop_join(
         }
         out
     } else {
-        nested_loop_chunk(&left_rows, &right_rows, kind, right_width, predicate)?
+        nested_loop_chunk(
+            &left_rows,
+            &right_rows,
+            kind,
+            right_width,
+            predicate,
+            deadline,
+        )?
     };
     Ok(NodeOut {
         rows,
@@ -405,9 +420,14 @@ fn nested_loop_chunk(
     kind: JoinKind,
     right_width: usize,
     predicate: &Option<PhysExpr>,
+    deadline: Option<std::time::Instant>,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     for lrow in left_rows {
+        // The one operator whose output is quadratic in its input: check the
+        // deadline per outer row so an unconstrained cross join cannot run
+        // unbounded.
+        super::context::check_deadline(deadline)?;
         let mut matched = false;
         for rrow in right_rows {
             let mut joined = lrow.clone();

@@ -84,6 +84,10 @@ pub(crate) fn run(plan: &PhysPlan, ctx: &ExecContext) -> Result<(Vec<Row>, Optio
 }
 
 fn dispatch(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
+    // Operator-boundary timeout check: every node passes through here, so a
+    // deep plan cannot run past its deadline by more than one operator's
+    // work (tight loops inside operators check at morsel boundaries too).
+    ctx.check_timeout()?;
     match plan {
         PhysPlan::Scan { rows, .. } => Ok(NodeOut::new(rows.as_ref().clone())),
         PhysPlan::IndexScan {

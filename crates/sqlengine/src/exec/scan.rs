@@ -165,6 +165,7 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
         Arc::new((0..n_stages).map(|_| StageCounter::default()).collect());
     let timed = ctx.stats_enabled();
 
+    let deadline = ctx.deadline();
     let rows = if ctx.should_parallelize(source_rows.len()) {
         let specs: Arc<Vec<StageSpec>> = Arc::new(nodes.iter().map(|n| StageSpec::of(n)).collect());
         let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
@@ -174,8 +175,9 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
                 let specs = Arc::clone(&specs);
                 let counters = Arc::clone(&counters);
                 let source = Arc::clone(&source_rows);
-                let job: ChunkJob<Result<Vec<Row>>> =
-                    Box::new(move || run_morsel(&source[range], &specs, &counters, timed));
+                let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
+                    run_morsel(&source[range], &specs, &counters, timed, deadline)
+                });
                 job
             })
             .collect();
@@ -191,9 +193,15 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
         // the first stage moves rows too instead of cloning survivors.
         let specs: Vec<StageSpec> = nodes.iter().map(|n| StageSpec::of(n)).collect();
         if Arc::strong_count(&source_rows) == 1 {
-            run_chain_owned(super::into_owned(source_rows), &specs, &counters, timed)?
+            run_chain_owned(
+                super::into_owned(source_rows),
+                &specs,
+                &counters,
+                timed,
+                deadline,
+            )?
         } else {
-            run_morsel(&source_rows, &specs, &counters, timed)?
+            run_morsel(&source_rows, &specs, &counters, timed, deadline)?
         }
     };
 
@@ -226,9 +234,11 @@ fn run_morsel(
     specs: &[StageSpec],
     counters: &[StageCounter],
     timed: bool,
+    deadline: Option<Instant>,
 ) -> Result<Vec<Row>> {
     let mut cur: Option<Morsel> = None;
     for (spec, counter) in specs.iter().zip(counters) {
+        super::context::check_deadline(deadline)?;
         let started = timed.then(Instant::now);
         let (rows_in, out) = match cur.take() {
             None => (source.len(), spec.apply_slice(source)?),
@@ -248,9 +258,11 @@ fn run_chain_owned(
     specs: &[StageSpec],
     counters: &[StageCounter],
     timed: bool,
+    deadline: Option<Instant>,
 ) -> Result<Vec<Row>> {
     let mut cur = rows;
     for (spec, counter) in specs.iter().zip(counters) {
+        super::context::check_deadline(deadline)?;
         let started = timed.then(Instant::now);
         let rows_in = cur.len();
         cur = match spec.apply(Morsel::Owned(cur))? {

@@ -27,7 +27,30 @@
 //!   before anything executes (`Database::check`, `EXPLAIN (CHECK)`);
 //! * a plan cache keyed by SQL text and catalog version: repeated
 //!   parameterless queries (the model-serving hot path) skip parsing and
-//!   planning entirely, and any DDL/DML invalidates stale entries.
+//!   planning entirely, and any DDL/DML invalidates stale entries;
+//! * a durability subsystem (`wal`): a CRC-framed write-ahead log of
+//!   committed logical changes over an injectable [`StorageIo`] backend,
+//!   checkpointing, and crash recovery that replays the log and truncates
+//!   torn tails (`Database::open` / `Database::persistent`), plus
+//!   fault-injection storage (`MemIo`, `FaultyIo`) for crash-consistency
+//!   tests.
+//!
+//! ## Durability quick-start
+//!
+//! ```no_run
+//! use sqlengine::{Database, EngineConfig, SyncPolicy};
+//!
+//! let db = Database::open(
+//!     "data/mydb",
+//!     EngineConfig::default().with_wal_sync(SyncPolicy::Always),
+//! ).unwrap();
+//! db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'hello')").unwrap();
+//! // Reopening after a crash replays the write-ahead log.
+//! drop(db);
+//! let db = Database::persistent("data/mydb").unwrap();
+//! assert_eq!(db.table_rows("t").unwrap(), 1);
+//! ```
 //!
 //! ## Quick example
 //!
@@ -56,6 +79,7 @@ pub mod plan;
 pub mod sema;
 pub mod snapshot;
 pub mod value;
+pub mod wal;
 
 pub use ast::ExplainMode;
 pub use engine::{Database, EngineConfig, Prepared, QueryResult, StatementResult};
@@ -65,3 +89,4 @@ pub use plan::JoinAlgo;
 pub use sema::CheckReport;
 pub use snapshot::Snapshot;
 pub use value::{DataType, Row, Value};
+pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy};

@@ -3,58 +3,32 @@
 //! This backs the paper's "cost-effective model serving" discussion (§7): a
 //! deployed BornSQL model is just one or two tables, so a database snapshot
 //! *is* the model artifact. Snapshots are plain JSON for auditable diffs.
+//!
+//! The same writer backs the durability layer's checkpoints (see
+//! [`crate::wal`]): a checkpoint is a snapshot plus the WAL sequence number
+//! it covers. The JSON codec is implemented in-crate (no serde) so that
+//! every value round-trips exactly — in particular non-finite floats, which
+//! standard JSON cannot represent, are encoded as tagged objects
+//! (`{"~f":"nan"}`, `{"~f":"inf"}`, `{"~f":"-inf"}`) instead of silently
+//! collapsing to `null`.
 
 use std::collections::BTreeMap;
 
-use crate::catalog::{Column, Schema, Table};
+use crate::catalog::{Catalog, Column, Schema, Table};
 use crate::engine::Database;
 use crate::error::{EngineError, Result};
 use crate::value::{DataType, Row, Value};
 
-/// Serializable form of one value.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(untagged)]
-enum JsonValue {
-    Null(Option<()>),
-    Int(i64),
-    Float(f64),
-    Str(String),
-}
-
-impl From<&Value> for JsonValue {
-    fn from(v: &Value) -> Self {
-        match v {
-            Value::Null => JsonValue::Null(None),
-            Value::Int(i) => JsonValue::Int(*i),
-            Value::Float(f) => JsonValue::Float(*f),
-            Value::Str(s) => JsonValue::Str(s.to_string()),
-        }
-    }
-}
-
-impl From<JsonValue> for Value {
-    fn from(v: JsonValue) -> Self {
-        match v {
-            JsonValue::Null(_) => Value::Null,
-            JsonValue::Int(i) => Value::Int(i),
-            JsonValue::Float(f) => Value::Float(f),
-            JsonValue::Str(s) => Value::text(s),
-        }
-    }
-}
-
 /// Serializable form of one table.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct JsonTable {
-    columns: Vec<(String, DataType)>,
-    primary_key: Vec<String>,
-    rows: Vec<Vec<JsonValue>>,
+pub(crate) struct TableDump {
+    pub columns: Vec<(String, DataType)>,
+    pub primary_key: Vec<String>,
+    pub rows: Vec<Row>,
 }
 
 /// Serializable form of the whole database.
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Snapshot {
-    tables: BTreeMap<String, JsonTable>,
+    pub(crate) tables: BTreeMap<String, TableDump>,
 }
 
 impl Snapshot {
@@ -65,65 +39,550 @@ impl Snapshot {
             let (schema, primary_key, rows) = db.dump_table(&name)?;
             tables.insert(
                 name,
-                JsonTable {
+                TableDump {
                     columns: schema
                         .columns
                         .iter()
                         .map(|c| (c.name.clone(), c.ty))
                         .collect(),
                     primary_key,
-                    rows: rows
-                        .iter()
-                        .map(|r| r.iter().map(JsonValue::from).collect())
-                        .collect(),
+                    rows: rows.as_ref().clone(),
                 },
             );
         }
         Ok(Snapshot { tables })
     }
 
-    /// Restore into a fresh database (tables must not already exist).
-    pub fn restore_into(self, db: &Database) -> Result<()> {
-        for (name, jt) in self.tables {
+    /// Capture from a catalog reference directly. Used by the durability
+    /// layer, which checkpoints while already holding the catalog write lock
+    /// (going through [`Snapshot::capture`] would deadlock on re-entry).
+    pub(crate) fn capture_catalog(catalog: &Catalog) -> Snapshot {
+        let mut tables = BTreeMap::new();
+        for name in catalog.table_names() {
+            let t = catalog.get(&name).expect("table_names() names exist");
+            let primary_key = t
+                .primary
+                .as_ref()
+                .map(|p| {
+                    p.key_columns
+                        .iter()
+                        .map(|&i| t.schema.columns[i].name.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+            tables.insert(
+                name,
+                TableDump {
+                    columns: t
+                        .schema
+                        .columns
+                        .iter()
+                        .map(|c| (c.name.clone(), c.ty))
+                        .collect(),
+                    primary_key,
+                    rows: t.rows.as_ref().clone(),
+                },
+            );
+        }
+        Snapshot { tables }
+    }
+
+    /// Build the catalog tables this snapshot describes (rows inserted, all
+    /// indexes populated). Shared by [`Snapshot::restore_into`] and WAL
+    /// recovery.
+    pub(crate) fn build_tables(self) -> Result<Vec<Table>> {
+        let mut out = Vec::with_capacity(self.tables.len());
+        for (name, dump) in self.tables {
             let schema = Schema::new(
-                jt.columns
+                dump.columns
                     .into_iter()
                     .map(|(name, ty)| Column { name, ty })
                     .collect(),
             );
-            let rows: Vec<Row> = jt
-                .rows
-                .into_iter()
-                .map(|r| r.into_iter().map(Value::from).collect())
-                .collect();
-            db.restore_table(Table::new(name, schema, &jt.primary_key)?, rows)?;
+            let mut table = Table::new(name, schema, &dump.primary_key)?;
+            for row in dump.rows {
+                table.insert_row(row, None)?;
+            }
+            out.push(table);
+        }
+        Ok(out)
+    }
+
+    /// Restore into a fresh database (tables must not already exist).
+    pub fn restore_into(self, db: &Database) -> Result<()> {
+        for table in self.build_tables()? {
+            db.install_table(table)?;
         }
         Ok(())
     }
 
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| EngineError::exec(format!("snapshot serialization failed: {e}")))
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"tables\":");
+        self.write_tables(&mut out);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Write the `{"name":{...}}` table map (shared with checkpoints).
+    pub(crate) fn write_tables(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, dump)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, name);
+            out.push_str(":{\"columns\":[");
+            for (j, (col, ty)) in dump.columns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                write_json_string(out, col);
+                out.push(',');
+                write_json_string(out, datatype_name(*ty));
+                out.push(']');
+            }
+            out.push_str("],\"primary_key\":[");
+            for (j, pk) in dump.primary_key.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, pk);
+            }
+            out.push_str("],\"rows\":[");
+            for (j, row) in dump.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                for (k, v) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_json_value(out, v);
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
     }
 
     /// Deserialize from a JSON string.
     pub fn from_json(json: &str) -> Result<Snapshot> {
-        serde_json::from_str(json)
-            .map_err(|e| EngineError::exec(format!("snapshot deserialization failed: {e}")))
+        let doc = parse_json(json)?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| corrupt("top level is not an object"))?;
+        let tables = obj
+            .iter()
+            .find(|(k, _)| k == "tables")
+            .map(|(_, v)| v)
+            .ok_or_else(|| corrupt("missing 'tables' key"))?;
+        Self::tables_from_json(tables)
+    }
+
+    /// Build a snapshot from a parsed `tables` map (shared with checkpoints).
+    pub(crate) fn tables_from_json(tables: &Json) -> Result<Snapshot> {
+        let tables_obj = tables
+            .as_object()
+            .ok_or_else(|| corrupt("'tables' is not an object"))?;
+        let mut out = BTreeMap::new();
+        for (name, tv) in tables_obj {
+            let t = tv
+                .as_object()
+                .ok_or_else(|| corrupt("table entry is not an object"))?;
+            let field = |key: &str| -> Result<&Json> {
+                t.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| corrupt(format!("table missing '{key}'")))
+            };
+            let columns = field("columns")?
+                .as_array()
+                .ok_or_else(|| corrupt("'columns' is not an array"))?
+                .iter()
+                .map(|c| {
+                    let pair = c
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| corrupt("column entry is not a 2-array"))?;
+                    let name = pair[0]
+                        .as_str()
+                        .ok_or_else(|| corrupt("column name is not a string"))?;
+                    let ty = pair[1]
+                        .as_str()
+                        .and_then(datatype_from_name)
+                        .ok_or_else(|| corrupt("unknown column type"))?;
+                    Ok((name.to_string(), ty))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let primary_key = field("primary_key")?
+                .as_array()
+                .ok_or_else(|| corrupt("'primary_key' is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| corrupt("primary key entry is not a string"))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let rows = field("rows")?
+                .as_array()
+                .ok_or_else(|| corrupt("'rows' is not an array"))?
+                .iter()
+                .map(|r| {
+                    r.as_array()
+                        .ok_or_else(|| corrupt("row is not an array"))?
+                        .iter()
+                        .map(json_to_value)
+                        .collect::<Result<Row>>()
+                })
+                .collect::<Result<Vec<Row>>>()?;
+            out.insert(
+                name.clone(),
+                TableDump {
+                    columns,
+                    primary_key,
+                    rows,
+                },
+            );
+        }
+        Ok(Snapshot { tables: out })
+    }
+}
+
+fn corrupt(msg: impl std::fmt::Display) -> EngineError {
+    EngineError::exec(format!("snapshot deserialization failed: {msg}"))
+}
+
+fn datatype_name(ty: DataType) -> &'static str {
+    match ty {
+        DataType::Integer => "Integer",
+        DataType::Real => "Real",
+        DataType::Text => "Text",
+        DataType::Any => "Any",
+    }
+}
+
+fn datatype_from_name(name: &str) -> Option<DataType> {
+    match name {
+        "Integer" => Some(DataType::Integer),
+        "Real" => Some(DataType::Real),
+        "Text" => Some(DataType::Text),
+        "Any" => Some(DataType::Any),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value <-> JSON
+// ---------------------------------------------------------------------------
+
+/// Encode one SQL value as JSON. Non-finite floats get an explicit tagged
+/// encoding because JSON has no literal for them — the previous serde-based
+/// codec serialized `NaN`/`±Infinity` as `null`, corrupting round-trips.
+pub(crate) fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) if f.is_nan() => out.push_str("{\"~f\":\"nan\"}"),
+        Value::Float(f) if f.is_infinite() => {
+            out.push_str(if *f > 0.0 {
+                "{\"~f\":\"inf\"}"
+            } else {
+                "{\"~f\":\"-inf\"}"
+            });
+        }
+        // `{:?}` prints the shortest representation that parses back to the
+        // same f64 and always keeps a `.` or exponent, so floats stay
+        // distinguishable from ints.
+        Value::Float(f) => out.push_str(&format!("{f:?}")),
+        Value::Str(s) => write_json_string(out, s),
+    }
+}
+
+pub(crate) fn json_to_value(j: &Json) -> Result<Value> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Str(s) => Ok(Value::text(s)),
+        Json::Object(fields) => match fields.as_slice() {
+            [(k, Json::Str(tag))] if k == "~f" => match tag.as_str() {
+                "nan" => Ok(Value::Float(f64::NAN)),
+                "inf" => Ok(Value::Float(f64::INFINITY)),
+                "-inf" => Ok(Value::Float(f64::NEG_INFINITY)),
+                other => Err(corrupt(format!("unknown float tag '{other}'"))),
+            },
+            _ => Err(corrupt("unexpected object in row")),
+        },
+        _ => Err(corrupt("unexpected value in row")),
+    }
+}
+
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document. Numbers keep the int/float distinction (a token
+/// with `.`/`e`/`E` parses as a float) so SQL `Int` and `Float` round-trip
+/// without type drift.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on objects.
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+pub(crate) fn parse_json(text: &str) -> Result<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(corrupt(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<()> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(corrupt(format!(
+            "expected '{}' at byte {}",
+            b as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(corrupt("unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(corrupt(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(corrupt(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(corrupt(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| corrupt(format!("invalid number at byte {start}")))?;
+    if token.is_empty() {
+        return Err(corrupt(format!("unexpected character at byte {start}")));
+    }
+    if token.contains(['.', 'e', 'E']) {
+        token
+            .parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| corrupt(format!("invalid float '{token}'")))
+    } else {
+        // Integer token; fall back to f64 on i64 overflow.
+        token
+            .parse::<i64>()
+            .map(Json::Int)
+            .or_else(|_| token.parse::<f64>().map(Json::Float))
+            .map_err(|_| corrupt(format!("invalid number '{token}'")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(corrupt("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| corrupt("invalid \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(corrupt("invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| corrupt("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
     }
 }
 
 impl Database {
-    /// Persist the whole database to a JSON file.
+    /// Persist the whole database to a JSON snapshot file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let json = Snapshot::capture(self)?.to_json()?;
         std::fs::write(path.as_ref(), json)
             .map_err(|e| EngineError::exec(format!("cannot write snapshot: {e}")))
     }
 
-    /// Open a database from a JSON file written by [`Database::save`].
-    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Database> {
+    /// Open a database from a JSON snapshot file written by
+    /// [`Database::save`].
+    ///
+    /// For a durable database with a write-ahead log and crash recovery, use
+    /// [`Database::open`] / [`Database::persistent`] instead.
+    pub fn open_snapshot(path: impl AsRef<std::path::Path>) -> Result<Database> {
         let json = std::fs::read_to_string(path.as_ref())
             .map_err(|e| EngineError::exec(format!("cannot read snapshot: {e}")))?;
         let db = Database::new();
@@ -149,7 +608,7 @@ mod tests {
             std::process::id()
         ));
         db.save(&path).unwrap();
-        let db2 = Database::open(&path).unwrap();
+        let db2 = Database::open_snapshot(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(db2.table_rows("t").unwrap(), 2);
         assert!(db2.execute("INSERT INTO t VALUES (1, 'dup')").is_err());
@@ -217,5 +676,96 @@ mod tests {
             r.rows[1],
             vec![Value::Int(1), Value::Float(2.5), Value::text("x")]
         );
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        // The old untagged serde codec wrote NaN/±inf as JSON null; the
+        // tagged encoding must restore them exactly.
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER, v REAL)").unwrap();
+        db.insert_rows(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::Float(f64::NAN)],
+                vec![Value::Int(2), Value::Float(f64::INFINITY)],
+                vec![Value::Int(3), Value::Float(f64::NEG_INFINITY)],
+                vec![Value::Int(4), Value::Float(-0.0)],
+                vec![Value::Int(5), Value::Null],
+            ],
+        )
+        .unwrap();
+        let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
+        let db2 = Database::new();
+        Snapshot::from_json(&json)
+            .unwrap()
+            .restore_into(&db2)
+            .unwrap();
+        let r = db2.query("SELECT v FROM t ORDER BY id").unwrap();
+        match &r.rows[0][0] {
+            Value::Float(f) => assert!(f.is_nan(), "NaN must survive, got {f}"),
+            other => panic!("expected NaN float, got {other:?}"),
+        }
+        assert_eq!(r.rows[1][0], Value::Float(f64::INFINITY));
+        assert_eq!(r.rows[2][0], Value::Float(f64::NEG_INFINITY));
+        match &r.rows[3][0] {
+            Value::Float(f) => assert!(f.is_sign_negative() && *f == 0.0, "-0.0 must survive"),
+            other => panic!("expected -0.0 float, got {other:?}"),
+        }
+        assert_eq!(r.rows[4][0], Value::Null);
+    }
+
+    #[test]
+    fn tricky_strings_and_floats_roundtrip() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER, s TEXT, f REAL)")
+            .unwrap();
+        db.insert_rows(
+            "t",
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::text("quote \" backslash \\ newline \n tab \t unicode é✓"),
+                    Value::Float(0.1),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::text("control \u{0001} char"),
+                    Value::Float(1e300),
+                ],
+                vec![
+                    Value::Int(3),
+                    Value::text(""),
+                    Value::Float(f64::MIN_POSITIVE),
+                ],
+            ],
+        )
+        .unwrap();
+        let json = Snapshot::capture(&db).unwrap().to_json().unwrap();
+        let db2 = Database::new();
+        Snapshot::from_json(&json)
+            .unwrap()
+            .restore_into(&db2)
+            .unwrap();
+        let orig = db.query("SELECT id, s, f FROM t ORDER BY id").unwrap();
+        let restored = db2.query("SELECT id, s, f FROM t ORDER BY id").unwrap();
+        assert_eq!(orig.rows, restored.rows);
+    }
+
+    #[test]
+    fn legacy_serde_format_still_parses() {
+        // Output captured from the previous serde_json-based codec.
+        let json = r#"{"tables":{"t":{"columns":[["id","Integer"],["w","Real"],["s","Text"]],"primary_key":["id"],"rows":[[1,0.5,"x"],[2,null,null]]}}}"#;
+        let db = Database::new();
+        Snapshot::from_json(json)
+            .unwrap()
+            .restore_into(&db)
+            .unwrap();
+        let r = db.query("SELECT id, w, s FROM t ORDER BY id").unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(1), Value::Float(0.5), Value::text("x")]
+        );
+        assert_eq!(r.rows[1], vec![Value::Int(2), Value::Null, Value::Null]);
     }
 }

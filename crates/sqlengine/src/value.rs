@@ -18,7 +18,7 @@ use crate::error::{EngineError, Result};
 ///
 /// The engine is dynamically typed at runtime; declared types are used for
 /// display, for `CAST`, and to coerce inserted literals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Integer,
     Real,

@@ -1,0 +1,582 @@
+//! Durability: write-ahead logging, checkpointing, and crash recovery.
+//!
+//! The engine logs *logical* redo records: one CRC-framed batch per
+//! auto-commit statement (or per explicit `COMMIT`), containing the DDL and
+//! row mutations that statement performed. Because replay starts from the
+//! exact catalog state the checkpoint captured and runs through the same
+//! `Table` mutation code paths, row indexes inside the records are
+//! deterministic and the recovered state is bit-identical to the state the
+//! original process had after the last durable batch.
+//!
+//! Invariants:
+//!
+//! * WAL order equals catalog mutation order — every append happens while
+//!   the writer still holds the catalog write lock.
+//! * A batch is logged only for mutations that actually happened; a
+//!   statement that fails halfway logs exactly its applied prefix.
+//! * Recovery never fails on a torn tail: the log is truncated at the first
+//!   record that does not parse or does not carry the expected sequence
+//!   number. Corruption *behind* a valid record cannot be detected (CRCs are
+//!   per-record), which is the standard WAL contract.
+//! * A checkpoint at sequence `S` makes every frame with `seq < S`
+//!   redundant; recovery skips them, which makes a crash between checkpoint
+//!   publication and WAL truncation harmless.
+//!
+//! Fault handling on the write path: if an append fails (torn or not), the
+//! WAL truncates itself back to the last durable length so the tear cannot
+//! poison later records. If even that repair fails, the log is *wedged* —
+//! all further durable mutations are refused with a clean error while
+//! reads keep working.
+
+mod checkpoint;
+mod codec;
+mod storage;
+
+pub use codec::{crc32, frame_boundaries};
+pub use storage::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo};
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::catalog::{Catalog, Column, Schema, Table};
+use crate::error::{EngineError, Result};
+use crate::value::{DataType, Row};
+
+/// WAL file name inside the storage root.
+pub const WAL_FILE: &str = "wal.log";
+/// Checkpoint file name inside the storage root.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// When the log is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Fsync after every record batch (every auto-commit statement and
+    /// every `COMMIT`). Strongest guarantee, slowest writes.
+    Always,
+    /// Fsync only on explicit `COMMIT` (and on checkpoints). A power loss
+    /// may drop recent auto-commit statements, but acknowledged
+    /// transactions survive and the log is never left inconsistent.
+    #[default]
+    OnCommit,
+    /// Never fsync; durability is delegated to the OS page cache. Survives
+    /// process crashes, not power loss.
+    Never,
+}
+
+/// One logical redo operation. Rows are recorded exactly as the statement
+/// submitted them (pre-coercion); replay runs them through the same
+/// `Table::insert_row` / `replace_row` / `delete_rows` / `create_index`
+/// code as the original execution, so coercion and index maintenance are
+/// reapplied deterministically.
+#[derive(Debug, Clone)]
+pub(crate) enum WalOp {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        primary_key: Vec<String>,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateIndex {
+        table: String,
+        name: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Row>,
+    },
+    Replace {
+        table: String,
+        idx: u64,
+        row: Row,
+    },
+    Delete {
+        table: String,
+        idxs: Vec<u64>,
+    },
+}
+
+struct WalInner {
+    /// Sequence number the next batch will carry.
+    next_seq: u64,
+    /// Bytes of the WAL file known to be fully written (the repair target
+    /// after a torn append).
+    wal_len: u64,
+    /// Buffered ops while an explicit transaction is open; flushed as one
+    /// batch at `COMMIT`, discarded at `ROLLBACK`.
+    pending: Option<Vec<WalOp>>,
+    /// Set when a failed append could not be repaired; all further durable
+    /// mutations are refused.
+    wedged: bool,
+}
+
+/// The write-ahead log attached to a durable [`Database`].
+///
+/// [`Database`]: crate::Database
+pub struct Wal {
+    io: Arc<dyn StorageIo>,
+    sync: SyncPolicy,
+    /// Checkpoint once the log exceeds this many bytes (0 disables the
+    /// automatic trigger).
+    checkpoint_after: u64,
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    pub(crate) fn new(
+        io: Arc<dyn StorageIo>,
+        sync: SyncPolicy,
+        checkpoint_after: u64,
+        next_seq: u64,
+        wal_len: u64,
+    ) -> Wal {
+        Wal {
+            io,
+            sync,
+            checkpoint_after,
+            inner: Mutex::new(WalInner {
+                next_seq,
+                wal_len,
+                pending: None,
+                wedged: false,
+            }),
+        }
+    }
+
+    /// Record the ops of one statement. Outside a transaction this writes
+    /// (and per policy fsyncs) one batch immediately; inside a transaction
+    /// the ops are buffered until `COMMIT`. Callers must still hold the
+    /// catalog write lock, which is what keeps log order equal to catalog
+    /// mutation order.
+    pub(crate) fn log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        if let Some(pending) = &mut inner.pending {
+            pending.extend(ops);
+            return Ok(());
+        }
+        self.write_batch(&mut inner, &ops, false)?;
+        self.maybe_checkpoint(&mut inner, catalog)
+    }
+
+    /// Start buffering: called at `BEGIN`.
+    pub(crate) fn begin(&self) {
+        let mut inner = self.inner.lock();
+        if inner.pending.is_none() {
+            inner.pending = Some(Vec::new());
+        }
+    }
+
+    /// Flush the buffered transaction as a single batch: called at `COMMIT`.
+    pub(crate) fn commit(&self, catalog: &Catalog) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let Some(ops) = inner.pending.take() else {
+            return Ok(());
+        };
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.write_batch(&mut inner, &ops, true)?;
+        self.maybe_checkpoint(&mut inner, catalog)
+    }
+
+    /// Discard the buffered transaction: called at `ROLLBACK`. Nothing was
+    /// written since `BEGIN`, so the durable state already equals the
+    /// restored in-memory state.
+    pub(crate) fn rollback(&self) {
+        self.inner.lock().pending = None;
+    }
+
+    /// Fold the current catalog into a checkpoint and truncate the log.
+    pub(crate) fn checkpoint(&self, catalog: &Catalog) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.checkpoint_locked(&mut inner, catalog)
+    }
+
+    /// Bytes currently in the WAL file (diagnostics / tests).
+    pub(crate) fn wal_bytes(&self) -> u64 {
+        self.inner.lock().wal_len
+    }
+
+    fn write_batch(&self, inner: &mut WalInner, ops: &[WalOp], is_commit: bool) -> Result<()> {
+        if inner.wedged {
+            return Err(EngineError::wal(
+                "write-ahead log is wedged after an unrepaired write failure; \
+                 reopen the database to recover",
+            ));
+        }
+        let frame = codec::encode_batch(inner.next_seq, ops);
+        if let Err(e) = self.io.append(WAL_FILE, &frame) {
+            // A torn append would make every later record unreadable; cut
+            // the file back to the last durable length.
+            if self.io.truncate(WAL_FILE, inner.wal_len).is_err() {
+                inner.wedged = true;
+            }
+            return Err(e);
+        }
+        let want_sync = match self.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::OnCommit => is_commit,
+            SyncPolicy::Never => false,
+        };
+        if want_sync {
+            if let Err(e) = self.io.sync(WAL_FILE) {
+                // The frame is in the file but not acknowledged durable;
+                // remove it so bookkeeping and file stay in lockstep.
+                if self.io.truncate(WAL_FILE, inner.wal_len).is_err() {
+                    inner.wedged = true;
+                }
+                return Err(e);
+            }
+        }
+        inner.next_seq += 1;
+        inner.wal_len += frame.len() as u64;
+        Ok(())
+    }
+
+    fn maybe_checkpoint(&self, inner: &mut WalInner, catalog: &Catalog) -> Result<()> {
+        if self.checkpoint_after > 0 && inner.wal_len >= self.checkpoint_after {
+            self.checkpoint_locked(inner, catalog)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint_locked(&self, inner: &mut WalInner, catalog: &Catalog) -> Result<()> {
+        if inner.wedged {
+            return Err(EngineError::wal(
+                "write-ahead log is wedged after an unrepaired write failure; \
+                 reopen the database to recover",
+            ));
+        }
+        let json = checkpoint::encode_checkpoint(catalog, inner.next_seq);
+        // Publication point: after this rename, every WAL frame below
+        // next_seq is redundant (recovery skips them), so a crash before
+        // the truncate below loses nothing.
+        self.io.write_atomic(CHECKPOINT_FILE, json.as_bytes())?;
+        if self.io.truncate(WAL_FILE, 0).is_err() {
+            // The checkpoint is durable; stale frames are skipped by seq on
+            // recovery. But our length bookkeeping no longer matches the
+            // file, so refuse further writes rather than risk mis-repair.
+            inner.wedged = true;
+            return Err(EngineError::wal(
+                "checkpoint written but WAL truncation failed; reopen to recover",
+            ));
+        }
+        inner.wal_len = 0;
+        Ok(())
+    }
+}
+
+/// Everything recovery reconstructs from storage.
+pub(crate) struct Recovered {
+    pub catalog: Catalog,
+    pub next_seq: u64,
+    pub wal_len: u64,
+}
+
+/// Load the latest checkpoint and replay the WAL on top of it, truncating
+/// the log at the first torn or corrupt record. Never fails on a damaged
+/// *tail*; fails only if storage itself errors or the checkpoint (which is
+/// written atomically) is unreadable.
+pub(crate) fn recover(io: &dyn StorageIo) -> Result<Recovered> {
+    let (checkpoint_seq, mut catalog) = match io.read(CHECKPOINT_FILE)? {
+        Some(bytes) => {
+            let json = std::str::from_utf8(&bytes)
+                .map_err(|_| EngineError::wal("corrupt checkpoint: invalid UTF-8"))?;
+            checkpoint::decode_checkpoint(json)?
+        }
+        None => (0, Catalog::new()),
+    };
+
+    let wal = io.read(WAL_FILE)?.unwrap_or_default();
+    let mut pos = 0usize;
+    let mut valid_len = 0usize;
+    let mut next_seq = checkpoint_seq;
+    while let Some(frame) = codec::next_frame(&wal, pos) {
+        if frame.seq < checkpoint_seq {
+            // Already folded into the checkpoint (crash between checkpoint
+            // publication and WAL truncation).
+            pos = frame.end;
+            valid_len = frame.end;
+            continue;
+        }
+        if frame.seq != next_seq {
+            // A sequence gap means the bytes here are stale or misplaced;
+            // nothing after them can be trusted.
+            break;
+        }
+        // Apply on a scratch clone so a batch that fails mid-way (which
+        // recovery treats as corruption) leaves the catalog at the previous
+        // batch boundary — recovered states are always commit-consistent.
+        let mut scratch = catalog.clone();
+        let ok = frame
+            .ops
+            .iter()
+            .all(|op| apply_op(&mut scratch, op).is_ok());
+        if !ok {
+            break;
+        }
+        catalog = scratch;
+        next_seq = frame.seq + 1;
+        pos = frame.end;
+        valid_len = frame.end;
+    }
+    if (valid_len as u64) < wal.len() as u64 {
+        io.truncate(WAL_FILE, valid_len as u64)?;
+    }
+    Ok(Recovered {
+        catalog,
+        next_seq,
+        wal_len: valid_len as u64,
+    })
+}
+
+/// Apply one redo op to a catalog, through the same code paths the original
+/// statement used.
+pub(crate) fn apply_op(catalog: &mut Catalog, op: &WalOp) -> Result<()> {
+    match op {
+        WalOp::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => {
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|(name, ty)| Column {
+                        name: name.clone(),
+                        ty: *ty,
+                    })
+                    .collect(),
+            );
+            let table = Table::new(name.clone(), schema, primary_key)?;
+            catalog.create_table(table, false)?;
+        }
+        WalOp::DropTable { name } => {
+            catalog.drop_table(name, false)?;
+        }
+        WalOp::CreateIndex {
+            table,
+            name,
+            columns,
+            unique,
+        } => {
+            catalog
+                .get_mut(table)?
+                .create_index(name, columns, *unique)?;
+        }
+        WalOp::Insert { table, rows } => {
+            let t = catalog.get_mut(table)?;
+            for row in rows {
+                t.insert_row(row.clone(), None)?;
+            }
+        }
+        WalOp::Replace { table, idx, row } => {
+            let t = catalog.get_mut(table)?;
+            let idx = *idx as usize;
+            if idx >= t.row_count() {
+                return Err(EngineError::wal("replace index out of range"));
+            }
+            t.replace_row(idx, row.clone())?;
+        }
+        WalOp::Delete { table, idxs } => {
+            let t = catalog.get_mut(table)?;
+            let n = t.row_count() as u64;
+            if idxs.iter().any(|&i| i >= n) {
+                return Err(EngineError::wal("delete index out of range"));
+            }
+            t.delete_rows(idxs.iter().map(|&i| i as usize).collect())?;
+        }
+    }
+    Ok(())
+}
+
+/// Append a freshly inserted row to `ops`, merging into a trailing
+/// [`WalOp::Insert`] for the same table so bulk loads stay one op. Merging
+/// only the *adjacent* op preserves ordering against interleaved
+/// replace/delete ops.
+pub(crate) fn push_insert(ops: &mut Vec<WalOp>, table: &str, row: Row) {
+    if let Some(WalOp::Insert { table: t, rows }) = ops.last_mut() {
+        if t == table {
+            rows.push(row);
+            return;
+        }
+    }
+    ops.push(WalOp::Insert {
+        table: table.to_string(),
+        rows: vec![row],
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn io_with_ops(batches: &[Vec<WalOp>]) -> MemIo {
+        let io = MemIo::new();
+        for (seq, ops) in batches.iter().enumerate() {
+            io.append(WAL_FILE, &codec::encode_batch(seq as u64, ops))
+                .unwrap();
+        }
+        io.sync(WAL_FILE).unwrap();
+        io
+    }
+
+    fn create_t() -> WalOp {
+        WalOp::CreateTable {
+            name: "t".into(),
+            columns: vec![
+                ("id".into(), DataType::Integer),
+                ("v".into(), DataType::Text),
+            ],
+            primary_key: vec!["id".into()],
+        }
+    }
+
+    fn insert_t(id: i64) -> WalOp {
+        WalOp::Insert {
+            table: "t".into(),
+            rows: vec![vec![Value::Int(id), Value::text(format!("v{id}"))]],
+        }
+    }
+
+    #[test]
+    fn recover_replays_in_order() {
+        let io = io_with_ops(&[vec![create_t()], vec![insert_t(1)], vec![insert_t(2)]]);
+        let r = recover(&io).unwrap();
+        assert_eq!(r.next_seq, 3);
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 2);
+        assert_eq!(r.wal_len, io.size(WAL_FILE).unwrap());
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail() {
+        let io = io_with_ops(&[vec![create_t()], vec![insert_t(1)]]);
+        // Tear the log mid-way through a third record.
+        let frame = codec::encode_batch(2, &[insert_t(2)]);
+        io.append(WAL_FILE, &frame[..frame.len() - 3]).unwrap();
+        let before = io.size(WAL_FILE).unwrap();
+        let r = recover(&io).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+        assert_eq!(r.next_seq, 2);
+        let after = io.size(WAL_FILE).unwrap();
+        assert!(after < before, "torn tail must be truncated");
+        assert_eq!(after, r.wal_len);
+        // The truncated log now recovers cleanly and can be appended to.
+        io.append(WAL_FILE, &codec::encode_batch(2, &[insert_t(2)]))
+            .unwrap();
+        let r2 = recover(&io).unwrap();
+        assert_eq!(r2.catalog.get("t").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn recover_skips_frames_behind_checkpoint() {
+        // Simulate a crash between checkpoint publication and truncation:
+        // the checkpoint covers seq < 2 but the log still has seqs 0..3.
+        let io = io_with_ops(&[vec![create_t()], vec![insert_t(1)], vec![insert_t(2)]]);
+        let mut catalog = Catalog::new();
+        apply_op(&mut catalog, &create_t()).unwrap();
+        apply_op(&mut catalog, &insert_t(1)).unwrap();
+        io.write_atomic(
+            CHECKPOINT_FILE,
+            checkpoint::encode_checkpoint(&catalog, 2).as_bytes(),
+        )
+        .unwrap();
+        let r = recover(&io).unwrap();
+        // seq 0 and 1 skipped (already in the checkpoint), seq 2 applied.
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 2);
+        assert_eq!(r.next_seq, 3);
+    }
+
+    #[test]
+    fn recover_stops_at_sequence_gap() {
+        let io = MemIo::new();
+        io.append(WAL_FILE, &codec::encode_batch(0, &[create_t()]))
+            .unwrap();
+        io.append(WAL_FILE, &codec::encode_batch(5, &[insert_t(1)]))
+            .unwrap();
+        let r = recover(&io).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 0);
+        assert_eq!(r.next_seq, 1);
+        // The gap frame was truncated away.
+        assert_eq!(io.size(WAL_FILE).unwrap(), r.wal_len);
+        let bounds = frame_boundaries(&io.read(WAL_FILE).unwrap().unwrap());
+        assert_eq!(bounds.len(), 1);
+    }
+
+    #[test]
+    fn recover_treats_unappliable_batch_as_corruption() {
+        // Second batch inserts a duplicate primary key — it can never have
+        // been produced by a healthy run, so recovery stops before it and
+        // keeps the first batch's state.
+        let io = io_with_ops(&[vec![create_t(), insert_t(1)], vec![insert_t(1)]]);
+        let r = recover(&io).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+        assert_eq!(r.next_seq, 1);
+        // A batch that fails mid-way leaves no partial effects: batch 2
+        // below applies one good row then conflicts, and the good row must
+        // not leak into the recovered state.
+        let io = io_with_ops(&[
+            vec![create_t(), insert_t(1)],
+            vec![insert_t(2), insert_t(2)],
+        ]);
+        let r = recover(&io).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn wal_append_failure_repairs_to_last_durable_length() {
+        let io = Arc::new(FaultyIo::new());
+        let wal = Wal::new(
+            Arc::clone(&io) as Arc<dyn StorageIo>,
+            SyncPolicy::Always,
+            0,
+            0,
+            0,
+        );
+        let catalog = Catalog::new();
+        wal.log(&catalog, vec![create_t()]).unwrap();
+        let len_before = io.size(WAL_FILE).unwrap();
+
+        // Torn append: 5 bytes land, then the write errors. (`arm` resets
+        // the write counter, so index 0 is the very next write.)
+        io.arm(0, FaultKind::ShortWrite(5));
+        let err = wal.log(&catalog, vec![insert_t(1)]).unwrap_err();
+        assert!(matches!(err, EngineError::Wal(_)));
+        assert_eq!(
+            io.size(WAL_FILE).unwrap(),
+            len_before,
+            "torn bytes must be truncated away"
+        );
+
+        // The log still works afterwards.
+        wal.log(&catalog, vec![insert_t(1)]).unwrap();
+        let r = recover(io.as_ref()).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn push_insert_merges_adjacent_only() {
+        let mut ops = Vec::new();
+        push_insert(&mut ops, "t", vec![Value::Int(1)]);
+        push_insert(&mut ops, "t", vec![Value::Int(2)]);
+        ops.push(WalOp::Replace {
+            table: "t".into(),
+            idx: 0,
+            row: vec![Value::Int(9)],
+        });
+        push_insert(&mut ops, "t", vec![Value::Int(3)]);
+        assert_eq!(ops.len(), 3);
+        let WalOp::Insert { rows, .. } = &ops[0] else {
+            panic!("first op should be a merged insert");
+        };
+        assert_eq!(rows.len(), 2);
+    }
+}

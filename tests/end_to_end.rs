@@ -379,7 +379,7 @@ fn model_survives_database_save_and_open() {
 
     let path = std::env::temp_dir().join(format!("bornsql_e2e_{}.json", std::process::id()));
     db.save(&path).unwrap();
-    let db2 = Database::open(&path).unwrap();
+    let db2 = Database::open_snapshot(&path).unwrap();
     std::fs::remove_file(&path).ok();
 
     let reattached = BornSqlModel::attach(&db2, "m", scopus_options()).unwrap();
