@@ -35,6 +35,7 @@ fn join_strategies(c: &mut Criterion) {
 fn parallelism_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_parallelism");
     group.sample_size(10);
+    let mut summary = bench::report::Summary::new("parallelism_sweep");
     let query = "SELECT t.g, COUNT(*) AS n, SUM(t.w) AS sw, COUNT(DISTINCT t.x) AS dx \
                  FROM t JOIN dim ON t.g = dim.g \
                  WHERE t.x > -400 GROUP BY t.g ORDER BY t.g";
@@ -61,8 +62,12 @@ fn parallelism_sweep(c: &mut Criterion) {
         group.bench_function(format!("workers_{parallelism}"), |b| {
             b.iter(|| db.query(query).unwrap())
         });
+        summary.time_us(&format!("workers_{parallelism}_us"), 7, || {
+            db.query(query).unwrap();
+        });
     }
     group.finish();
+    summary.write();
 }
 
 /// Ablation 2: upsert throughput into the PK-indexed corpus table.

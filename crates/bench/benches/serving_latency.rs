@@ -18,6 +18,7 @@ fn serving_latency(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("serving_latency");
     group.sample_size(20);
+    let mut summary = bench::report::Summary::new("serving_latency");
 
     for (label, config) in [
         (
@@ -37,9 +38,17 @@ fn serving_latency(c: &mut Criterion) {
         group.bench_function(format!("batch_20_{label}"), |b| {
             b.iter(|| model.predict(&batch).unwrap())
         });
+
+        summary.time_us(&format!("single_item_{label}_us"), 50, || {
+            model.predict(&one).unwrap();
+        });
+        summary.time_us(&format!("batch_20_{label}_us"), 50, || {
+            model.predict(&batch).unwrap();
+        });
     }
 
     group.finish();
+    summary.write();
 }
 
 criterion_group!(benches, serving_latency);

@@ -8,6 +8,12 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlengine::{Database, EngineConfig, MemIo, StorageIo, SyncPolicy, Value};
 
+// Included by path (not via the bench crate) so the offline scratch
+// workspace, which only carries this bench file plus `src/report.rs`, can
+// compile it against the stubbed criterion.
+#[path = "../src/report.rs"]
+mod report;
+
 fn durable(policy: SyncPolicy) -> Database {
     Database::open_with_io(
         Arc::new(MemIo::new()) as Arc<dyn StorageIo>,
@@ -65,6 +71,37 @@ fn bench_commit(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Machine-readable summary for CI: median commit latency per policy.
+    let mut summary = report::Summary::new("wal_overhead");
+    for (name, policy) in [
+        ("memory_baseline", None),
+        ("wal_never", Some(SyncPolicy::Never)),
+        ("wal_on_commit", Some(SyncPolicy::OnCommit)),
+        ("wal_always", Some(SyncPolicy::Always)),
+    ] {
+        let db = match policy {
+            None => Database::new(),
+            Some(p) => durable(p),
+        };
+        create_table(&db);
+        let mut next = 0i64;
+        summary.time_us(&format!("single_insert_{name}_us"), 200, || {
+            next += 1;
+            db.execute_with("INSERT INTO kv VALUES (?, 'x', 0.5)", &[Value::Int(next)])
+                .unwrap();
+        });
+        summary.time_us(&format!("txn_16_inserts_{name}_us"), 30, || {
+            let mut script = String::from("BEGIN;");
+            for _ in 0..16 {
+                next += 1;
+                script.push_str(&format!("INSERT INTO kv VALUES ({next}, 'y', 1.5);"));
+            }
+            script.push_str("COMMIT;");
+            db.execute_script(&script).unwrap();
+        });
+    }
+    summary.write();
 }
 
 criterion_group!(benches, bench_commit);

@@ -25,6 +25,7 @@
 pub mod chart;
 pub mod harness;
 pub mod madlib_exp;
+pub mod report;
 pub mod scopus_exp;
 pub mod text_exp;
 

@@ -1,0 +1,148 @@
+//! Machine-readable benchmark summaries.
+//!
+//! Criterion's own output is HTML + per-run JSON scattered under
+//! `target/criterion/`; CI wants one stable artifact instead. Each bench
+//! appends a quick measurement pass (median-of-runs wall time, far cheaper
+//! than the criterion statistics) and merges it into `BENCH_results.json`
+//! at the repo root, keyed by bench name so re-running one bench updates
+//! only its own section.
+//!
+//! Std-only on purpose: the offline scratch workspace compiles this file
+//! next to a stubbed criterion, so it cannot assume serde is available.
+//! The file is written one section per line, which is also what the merge
+//! reader parses — keep the two in sync.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub struct Summary {
+    bench: String,
+    metrics: BTreeMap<String, f64>,
+}
+
+impl Summary {
+    pub fn new(bench: &str) -> Summary {
+        Summary {
+            bench: bench.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Record a raw value (throughput, ratio, byte count, ...). Metric names
+    /// should carry the unit suffix, e.g. `single_insert_us`.
+    pub fn record(&mut self, metric: &str, value: f64) {
+        // Non-finite values would produce invalid JSON.
+        let value = if value.is_finite() { value } else { 0.0 };
+        self.metrics.insert(metric.to_string(), value);
+    }
+
+    /// Median wall time of `runs` executions of `f`, in microseconds.
+    pub fn time_us(&mut self, metric: &str, runs: usize, mut f: impl FnMut()) {
+        let mut samples = Vec::with_capacity(runs.max(1));
+        for _ in 0..runs.max(1) {
+            let started = Instant::now();
+            f();
+            samples.push(started.elapsed().as_secs_f64() * 1e6);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.record(metric, samples[samples.len() / 2]);
+    }
+
+    /// Merge this summary into `BENCH_results.json` at the repo root,
+    /// replacing any previous section with the same bench name.
+    pub fn write(&self) {
+        let path = results_path();
+        let mut sections: BTreeMap<String, String> = BTreeMap::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                if let Some((name, body)) = parse_section(line) {
+                    sections.insert(name, body);
+                }
+            }
+        }
+        sections.insert(self.bench.clone(), self.render_section());
+
+        let mut out = String::from("{\n");
+        let last = sections.len().saturating_sub(1);
+        for (i, (name, body)) in sections.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            out.push_str(&format!("  \"{name}\": {body}{comma}\n"));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {} ({} section)", path.display(), self.bench);
+        }
+    }
+
+    fn render_section(&self) -> String {
+        let fields: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.3}"))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// `BENCH_results.json` lives at the repo root, two levels above the bench
+/// crate's manifest (resolved at runtime so the offline scratch copy of this
+/// file lands inside `target/` instead of polluting the checkout).
+fn results_path() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|dir| PathBuf::from(dir).join("..").join(".."))
+        .unwrap_or_else(|_| PathBuf::from("."))
+        .join("BENCH_results.json")
+}
+
+/// Recover `name -> raw section body` from one line of a previously written
+/// file. Anything unparseable (hand edits, the braces) is dropped silently —
+/// the next write regenerates a clean file.
+fn parse_section(line: &str) -> Option<(String, String)> {
+    let trimmed = line.trim().trim_end_matches(',');
+    let rest = trimmed.strip_prefix('"')?;
+    let (name, body) = rest.split_once("\": ")?;
+    if !body.starts_with('{') || !body.ends_with('}') {
+        return None;
+    }
+    Some((name.to_string(), body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    // Bench targets compile with `cfg(test)` but without the test harness,
+    // which strips the `#[test]` fns and would orphan this import.
+    #[allow(unused_imports)]
+    use super::*;
+
+    #[test]
+    fn sections_round_trip() {
+        let mut s = Summary::new("demo");
+        s.record("a_us", 12.5);
+        s.record("b_rows", 3.0);
+        let body = s.render_section();
+        assert_eq!(body, "{\"a_us\": 12.500, \"b_rows\": 3.000}");
+        let line = format!("  \"demo\": {body},");
+        let (name, parsed) = parse_section(&line).unwrap();
+        assert_eq!(name, "demo");
+        assert_eq!(parsed, body);
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped() {
+        let mut s = Summary::new("demo");
+        s.record("bad", f64::NAN);
+        assert_eq!(s.render_section(), "{\"bad\": 0.000}");
+    }
+
+    #[test]
+    fn time_us_records_a_positive_median() {
+        let mut s = Summary::new("demo");
+        s.time_us("spin_us", 3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(s.metrics["spin_us"] >= 0.0);
+    }
+}

@@ -15,6 +15,13 @@ use crate::sql::SqlGenerator;
 pub trait SqlBackend {
     fn execute_sql(&self, sql: &str) -> sqlengine::Result<usize>;
     fn query_sql(&self, sql: &str) -> sqlengine::Result<QueryResult>;
+
+    /// The backend's telemetry registry, if it has one. Backends without
+    /// observability (remote connections, test stubs) keep the default and
+    /// pay nothing; serving metrics then simply don't accumulate.
+    fn telemetry(&self) -> Option<&sqlengine::Telemetry> {
+        None
+    }
 }
 
 impl SqlBackend for sqlengine::Database {
@@ -24,6 +31,12 @@ impl SqlBackend for sqlengine::Database {
 
     fn query_sql(&self, sql: &str) -> sqlengine::Result<QueryResult> {
         self.query(sql)
+    }
+
+    fn telemetry(&self) -> Option<&sqlengine::Telemetry> {
+        // The inherent method shadows the trait one here and returns
+        // `&Arc<Telemetry>`; deref to the registry itself.
+        Some(sqlengine::Database::telemetry(self).as_ref())
     }
 }
 
@@ -101,16 +114,23 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         m.conn.execute_sql(&m.gen.create_corpus_table())?;
         m.conn.execute_sql(&m.gen.create_corpus_index())?;
         m.set_params(options.params)?;
+        if let Some(t) = m.conn.telemetry() {
+            t.register_model(m.name());
+        }
         Ok(m)
     }
 
     /// Reattach to an existing model without touching its state.
     pub fn attach(conn: &'c C, model: &str, options: ModelOptions) -> Result<Self> {
         validate_model_name(model)?;
-        Ok(BornSqlModel {
+        let m = BornSqlModel {
             conn,
             gen: SqlGenerator::new(model, options.dialect, options.class_type),
-        })
+        };
+        if let Some(t) = m.conn.telemetry() {
+            t.register_model(m.name());
+        }
+        Ok(m)
     }
 
     pub fn name(&self) -> &str {
@@ -174,6 +194,9 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     pub fn partial_fit(&self, spec: &DataSpec) -> Result<()> {
         spec.validate_for_training().map_err(BornSqlError::Config)?;
         self.conn.execute_sql(&self.gen.partial_fit(spec, 1.0))?;
+        if let Some(t) = self.conn.telemetry() {
+            t.record_model_fit_batch(self.name());
+        }
         Ok(())
     }
 
@@ -184,6 +207,9 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         spec.validate_for_training().map_err(BornSqlError::Config)?;
         self.conn.execute_sql(&self.gen.partial_fit(spec, -1.0))?;
         self.conn.execute_sql(&self.gen.prune_corpus())?;
+        if let Some(t) = self.conn.telemetry() {
+            t.record_model_unlearn(self.name());
+        }
         Ok(())
     }
 
@@ -201,6 +227,9 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         self.conn.execute_sql(&self.gen.create_weights_table())?;
         self.conn.execute_sql(&self.gen.deploy())?;
         self.conn.execute_sql(&self.gen.create_weights_index())?;
+        if let Some(t) = self.conn.telemetry() {
+            t.set_model_deployed(self.name(), true);
+        }
         Ok(())
     }
 
@@ -208,6 +237,9 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
     /// computation.
     pub fn undeploy(&self) -> Result<()> {
         self.conn.execute_sql(&self.gen.drop_weights_table())?;
+        if let Some(t) = self.conn.telemetry() {
+            t.set_model_deployed(self.name(), false);
+        }
         Ok(())
     }
 
@@ -239,7 +271,15 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         spec.validate_for_inference()
             .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict(spec, self.deployed_flag());
+        let started = self
+            .conn
+            .telemetry()
+            .filter(|t| t.enabled())
+            .map(|_| std::time::Instant::now());
         let r = self.conn.query_sql(&sql)?;
+        if let (Some(t), Some(at)) = (self.conn.telemetry(), started) {
+            t.record_model_predict(self.name(), at.elapsed(), r.rows.len() as u64);
+        }
         Ok(r.rows
             .into_iter()
             .map(|mut row| {
@@ -255,7 +295,15 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         spec.validate_for_inference()
             .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict_proba(spec, self.deployed_flag());
+        let started = self
+            .conn
+            .telemetry()
+            .filter(|t| t.enabled())
+            .map(|_| std::time::Instant::now());
         let r = self.conn.query_sql(&sql)?;
+        if let (Some(t), Some(at)) = (self.conn.telemetry(), started) {
+            t.record_model_predict(self.name(), at.elapsed(), r.rows.len() as u64);
+        }
         r.rows
             .into_iter()
             .map(|mut row| {

@@ -1,0 +1,110 @@
+//! Per-model serving telemetry: model lifecycle events and predict traffic
+//! recorded by the engine registry and queryable as `sys.born_models`.
+
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use sqlengine::{Database, Value};
+
+fn trained_model(db: &Database) -> BornSqlModel<'_, Database> {
+    db.execute_script(
+        "CREATE TABLE features (n INTEGER, term TEXT, cnt REAL);
+         CREATE TABLE labels (n INTEGER, label TEXT, PRIMARY KEY (n));",
+    )
+    .unwrap();
+    let classes = ["ai", "stats"];
+    let mut frows = Vec::new();
+    let mut lrows = Vec::new();
+    for id in 0..20i64 {
+        let class = classes[(id % 2) as usize];
+        for t in 0..3 {
+            frows.push(vec![
+                Value::Int(id + 1),
+                Value::text(format!("{class}_tok{}", (id + t) % 8)),
+                Value::Float(1.0 + t as f64),
+            ]);
+        }
+        lrows.push(vec![Value::Int(id + 1), Value::text(class)]);
+    }
+    db.insert_rows("features", frows).unwrap();
+    db.insert_rows("labels", lrows).unwrap();
+
+    let model = BornSqlModel::create(db, "m", ModelOptions::default()).unwrap();
+    let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features")
+        .with_targets("SELECT n, label AS k, 1.0 AS w FROM labels");
+    model.fit(&spec).unwrap();
+    model
+}
+
+fn all_items_spec() -> DataSpec {
+    DataSpec::new("SELECT n, term AS j, cnt AS w FROM features").with_items("SELECT n FROM labels")
+}
+
+#[test]
+fn predict_traffic_shows_up_in_sys_born_models() {
+    let db = Database::new();
+    let model = trained_model(&db);
+    for _ in 0..3 {
+        model.predict(&all_items_spec()).unwrap();
+    }
+
+    let r = db
+        .query(
+            "SELECT model, deployed, predict_calls, rows_returned, fit_batches \
+             FROM sys.born_models",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::text("m"));
+    assert_eq!(r.rows[0][1], Value::Int(0), "not deployed yet");
+    assert_eq!(r.rows[0][2], Value::Int(3));
+    assert_eq!(r.rows[0][3], Value::Int(60), "3 predicts × 20 items");
+    assert_eq!(
+        r.rows[0][4],
+        Value::Int(1),
+        "fit runs one partial_fit batch"
+    );
+
+    // Latency histogram columns carry real observations.
+    let mean = db
+        .query_scalar("SELECT predict_mean_us FROM sys.born_models WHERE model = 'm'")
+        .unwrap();
+    let Value::Float(mean) = mean else {
+        panic!("expected float, got {mean:?}")
+    };
+    assert!(mean > 0.0);
+}
+
+#[test]
+fn lifecycle_events_update_deploy_and_unlearn_counters() {
+    let db = Database::new();
+    let model = trained_model(&db);
+
+    model.deploy().unwrap();
+    let d = db
+        .query_scalar("SELECT deployed FROM sys.born_models WHERE model = 'm'")
+        .unwrap();
+    assert_eq!(d, Value::Int(1));
+
+    model.undeploy().unwrap();
+    let d = db
+        .query_scalar("SELECT deployed FROM sys.born_models WHERE model = 'm'")
+        .unwrap();
+    assert_eq!(d, Value::Int(0));
+
+    let forget = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features")
+        .with_targets("SELECT n, label AS k, 1.0 AS w FROM labels")
+        .with_items("SELECT n FROM labels WHERE n = 1");
+    model.unlearn(&forget).unwrap();
+    let u = db
+        .query_scalar("SELECT unlearn_calls FROM sys.born_models WHERE model = 'm'")
+        .unwrap();
+    assert_eq!(u, Value::Int(1));
+}
+
+#[test]
+fn predicts_on_a_telemetry_disabled_backend_record_nothing() {
+    let db = Database::with_config(sqlengine::EngineConfig::default().with_telemetry(false));
+    let model = trained_model(&db);
+    model.predict(&all_items_spec()).unwrap();
+    let r = db.query("SELECT * FROM sys.born_models").unwrap();
+    assert!(r.rows.is_empty(), "disabled registry must stay empty");
+}

@@ -16,8 +16,9 @@ use crate::catalog::{Catalog, Column, InsertOutcome, ResolvedConflict, Schema, T
 use crate::error::{EngineError, Result};
 use crate::exec::{ExecContext, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
-use crate::parser::{parse_script, parse_statement};
-use crate::plan::{PlannedQuery, Planner, PlannerConfig};
+use crate::parser::{parse_script_spanned, parse_statement};
+use crate::plan::{PlannedQuery, Planner, PlannerConfig, VirtualTables};
+use crate::telemetry::{sys, QueryStatus, StatementProbe, Telemetry};
 use crate::value::{DataType, Row, Value};
 use crate::wal::{self, push_insert, StorageIo, SyncPolicy, Wal, WalOp};
 
@@ -54,6 +55,16 @@ pub struct EngineConfig {
     /// (0 disables the automatic trigger; [`Database::checkpoint`] still
     /// works). Ignored by purely in-memory databases.
     pub checkpoint_after_bytes: u64,
+    /// Collect runtime telemetry (statement phase timings, the
+    /// `sys.query_log` ring, WAL and serving metrics). Disabling turns every
+    /// recording site into a cheap branch; the `sys.*` tables stay queryable
+    /// but report empty/zero data.
+    pub telemetry: bool,
+    /// Statements whose total duration reaches this threshold are flagged
+    /// `slow = 1` in `sys.query_log`.
+    pub slow_query_threshold: Duration,
+    /// Number of statements retained by the `sys.query_log` ring buffer.
+    pub query_log_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +78,9 @@ impl Default for EngineConfig {
             statement_timeout: None,
             wal_sync: SyncPolicy::OnCommit,
             checkpoint_after_bytes: 4 << 20,
+            telemetry: true,
+            slow_query_threshold: Duration::from_millis(100),
+            query_log_capacity: 256,
         }
     }
 }
@@ -134,6 +148,24 @@ impl EngineConfig {
     /// Builder-style automatic-checkpoint threshold (bytes of WAL).
     pub fn with_checkpoint_after_bytes(mut self, bytes: u64) -> Self {
         self.checkpoint_after_bytes = bytes;
+        self
+    }
+
+    /// Builder-style toggle of telemetry collection.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Builder-style slow-query threshold for `sys.query_log`.
+    pub fn with_slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Builder-style `sys.query_log` ring capacity (clamped to ≥ 1).
+    pub fn with_query_log_capacity(mut self, capacity: usize) -> Self {
+        self.query_log_capacity = capacity.max(1);
         self
     }
 
@@ -221,9 +253,13 @@ pub struct Database {
     plan_cache: Mutex<HashMap<String, CachedPlan>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
     /// Write-ahead log of committed logical changes; `None` for purely
     /// in-memory databases (`Database::new`).
     wal: Option<Wal>,
+    /// Engine-wide observability registry, shared (`Arc`) with the WAL and
+    /// with BornSQL model handles; queryable through the `sys.*` tables.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for Database {
@@ -247,7 +283,13 @@ impl Database {
             plan_cache: Mutex::new(HashMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            plan_cache_evictions: AtomicU64::new(0),
             wal: None,
+            telemetry: Arc::new(Telemetry::new(
+                config.telemetry,
+                config.slow_query_threshold,
+                config.query_log_capacity,
+            )),
         }
     }
 
@@ -270,14 +312,15 @@ impl Database {
     /// [`Database::open`].
     pub fn open_with_io(io: Arc<dyn StorageIo>, config: EngineConfig) -> Result<Database> {
         let recovered = wal::recover(io.as_ref())?;
+        let mut db = Database::with_config(config);
         let wal = Wal::new(
             io,
             config.wal_sync,
             config.checkpoint_after_bytes,
             recovered.next_seq,
             recovered.wal_len,
+            Arc::clone(&db.telemetry),
         );
-        let mut db = Database::with_config(config);
         db.catalog = RwLock::new(recovered.catalog);
         db.wal = Some(wal);
         Ok(db)
@@ -327,12 +370,39 @@ impl Database {
         self.catalog_version.load(Ordering::Acquire)
     }
 
-    /// Lifetime plan-cache counters as `(hits, misses)`.
+    /// Plan-cache counters as `(hits, misses)` since the last
+    /// [`Database::reset_plan_cache_stats`] (process lifetime otherwise).
     pub fn plan_cache_stats(&self) -> (u64, u64) {
         (
             self.plan_cache_hits.load(Ordering::Relaxed),
             self.plan_cache_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Plan-cache counters as `(hits, misses, evictions)`. Evictions count
+    /// entries dropped by the capacity bound ([`PLAN_CACHE_CAPACITY`]) —
+    /// both stale-entry reaping and full clears.
+    pub fn plan_cache_metrics(&self) -> (u64, u64, u64) {
+        (
+            self.plan_cache_hits.load(Ordering::Relaxed),
+            self.plan_cache_misses.load(Ordering::Relaxed),
+            self.plan_cache_evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zero the plan-cache hit/miss/eviction counters (cached plans stay).
+    /// Lets tests and monitoring windows measure deltas instead of
+    /// process-lifetime totals.
+    pub fn reset_plan_cache_stats(&self) {
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.plan_cache_evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// The engine's telemetry registry (shared with the WAL and BornSQL
+    /// model handles).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Look `sql` up in the plan cache; a hit requires the entry's catalog
@@ -364,20 +434,31 @@ impl Database {
         // serving hot path — embeds pre-evaluated literals.
         let mut query = query.clone();
         crate::sema::fold::fold_query(&mut query);
-        let planned = {
+        let (planned, used_virtual) = {
             let catalog = self.catalog.read();
-            let mut planner = Planner::new(&catalog, &[], self.config.planner());
-            Arc::new(planner.plan_query(&query)?)
+            let mut planner =
+                Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
+            let planned = Arc::new(planner.plan_query(&query)?);
+            (planned, planner.used_virtual())
         };
+        if used_virtual {
+            // Plans over `sys.*` embed point-in-time telemetry rows; serving
+            // one from the cache would freeze the metrics. (Entry points
+            // already skip the cache textually; this is the backstop.)
+            return Ok(planned);
+        }
         let mut cache = self.plan_cache.lock();
         if cache.len() >= PLAN_CACHE_CAPACITY && !cache.contains_key(sql) {
             // Evict stale entries first; fall back to dropping everything
             // (plans embed table snapshots, so a full clear also releases
             // pinned row memory).
+            let before = cache.len();
             cache.retain(|_, c| c.version == version);
             if cache.len() >= PLAN_CACHE_CAPACITY {
                 cache.clear();
             }
+            self.plan_cache_evictions
+                .fetch_add((before - cache.len()) as u64, Ordering::Relaxed);
         }
         cache.insert(
             sql.to_string(),
@@ -433,33 +514,119 @@ impl Database {
     /// the cache because `bind_expr` inlines parameter values into the
     /// physical plan.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
-        if self.config.plan_cache && params.is_empty() {
+        let mut probe = StatementProbe::start(self.telemetry.enabled());
+        let result = self.execute_probed(sql, params, &mut probe);
+        self.finish_statement(&probe, sql, &result);
+        result
+    }
+
+    /// The body of [`Database::execute_with`], with phase boundaries reported
+    /// into `probe` (every lap is a no-op when telemetry is off).
+    fn execute_probed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        probe: &mut StatementProbe,
+    ) -> Result<StatementResult> {
+        // `sys.*` statements never touch the plan cache: their plans embed
+        // point-in-time telemetry snapshots.
+        let cacheable = self.config.plan_cache && params.is_empty() && !sys::mentions_sys(sql);
+        if cacheable {
             if let Some(planned) = self.cached_plan(sql) {
-                return self.execute_planned(&planned);
+                probe.cache_hit = true;
+                let t = probe.phase();
+                let result = self.execute_planned(&planned);
+                probe.lap_exec(t);
+                return result;
             }
-            let stmt = parse_statement(sql)?;
-            self.analyze_statement(&stmt)?;
-            if let Statement::Query(query) = &stmt {
-                let planned = self.plan_and_cache(sql, query)?;
-                return self.execute_planned(&planned);
-            }
-            return self.execute_statement(&stmt, params);
         }
+        let t = probe.phase();
         let stmt = parse_statement(sql)?;
+        probe.lap_parse(t);
+        let t = probe.phase();
         self.analyze_statement(&stmt)?;
-        self.execute_statement(&stmt, params)
+        probe.lap_sema(t);
+        if let Statement::Query(query) = &stmt {
+            let t = probe.phase();
+            let planned = if cacheable {
+                self.plan_and_cache(sql, query)?
+            } else {
+                // Plan under the read lock; execute on snapshots afterwards.
+                let catalog = self.catalog.read();
+                let mut planner =
+                    Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
+                Arc::new(planner.plan_query(query)?)
+            };
+            probe.lap_plan(t);
+            let t = probe.phase();
+            let result = self.execute_planned(&planned);
+            probe.lap_exec(t);
+            return result;
+        }
+        // DML / DDL / transaction control interleave planning with catalog
+        // writes; attribute the whole tail to the exec phase.
+        let t = probe.phase();
+        let result = self.execute_statement(&stmt, params);
+        probe.lap_exec(t);
+        result
+    }
+
+    /// Report one finished statement to the telemetry registry.
+    fn finish_statement(
+        &self,
+        probe: &StatementProbe,
+        sql: &str,
+        result: &Result<StatementResult>,
+    ) {
+        if !probe.enabled() {
+            return;
+        }
+        match result {
+            Ok(r) => self.telemetry.record_statement(
+                probe,
+                sql,
+                QueryStatus::Ok,
+                None,
+                r.affected() as u64,
+            ),
+            Err(e) => {
+                let status = if matches!(e, EngineError::Timeout) {
+                    QueryStatus::Timeout
+                } else {
+                    QueryStatus::Error
+                };
+                self.telemetry
+                    .record_statement(probe, sql, status, Some(e.to_string()), 0);
+            }
+        }
     }
 
     /// Execute a semicolon-separated script; returns the last statement's
-    /// result.
+    /// result. Each statement is logged individually (spans recover the
+    /// original text), so script-driven clients show up in `sys.query_log`
+    /// like everyone else.
     pub fn execute_script(&self, sql: &str) -> Result<StatementResult> {
-        let stmts = parse_script(sql)?;
+        let stmts = parse_script_spanned(sql)?;
         let mut last = StatementResult::Affected(0);
-        for stmt in &stmts {
-            // Checked per statement (not up front): earlier statements may
-            // create the tables later ones refer to.
-            self.analyze_statement(stmt)?;
-            last = self.execute_statement(stmt, &[])?;
+        for (stmt, span) in &stmts {
+            let text = sql
+                .get(span.start as usize..span.end as usize)
+                .unwrap_or(sql)
+                .trim();
+            let mut probe = StatementProbe::start(self.telemetry.enabled());
+            let result = (|| {
+                // Checked per statement (not up front): earlier statements
+                // may create the tables later ones refer to.
+                let t = probe.phase();
+                self.analyze_statement(stmt)?;
+                probe.lap_sema(t);
+                let t = probe.phase();
+                let r = self.execute_statement(stmt, &[])?;
+                probe.lap_exec(t);
+                Ok(r)
+            })();
+            self.finish_statement(&probe, text, &result);
+            last = result?;
         }
         Ok(last)
     }
@@ -535,7 +702,7 @@ impl Database {
         };
         let catalog = self.catalog.read();
         crate::sema::check_query(&catalog, &query)?;
-        let mut planner = Planner::new(&catalog, &[], self.config.planner());
+        let mut planner = Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
         let planned = planner.plan_query(&query)?;
         Ok(crate::explain::render_plan(&planned.plan))
     }
@@ -550,10 +717,12 @@ impl Database {
         let planned = {
             let catalog = self.catalog.read();
             crate::sema::check_query(&catalog, &query)?;
-            let mut planner = Planner::new(&catalog, &[], self.config.planner());
+            let mut planner =
+                Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
             planner.plan_query(&query)?
         };
         let (rows, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+        self.telemetry.record_op_stats(&stats);
         Ok((
             QueryResult {
                 columns: planned.columns,
@@ -701,7 +870,8 @@ impl Database {
                 // Plan under the read lock; execute on snapshots afterwards.
                 let planned = {
                     let catalog = self.catalog.read();
-                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    let mut planner =
+                        Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(query)?
                 };
                 let rows = self.exec_ctx().execute(&planned.plan)?;
@@ -731,11 +901,13 @@ impl Database {
                 }
                 let planned = {
                     let catalog = self.catalog.read();
-                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    let mut planner =
+                        Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(query)?
                 };
                 let rendered = if *mode == crate::ast::ExplainMode::Analyze {
                     let (_, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+                    self.telemetry.record_op_stats(&stats);
                     crate::explain::render_analyze(&stats)
                 } else {
                     crate::explain::render_plan(&planned.plan)
@@ -814,7 +986,8 @@ impl Database {
             } => {
                 let planned = {
                     let catalog = self.catalog.read();
-                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    let mut planner =
+                        Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(query)?
                 };
                 let rows = self.exec_ctx().execute(&planned.plan)?;
@@ -1027,7 +1200,7 @@ impl Database {
             return Ok(None);
         };
         let catalog = self.catalog.read();
-        let mut planner = Planner::new(&catalog, params, self.config.planner());
+        let mut planner = Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
         planner.resolve_subqueries(&mut pred)?;
         Ok(Some(pred))
     }
@@ -1060,7 +1233,8 @@ impl Database {
             InsertSource::Query(q) => {
                 let planned = {
                     let catalog = self.catalog.read();
-                    let mut planner = Planner::new(&catalog, params, self.config.planner());
+                    let mut planner =
+                        Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(q)?
                 };
                 self.exec_ctx().execute(&planned.plan)?
@@ -1241,6 +1415,204 @@ impl Database {
     }
 }
 
+// ----------------------------------------------------------------------
+// Virtual `sys.*` tables
+// ----------------------------------------------------------------------
+
+/// One `sys.metrics` row.
+fn metric(name: &str, kind: &str, value: f64) -> Row {
+    vec![Value::text(name), Value::text(kind), Value::Float(value)]
+}
+
+/// Append the five summary rows of one latency histogram.
+fn histogram_metrics(rows: &mut Vec<Row>, prefix: &str, h: &crate::telemetry::Histogram) {
+    rows.push(metric(
+        &format!("{prefix}.count"),
+        "counter",
+        h.count() as f64,
+    ));
+    rows.push(metric(
+        &format!("{prefix}.mean_us"),
+        "histogram",
+        h.mean_micros(),
+    ));
+    rows.push(metric(
+        &format!("{prefix}.p50_us"),
+        "histogram",
+        h.percentile_micros(0.50),
+    ));
+    rows.push(metric(
+        &format!("{prefix}.p99_us"),
+        "histogram",
+        h.percentile_micros(0.99),
+    ));
+    rows.push(metric(
+        &format!("{prefix}.max_us"),
+        "histogram",
+        h.max_micros() as f64,
+    ));
+}
+
+impl Database {
+    fn sys_metrics_rows(&self) -> Vec<Row> {
+        let t = &self.telemetry;
+        let (hits, misses, evictions) = self.plan_cache_metrics();
+        let mut rows = vec![
+            metric("statements.total", "counter", t.statements.get() as f64),
+            metric(
+                "statements.errors",
+                "counter",
+                t.statement_errors.get() as f64,
+            ),
+            metric(
+                "statements.timeouts",
+                "counter",
+                t.statement_timeouts.get() as f64,
+            ),
+            metric(
+                "statements.rows_returned",
+                "counter",
+                t.rows_returned.get() as f64,
+            ),
+            metric("plan_cache.hits", "counter", hits as f64),
+            metric("plan_cache.misses", "counter", misses as f64),
+            metric("plan_cache.evictions", "counter", evictions as f64),
+            metric(
+                "plan_cache.entries",
+                "gauge",
+                self.plan_cache.lock().len() as f64,
+            ),
+            metric("catalog.version", "gauge", self.catalog_version() as f64),
+            metric("wal.appends", "counter", t.wal_appends.get() as f64),
+            metric(
+                "wal.append_bytes",
+                "counter",
+                t.wal_append_bytes.get() as f64,
+            ),
+            metric("wal.fsyncs", "counter", t.wal_fsyncs.get() as f64),
+            metric("wal.checkpoints", "counter", t.wal_checkpoints.get() as f64),
+            metric(
+                "wal.checkpoint_bytes",
+                "counter",
+                t.wal_checkpoint_bytes.get() as f64,
+            ),
+            metric("wal.bytes", "gauge", self.wal_bytes().unwrap_or(0) as f64),
+        ];
+        histogram_metrics(&mut rows, "phase.parse", &t.parse_us);
+        histogram_metrics(&mut rows, "phase.sema", &t.sema_us);
+        histogram_metrics(&mut rows, "phase.plan", &t.plan_us);
+        histogram_metrics(&mut rows, "phase.exec", &t.exec_us);
+        histogram_metrics(&mut rows, "statement.duration", &t.statement_us);
+        histogram_metrics(&mut rows, "wal.fsync", &t.wal_fsync_us);
+        for (kind, agg) in t.op_rollups() {
+            rows.push(metric(
+                &format!("op.{kind}.calls"),
+                "counter",
+                agg.calls as f64,
+            ));
+            rows.push(metric(
+                &format!("op.{kind}.rows_out"),
+                "counter",
+                agg.rows_out as f64,
+            ));
+            rows.push(metric(
+                &format!("op.{kind}.total_us"),
+                "counter",
+                agg.nanos as f64 / 1e3,
+            ));
+        }
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        rows
+    }
+
+    fn sys_query_log_rows(&self) -> Vec<Row> {
+        self.telemetry
+            .query_log()
+            .into_iter()
+            .map(|e| {
+                vec![
+                    Value::Int(e.id as i64),
+                    Value::Str(e.sql.into()),
+                    Value::text(e.status.as_str()),
+                    e.error.map_or(Value::Null, |m| Value::Str(m.into())),
+                    Value::Int(i64::from(e.cache_hit)),
+                    Value::Int(i64::from(e.slow)),
+                    Value::Int(e.parse_us as i64),
+                    Value::Int(e.sema_us as i64),
+                    Value::Int(e.plan_us as i64),
+                    Value::Int(e.exec_us as i64),
+                    Value::Float(e.total_us as f64 / 1e3),
+                    Value::Int(e.rows as i64),
+                ]
+            })
+            .collect()
+    }
+
+    fn sys_tables_rows(catalog: &Catalog) -> Vec<Row> {
+        catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|name| {
+                let t = catalog.get(&name).ok()?;
+                let pk = t
+                    .primary
+                    .as_ref()
+                    .map(|p| {
+                        p.key_columns
+                            .iter()
+                            .map(|&i| t.schema.columns[i].name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .unwrap_or_default();
+                Some(vec![
+                    Value::text(&name),
+                    Value::Int(t.row_count() as i64),
+                    Value::Int(t.schema.len() as i64),
+                    Value::Str(pk.into()),
+                    Value::Int(t.secondary.len() as i64),
+                ])
+            })
+            .collect()
+    }
+
+    fn sys_born_models_rows(&self) -> Vec<Row> {
+        self.telemetry.with_models(|models| {
+            models
+                .iter()
+                .map(|(name, s)| {
+                    vec![
+                        Value::text(name),
+                        Value::Int(i64::from(s.deployed)),
+                        Value::Int(s.predict_calls as i64),
+                        Value::Float(s.predict_us.mean_micros()),
+                        Value::Float(s.predict_us.percentile_micros(0.50)),
+                        Value::Float(s.predict_us.percentile_micros(0.99)),
+                        Value::Int(s.rows_returned as i64),
+                        Value::Int(s.fit_batches as i64),
+                        Value::Int(s.unlearn_calls as i64),
+                    ]
+                })
+                .collect()
+        })
+    }
+}
+
+impl VirtualTables for Database {
+    fn virtual_table(&self, catalog: &Catalog, name: &str) -> Option<(Schema, Arc<Vec<Row>>)> {
+        let canonical = sys::canonical(name)?;
+        let schema = sys::schema(canonical).expect("known sys tables have schemas");
+        let rows = match canonical {
+            sys::METRICS => self.sys_metrics_rows(),
+            sys::QUERY_LOG => self.sys_query_log_rows(),
+            sys::TABLES => Self::sys_tables_rows(catalog),
+            sys::BORN_MODELS => self.sys_born_models_rows(),
+            _ => unreachable!("canonical returns only known names"),
+        };
+        Some((schema, Arc::new(rows)))
+    }
+}
+
 /// A statement parsed once, executable many times with fresh parameters.
 pub struct Prepared<'db> {
     db: &'db Database,
@@ -1251,16 +1623,41 @@ pub struct Prepared<'db> {
 impl Prepared<'_> {
     /// Execute with the given parameters.
     pub fn execute(&self, params: &[Value]) -> Result<StatementResult> {
-        if self.db.config.plan_cache && params.is_empty() {
+        let mut probe = StatementProbe::start(self.db.telemetry.enabled());
+        let result = self.execute_probed(params, &mut probe);
+        self.db.finish_statement(&probe, &self.sql, &result);
+        result
+    }
+
+    fn execute_probed(
+        &self,
+        params: &[Value],
+        probe: &mut StatementProbe,
+    ) -> Result<StatementResult> {
+        if self.db.config.plan_cache && params.is_empty() && !sys::mentions_sys(&self.sql) {
             if let Statement::Query(query) = &self.stmt {
                 let planned = match self.db.cached_plan(&self.sql) {
-                    Some(p) => p,
-                    None => self.db.plan_and_cache(&self.sql, query)?,
+                    Some(p) => {
+                        probe.cache_hit = true;
+                        p
+                    }
+                    None => {
+                        let t = probe.phase();
+                        let p = self.db.plan_and_cache(&self.sql, query)?;
+                        probe.lap_plan(t);
+                        p
+                    }
                 };
-                return self.db.execute_planned(&planned);
+                let t = probe.phase();
+                let result = self.db.execute_planned(&planned);
+                probe.lap_exec(t);
+                return result;
             }
         }
-        self.db.execute_statement(&self.stmt, params)
+        let t = probe.phase();
+        let result = self.db.execute_statement(&self.stmt, params);
+        probe.lap_exec(t);
+        result
     }
 
     /// Execute and return rows.

@@ -168,7 +168,8 @@ pub(crate) fn aggregate(
     let mut rows_in = 0usize;
     let rows = super::run_input(input, ctx, &mut children, &mut rows_in)?;
 
-    let out = if ctx.should_parallelize(rows.len()) {
+    let parallel = ctx.should_parallelize(rows.len());
+    let out = if parallel {
         parallel_aggregate(rows, keys, aggs, ctx)?
     } else {
         serial_aggregate(&rows, keys, aggs)?
@@ -176,6 +177,7 @@ pub(crate) fn aggregate(
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: if parallel { ctx.parallelism() } else { 1 },
         children,
     })
 }

@@ -52,6 +52,8 @@ pub struct OpStats {
     pub rows_out: usize,
     /// Time attributed to this operator (see struct docs).
     pub elapsed: Duration,
+    /// Workers this operator actually fanned out to (1 = serial path).
+    pub workers: usize,
     pub children: Vec<OpStats>,
 }
 
@@ -62,6 +64,7 @@ impl OpStats {
             rows_in: 0,
             rows_out,
             elapsed: Duration::ZERO,
+            workers: 1,
             children: Vec::new(),
         }
     }

@@ -62,7 +62,8 @@ pub(crate) fn hash_join(
     let left_rows = super::run_input(left, ctx, &mut children, &mut rows_in)?;
     let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
 
-    let rows = if ctx.should_parallelize(left_rows.len().max(right_rows.len())) {
+    let parallel = ctx.should_parallelize(left_rows.len().max(right_rows.len()));
+    let rows = if parallel {
         parallel_hash_join(
             left_rows,
             right_rows,
@@ -87,6 +88,7 @@ pub(crate) fn hash_join(
     Ok(NodeOut {
         rows,
         rows_in,
+        workers: if parallel { ctx.parallelism() } else { 1 },
         children,
     })
 }
@@ -342,6 +344,7 @@ pub(crate) fn sort_merge_join(
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: 1,
         children,
     })
 }
@@ -370,7 +373,8 @@ pub(crate) fn nested_loop_join(
     let right_rows = super::run_input(right, ctx, &mut children, &mut rows_in)?;
 
     let deadline = ctx.deadline();
-    let rows = if ctx.should_parallelize(left_rows.len()) {
+    let parallel = ctx.should_parallelize(left_rows.len());
+    let rows = if parallel {
         let predicate_arc: Arc<Option<PhysExpr>> = Arc::new(predicate.clone());
         let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
             .morsels(left_rows.len())
@@ -410,6 +414,7 @@ pub(crate) fn nested_loop_join(
     Ok(NodeOut {
         rows,
         rows_in,
+        workers: if parallel { ctx.parallelism() } else { 1 },
         children,
     })
 }
@@ -525,6 +530,7 @@ pub(crate) fn index_join(
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: 1,
         children,
     })
 }

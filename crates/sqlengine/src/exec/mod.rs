@@ -55,6 +55,8 @@ pub fn execute(plan: &PhysPlan) -> Result<Vec<Row>> {
 pub(crate) struct NodeOut {
     pub rows: Vec<Row>,
     pub rows_in: usize,
+    /// Workers this operator actually fanned out to (1 = serial path).
+    pub workers: usize,
     pub children: Vec<OpStats>,
 }
 
@@ -63,6 +65,7 @@ impl NodeOut {
         NodeOut {
             rows,
             rows_in: 0,
+            workers: 1,
             children: Vec::new(),
         }
     }
@@ -78,6 +81,7 @@ pub(crate) fn run(plan: &PhysPlan, ctx: &ExecContext) -> Result<(Vec<Row>, Optio
         rows_in: out.rows_in,
         rows_out: out.rows.len(),
         elapsed: t.elapsed(),
+        workers: out.workers,
         children: out.children,
     });
     Ok((out.rows, stats))
@@ -89,7 +93,9 @@ fn dispatch(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
     // work (tight loops inside operators check at morsel boundaries too).
     ctx.check_timeout()?;
     match plan {
-        PhysPlan::Scan { rows, .. } => Ok(NodeOut::new(rows.as_ref().clone())),
+        PhysPlan::Scan { rows, .. } | PhysPlan::VirtualScan { rows, .. } => {
+            Ok(NodeOut::new(rows.as_ref().clone()))
+        }
         PhysPlan::IndexScan {
             rows, index, keys, ..
         } => match keys {
@@ -187,7 +193,7 @@ pub(crate) fn run_input(
     rows_in: &mut usize,
 ) -> Result<Arc<Vec<Row>>> {
     let rows = match plan {
-        PhysPlan::Scan { rows, .. } => {
+        PhysPlan::Scan { rows, .. } | PhysPlan::VirtualScan { rows, .. } => {
             if ctx.stats_enabled() {
                 children.push(OpStats::leaf(op_label(plan), rows.len()));
             }

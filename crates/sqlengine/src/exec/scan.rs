@@ -166,7 +166,8 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
     let timed = ctx.stats_enabled();
 
     let deadline = ctx.deadline();
-    let rows = if ctx.should_parallelize(source_rows.len()) {
+    let parallel = ctx.should_parallelize(source_rows.len());
+    let rows = if parallel {
         let specs: Arc<Vec<StageSpec>> = Arc::new(nodes.iter().map(|n| StageSpec::of(n)).collect());
         let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
             .morsels(source_rows.len())
@@ -207,6 +208,7 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
 
     // Assemble per-stage stats for every stage but the outermost (which the
     // dispatcher wraps with wall-clock time).
+    let workers = if parallel { ctx.parallelism() } else { 1 };
     if ctx.stats_enabled() {
         for (i, node) in nodes.iter().enumerate().take(n_stages - 1) {
             let (rows_in, rows_out, elapsed) = counters[i].snapshot();
@@ -215,6 +217,9 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
                 rows_in,
                 rows_out,
                 elapsed,
+                // Inner fused stages run on the same morsel workers as the
+                // outermost stage.
+                workers,
                 children: std::mem::take(&mut children),
             }];
         }
@@ -223,6 +228,7 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
     Ok(NodeOut {
         rows,
         rows_in,
+        workers,
         children,
     })
 }

@@ -42,6 +42,7 @@ pub(crate) fn limit(
     Ok(NodeOut {
         rows,
         rows_in,
+        workers: 1,
         children,
     })
 }
@@ -62,6 +63,7 @@ pub(crate) fn union_all(inputs: &[PhysPlan], ctx: &ExecContext) -> Result<NodeOu
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: 1,
         children,
     })
 }
@@ -81,6 +83,7 @@ pub(crate) fn distinct(input: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: 1,
         children,
     })
 }

@@ -93,6 +93,8 @@ pub(crate) fn sort(
     let mut rows_in = 0usize;
     let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
 
+    // Only the per-row key evaluation fans out; the sort itself is serial.
+    let parallel = ctx.should_parallelize(shared.len());
     let key_values = eval_keys(&shared, keys, ctx)?;
     let mut keyed: Vec<(Vec<Value>, usize)> = key_values
         .into_iter()
@@ -109,6 +111,7 @@ pub(crate) fn sort(
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: if parallel { ctx.parallelism() } else { 1 },
         children,
     })
 }
@@ -155,6 +158,7 @@ pub(crate) fn top_k(
         rows_in,
         rows_out: out.len(),
         elapsed: t.elapsed(),
+        workers: 1,
         children,
     });
     Ok((out, stats))
@@ -239,6 +243,7 @@ pub(crate) fn window_rank(
     Ok(NodeOut {
         rows: out,
         rows_in,
+        workers: 1,
         children,
     })
 }

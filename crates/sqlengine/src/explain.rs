@@ -21,6 +21,9 @@ pub fn render_plan(plan: &PhysPlan) -> String {
 pub(crate) fn op_label(plan: &PhysPlan) -> String {
     match plan {
         PhysPlan::Scan { rows, width } => format!("Scan [{} rows × {} cols]", rows.len(), width),
+        PhysPlan::VirtualScan { name, rows, width } => {
+            format!("VirtualScan {name} [{} rows × {} cols]", rows.len(), width)
+        }
         PhysPlan::IndexScan {
             rows,
             index_name,
@@ -91,7 +94,10 @@ fn line(out: &mut String, depth: usize, text: &str) {
 fn render(plan: &PhysPlan, depth: usize, out: &mut String) {
     line(out, depth, &op_label(plan));
     match plan {
-        PhysPlan::Scan { .. } | PhysPlan::IndexScan { .. } | PhysPlan::OneRow => {}
+        PhysPlan::Scan { .. }
+        | PhysPlan::VirtualScan { .. }
+        | PhysPlan::IndexScan { .. }
+        | PhysPlan::OneRow => {}
         PhysPlan::IndexJoin { probe, inner, .. } => {
             render(probe, depth + 1, out);
             render(inner, depth + 1, out);
@@ -125,11 +131,16 @@ pub fn render_analyze(stats: &OpStats) -> String {
 
 fn render_stats(stats: &OpStats, depth: usize, out: &mut String) {
     let micros = stats.elapsed.as_secs_f64() * 1e6;
+    let workers = if stats.workers > 1 {
+        format!(" workers={}", stats.workers)
+    } else {
+        String::new()
+    };
     line(
         out,
         depth,
         &format!(
-            "{} (rows_in={} rows_out={} time={micros:.1}µs)",
+            "{} (rows_in={} rows_out={} time={micros:.1}µs{workers})",
             stats.label, stats.rows_in, stats.rows_out
         ),
     );

@@ -78,6 +78,7 @@ pub mod parser;
 pub mod plan;
 pub mod sema;
 pub mod snapshot;
+pub mod telemetry;
 pub mod value;
 pub mod wal;
 
@@ -88,5 +89,6 @@ pub use exec::{ExecContext, OpStats, WorkerPool};
 pub use plan::JoinAlgo;
 pub use sema::CheckReport;
 pub use snapshot::Snapshot;
+pub use telemetry::{QueryLogEntry, QueryStatus, Telemetry};
 pub use value::{DataType, Row, Value};
 pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy};

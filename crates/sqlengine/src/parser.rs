@@ -23,6 +23,16 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 
 /// Parse a script of semicolon-separated statements.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
+    Ok(parse_script_spanned(sql)?
+        .into_iter()
+        .map(|(stmt, _)| stmt)
+        .collect())
+}
+
+/// Like [`parse_script`], but each statement carries the byte span of its
+/// source text (exclusive of the separating semicolon), so callers can
+/// attribute per-statement telemetry to the original SQL.
+pub fn parse_script_spanned(sql: &str) -> Result<Vec<(Statement, Span)>> {
     let (tokens, spans) = tokenize_spanned(sql)?;
     let mut p = Parser {
         tokens,
@@ -34,7 +44,9 @@ pub fn parse_script(sql: &str) -> Result<Vec<Statement>> {
         if p.consume_if(&Token::Semicolon) {
             continue;
         }
-        stmts.push(p.statement()?);
+        let first = p.pos;
+        let stmt = p.statement()?;
+        stmts.push((stmt, p.span_from(first)));
         if !p.at_end() && !p.consume_if(&Token::Semicolon) {
             return Err(p.err("expected ';' between statements".into()));
         }
@@ -689,7 +701,12 @@ impl Parser {
             })
         } else {
             let span = self.span_at(self.pos);
-            let name = self.identifier()?;
+            let mut name = self.identifier()?;
+            // Dotted table names (e.g. the virtual `sys.metrics`) fold into
+            // a single qualified name; resolution decides what it means.
+            if self.consume_if(&Token::Dot) {
+                name = format!("{name}.{}", self.identifier()?);
+            }
             let alias =
                 if self.consume_keyword("AS") || matches!(self.peek(), Some(Token::Ident(_))) {
                     Some(self.identifier()?)

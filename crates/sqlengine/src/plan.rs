@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::ast::{self, Expr, JoinKind, OrderItem, Query, Select, SelectItem, SetExpr, TableRef};
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, Schema};
 use crate::error::{EngineError, Result, Span};
 use crate::expr::{bind_expr, ColLabel, PhysExpr, Scope};
 use crate::value::{Row, Value};
@@ -108,6 +108,14 @@ impl IndexRef {
 pub enum PhysPlan {
     /// Scan a snapshot of a base table (or a materialized CTE).
     Scan {
+        rows: Arc<Vec<Row>>,
+        width: usize,
+    },
+    /// Scan a virtual `sys.*` system table, materialized from the engine's
+    /// telemetry registry at plan time (point-in-time snapshot semantics,
+    /// like every other scan). Never index-accessible and never plan-cached.
+    VirtualScan {
+        name: String,
         rows: Arc<Vec<Row>>,
         width: usize,
     },
@@ -277,7 +285,7 @@ fn covering_index(access: &TableAccess, keys: &[PhysExpr]) -> Option<(IndexMeta,
 /// optimization; under-estimating costs one hash build we'd have paid anyway.
 fn estimate_rows(plan: &PhysPlan) -> usize {
     match plan {
-        PhysPlan::Scan { rows, .. } => rows.len(),
+        PhysPlan::Scan { rows, .. } | PhysPlan::VirtualScan { rows, .. } => rows.len(),
         PhysPlan::IndexScan {
             rows, index, keys, ..
         } => match keys {
@@ -401,11 +409,26 @@ fn build_index_join(
     }
 }
 
+/// Provider of virtual `sys.*` tables, implemented by the engine layer. The
+/// current catalog is passed in (rather than re-locked) so providers never
+/// re-enter the planner's catalog read lock.
+pub trait VirtualTables {
+    /// Materialize the named virtual table as a row snapshot, or `None` if
+    /// the name is not a known virtual table.
+    fn virtual_table(&self, catalog: &Catalog, name: &str) -> Option<(Schema, Arc<Vec<Row>>)>;
+}
+
 /// Plans statements against a catalog snapshot.
 pub struct Planner<'a> {
     pub catalog: &'a Catalog,
     pub params: &'a [Value],
     pub config: PlannerConfig,
+    /// Resolver for virtual `sys.*` tables (engine-provided; `None` in
+    /// bare planner tests).
+    virtuals: Option<&'a dyn VirtualTables>,
+    /// Set when any planned table ref resolved to a virtual table; such
+    /// plans hold point-in-time telemetry rows and must not be cached.
+    used_virtual: bool,
     /// Stack of CTE frames; inner queries see outer CTEs.
     cte_frames: Vec<HashMap<String, CteEntry>>,
     /// Scratch: WHERE conjuncts `join_comma_items` could not place; the
@@ -427,9 +450,24 @@ impl<'a> Planner<'a> {
             catalog,
             params,
             config,
+            virtuals: None,
+            used_virtual: false,
             cte_frames: Vec::new(),
             leftover_conjuncts: Vec::new(),
         }
+    }
+
+    /// Attach a virtual-table resolver (the engine) so `sys.*` names plan
+    /// as [`PhysPlan::VirtualScan`]s.
+    #[must_use]
+    pub fn with_virtuals(mut self, virtuals: &'a dyn VirtualTables) -> Self {
+        self.virtuals = Some(virtuals);
+        self
+    }
+
+    /// Whether any table ref in the last planned statement was virtual.
+    pub fn used_virtual(&self) -> bool {
+        self.used_virtual
     }
 
     fn lookup_cte(&self, name: &str) -> Option<CteEntry> {
@@ -596,6 +634,28 @@ impl<'a> Planner<'a> {
                             })
                         }
                     }
+                } else if let Some((schema, rows)) = self
+                    .virtuals
+                    .and_then(|v| v.virtual_table(self.catalog, name))
+                {
+                    self.used_virtual = true;
+                    let labels = schema
+                        .columns
+                        .iter()
+                        .map(|c| ColLabel::new(Some(&qual), &c.name).with_ty(c.ty))
+                        .collect();
+                    let width = schema.len();
+                    Ok(PlannedItem {
+                        plan: PhysPlan::VirtualScan {
+                            name: name.to_ascii_lowercase(),
+                            rows,
+                            width,
+                        },
+                        scope: Scope::new(labels),
+                        // No access paths: virtual tables are never
+                        // index-planned.
+                        access: None,
+                    })
                 } else {
                     let table = self.catalog.get(name)?;
                     let labels = table

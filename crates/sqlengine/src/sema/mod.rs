@@ -604,6 +604,23 @@ impl<'a> Analyzer<'a> {
                             .collect(),
                     ));
                 }
+                // Virtual `sys.*` tables have static schemas the analyzer
+                // resolves without consulting any runtime registry.
+                if let Some(schema) = crate::telemetry::sys::schema(name) {
+                    return Ok(Scope::new(
+                        schema
+                            .columns
+                            .iter()
+                            .map(|c| ColLabel::new(Some(&qual), &c.name).with_ty(c.ty))
+                            .collect(),
+                    ));
+                }
+                if crate::telemetry::sys::is_sys_name(name) {
+                    return Err(EngineError::sema(
+                        format!("unknown system table '{name}'"),
+                        *span,
+                    ));
+                }
                 let table = self.catalog.get(name).map_err(|_| {
                     EngineError::sema(format!("table '{name}' does not exist"), *span)
                 })?;

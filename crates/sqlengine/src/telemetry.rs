@@ -1,0 +1,744 @@
+//! In-database observability: the engine-wide telemetry registry.
+//!
+//! Every layer of the engine reports into one [`Telemetry`] registry —
+//! statement lifecycle timings split by phase (parse / sema / plan / exec),
+//! per-operator rollups from `EXPLAIN ANALYZE` runs, WAL append/fsync/
+//! checkpoint activity, statement timeouts, and per-model BornSQL serving
+//! metrics. The registry is lock-cheap: counters and histograms are plain
+//! relaxed atomics (the same discipline as the executor's `StageCounter`);
+//! only the query-log ring buffer and the per-model map take a mutex, once
+//! per statement, far from any per-row loop.
+//!
+//! Nothing here is exposed through a side API. The registry is queryable
+//! *in SQL* through the virtual `sys.*` tables ([`sys`]), which the planner
+//! materializes as point-in-time row snapshots flowing through the ordinary
+//! scan → filter → project pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::exec::OpStats;
+
+/// A monotonically increasing event counter (relaxed atomics: totals are
+/// exact, ordering between counters is not guaranteed — fine for metrics).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log-scale latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes sub-microsecond
+/// samples), so 28 buckets span 1µs to ~2.2 minutes.
+const HIST_BUCKETS: usize = 28;
+
+/// A fixed-bucket log-scale latency histogram over microseconds.
+///
+/// Recording is two relaxed `fetch_add`s plus a `fetch_max` — no locking,
+/// no allocation — so it is safe on the serving hot path. Percentiles are
+/// estimated from the bucket counts (each sample is attributed the upper
+/// bound of its bucket, an at-most-2× overestimate by construction).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of all recorded samples, µs (for exact means).
+    sum_us: AtomicU64,
+    /// Largest recorded sample, µs.
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    fn bucket_of(us: u64) -> usize {
+        (63 - u64::leading_zeros(us.max(1)) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    pub fn record_micros(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros() as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    pub fn max_micros(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_micros() as f64 / n as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper
+    /// bound of the bucket holding the target sample.
+    pub fn percentile_micros(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Upper bound of bucket i, capped at the observed max.
+                let upper = 1u64 << (i + 1).min(63);
+                return (upper as f64).min(self.max_micros().max(1) as f64);
+            }
+        }
+        self.max_micros() as f64
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_us.store(0, Ordering::Relaxed);
+        self.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Terminal status of one recorded statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    Ok,
+    Error,
+    /// The statement exceeded `EngineConfig::statement_timeout`.
+    Timeout,
+}
+
+impl QueryStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryStatus::Ok => "ok",
+            QueryStatus::Error => "error",
+            QueryStatus::Timeout => "timeout",
+        }
+    }
+}
+
+/// One entry of the `sys.query_log` ring buffer.
+#[derive(Debug, Clone)]
+pub struct QueryLogEntry {
+    /// Monotonic statement id (never reused, survives ring eviction).
+    pub id: u64,
+    /// Statement text, truncated to [`MAX_LOGGED_SQL`] bytes.
+    pub sql: String,
+    pub status: QueryStatus,
+    /// Error text for failed statements.
+    pub error: Option<String>,
+    /// Whether the plan cache served the physical plan.
+    pub cache_hit: bool,
+    /// Whether total duration exceeded `EngineConfig::slow_query_threshold`.
+    pub slow: bool,
+    pub parse_us: u64,
+    pub sema_us: u64,
+    pub plan_us: u64,
+    pub exec_us: u64,
+    pub total_us: u64,
+    /// Rows returned (queries) or affected (DML).
+    pub rows: u64,
+}
+
+/// Statement text stored in the query log is truncated to this many bytes
+/// (on a char boundary) so the ring holds a bounded amount of memory.
+pub const MAX_LOGGED_SQL: usize = 512;
+
+/// Per-operator rollup accumulated from `EXPLAIN ANALYZE` stats trees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpAgg {
+    /// Operator invocations (stats-tree nodes) observed.
+    pub calls: u64,
+    pub rows_out: u64,
+    pub nanos: u64,
+}
+
+/// Serving metrics of one BornSQL model, populated by `bornsql` through
+/// [`Telemetry::record_model_predict`] and friends; queryable as
+/// `sys.born_models`.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    pub deployed: bool,
+    pub predict_calls: u64,
+    /// Rows returned by predict calls.
+    pub rows_returned: u64,
+    /// Incremental-learning batches (`fit` counts as one batch too).
+    pub fit_batches: u64,
+    pub unlearn_calls: u64,
+    pub predict_us: Histogram,
+}
+
+/// Phase timings of one in-flight statement, captured by the engine entry
+/// points. With telemetry disabled the probe never reads the clock, so the
+/// disabled configuration pays a single branch per phase.
+#[derive(Debug)]
+pub struct StatementProbe {
+    started: Option<Instant>,
+    pub cache_hit: bool,
+    pub parse_us: u64,
+    pub sema_us: u64,
+    pub plan_us: u64,
+    pub exec_us: u64,
+}
+
+impl StatementProbe {
+    pub fn start(enabled: bool) -> StatementProbe {
+        StatementProbe {
+            started: enabled.then(Instant::now),
+            cache_hit: false,
+            parse_us: 0,
+            sema_us: 0,
+            plan_us: 0,
+            exec_us: 0,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Start timing one phase (`None` when telemetry is disabled).
+    pub fn phase(&self) -> Option<Instant> {
+        self.started.map(|_| Instant::now())
+    }
+
+    fn lap(t: Option<Instant>, slot: &mut u64) {
+        if let Some(t) = t {
+            *slot += t.elapsed().as_micros() as u64;
+        }
+    }
+
+    pub fn lap_parse(&mut self, t: Option<Instant>) {
+        Self::lap(t, &mut self.parse_us);
+    }
+
+    pub fn lap_sema(&mut self, t: Option<Instant>) {
+        Self::lap(t, &mut self.sema_us);
+    }
+
+    pub fn lap_plan(&mut self, t: Option<Instant>) {
+        Self::lap(t, &mut self.plan_us);
+    }
+
+    pub fn lap_exec(&mut self, t: Option<Instant>) {
+        Self::lap(t, &mut self.exec_us);
+    }
+
+    fn total_us(&self) -> u64 {
+        self.started.map_or(0, |t| t.elapsed().as_micros() as u64)
+    }
+}
+
+/// The engine-wide telemetry registry. One per [`Database`]; shared with the
+/// WAL and with `bornsql` models behind `Arc`.
+///
+/// [`Database`]: crate::Database
+pub struct Telemetry {
+    enabled: bool,
+    slow_threshold_us: u64,
+    log_capacity: usize,
+    next_statement_id: AtomicU64,
+
+    // -- statement lifecycle ------------------------------------------------
+    pub statements: Counter,
+    pub statement_errors: Counter,
+    pub statement_timeouts: Counter,
+    pub rows_returned: Counter,
+    pub parse_us: Histogram,
+    pub sema_us: Histogram,
+    pub plan_us: Histogram,
+    pub exec_us: Histogram,
+    pub statement_us: Histogram,
+
+    // -- write-ahead log ----------------------------------------------------
+    pub wal_appends: Counter,
+    pub wal_append_bytes: Counter,
+    pub wal_fsyncs: Counter,
+    pub wal_fsync_us: Histogram,
+    pub wal_checkpoints: Counter,
+    pub wal_checkpoint_bytes: Counter,
+
+    /// Ring buffer of the last `log_capacity` statements.
+    log: Mutex<std::collections::VecDeque<QueryLogEntry>>,
+    /// Per-operator rollups keyed by operator kind (`Scan`, `HashJoin`, …).
+    ops: Mutex<BTreeMap<String, OpAgg>>,
+    /// Per-model serving metrics keyed by model name.
+    models: Mutex<BTreeMap<String, ModelStats>>,
+}
+
+impl Telemetry {
+    pub fn new(enabled: bool, slow_query_threshold: Duration, log_capacity: usize) -> Telemetry {
+        Telemetry {
+            enabled,
+            slow_threshold_us: slow_query_threshold.as_micros() as u64,
+            log_capacity: log_capacity.max(1),
+            next_statement_id: AtomicU64::new(1),
+            statements: Counter::default(),
+            statement_errors: Counter::default(),
+            statement_timeouts: Counter::default(),
+            rows_returned: Counter::default(),
+            parse_us: Histogram::default(),
+            sema_us: Histogram::default(),
+            plan_us: Histogram::default(),
+            exec_us: Histogram::default(),
+            statement_us: Histogram::default(),
+            wal_appends: Counter::default(),
+            wal_append_bytes: Counter::default(),
+            wal_fsyncs: Counter::default(),
+            wal_fsync_us: Histogram::default(),
+            wal_checkpoints: Counter::default(),
+            wal_checkpoint_bytes: Counter::default(),
+            log: Mutex::new(std::collections::VecDeque::new()),
+            ops: Mutex::new(BTreeMap::new()),
+            models: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: every recording call is a cheap no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry::new(false, Duration::ZERO, 1)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Zero every counter and histogram and clear the query log and rollups
+    /// (model registrations survive, their numbers reset).
+    pub fn reset(&self) {
+        for c in [
+            &self.statements,
+            &self.statement_errors,
+            &self.statement_timeouts,
+            &self.rows_returned,
+            &self.wal_appends,
+            &self.wal_append_bytes,
+            &self.wal_fsyncs,
+            &self.wal_checkpoints,
+            &self.wal_checkpoint_bytes,
+        ] {
+            c.reset();
+        }
+        for h in [
+            &self.parse_us,
+            &self.sema_us,
+            &self.plan_us,
+            &self.exec_us,
+            &self.statement_us,
+            &self.wal_fsync_us,
+        ] {
+            h.reset();
+        }
+        self.log.lock().clear();
+        self.ops.lock().clear();
+        let mut models = self.models.lock();
+        for stats in models.values_mut() {
+            let deployed = stats.deployed;
+            *stats = ModelStats::default();
+            stats.deployed = deployed;
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Statement lifecycle
+    // ----------------------------------------------------------------------
+
+    /// Record one finished statement: counters, phase histograms, and a
+    /// query-log entry. No-op when the registry is disabled.
+    pub fn record_statement(
+        &self,
+        probe: &StatementProbe,
+        sql: &str,
+        status: QueryStatus,
+        error: Option<String>,
+        rows: u64,
+    ) {
+        if !self.enabled || !probe.enabled() {
+            return;
+        }
+        let total_us = probe.total_us();
+        self.statements.incr();
+        match status {
+            QueryStatus::Ok => self.rows_returned.add(rows),
+            QueryStatus::Error => self.statement_errors.incr(),
+            QueryStatus::Timeout => {
+                self.statement_errors.incr();
+                self.statement_timeouts.incr();
+            }
+        }
+        self.parse_us.record_micros(probe.parse_us);
+        self.sema_us.record_micros(probe.sema_us);
+        if !probe.cache_hit {
+            self.plan_us.record_micros(probe.plan_us);
+        }
+        self.exec_us.record_micros(probe.exec_us);
+        self.statement_us.record_micros(total_us);
+
+        let entry = QueryLogEntry {
+            id: self.next_statement_id.fetch_add(1, Ordering::Relaxed),
+            sql: truncate_sql(sql),
+            status,
+            error,
+            cache_hit: probe.cache_hit,
+            slow: self.slow_threshold_us > 0 && total_us >= self.slow_threshold_us,
+            parse_us: probe.parse_us,
+            sema_us: probe.sema_us,
+            plan_us: probe.plan_us,
+            exec_us: probe.exec_us,
+            total_us,
+            rows,
+        };
+        let mut log = self.log.lock();
+        if log.len() >= self.log_capacity {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
+
+    /// Snapshot of the query-log ring, oldest first.
+    pub fn query_log(&self) -> Vec<QueryLogEntry> {
+        self.log.lock().iter().cloned().collect()
+    }
+
+    // ----------------------------------------------------------------------
+    // Per-operator rollups
+    // ----------------------------------------------------------------------
+
+    /// Fold an `EXPLAIN ANALYZE` stats tree into the per-operator rollups,
+    /// keyed by operator kind (the label up to its first detail bracket).
+    pub fn record_op_stats(&self, stats: &OpStats) {
+        if !self.enabled {
+            return;
+        }
+        let mut ops = self.ops.lock();
+        fold_op_stats(&mut ops, stats);
+    }
+
+    /// Snapshot of the per-operator rollups.
+    pub fn op_rollups(&self) -> Vec<(String, OpAgg)> {
+        self.ops
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    // ----------------------------------------------------------------------
+    // WAL
+    // ----------------------------------------------------------------------
+
+    pub fn record_wal_append(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.wal_appends.incr();
+        self.wal_append_bytes.add(bytes);
+    }
+
+    pub fn record_wal_fsync(&self, took: Duration) {
+        if !self.enabled {
+            return;
+        }
+        self.wal_fsyncs.incr();
+        self.wal_fsync_us.record(took);
+    }
+
+    pub fn record_wal_checkpoint(&self, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.wal_checkpoints.incr();
+        self.wal_checkpoint_bytes.add(bytes);
+    }
+
+    // ----------------------------------------------------------------------
+    // BornSQL model serving metrics
+    // ----------------------------------------------------------------------
+
+    /// Ensure a model row exists in `sys.born_models`.
+    pub fn register_model(&self, model: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.models.lock().entry(model.to_string()).or_default();
+    }
+
+    pub fn record_model_predict(&self, model: &str, took: Duration, rows: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut models = self.models.lock();
+        let stats = models.entry(model.to_string()).or_default();
+        stats.predict_calls += 1;
+        stats.rows_returned += rows;
+        stats.predict_us.record(took);
+    }
+
+    pub fn record_model_fit_batch(&self, model: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.models
+            .lock()
+            .entry(model.to_string())
+            .or_default()
+            .fit_batches += 1;
+    }
+
+    pub fn record_model_unlearn(&self, model: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.models
+            .lock()
+            .entry(model.to_string())
+            .or_default()
+            .unlearn_calls += 1;
+    }
+
+    pub fn set_model_deployed(&self, model: &str, deployed: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.models
+            .lock()
+            .entry(model.to_string())
+            .or_default()
+            .deployed = deployed;
+    }
+
+    /// Run `f` over the per-model stats map (used by `sys.born_models`
+    /// materialization).
+    pub fn with_models<R>(&self, f: impl FnOnce(&BTreeMap<String, ModelStats>) -> R) -> R {
+        f(&self.models.lock())
+    }
+}
+
+fn truncate_sql(sql: &str) -> String {
+    if sql.len() <= MAX_LOGGED_SQL {
+        return sql.to_string();
+    }
+    let mut end = MAX_LOGGED_SQL;
+    while !sql.is_char_boundary(end) {
+        end -= 1;
+    }
+    sql[..end].to_string()
+}
+
+fn fold_op_stats(ops: &mut BTreeMap<String, OpAgg>, stats: &OpStats) {
+    let kind = op_kind(&stats.label);
+    let agg = ops.entry(kind.to_string()).or_default();
+    agg.calls += 1;
+    agg.rows_out += stats.rows_out as u64;
+    agg.nanos += stats.elapsed.as_nanos() as u64;
+    for child in &stats.children {
+        fold_op_stats(ops, child);
+    }
+}
+
+/// Operator kind of an `EXPLAIN` label: the leading word (`"HashJoin
+/// [Inner, 1 keys]"` → `"HashJoin"`).
+fn op_kind(label: &str) -> &str {
+    label.split([' ', '[']).next().unwrap_or(label)
+}
+
+/// The virtual `sys.*` table namespace: names, schemas, and name tests.
+/// Schemas are static (only the *rows* are live snapshots), so the semantic
+/// analyzer resolves them without touching a registry.
+pub mod sys {
+    use crate::catalog::{Column, Schema};
+    use crate::value::DataType;
+
+    pub const METRICS: &str = "sys.metrics";
+    pub const QUERY_LOG: &str = "sys.query_log";
+    pub const TABLES: &str = "sys.tables";
+    pub const BORN_MODELS: &str = "sys.born_models";
+
+    /// All virtual table names (lowercase canonical form).
+    pub const ALL: [&str; 4] = [METRICS, QUERY_LOG, TABLES, BORN_MODELS];
+
+    /// Whether `name` lies in the reserved `sys.` namespace (it may still
+    /// fail to resolve if it matches no known virtual table).
+    pub fn is_sys_name(name: &str) -> bool {
+        name.len() > 4 && name.as_bytes()[..4].eq_ignore_ascii_case(b"sys.")
+    }
+
+    /// Canonical (lowercase) name if `name` is a known virtual table.
+    pub fn canonical(name: &str) -> Option<&'static str> {
+        ALL.iter().copied().find(|t| t.eq_ignore_ascii_case(name))
+    }
+
+    /// Cheap textual test for `sys.` references, used to keep `sys.*`
+    /// statements out of the plan cache (their rows are live snapshots). A
+    /// false positive — e.g. the literal `'sys.'` inside a string — only
+    /// bypasses the cache, never changes results.
+    pub fn mentions_sys(sql: &str) -> bool {
+        sql.as_bytes()
+            .windows(4)
+            .any(|w| w.eq_ignore_ascii_case(b"sys."))
+    }
+
+    fn col(name: &str, ty: DataType) -> Column {
+        Column {
+            name: name.to_string(),
+            ty,
+        }
+    }
+
+    /// Static schema of a virtual table (`None` for unknown names).
+    pub fn schema(name: &str) -> Option<Schema> {
+        use DataType::{Integer, Real, Text};
+        let columns = match canonical(name)? {
+            METRICS => vec![col("name", Text), col("kind", Text), col("value", Real)],
+            QUERY_LOG => vec![
+                col("id", Integer),
+                col("sql", Text),
+                col("status", Text),
+                col("error", Text),
+                col("cache_hit", Integer),
+                col("slow", Integer),
+                col("parse_us", Integer),
+                col("sema_us", Integer),
+                col("plan_us", Integer),
+                col("exec_us", Integer),
+                col("duration_ms", Real),
+                col("rows", Integer),
+            ],
+            TABLES => vec![
+                col("name", Text),
+                col("rows", Integer),
+                col("columns", Integer),
+                col("primary_key", Text),
+                col("secondary_indexes", Integer),
+            ],
+            BORN_MODELS => vec![
+                col("model", Text),
+                col("deployed", Integer),
+                col("predict_calls", Integer),
+                col("predict_mean_us", Real),
+                col("predict_p50_us", Real),
+                col("predict_p99_us", Real),
+                col("rows_returned", Integer),
+                col("fit_batches", Integer),
+                col("unlearn_calls", Integer),
+            ],
+            _ => unreachable!("canonical returns only known names"),
+        };
+        Some(Schema::new(columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile_micros(0.5), 0.0);
+        for us in [1u64, 2, 3, 100, 1000, 1000, 1000, 8000] {
+            h.record_micros(us);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_micros(), 8000);
+        let p50 = h.percentile_micros(0.5);
+        // The 4th sample of 8 lands in the 100µs region: upper bound 128.
+        assert!((64.0..=256.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile_micros(0.99);
+        assert!(p99 >= 1000.0, "p99 = {p99}");
+        // Zero-duration samples land in the first bucket, not a panic.
+        h.record_micros(0);
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn sys_names() {
+        assert!(sys::is_sys_name("sys.metrics"));
+        assert!(sys::is_sys_name("SYS.QUERY_LOG"));
+        assert!(!sys::is_sys_name("system"));
+        assert!(!sys::is_sys_name("mytable"));
+        assert_eq!(sys::canonical("SYS.Tables"), Some(sys::TABLES));
+        assert_eq!(sys::canonical("sys.nope"), None);
+        assert!(sys::mentions_sys("SELECT * FROM Sys.Metrics"));
+        assert!(!sys::mentions_sys("SELECT * FROM weights"));
+        for name in sys::ALL {
+            assert!(sys::schema(name).is_some());
+        }
+    }
+
+    #[test]
+    fn query_log_ring_evicts_oldest() {
+        let t = Telemetry::new(true, Duration::from_millis(100), 2);
+        for i in 0..3 {
+            let probe = StatementProbe::start(true);
+            t.record_statement(&probe, &format!("SELECT {i}"), QueryStatus::Ok, None, 1);
+        }
+        let log = t.query_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].sql, "SELECT 1");
+        assert_eq!(log[1].sql, "SELECT 2");
+        assert_eq!(log[1].id, 3);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::disabled();
+        let probe = StatementProbe::start(t.enabled());
+        assert!(!probe.enabled());
+        t.record_statement(&probe, "SELECT 1", QueryStatus::Ok, None, 1);
+        t.record_wal_append(10);
+        t.record_model_predict("m", Duration::from_micros(5), 1);
+        assert_eq!(t.statements.get(), 0);
+        assert_eq!(t.wal_appends.get(), 0);
+        assert!(t.query_log().is_empty());
+        assert!(t.with_models(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn op_kind_strips_details() {
+        assert_eq!(op_kind("Scan [10 rows × 2 cols]"), "Scan");
+        assert_eq!(op_kind("HashJoin [Inner, 1 keys]"), "HashJoin");
+        assert_eq!(
+            op_kind("IndexScan weights_j (probed) [of 6000 rows]"),
+            "IndexScan"
+        );
+        assert_eq!(op_kind("Distinct"), "Distinct");
+    }
+}

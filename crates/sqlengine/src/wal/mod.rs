@@ -124,6 +124,8 @@ pub struct Wal {
     /// automatic trigger).
     checkpoint_after: u64,
     inner: Mutex<WalInner>,
+    /// Engine-wide registry for append / fsync / checkpoint metrics.
+    telemetry: Arc<crate::telemetry::Telemetry>,
 }
 
 impl Wal {
@@ -133,6 +135,7 @@ impl Wal {
         checkpoint_after: u64,
         next_seq: u64,
         wal_len: u64,
+        telemetry: Arc<crate::telemetry::Telemetry>,
     ) -> Wal {
         Wal {
             io,
@@ -144,6 +147,7 @@ impl Wal {
                 pending: None,
                 wedged: false,
             }),
+            telemetry,
         }
     }
 
@@ -226,6 +230,7 @@ impl Wal {
             SyncPolicy::Never => false,
         };
         if want_sync {
+            let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
             if let Err(e) = self.io.sync(WAL_FILE) {
                 // The frame is in the file but not acknowledged durable;
                 // remove it so bookkeeping and file stay in lockstep.
@@ -234,9 +239,13 @@ impl Wal {
                 }
                 return Err(e);
             }
+            if let Some(t) = sync_started {
+                self.telemetry.record_wal_fsync(t.elapsed());
+            }
         }
         inner.next_seq += 1;
         inner.wal_len += frame.len() as u64;
+        self.telemetry.record_wal_append(frame.len() as u64);
         Ok(())
     }
 
@@ -269,6 +278,7 @@ impl Wal {
             ));
         }
         inner.wal_len = 0;
+        self.telemetry.record_wal_checkpoint(json.len() as u64);
         Ok(())
     }
 }
@@ -540,6 +550,7 @@ mod tests {
             0,
             0,
             0,
+            Arc::new(crate::telemetry::Telemetry::disabled()),
         );
         let catalog = Catalog::new();
         wal.log(&catalog, vec![create_t()]).unwrap();
