@@ -1,6 +1,7 @@
 //! Ablation benches for the design choices called out in DESIGN.md:
 //! hash vs nested-loop joins, pipelined vs materialized CTEs, indexed
-//! upsert throughput, and sparse vs dense feature handling.
+//! upsert throughput, sparse vs dense feature handling, and columnar
+//! (vectorized) vs row-at-a-time execution.
 
 use baselines::densify;
 use bench::scopus_exp::{scopus_model_options, setup, train_spec};
@@ -120,11 +121,49 @@ fn sparse_vs_dense(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation 7: columnar/vectorized vs row-at-a-time execution of the same
+/// sparse-corpus group-by — `EngineConfig::vectorized` toggled, identical
+/// data and query. The corpus imitates the BornSQL long table: a
+/// low-cardinality token column (dictionary-encodable), a tiny class
+/// column, and a float weight.
+fn columnar_vectorized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_columnar");
+    group.sample_size(10);
+    let mut summary = bench::report::Summary::new("columnar_vectorized");
+    let query = "SELECT j, COUNT(*) AS n, SUM(w) AS sw FROM corpus \
+                 WHERE k = 1 AND w > 0.5 GROUP BY j ORDER BY j";
+    for (name, vectorized) in [("vectorized", true), ("row", false)] {
+        let db = Database::with_config(EngineConfig::default().with_vectorized(vectorized));
+        db.execute("CREATE TABLE corpus (j TEXT, k INTEGER, w REAL)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..200_000i64)
+            .map(|i| {
+                vec![
+                    Value::text(format!("tok{}", i % 200)),
+                    Value::Int(i % 2),
+                    Value::Float((i % 97) as f64 / 32.0),
+                ]
+            })
+            .collect();
+        db.insert_rows("corpus", rows).unwrap();
+        // Warm pass: builds the lazy chunk caches (vectorized mode) and the
+        // plan cache, so the measured loop sees steady state in both modes.
+        db.query(query).unwrap();
+        group.bench_function(name, |b| b.iter(|| db.query(query).unwrap()));
+        summary.time_us(&format!("{name}_us"), 7, || {
+            db.query(query).unwrap();
+        });
+    }
+    group.finish();
+    summary.write();
+}
+
 criterion_group!(
     benches,
     join_strategies,
     parallelism_sweep,
     upsert_throughput,
-    sparse_vs_dense
+    sparse_vs_dense,
+    columnar_vectorized
 );
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::column::ChunkSlot;
 use crate::error::{EngineError, Result};
 use crate::value::{DataType, Row, Value};
 
@@ -73,7 +74,9 @@ pub struct SecondaryIndex {
     pub map: Arc<HashMap<Vec<Value>, Vec<usize>>>,
 }
 
-/// A table: schema, rows, optional primary-key index, secondary indexes.
+/// A table: schema, rows, optional primary-key index, secondary indexes,
+/// and the lazily built columnar image of `rows` (derived state — never
+/// snapshotted or logged; see [`crate::column`]).
 #[derive(Debug, Clone)]
 pub struct Table {
     pub name: String,
@@ -81,6 +84,11 @@ pub struct Table {
     pub rows: Arc<Vec<Row>>,
     pub primary: Option<UniqueIndex>,
     pub secondary: Vec<SecondaryIndex>,
+    /// Columnar chunk cache for the *current* `rows`. Invariant: every
+    /// mutation of `rows` installs a fresh slot (appends carry built chunks
+    /// forward; everything else resets), so a slot shared with a plan
+    /// snapshot always describes the rows Arc captured alongside it.
+    pub chunks: ChunkSlot,
 }
 
 impl Table {
@@ -109,11 +117,22 @@ impl Table {
             rows: Arc::new(Vec::new()),
             primary,
             secondary: Vec::new(),
+            chunks: ChunkSlot::empty(),
         })
     }
 
     pub fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Observed columnar state as `(chunk_count, dict_columns)` — both zero
+    /// until a vectorized query first builds the chunks (chunks are lazy,
+    /// and this reports without forcing a build).
+    pub fn chunk_stats(&self) -> (usize, usize) {
+        match self.chunks.peek() {
+            Some(ct) => (ct.chunk_count(), ct.dict_columns()),
+            None => (0, 0),
+        }
     }
 
     /// Coerce a row to the declared column types (lenient, SQLite-style).
@@ -163,6 +182,7 @@ impl Table {
             Arc::make_mut(&mut primary.map).insert(key, self.rows.len());
         }
         let idx = self.rows.len();
+        self.chunks = self.chunks.appended(&row);
         Arc::make_mut(&mut self.rows).push(row.clone());
         for index in &mut self.secondary {
             let key: Vec<Value> = index.key_columns.iter().map(|&i| row[i].clone()).collect();
@@ -211,6 +231,7 @@ impl Table {
             }
             map.entry(new_key).or_default().push(idx);
         }
+        self.chunks = ChunkSlot::empty();
         Arc::make_mut(&mut self.rows)[idx] = row;
         Ok(())
     }
@@ -257,6 +278,7 @@ impl Table {
                 }
             }
         }
+        self.chunks = ChunkSlot::empty();
         let rows = Arc::make_mut(&mut self.rows);
         let mut keep = vec![true; rows.len()];
         for &i in &idxs {

@@ -65,6 +65,12 @@ pub struct EngineConfig {
     pub slow_query_threshold: Duration,
     /// Number of statements retained by the `sys.query_log` ring buffer.
     pub query_log_capacity: usize,
+    /// Attach columnar chunk caches to base-table scans so eligible
+    /// Filter/Project/Aggregate chains run on the vectorized kernels.
+    /// Disable to force the row-at-a-time path everywhere — the executor
+    /// produces identical results either way, which is what the
+    /// differential test suites assert.
+    pub vectorized: bool,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +87,7 @@ impl Default for EngineConfig {
             telemetry: true,
             slow_query_threshold: Duration::from_millis(100),
             query_log_capacity: 256,
+            vectorized: true,
         }
     }
 }
@@ -169,11 +176,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style toggle of columnar/vectorized execution.
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
     fn planner(&self) -> PlannerConfig {
         PlannerConfig {
             join_algo: self.join_algo,
             materialize_ctes: self.materialize_ctes,
             use_indexes: self.use_indexes,
+            vectorized: self.vectorized,
         }
     }
 }
@@ -472,11 +486,24 @@ impl Database {
 
     /// Execute a cached (or just-cached) planned query.
     fn execute_planned(&self, planned: &PlannedQuery) -> Result<StatementResult> {
+        self.record_plan_modes(&planned.plan);
         let rows = self.exec_ctx().execute(&planned.plan)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
         }))
+    }
+
+    /// Count how many mode-capable operators of an executed plan take the
+    /// vectorized vs the row path (surfaced as `exec.vectorized_ops` /
+    /// `exec.row_ops` in `sys.metrics`).
+    fn record_plan_modes(&self, plan: &crate::plan::PhysPlan) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let (vectorized, row) = crate::exec::count_modes(plan);
+        self.telemetry.vectorized_ops.add(vectorized);
+        self.telemetry.row_ops.add(row);
     }
 
     /// The execution context queries run under: the configured parallelism
@@ -721,6 +748,7 @@ impl Database {
                 Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
             planner.plan_query(&query)?
         };
+        self.record_plan_modes(&planned.plan);
         let (rows, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
         self.telemetry.record_op_stats(&stats);
         Ok((
@@ -1454,9 +1482,19 @@ fn histogram_metrics(rows: &mut Vec<Row>, prefix: &str, h: &crate::telemetry::Hi
 }
 
 impl Database {
-    fn sys_metrics_rows(&self) -> Vec<Row> {
+    fn sys_metrics_rows(&self, catalog: &Catalog) -> Vec<Row> {
         let t = &self.telemetry;
         let (hits, misses, evictions) = self.plan_cache_metrics();
+        // Columnar gauges reflect *built* chunk caches only: tables never
+        // scanned by a vectorized query report zero (chunks are lazy).
+        let (chunks, dict_cols) = catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|name| catalog.get(&name).ok())
+            .fold((0usize, 0usize), |(c, d), table| {
+                let (cc, dc) = table.chunk_stats();
+                (c + cc, d + dc)
+            });
         let mut rows = vec![
             metric("statements.total", "counter", t.statements.get() as f64),
             metric(
@@ -1497,6 +1535,14 @@ impl Database {
                 t.wal_checkpoint_bytes.get() as f64,
             ),
             metric("wal.bytes", "gauge", self.wal_bytes().unwrap_or(0) as f64),
+            metric("columnar.chunks", "gauge", chunks as f64),
+            metric("columnar.dict_columns", "gauge", dict_cols as f64),
+            metric(
+                "exec.vectorized_ops",
+                "counter",
+                t.vectorized_ops.get() as f64,
+            ),
+            metric("exec.row_ops", "counter", t.row_ops.get() as f64),
         ];
         histogram_metrics(&mut rows, "phase.parse", &t.parse_us);
         histogram_metrics(&mut rows, "phase.sema", &t.sema_us);
@@ -1565,12 +1611,15 @@ impl Database {
                             .join(",")
                     })
                     .unwrap_or_default();
+                let (chunk_count, dict_columns) = t.chunk_stats();
                 Some(vec![
                     Value::text(&name),
                     Value::Int(t.row_count() as i64),
                     Value::Int(t.schema.len() as i64),
                     Value::Str(pk.into()),
                     Value::Int(t.secondary.len() as i64),
+                    Value::Int(chunk_count as i64),
+                    Value::Int(dict_columns as i64),
                 ])
             })
             .collect()
@@ -1603,7 +1652,7 @@ impl VirtualTables for Database {
         let canonical = sys::canonical(name)?;
         let schema = sys::schema(canonical).expect("known sys tables have schemas");
         let rows = match canonical {
-            sys::METRICS => self.sys_metrics_rows(),
+            sys::METRICS => self.sys_metrics_rows(catalog),
             sys::QUERY_LOG => self.sys_query_log_rows(),
             sys::TABLES => Self::sys_tables_rows(catalog),
             sys::BORN_MODELS => self.sys_born_models_rows(),

@@ -22,9 +22,11 @@ use crate::value::{Row, Value};
 use super::context::ChunkJob;
 use super::{ExecContext, NodeOut};
 
-/// Running state for one aggregate over one group.
+/// Running state for one aggregate over one group. Shared with the
+/// vectorized aggregate in [`super::vector`], which drives the same state
+/// machine column-at-a-time.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(super) enum AggState {
     Count(i64),
     SumInt(i64, bool), // (sum, saw_any)
     SumFloat(f64, bool),
@@ -34,7 +36,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(spec: &AggSpec) -> AggState {
+    pub(super) fn new(spec: &AggSpec) -> AggState {
         match spec.func {
             AggregateFunc::Count => AggState::Count(0),
             AggregateFunc::Sum => AggState::SumInt(0, false),
@@ -44,7 +46,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Value) -> Result<()> {
+    pub(super) fn update(&mut self, v: Value) -> Result<()> {
         if v.is_null() {
             return Ok(()); // aggregates skip NULLs (COUNT(*) handled outside)
         }
@@ -90,7 +92,7 @@ impl AggState {
     /// Fold another partial state for the same aggregate into `self`.
     /// `other` must come from a later chunk, so float partial sums are
     /// combined left-to-right in chunk order.
-    fn merge(&mut self, other: AggState) {
+    pub(super) fn merge(&mut self, other: AggState) {
         match (&mut *self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::SumInt(a, sa), AggState::SumInt(b, sb)) => {
@@ -128,7 +130,7 @@ impl AggState {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(super) fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
             AggState::SumInt(acc, seen) => {
@@ -164,6 +166,11 @@ pub(crate) fn aggregate(
     aggs: &[AggSpec],
     ctx: &ExecContext,
 ) -> Result<NodeOut> {
+    // Fully eligible chains aggregate straight over the columnar chunks
+    // without materializing the filtered input.
+    if let Some(out) = super::vector::vectorized_aggregate(input, keys, aggs, ctx)? {
+        return Ok(out);
+    }
     let mut children = Vec::new();
     let mut rows_in = 0usize;
     let rows = super::run_input(input, ctx, &mut children, &mut rows_in)?;
@@ -251,7 +258,7 @@ fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result
     Ok(out)
 }
 
-fn default_row(aggs: &[AggSpec]) -> Row {
+pub(super) fn default_row(aggs: &[AggSpec]) -> Row {
     aggs.iter().map(|a| AggState::new(a).finish()).collect()
 }
 

@@ -28,8 +28,10 @@ mod join;
 mod scan;
 mod setops;
 mod sort;
+mod vector;
 
 pub use context::{ExecContext, OpStats, WorkerPool};
+pub(crate) use vector::{count_modes, mode_suffix};
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -21,8 +21,10 @@ use super::context::{ChunkJob, StageCounter};
 use super::{ExecContext, NodeOut, OpStats};
 
 /// One owned stage of a fused pipeline (owned so morsel jobs are `'static`;
-/// the clone happens once per operator per query, not per row).
-enum StageSpec {
+/// the clone happens once per operator per query, not per row). Shared with
+/// the vectorized kernels in [`super::vector`], which run the same stages
+/// over columnar chunks.
+pub(super) enum StageSpec {
     Filter(PhysExpr),
     Project(Vec<PhysExpr>),
 }
@@ -56,7 +58,7 @@ impl Morsel<'_> {
 }
 
 impl StageSpec {
-    fn of(node: &PhysPlan) -> StageSpec {
+    pub(super) fn of(node: &PhysPlan) -> StageSpec {
         match node {
             PhysPlan::Filter { predicate, .. } => StageSpec::Filter(predicate.clone()),
             PhysPlan::Project { exprs, .. } => StageSpec::Project(exprs.clone()),
@@ -100,6 +102,15 @@ impl StageSpec {
                 Ok(Morsel::Owned(filter_owned(rows, pred)?))
             }
             (StageSpec::Project(exprs), Morsel::Borrowed(refs)) => {
+                // Column-only projections skip expression dispatch and clone
+                // exactly the referenced columns.
+                if let Some(cols) = column_only(exprs) {
+                    let out = refs
+                        .into_iter()
+                        .map(|row| cols.iter().map(|&i| row[i].clone()).collect())
+                        .collect();
+                    return Ok(Morsel::Owned(out));
+                }
                 let mut out = Vec::with_capacity(refs.len());
                 let mut scratch: Vec<Value> = Vec::with_capacity(exprs.len());
                 for row in refs {
@@ -142,7 +153,7 @@ pub(crate) fn index_scan(
 
 /// Walk a chain of `Filter`/`Project` nodes down to its source. Returns the
 /// stage nodes innermost-first plus the source plan.
-fn collect_chain(mut plan: &PhysPlan) -> (Vec<&PhysPlan>, &PhysPlan) {
+pub(super) fn collect_chain(mut plan: &PhysPlan) -> (Vec<&PhysPlan>, &PhysPlan) {
     let mut nodes = Vec::new();
     while let PhysPlan::Filter { input, .. } | PhysPlan::Project { input, .. } = plan {
         nodes.push(plan);
@@ -153,22 +164,45 @@ fn collect_chain(mut plan: &PhysPlan) -> (Vec<&PhysPlan>, &PhysPlan) {
 }
 
 /// Execute the Filter/Project chain rooted at `plan`.
+///
+/// When the source scan carries a columnar chunk slot, the eligible
+/// innermost stages run vectorized first ([`super::vector::prefix_run`]);
+/// any remaining stages continue on the row machinery below, consuming the
+/// prefix output. Stage counters are shared across both halves, so the
+/// `EXPLAIN ANALYZE` stats are identical in shape to the pure row path.
 pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
     let (nodes, source) = collect_chain(plan);
     let n_stages = nodes.len();
 
-    let mut children = Vec::new();
-    let mut source_count = 0usize;
-    let source_rows = super::run_input(source, ctx, &mut children, &mut source_count)?;
-
     let counters: Arc<Vec<StageCounter>> =
         Arc::new((0..n_stages).map(|_| StageCounter::default()).collect());
     let timed = ctx.stats_enabled();
-
     let deadline = ctx.deadline();
-    let parallel = ctx.should_parallelize(source_rows.len());
-    let rows = if parallel {
-        let specs: Arc<Vec<StageSpec>> = Arc::new(nodes.iter().map(|n| StageSpec::of(n)).collect());
+
+    let mut children = Vec::new();
+    let mut source_count = 0usize;
+    let (source_rows, first_row_stage, prefix_parallel) =
+        match super::vector::prefix_run(&nodes, source, &counters, ctx)? {
+            Some(out) => {
+                if timed {
+                    children.push(OpStats::leaf(op_label(source), out.source_rows));
+                }
+                (Arc::new(out.rows), out.stages_done, out.parallel)
+            }
+            None => {
+                let rows = super::run_input(source, ctx, &mut children, &mut source_count)?;
+                (rows, 0, false)
+            }
+        };
+
+    let remaining = &nodes[first_row_stage..];
+    let mut parallel = prefix_parallel;
+    let rows = if remaining.is_empty() {
+        super::into_owned(source_rows)
+    } else if ctx.should_parallelize(source_rows.len()) {
+        parallel = true;
+        let specs: Arc<Vec<StageSpec>> =
+            Arc::new(remaining.iter().map(|n| StageSpec::of(n)).collect());
         let jobs: Vec<ChunkJob<Result<Vec<Row>>>> = ctx
             .morsels(source_rows.len())
             .into_iter()
@@ -177,7 +211,13 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
                 let counters = Arc::clone(&counters);
                 let source = Arc::clone(&source_rows);
                 let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
-                    run_morsel(&source[range], &specs, &counters, timed, deadline)
+                    run_morsel(
+                        &source[range],
+                        &specs,
+                        &counters[first_row_stage..],
+                        timed,
+                        deadline,
+                    )
                 });
                 job
             })
@@ -192,17 +232,23 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
         // between stages exactly like the original interpreter. When the
         // source is an intermediate result (sole owner), unwrap the Arc so
         // the first stage moves rows too instead of cloning survivors.
-        let specs: Vec<StageSpec> = nodes.iter().map(|n| StageSpec::of(n)).collect();
+        let specs: Vec<StageSpec> = remaining.iter().map(|n| StageSpec::of(n)).collect();
         if Arc::strong_count(&source_rows) == 1 {
             run_chain_owned(
                 super::into_owned(source_rows),
                 &specs,
-                &counters,
+                &counters[first_row_stage..],
                 timed,
                 deadline,
             )?
         } else {
-            run_morsel(&source_rows, &specs, &counters, timed, deadline)?
+            run_morsel(
+                &source_rows,
+                &specs,
+                &counters[first_row_stage..],
+                timed,
+                deadline,
+            )?
         }
     };
 
@@ -327,29 +373,44 @@ pub(crate) fn project_into(rows: &[Row], exprs: &[PhysExpr], out: &mut Vec<Row>)
     Ok(())
 }
 
-/// Project owned rows. Pure-column projections over distinct columns move
-/// the values out of the input rows instead of cloning them — this is the
-/// common shape of the planner's hidden-sort-column strip and of `SELECT`
-/// lists that only reorder columns.
+/// Project owned rows without cloning pass-through columns: non-column
+/// expressions are evaluated first against the intact row, then each
+/// bare-column output slot takes its value by *move* on that column's last
+/// reference (earlier duplicate references clone). `SELECT` lists that only
+/// reorder or narrow columns — including the planner's hidden-sort-column
+/// strip — clone no values at all.
 pub(crate) fn project_owned(rows: Vec<Row>, exprs: &[PhysExpr]) -> Result<Vec<Row>> {
-    if let Some(cols) = column_only(exprs) {
-        let distinct = {
-            let mut seen = cols.clone();
-            seen.sort_unstable();
-            seen.windows(2).all(|w| w[0] != w[1])
-        };
-        if distinct {
-            return Ok(rows
-                .into_iter()
-                .map(|mut row| {
-                    cols.iter()
-                        .map(|&i| std::mem::replace(&mut row[i], Value::Null))
-                        .collect()
-                })
-                .collect());
+    let col_slots: Vec<Option<usize>> = exprs
+        .iter()
+        .map(|e| match e {
+            PhysExpr::Column(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    let movable: Vec<bool> = col_slots
+        .iter()
+        .enumerate()
+        .map(|(j, c)| c.is_some() && !col_slots[j + 1..].contains(c))
+        .collect();
+    let mut out = Vec::with_capacity(rows.len());
+    let mut scratch: Vec<Value> = Vec::with_capacity(exprs.len());
+    for mut row in rows {
+        for (j, e) in exprs.iter().enumerate() {
+            scratch.push(match col_slots[j] {
+                Some(_) => Value::Null, // filled by the move pass below
+                None => e.eval(&row)?,
+            });
         }
+        for (j, c) in col_slots.iter().enumerate() {
+            if let Some(i) = c {
+                scratch[j] = if movable[j] {
+                    std::mem::replace(&mut row[*i], Value::Null)
+                } else {
+                    row[*i].clone()
+                };
+            }
+        }
+        out.push(scratch.split_off(0));
     }
-    let mut out = Vec::new();
-    project_into(&rows, exprs, &mut out)?;
     Ok(out)
 }

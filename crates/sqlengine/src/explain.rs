@@ -17,10 +17,15 @@ pub fn render_plan(plan: &PhysPlan) -> String {
 }
 
 /// One-line label for an operator node, shared between `EXPLAIN` rendering
-/// and the executor's `EXPLAIN ANALYZE` stats collection.
+/// and the executor's `EXPLAIN ANALYZE` stats collection. Operators with a
+/// vectorized variant carry a ` mode=vectorized` / ` mode=row` suffix
+/// reflecting how the executor will actually run them.
 pub(crate) fn op_label(plan: &PhysPlan) -> String {
+    let mode = crate::exec::mode_suffix(plan);
     match plan {
-        PhysPlan::Scan { rows, width } => format!("Scan [{} rows × {} cols]", rows.len(), width),
+        PhysPlan::Scan { rows, width, .. } => {
+            format!("Scan [{} rows × {} cols]{mode}", rows.len(), width)
+        }
         PhysPlan::VirtualScan { name, rows, width } => {
             format!("VirtualScan {name} [{} rows × {} cols]", rows.len(), width)
         }
@@ -48,8 +53,8 @@ pub(crate) fn op_label(plan: &PhysPlan) -> String {
             if residual.is_some() { ", residual" } else { "" }
         ),
         PhysPlan::OneRow => "OneRow".to_string(),
-        PhysPlan::Filter { .. } => "Filter".to_string(),
-        PhysPlan::Project { exprs, .. } => format!("Project [{} exprs]", exprs.len()),
+        PhysPlan::Filter { .. } => format!("Filter{mode}"),
+        PhysPlan::Project { exprs, .. } => format!("Project [{} exprs]{mode}", exprs.len()),
         PhysPlan::HashJoin {
             left_keys,
             kind,
@@ -69,7 +74,7 @@ pub(crate) fn op_label(plan: &PhysPlan) -> String {
         }
         PhysPlan::NestedLoopJoin { kind, .. } => format!("NestedLoopJoin [{kind:?}]"),
         PhysPlan::Aggregate { keys, aggs, .. } => {
-            format!("Aggregate [{} keys, {} aggs]", keys.len(), aggs.len())
+            format!("Aggregate [{} keys, {} aggs]{mode}", keys.len(), aggs.len())
         }
         PhysPlan::Window { partition, .. } => {
             format!("Window [row_number, {} partition keys]", partition.len())

@@ -16,6 +16,12 @@
 //!   hash joins, index scans/joins, hash aggregation, window and sort
 //!   operators, an optional worker pool (`EngineConfig::parallelism`), and
 //!   per-operator runtime statistics surfaced through `EXPLAIN ANALYZE`;
+//! * a derived columnar storage layer (`column`): lazily built fixed-size
+//!   chunks of typed column vectors with null masks and per-chunk
+//!   dictionaries for low-cardinality TEXT, driving vectorized
+//!   filter/project/aggregate kernels with selection vectors and late
+//!   materialization (`EngineConfig::vectorized`, default on; `EXPLAIN`
+//!   prints `mode=vectorized|row` per operator);
 //! * an in-memory catalog with maintained primary-key (unique) and
 //!   secondary indexes (`CREATE [UNIQUE] INDEX`), kept up to date
 //!   incrementally across `INSERT`/`UPDATE`/`DELETE` and used by the
@@ -67,6 +73,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod engine;
 pub mod error;

@@ -45,6 +45,10 @@ pub struct PlannerConfig {
     /// indexes, emitting `IndexScan` / index-nested-loop plans. Disabled for
     /// the forced-full-scan differential tests.
     pub use_indexes: bool,
+    /// Attach columnar chunk slots to base-table scans so eligible
+    /// filter/project/aggregate chains run the vectorized kernels. Disabled
+    /// to force the row path for differential testing.
+    pub vectorized: bool,
 }
 
 impl Default for PlannerConfig {
@@ -53,6 +57,7 @@ impl Default for PlannerConfig {
             join_algo: JoinAlgo::Hash,
             materialize_ctes: false,
             use_indexes: true,
+            vectorized: true,
         }
     }
 }
@@ -106,10 +111,15 @@ impl IndexRef {
 /// table rows, so execution never touches the catalog.
 #[derive(Debug, Clone)]
 pub enum PhysPlan {
-    /// Scan a snapshot of a base table (or a materialized CTE).
+    /// Scan a snapshot of a base table (or a materialized CTE). `chunks`
+    /// carries the table's lazily built columnar image when the planner
+    /// enabled vectorized execution for this scan; it was captured under the
+    /// same catalog read as `rows`, so the two always describe the same
+    /// snapshot. `None` forces the row path.
     Scan {
         rows: Arc<Vec<Row>>,
         width: usize,
+        chunks: Option<crate::column::ChunkSlot>,
     },
     /// Scan a virtual `sys.*` system table, materialized from the engine's
     /// telemetry registry at plan time (point-in-time snapshot semantics,
@@ -628,7 +638,13 @@ impl<'a> Planner<'a> {
                             let labels =
                                 cols.iter().map(|c| ColLabel::new(Some(&qual), c)).collect();
                             Ok(PlannedItem {
-                                plan: PhysPlan::Scan { rows, width },
+                                // Materialized CTE output has no table-backed
+                                // chunk cache; it runs on the row path.
+                                plan: PhysPlan::Scan {
+                                    rows,
+                                    width,
+                                    chunks: None,
+                                },
                                 scope: Scope::new(labels),
                                 access: None,
                             })
@@ -692,6 +708,7 @@ impl<'a> Planner<'a> {
                         plan: PhysPlan::Scan {
                             rows: Arc::clone(&table.rows),
                             width: table.schema.len(),
+                            chunks: self.config.vectorized.then(|| table.chunks.clone()),
                         },
                         scope: Scope::new(labels),
                         access,

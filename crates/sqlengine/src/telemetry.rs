@@ -295,6 +295,13 @@ pub struct Telemetry {
     pub wal_checkpoints: Counter,
     pub wal_checkpoint_bytes: Counter,
 
+    // -- vectorized execution -----------------------------------------------
+    /// Operators executed on the columnar/vectorized path.
+    pub vectorized_ops: Counter,
+    /// Mode-capable operators (Scan/Filter/Project/Aggregate) that fell back
+    /// to the row-at-a-time path.
+    pub row_ops: Counter,
+
     /// Ring buffer of the last `log_capacity` statements.
     log: Mutex<std::collections::VecDeque<QueryLogEntry>>,
     /// Per-operator rollups keyed by operator kind (`Scan`, `HashJoin`, …).
@@ -325,6 +332,8 @@ impl Telemetry {
             wal_fsync_us: Histogram::default(),
             wal_checkpoints: Counter::default(),
             wal_checkpoint_bytes: Counter::default(),
+            vectorized_ops: Counter::default(),
+            row_ops: Counter::default(),
             log: Mutex::new(std::collections::VecDeque::new()),
             ops: Mutex::new(BTreeMap::new()),
             models: Mutex::new(BTreeMap::new()),
@@ -353,6 +362,8 @@ impl Telemetry {
             &self.wal_fsyncs,
             &self.wal_checkpoints,
             &self.wal_checkpoint_bytes,
+            &self.vectorized_ops,
+            &self.row_ops,
         ] {
             c.reset();
         }
@@ -647,6 +658,8 @@ pub mod sys {
                 col("columns", Integer),
                 col("primary_key", Text),
                 col("secondary_indexes", Integer),
+                col("chunk_count", Integer),
+                col("dict_columns", Integer),
             ],
             BORN_MODELS => vec![
                 col("model", Text),

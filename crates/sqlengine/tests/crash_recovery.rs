@@ -457,3 +457,75 @@ fn statement_timeout_aborts_pathological_cross_join() {
     load(&lenient);
     lenient.query(cross).unwrap();
 }
+
+/// Columnar chunk caches are derived state: they are never written to the
+/// WAL or to checkpoints, start empty after recovery, and are rebuilt
+/// lazily by the first vectorized scan — which must answer exactly like
+/// the pre-crash database.
+#[test]
+fn recovery_rebuilds_columnar_chunks_as_derived_state() {
+    let io = Arc::new(MemIo::new());
+    let db = open_always(Arc::clone(&io) as Arc<dyn StorageIo>);
+    db.execute("CREATE TABLE c (tag TEXT, n INTEGER, w REAL)")
+        .unwrap();
+    // 3 500 rows span four 1024-row chunks; dyadic weights keep SUM exact.
+    let rows: Vec<Vec<Value>> = (0..3500i64)
+        .map(|i| {
+            vec![
+                Value::text(format!("t{}", i % 4)),
+                Value::Int(i % 50),
+                Value::Float((i % 8) as f64 / 4.0),
+            ]
+        })
+        .collect();
+    db.insert_rows("c", rows).unwrap();
+
+    let agg = "SELECT tag, COUNT(*) AS cnt, SUM(w) AS sw FROM c WHERE n > 10 \
+               GROUP BY tag ORDER BY tag";
+    let before = format!("{:?}", db.query(agg).unwrap().rows);
+    assert!(
+        db.explain(agg).unwrap().contains("mode=vectorized"),
+        "the witness query must exercise the vectorized path"
+    );
+    let built = db
+        .query_scalar("SELECT chunk_count FROM sys.tables WHERE name = 'c'")
+        .unwrap();
+    assert!(
+        matches!(built, Value::Int(n) if n >= 4),
+        "pre-crash cache should be built: {built:?}"
+    );
+
+    // Crash the process; recover from the surviving WAL.
+    let recovered = open_always(Arc::new(MemIo::from_files(io.process_crash_files())));
+    let after_recovery = recovered
+        .query_scalar("SELECT chunk_count FROM sys.tables WHERE name = 'c'")
+        .unwrap();
+    assert_eq!(
+        after_recovery,
+        Value::Int(0),
+        "chunks are not persisted and must not be rebuilt eagerly"
+    );
+    assert_eq!(
+        format!("{:?}", recovered.query(agg).unwrap().rows),
+        before,
+        "recovered vectorized aggregate must match pre-crash exactly"
+    );
+    let rebuilt = recovered
+        .query_scalar("SELECT chunk_count FROM sys.tables WHERE name = 'c'")
+        .unwrap();
+    assert!(
+        matches!(rebuilt, Value::Int(n) if n >= 4),
+        "the query should have rebuilt the cache lazily: {rebuilt:?}"
+    );
+
+    // A row-mode replica recovered from the same files agrees too.
+    let row_mode = Database::open_with_io(
+        Arc::new(MemIo::from_files(io.process_crash_files())) as Arc<dyn StorageIo>,
+        EngineConfig::default()
+            .with_wal_sync(SyncPolicy::Always)
+            .with_checkpoint_after_bytes(0)
+            .with_vectorized(false),
+    )
+    .unwrap();
+    assert_eq!(format!("{:?}", row_mode.query(agg).unwrap().rows), before);
+}

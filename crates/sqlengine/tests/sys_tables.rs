@@ -80,6 +80,54 @@ fn sys_tables_sees_new_tables_and_fresh_row_counts() {
     assert_eq!(int(&after), 3);
 }
 
+#[test]
+fn sys_tables_reports_lazy_columnar_chunk_state() {
+    let db = sample_db();
+    db.execute_script(
+        "CREATE TABLE tags (id INTEGER, tag TEXT);
+         INSERT INTO tags VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'x');",
+    )
+    .unwrap();
+
+    // Chunks are derived state, built on first vectorized scan — a freshly
+    // written table reports zero.
+    let r = db
+        .query("SELECT chunk_count, dict_columns FROM sys.tables WHERE name = 'tags'")
+        .unwrap();
+    assert_eq!(int(&r.rows[0][0]), 0, "chunk caches must be lazy");
+    assert_eq!(int(&r.rows[0][1]), 0);
+
+    // An eligible aggregate over the table builds its chunk cache; the
+    // low-cardinality TEXT column dictionary-encodes.
+    let n = db
+        .query_scalar("SELECT COUNT(*) FROM tags WHERE tag = 'x'")
+        .unwrap();
+    assert_eq!(int(&n), 3);
+    let r = db
+        .query("SELECT chunk_count, dict_columns FROM sys.tables WHERE name = 'tags'")
+        .unwrap();
+    assert_eq!(int(&r.rows[0][0]), 1, "4 rows fit one chunk");
+    assert_eq!(int(&r.rows[0][1]), 1, "tag column should dictionary-encode");
+
+    // Mutating the table invalidates the cache until the next scan.
+    db.execute("DELETE FROM tags WHERE id = 1").unwrap();
+    let r = db
+        .query("SELECT chunk_count FROM sys.tables WHERE name = 'tags'")
+        .unwrap();
+    assert_eq!(int(&r.rows[0][0]), 0, "mutation installs a fresh slot");
+
+    // sys.metrics mirrors the catalog-wide totals and the mode counters.
+    db.query("SELECT COUNT(*) FROM tags").unwrap();
+    let v = db
+        .query_scalar("SELECT value FROM sys.metrics WHERE name = 'columnar.chunks'")
+        .unwrap();
+    assert!(float(&v) >= 1.0, "columnar.chunks gauge: {v:?}");
+    let ops = db
+        .query_scalar("SELECT value FROM sys.metrics WHERE name = 'exec.vectorized_ops'")
+        .unwrap();
+    assert!(float(&ops) >= 1.0, "exec.vectorized_ops counter: {ops:?}");
+}
+
 // ---------------------------------------------------------------------
 // sys.metrics
 // ---------------------------------------------------------------------
