@@ -8,7 +8,7 @@
 use bench::scopus_exp::{scopus_model_options, setup, test_spec, train_spec};
 use bornsql::BornSqlModel;
 use criterion::{criterion_group, criterion_main, Criterion};
-use sqlengine::EngineConfig;
+use sqlengine::{EngineConfig, Value};
 
 fn serving_latency(c: &mut Criterion) {
     let n = 2_000;
@@ -46,6 +46,38 @@ fn serving_latency(c: &mut Criterion) {
             model.predict(&batch).unwrap();
         });
     }
+
+    // Parameterized template: the item id is a `?` bound at execution, so
+    // every call after the first binds into one cached plan instead of
+    // re-parsing a fresh statement text per id.
+    let db = setup(n, false, EngineConfig::profile_a());
+    let model = BornSqlModel::create(&db, "bench_serve", scopus_model_options()).unwrap();
+    model.fit(&train_spec(None, false)).unwrap();
+    model.deploy().unwrap();
+    let param_sql = model
+        .generator()
+        .predict(&test_spec("SELECT ? AS n".to_string()), true);
+    let mut id = 0i64;
+    group.bench_function("single_item_parameterized", |b| {
+        b.iter(|| {
+            id = (id + 1) % n as i64;
+            db.query_with(&param_sql, &[Value::Int(id)]).unwrap()
+        })
+    });
+    summary.time_us("single_item_parameterized_us", 50, || {
+        id = (id + 1) % n as i64;
+        db.query_with(&param_sql, &[Value::Int(id)]).unwrap();
+    });
+
+    // Batched predict: one statement classifies 64 ids, amortizing the
+    // per-call parse/plan/scan overhead across the whole batch.
+    let items: Vec<Value> = (0..64i64).map(|i| Value::Int(i * 31 % n as i64)).collect();
+    group.bench_function("batch_64_predict_batch", |b| {
+        b.iter(|| model.predict_batch(&one, &items).unwrap())
+    });
+    summary.time_us("batch_64_predict_batch_us", 20, || {
+        model.predict_batch(&one, &items).unwrap();
+    });
 
     group.finish();
     summary.write();

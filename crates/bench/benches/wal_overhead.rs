@@ -1,12 +1,14 @@
 //! WAL overhead: commit latency of small writes at each fsync policy,
 //! against the pure in-memory engine as baseline. Quantifies what
 //! durability costs the serving/training hot path and what `OnCommit`
-//! buys back relative to `Always`.
+//! buys back relative to `Always` — and, under concurrent committers on
+//! real files, what group commit buys back for `Always` by coalescing
+//! overlapping fsyncs.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqlengine::{Database, EngineConfig, MemIo, StorageIo, SyncPolicy, Value};
+use sqlengine::{Database, EngineConfig, FileIo, MemIo, StorageIo, SyncPolicy, Value};
 
 // Included by path (not via the bench crate) so the offline scratch
 // workspace, which only carries this bench file plus `src/report.rs`, can
@@ -104,5 +106,120 @@ fn bench_commit(c: &mut Criterion) {
     summary.write();
 }
 
-criterion_group!(benches, bench_commit);
+/// Unique scratch directory under the system temp dir (std-only; no tempfile
+/// crate). Callers remove it when done.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bornsql-wal-bench-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_file(dir: &std::path::Path, group_commit: bool) -> Database {
+    Database::open_with_io(
+        Arc::new(FileIo::new(dir).unwrap()) as Arc<dyn StorageIo>,
+        EngineConfig::default()
+            .with_wal_sync(SyncPolicy::Always)
+            .with_wal_group_commit(group_commit)
+            .with_checkpoint_after_bytes(0),
+    )
+    .unwrap()
+}
+
+fn wal_counter(db: &Database, name: &str) -> f64 {
+    let r = db
+        .query_with(
+            "SELECT value FROM sys.metrics WHERE name = ?",
+            &[Value::text(name)],
+        )
+        .unwrap();
+    match r.rows[0][0] {
+        Value::Float(f) => f,
+        Value::Int(i) => i as f64,
+        _ => 0.0,
+    }
+}
+
+/// Group commit under contention: `COMMITTERS` threads issuing auto-commit
+/// INSERTs against real files with `SyncPolicy::Always`. Without group commit
+/// every statement pays its own fsync; with it, overlapping committers share
+/// one. Reported per-commit latency divides the wall clock for the whole
+/// burst by the number of commits; commits-per-fsync comes from the engine's
+/// own `wal.appends` / `wal.fsyncs` counters.
+fn bench_group_commit(c: &mut Criterion) {
+    const COMMITTERS: usize = 4;
+    const PER_THREAD: usize = 25;
+
+    let mut group = c.benchmark_group("wal_group_commit");
+    let mut summary = report::Summary::new("wal_group_commit");
+    summary.record("committers", COMMITTERS as f64);
+    summary.record("commits_per_run", (COMMITTERS * PER_THREAD) as f64);
+
+    for (name, group_commit) in [("always", false), ("group", true)] {
+        let dir = scratch_dir(name);
+        let db = durable_file(&dir, group_commit);
+        create_table(&db);
+        let run = std::sync::atomic::AtomicI64::new(0);
+
+        let burst = || {
+            let base = run.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                * (COMMITTERS * PER_THREAD) as i64;
+            std::thread::scope(|s| {
+                for w in 0..COMMITTERS as i64 {
+                    let db = &db;
+                    s.spawn(move || {
+                        for i in 0..PER_THREAD as i64 {
+                            let id = base + w * PER_THREAD as i64 + i;
+                            db.execute_with(
+                                "INSERT INTO kv VALUES (?, 'g', 2.5)",
+                                &[Value::Int(id)],
+                            )
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+        };
+
+        group.bench_with_input(BenchmarkId::new("concurrent_commit", name), &(), |b, ()| {
+            b.iter(burst);
+        });
+
+        let appends0 = wal_counter(&db, "wal.appends");
+        let fsyncs0 = wal_counter(&db, "wal.fsyncs");
+        let burst_us = {
+            let mut samples: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    burst();
+                    t.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            samples[samples.len() / 2]
+        };
+        let appends = wal_counter(&db, "wal.appends") - appends0;
+        let fsyncs = wal_counter(&db, "wal.fsyncs") - fsyncs0;
+        summary.record(
+            &format!("concurrent_commit_{name}_us"),
+            burst_us / (COMMITTERS * PER_THREAD) as f64,
+        );
+        summary.record(
+            &format!("commits_per_fsync_{name}"),
+            if fsyncs > 0.0 { appends / fsyncs } else { 0.0 },
+        );
+
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+    summary.write();
+}
+
+criterion_group!(benches, bench_commit, bench_group_commit);
 criterion_main!(benches);

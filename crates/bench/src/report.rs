@@ -38,7 +38,8 @@ impl Summary {
     }
 
     /// Median wall time of `runs` executions of `f`, in microseconds.
-    pub fn time_us(&mut self, metric: &str, runs: usize, mut f: impl FnMut()) {
+    /// Returns the recorded median so callers can derive ratios from it.
+    pub fn time_us(&mut self, metric: &str, runs: usize, mut f: impl FnMut()) -> f64 {
         let mut samples = Vec::with_capacity(runs.max(1));
         for _ in 0..runs.max(1) {
             let started = Instant::now();
@@ -46,7 +47,9 @@ impl Summary {
             samples.push(started.elapsed().as_secs_f64() * 1e6);
         }
         samples.sort_by(f64::total_cmp);
-        self.record(metric, samples[samples.len() / 2]);
+        let median = samples[samples.len() / 2];
+        self.record(metric, median);
+        median
     }
 
     /// Merge this summary into `BENCH_results.json` at the repo root,

@@ -271,23 +271,7 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         spec.validate_for_inference()
             .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict(spec, self.deployed_flag());
-        let started = self
-            .conn
-            .telemetry()
-            .filter(|t| t.enabled())
-            .map(|_| std::time::Instant::now());
-        let r = self.conn.query_sql(&sql)?;
-        if let (Some(t), Some(at)) = (self.conn.telemetry(), started) {
-            t.record_model_predict(self.name(), at.elapsed(), r.rows.len() as u64);
-        }
-        Ok(r.rows
-            .into_iter()
-            .map(|mut row| {
-                let k = row.pop().expect("two columns");
-                let n = row.pop().expect("two columns");
-                (n, k)
-            })
-            .collect())
+        rows_to_predictions(self.timed_predict_query(&sql)?)
     }
 
     /// Class probabilities `(n, k, p)` for the selected items.
@@ -295,24 +279,56 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
         spec.validate_for_inference()
             .map_err(BornSqlError::Config)?;
         let sql = self.gen.predict_proba(spec, self.deployed_flag());
+        rows_to_probabilities(self.timed_predict_query(&sql)?)
+    }
+
+    /// Classify an explicit batch of item identifiers in one statement.
+    ///
+    /// The spec's `q_x` describes where features come from; `items` names the
+    /// items to classify (replacing any `q_n` on the spec). The whole batch
+    /// runs as a single query — one parse/plan and one weights scan per batch
+    /// instead of per item — and is recorded as one serving request in
+    /// telemetry. Results come back in item order (`ORDER BY n`); items with
+    /// no feature known to the model produce no row.
+    pub fn predict_batch(&self, spec: &DataSpec, items: &[Value]) -> Result<Vec<Prediction>> {
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
+        let sql = self
+            .gen
+            .predict_batch(spec, self.deployed_flag(), items)
+            .map_err(BornSqlError::Config)?;
+        rows_to_predictions(self.timed_predict_query(&sql)?)
+    }
+
+    /// Batched variant of [`BornSqlModel::predict_proba`]: probabilities for
+    /// an explicit batch of item identifiers in one statement.
+    pub fn predict_proba_batch(
+        &self,
+        spec: &DataSpec,
+        items: &[Value],
+    ) -> Result<Vec<Probability>> {
+        spec.validate_for_inference()
+            .map_err(BornSqlError::Config)?;
+        let sql = self
+            .gen
+            .predict_proba_batch(spec, self.deployed_flag(), items)
+            .map_err(BornSqlError::Config)?;
+        rows_to_probabilities(self.timed_predict_query(&sql)?)
+    }
+
+    /// Run one inference statement, recording it as a single serving request
+    /// (with its row count) when the backend has telemetry enabled.
+    fn timed_predict_query(&self, sql: &str) -> Result<QueryResult> {
         let started = self
             .conn
             .telemetry()
             .filter(|t| t.enabled())
             .map(|_| std::time::Instant::now());
-        let r = self.conn.query_sql(&sql)?;
+        let r = self.conn.query_sql(sql)?;
         if let (Some(t), Some(at)) = (self.conn.telemetry(), started) {
             t.record_model_predict(self.name(), at.elapsed(), r.rows.len() as u64);
         }
-        r.rows
-            .into_iter()
-            .map(|mut row| {
-                let w = value_f64(&row.pop().expect("three columns"))?;
-                let k = row.pop().expect("three columns");
-                let n = row.pop().expect("three columns");
-                Ok((n, k, w))
-            })
-            .collect()
+        Ok(r)
     }
 
     // ------------------------------------------------------------------
@@ -376,6 +392,29 @@ impl<'c, C: SqlBackend> BornSqlModel<'c, C> {
             ))),
         }
     }
+}
+
+fn rows_to_predictions(r: QueryResult) -> Result<Vec<Prediction>> {
+    Ok(r.rows
+        .into_iter()
+        .map(|mut row| {
+            let k = row.pop().expect("two columns");
+            let n = row.pop().expect("two columns");
+            (n, k)
+        })
+        .collect())
+}
+
+fn rows_to_probabilities(r: QueryResult) -> Result<Vec<Probability>> {
+    r.rows
+        .into_iter()
+        .map(|mut row| {
+            let w = value_f64(&row.pop().expect("three columns"))?;
+            let k = row.pop().expect("three columns");
+            let n = row.pop().expect("three columns");
+            Ok((n, k, w))
+        })
+        .collect()
 }
 
 fn rows_to_weights(r: QueryResult) -> Result<Vec<Weight>> {

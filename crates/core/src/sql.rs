@@ -6,6 +6,8 @@
 //! `(n, j, k, w)`. The CTE pipeline never materializes intermediate tensors
 //! (on engines that pipeline CTEs).
 
+use sqlengine::Value;
+
 use crate::dialect::Dialect;
 use crate::spec::DataSpec;
 
@@ -348,6 +350,33 @@ impl SqlGenerator {
     }
 
     // ------------------------------------------------------------------
+    // Batched inference
+    // ------------------------------------------------------------------
+
+    /// Classification for an explicit batch of item identifiers: one
+    /// statement whose `q_n` enumerates the batch, so parse/sema/plan and
+    /// the weights scan are paid once per batch instead of once per item.
+    /// Any `q_n` already on the spec is replaced by the batch.
+    pub fn predict_batch(
+        &self,
+        spec: &DataSpec,
+        deployed: bool,
+        items: &[Value],
+    ) -> Result<String, String> {
+        Ok(self.predict(&batch_spec(spec, items)?, deployed))
+    }
+
+    /// Batched variant of [`SqlGenerator::predict_proba`].
+    pub fn predict_proba_batch(
+        &self,
+        spec: &DataSpec,
+        deployed: bool,
+        items: &[Value],
+    ) -> Result<String, String> {
+        Ok(self.predict_proba(&batch_spec(spec, items)?, deployed))
+    }
+
+    // ------------------------------------------------------------------
     // Explainability (paper Section 3.5, eqs. 30–32)
     // ------------------------------------------------------------------
 
@@ -425,6 +454,41 @@ impl SqlGenerator {
 
     pub fn count_classes(&self) -> String {
         format!("SELECT COUNT(DISTINCT k) FROM {}", self.corpus_table())
+    }
+}
+
+/// Clone `spec` with its `q_n` replaced by a query enumerating `items`.
+fn batch_spec(spec: &DataSpec, items: &[Value]) -> Result<DataSpec, String> {
+    let mut s = spec.clone();
+    s.qn = Some(batch_items_query(items)?);
+    Ok(s)
+}
+
+/// Render a batch of item identifiers as an item-selection query: a
+/// `UNION ALL` of one-row `SELECT <literal> AS n` arms (the engine has no
+/// standalone `VALUES` constructor). Each preprocessing arm then filters by
+/// this `n_n` before concatenation, exactly like a user-supplied `q_n`.
+pub fn batch_items_query(items: &[Value]) -> Result<String, String> {
+    if items.is_empty() {
+        return Err("batch inference requires at least one item identifier".into());
+    }
+    let arms: Vec<String> = items
+        .iter()
+        .map(|v| Ok(format!("SELECT {} AS n", value_literal(v)?)))
+        .collect::<Result<_, String>>()?;
+    Ok(arms.join(" UNION ALL "))
+}
+
+/// Render an item identifier as a SQL literal. Text is single-quoted with
+/// embedded quotes doubled; NULL and non-finite floats are rejected because
+/// they cannot name an item.
+fn value_literal(v: &Value) -> Result<String, String> {
+    match v {
+        Value::Int(i) => Ok(i.to_string()),
+        Value::Float(f) if f.is_finite() => Ok(fmt_f64(*f)),
+        Value::Float(f) => Err(format!("item identifier {f} is not a finite number")),
+        Value::Str(s) => Ok(format!("'{}'", s.replace('\'', "''"))),
+        Value::Null => Err("item identifiers must not be NULL".into()),
     }
 }
 
@@ -581,6 +645,39 @@ mod tests {
         assert!(sql.contains("z_j AS"));
         assert!(sql.contains("POW(z_j.w, a)"));
         assert!(sql.ends_with("LIMIT 10"));
+    }
+
+    #[test]
+    fn batch_items_render_as_union_all_of_literals() {
+        let q =
+            batch_items_query(&[Value::Int(7), Value::text("it's"), Value::Float(2.5)]).unwrap();
+        assert_eq!(
+            q,
+            "SELECT 7 AS n UNION ALL SELECT 'it''s' AS n UNION ALL SELECT 2.5 AS n"
+        );
+    }
+
+    #[test]
+    fn batch_rejects_null_nan_and_empty() {
+        assert!(batch_items_query(&[]).is_err());
+        assert!(batch_items_query(&[Value::Null]).is_err());
+        assert!(batch_items_query(&[Value::Float(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_installs_items_as_qn() {
+        let g = generator(Dialect::Generic);
+        let sql = g
+            .predict_batch(&spec(), true, &[Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert!(sql.contains("n_n AS (SELECT 1 AS n UNION ALL SELECT 2 AS n)"));
+        // The batch filter applies to the feature arm before UNION ALL.
+        assert!(sql.contains("qx.n = n_n.n"));
+        // Batch replaces any user-supplied q_n.
+        let s = spec().with_items("SELECT id AS n FROM t");
+        let sql = g.predict_batch(&s, true, &[Value::Int(9)]).unwrap();
+        assert!(!sql.contains("SELECT id AS n FROM t"));
+        assert!(sql.contains("n_n AS (SELECT 9 AS n)"));
     }
 
     #[test]

@@ -101,6 +101,30 @@ fn lifecycle_events_update_deploy_and_unlearn_counters() {
 }
 
 #[test]
+fn batched_predict_records_one_serving_request() {
+    let db = Database::new();
+    let model = trained_model(&db);
+    let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features");
+    let items: Vec<Value> = (1..=20).map(Value::Int).collect();
+    model.predict_batch(&spec, &items).unwrap();
+
+    let r = db
+        .query("SELECT predict_calls, rows_returned FROM sys.born_models")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(
+        r.rows[0][0],
+        Value::Int(1),
+        "one batch = one serving request"
+    );
+    assert_eq!(
+        r.rows[0][1],
+        Value::Int(20),
+        "row count covers the whole batch"
+    );
+}
+
+#[test]
 fn predicts_on_a_telemetry_disabled_backend_record_nothing() {
     let db = Database::with_config(sqlengine::EngineConfig::default().with_telemetry(false));
     let model = trained_model(&db);

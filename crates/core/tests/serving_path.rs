@@ -112,6 +112,44 @@ fn redeploy_invalidates_cached_serving_plans() {
 }
 
 #[test]
+fn batched_predict_matches_per_item_predictions() {
+    let db = Database::new();
+    let model = trained_model(&db);
+    model.deploy().unwrap();
+
+    let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features");
+    let items: Vec<Value> = (1..=16).map(Value::Int).collect();
+    let batched = model.predict_batch(&spec, &items).unwrap();
+    let mut singles = Vec::new();
+    for id in 1..=16 {
+        singles.extend(model.predict(&single_item_spec(id)).unwrap());
+    }
+    assert_eq!(batched, singles, "batch must equal the per-item loop");
+
+    let batched = model.predict_proba_batch(&spec, &items).unwrap();
+    let mut singles = Vec::new();
+    for id in 1..=16 {
+        singles.extend(model.predict_proba(&single_item_spec(id)).unwrap());
+    }
+    assert_eq!(batched.len(), singles.len());
+    for ((n1, k1, p1), (n2, k2, p2)) in batched.iter().zip(singles.iter()) {
+        assert_eq!((n1, k1), (n2, k2));
+        assert!((p1 - p2).abs() < 1e-12, "{n1}/{k1}: {p1} vs {p2}");
+    }
+}
+
+#[test]
+fn batched_predict_rejects_bad_item_lists() {
+    let db = Database::new();
+    let model = trained_model(&db);
+    let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features");
+    assert!(model.predict_batch(&spec, &[]).is_err());
+    assert!(model
+        .predict_batch(&spec, &[Value::Int(1), Value::Null])
+        .is_err());
+}
+
+#[test]
 fn index_scans_do_not_change_predictions() {
     let indexed_db = Database::new();
     let indexed = trained_model(&indexed_db);

@@ -40,8 +40,10 @@ pub struct EngineConfig {
     /// indexes, planning `IndexScan` / index-nested-loop joins instead of
     /// full scans. Disable to force full-scan plans.
     pub use_indexes: bool,
-    /// Cache the bound physical plans of parameterless queries keyed by SQL
-    /// text + catalog version, so repeated serving calls skip parse + plan.
+    /// Cache physical plans keyed by SQL text + catalog version, so repeated
+    /// serving calls skip parse + plan. Parameterized statements are cached
+    /// as *templates*: `?` markers stay symbolic in the plan and each
+    /// execution binds its parameter values into a fresh copy of the tree.
     pub plan_cache: bool,
     /// Abort statements whose execution exceeds this wall-clock budget with
     /// [`EngineError::Timeout`]. Checked at operator and morsel boundaries,
@@ -51,6 +53,13 @@ pub struct EngineConfig {
     /// Fsync policy for the write-ahead log of durable databases (ignored
     /// by purely in-memory databases).
     pub wal_sync: SyncPolicy,
+    /// Group commit: under [`SyncPolicy::Always`], coalesce the WAL appends
+    /// of overlapping writers into a single fsync. Each statement enqueues
+    /// its frame while holding the catalog lock and blocks for durability
+    /// after releasing it, so concurrent commits share one fsync while the
+    /// acknowledgement guarantee is unchanged (a statement returns only
+    /// after its frame is on disk). No effect under other sync policies.
+    pub wal_group_commit: bool,
     /// Fold the log into a checkpoint once it exceeds this many bytes
     /// (0 disables the automatic trigger; [`Database::checkpoint`] still
     /// works). Ignored by purely in-memory databases.
@@ -83,6 +92,7 @@ impl Default for EngineConfig {
             plan_cache: true,
             statement_timeout: None,
             wal_sync: SyncPolicy::OnCommit,
+            wal_group_commit: false,
             checkpoint_after_bytes: 4 << 20,
             telemetry: true,
             slow_query_threshold: Duration::from_millis(100),
@@ -149,6 +159,13 @@ impl EngineConfig {
     /// Builder-style WAL fsync policy.
     pub fn with_wal_sync(mut self, sync: SyncPolicy) -> Self {
         self.wal_sync = sync;
+        self
+    }
+
+    /// Builder-style toggle of WAL group commit (see
+    /// [`EngineConfig::wal_group_commit`]).
+    pub fn with_wal_group_commit(mut self, on: bool) -> Self {
+        self.wal_group_commit = on;
         self
     }
 
@@ -246,6 +263,10 @@ const PLAN_CACHE_CAPACITY: usize = 128;
 struct CachedPlan {
     version: u64,
     planned: Arc<PlannedQuery>,
+    /// The plan is a *template*: `?` markers were kept symbolic
+    /// ([`crate::expr::PhysExpr::Param`] nodes) and must be bound with
+    /// [`crate::plan::bind_plan_params`] before execution.
+    has_params: bool,
 }
 
 /// An embedded, in-memory relational database.
@@ -330,6 +351,7 @@ impl Database {
         let wal = Wal::new(
             io,
             config.wal_sync,
+            config.wal_group_commit,
             config.checkpoint_after_bytes,
             recovered.next_seq,
             recovered.wal_len,
@@ -363,12 +385,33 @@ impl Database {
 
     /// Log one statement's ops to the WAL (no-op for in-memory databases).
     /// Must be called while still holding the catalog write lock so WAL
-    /// order equals catalog mutation order.
-    fn wal_log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<()> {
+    /// order equals catalog mutation order. Under group commit the returned
+    /// ticket must be passed to [`Database::wal_wait`] *after* the lock
+    /// drops; the statement is durable only once that returns.
+    fn wal_log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<Option<u64>> {
         match &self.wal {
             Some(wal) => wal.log(catalog, ops),
-            None => Ok(()),
+            None => Ok(None),
         }
+    }
+
+    /// Block until a group-commit ticket is durable (no-op for `None`
+    /// tickets, i.e. non-group writes). Callers must have released the
+    /// catalog lock — overlapping writers blocking here concurrently is
+    /// exactly what lets the flush leader coalesce their fsyncs. Also runs
+    /// the automatic checkpoint trigger, which the group path defers until
+    /// the catalog lock is available again.
+    fn wal_wait(&self, ticket: Option<u64>) -> Result<()> {
+        let (Some(wal), Some(seq)) = (&self.wal, ticket) else {
+            return Ok(());
+        };
+        wal.wait_durable(seq)?;
+        if wal.wants_checkpoint() && !self.in_transaction() {
+            // Plain `write()` (no version bump): the catalog is not mutated.
+            let catalog = self.catalog.write();
+            wal.checkpoint(&catalog)?;
+        }
+        Ok(())
     }
 
     /// Take the catalog write lock, bumping the catalog version first so any
@@ -420,14 +463,15 @@ impl Database {
     }
 
     /// Look `sql` up in the plan cache; a hit requires the entry's catalog
-    /// version to match the current one.
-    fn cached_plan(&self, sql: &str) -> Option<Arc<PlannedQuery>> {
+    /// version to match the current one. Returns the plan and whether it is
+    /// a parameter template (see [`CachedPlan::has_params`]).
+    fn cached_plan(&self, sql: &str) -> Option<(Arc<PlannedQuery>, bool)> {
         let version = self.catalog_version.load(Ordering::Acquire);
         let cache = self.plan_cache.lock();
         match cache.get(sql) {
             Some(c) if c.version == version => {
                 self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&c.planned))
+                Some((Arc::clone(&c.planned), c.has_params))
             }
             _ => {
                 self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -436,13 +480,20 @@ impl Database {
         }
     }
 
-    /// Plan a parameterless query and store it in the plan cache.
+    /// Plan a query and store it in the plan cache. With `symbolic` set the
+    /// query contains `?` markers and is planned as a reusable template
+    /// (parameters stay [`crate::expr::PhysExpr::Param`] nodes).
     ///
     /// The version is read *before* planning and writers bump it *before*
     /// taking the write lock, so a plan that raced a writer is tagged with
     /// the pre-write version and can never be served against the post-write
     /// catalog — the stale-side error is always a harmless replan.
-    fn plan_and_cache(&self, sql: &str, query: &Query) -> Result<Arc<PlannedQuery>> {
+    fn plan_and_cache(
+        &self,
+        sql: &str,
+        query: &Query,
+        symbolic: bool,
+    ) -> Result<Arc<PlannedQuery>> {
         let version = self.catalog_version.load(Ordering::Acquire);
         // Fold constant expressions once here so the cached plan — the
         // serving hot path — embeds pre-evaluated literals.
@@ -452,6 +503,9 @@ impl Database {
             let catalog = self.catalog.read();
             let mut planner =
                 Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
+            if symbolic {
+                planner = planner.symbolic();
+            }
             let planned = Arc::new(planner.plan_query(&query)?);
             (planned, planner.used_virtual())
         };
@@ -479,6 +533,7 @@ impl Database {
             CachedPlan {
                 version,
                 planned: Arc::clone(&planned),
+                has_params: symbolic,
             },
         );
         Ok(planned)
@@ -488,6 +543,26 @@ impl Database {
     fn execute_planned(&self, planned: &PlannedQuery) -> Result<StatementResult> {
         self.record_plan_modes(&planned.plan);
         let rows = self.exec_ctx().execute(&planned.plan)?;
+        Ok(StatementResult::Rows(QueryResult {
+            columns: planned.columns.clone(),
+            rows,
+        }))
+    }
+
+    /// Execute a plan served from the cache: templates bind their parameter
+    /// values into a fresh plan tree first, parameterless plans run as-is.
+    fn execute_cached(
+        &self,
+        planned: &PlannedQuery,
+        has_params: bool,
+        params: &[Value],
+    ) -> Result<StatementResult> {
+        if !has_params {
+            return self.execute_planned(planned);
+        }
+        let plan = crate::plan::bind_plan_params(&planned.plan, params)?;
+        self.record_plan_modes(&plan);
+        let rows = self.exec_ctx().execute(&plan)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
@@ -536,10 +611,13 @@ impl Database {
 
     /// Execute one statement with positional parameters (`?`, `?1`).
     ///
-    /// Parameterless queries go through the plan cache (when enabled): a hit
-    /// skips parsing and planning entirely. Parameterized statements bypass
-    /// the cache because `bind_expr` inlines parameter values into the
-    /// physical plan.
+    /// Queries go through the plan cache (when enabled): a hit skips parsing
+    /// and planning entirely. Parameterized queries are cached as plan
+    /// *templates* — `?` markers stay symbolic in the cached tree and each
+    /// execution substitutes its values into a fresh copy — except where a
+    /// parameter's value is consumed at plan time (`LIMIT ?`, parameters
+    /// inside subquery bodies, or any parameter under materialized CTEs),
+    /// which plan inline and stay uncached.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
         let mut probe = StatementProbe::start(self.telemetry.enabled());
         let result = self.execute_probed(sql, params, &mut probe);
@@ -557,12 +635,11 @@ impl Database {
     ) -> Result<StatementResult> {
         // `sys.*` statements never touch the plan cache: their plans embed
         // point-in-time telemetry snapshots.
-        let cacheable = self.config.plan_cache && params.is_empty() && !sys::mentions_sys(sql);
-        if cacheable {
-            if let Some(planned) = self.cached_plan(sql) {
+        if self.config.plan_cache && !sys::mentions_sys(sql) {
+            if let Some((planned, has_params)) = self.cached_plan(sql) {
                 probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self.execute_planned(&planned);
+                let result = self.execute_cached(&planned, has_params, params);
                 probe.lap_exec(t);
                 return result;
             }
@@ -574,26 +651,51 @@ impl Database {
         self.analyze_statement(&stmt)?;
         probe.lap_sema(t);
         if let Statement::Query(query) = &stmt {
-            let t = probe.phase();
-            let planned = if cacheable {
-                self.plan_and_cache(sql, query)?
-            } else {
-                // Plan under the read lock; execute on snapshots afterwards.
-                let catalog = self.catalog.read();
-                let mut planner =
-                    Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
-                Arc::new(planner.plan_query(query)?)
-            };
-            probe.lap_plan(t);
-            let t = probe.phase();
-            let result = self.execute_planned(&planned);
-            probe.lap_exec(t);
-            return result;
+            return self.execute_query_probed(sql, query, params, probe);
         }
         // DML / DDL / transaction control interleave planning with catalog
         // writes; attribute the whole tail to the exec phase.
         let t = probe.phase();
         let result = self.execute_statement(&stmt, params);
+        probe.lap_exec(t);
+        result
+    }
+
+    /// Plan-cache-aware execution of a parsed query on a cache miss: plan
+    /// (symbolically when parameterized and template-safe), cache, execute.
+    /// Shared by [`Database::execute_with`] and [`Prepared::execute`] so
+    /// the two record identical phase timings and cache telemetry.
+    fn execute_query_probed(
+        &self,
+        sql: &str,
+        query: &Query,
+        params: &[Value],
+        probe: &mut StatementProbe,
+    ) -> Result<StatementResult> {
+        let has_params = crate::plan::query_contains_params(query);
+        let cacheable = self.config.plan_cache
+            && !sys::mentions_sys(sql)
+            && (!has_params
+                || !crate::plan::params_unsupported(query, self.config.materialize_ctes));
+        let t = probe.phase();
+        if cacheable {
+            let planned = self.plan_and_cache(sql, query, has_params)?;
+            probe.lap_plan(t);
+            let t = probe.phase();
+            let result = self.execute_cached(&planned, has_params, params);
+            probe.lap_exec(t);
+            return result;
+        }
+        // Plan under the read lock; execute on snapshots afterwards.
+        let planned = {
+            let catalog = self.catalog.read();
+            let mut planner =
+                Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
+            Arc::new(planner.plan_query(query)?)
+        };
+        probe.lap_plan(t);
+        let t = probe.phase();
+        let result = self.execute_planned(&planned);
         probe.lap_exec(t);
         result
     }
@@ -692,10 +794,10 @@ impl Database {
     }
 
     /// Parse a statement once for repeated execution with different
-    /// parameters. Parameterless queries additionally go through the plan
-    /// cache, so repeated executions reuse the bound physical plan until a
-    /// catalog write invalidates it; parameterized executions re-plan against
-    /// current data (parameter values are inlined into plans).
+    /// parameters. Queries additionally go through the plan cache: the first
+    /// execution plans once (keeping `?` markers symbolic) and caches the
+    /// template; later executions bind their parameter values into the
+    /// cached tree until a catalog write invalidates it.
     pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>> {
         let stmt = parse_statement(sql)?;
         self.analyze_statement(&stmt)?;
@@ -845,10 +947,12 @@ impl Database {
         });
         let mut catalog = self.write_catalog();
         catalog.create_table(table, false)?;
-        if let Some(ops) = ops {
-            self.wal_log(&catalog, ops)?;
-        }
-        Ok(())
+        let ticket = match ops {
+            Some(ops) => self.wal_log(&catalog, ops)?,
+            None => None,
+        };
+        drop(catalog);
+        self.wal_wait(ticket)
     }
 
     /// Bulk-insert pre-built rows into a table (fast path used by data
@@ -875,7 +979,7 @@ impl Database {
             }
         }
         let wal_result = if applied.is_empty() {
-            Ok(())
+            Ok(None)
         } else {
             self.wal_log(
                 &catalog,
@@ -885,10 +989,16 @@ impl Database {
                 }],
             )
         };
+        drop(catalog);
         if let Some(e) = failure {
+            // The applied prefix is in memory and logged; still push it
+            // toward disk, but the statement's own error wins.
+            if let Ok(ticket) = wal_result {
+                let _ = self.wal_wait(ticket);
+            }
             return Err(e);
         }
-        wal_result?;
+        self.wal_wait(wal_result?)?;
         Ok(n)
     }
 
@@ -963,7 +1073,7 @@ impl Database {
                 let table = Table::new(ct.name.clone(), schema, &ct.primary_key)?;
                 let mut catalog = self.write_catalog();
                 let created = catalog.create_table(table, ct.if_not_exists)?;
-                if created {
+                let ticket = if created {
                     self.wal_log(
                         &catalog,
                         vec![WalOp::CreateTable {
@@ -971,8 +1081,12 @@ impl Database {
                             columns,
                             primary_key: ct.primary_key.clone(),
                         }],
-                    )?;
-                }
+                    )?
+                } else {
+                    None
+                };
+                drop(catalog);
+                self.wal_wait(ticket)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
@@ -988,7 +1102,7 @@ impl Database {
                     )));
                 }
                 table.create_index(&ci.name, &ci.columns, ci.unique)?;
-                self.wal_log(
+                let ticket = self.wal_log(
                     &catalog,
                     vec![WalOp::CreateIndex {
                         table: ci.table.clone(),
@@ -997,14 +1111,20 @@ impl Database {
                         unique: ci.unique,
                     }],
                 )?;
+                drop(catalog);
+                self.wal_wait(ticket)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
                 let mut catalog = self.write_catalog();
                 let dropped = catalog.drop_table(name, *if_exists)?;
-                if dropped {
-                    self.wal_log(&catalog, vec![WalOp::DropTable { name: name.clone() }])?;
-                }
+                let ticket = if dropped {
+                    self.wal_log(&catalog, vec![WalOp::DropTable { name: name.clone() }])?
+                } else {
+                    None
+                };
+                drop(catalog);
+                self.wal_wait(ticket)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateTableAs {
@@ -1043,7 +1163,7 @@ impl Database {
                 }
                 let mut catalog = self.write_catalog();
                 let created = catalog.create_table(table, *if_not_exists)?;
-                if created {
+                let ticket = if created {
                     let mut ops = vec![WalOp::CreateTable {
                         name: name.clone(),
                         columns,
@@ -1057,8 +1177,12 @@ impl Database {
                             });
                         }
                     }
-                    self.wal_log(&catalog, ops)?;
-                }
+                    self.wal_log(&catalog, ops)?
+                } else {
+                    None
+                };
+                drop(catalog);
+                self.wal_wait(ticket)?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Begin => {
@@ -1086,10 +1210,13 @@ impl Database {
                         let catalog = self.catalog.write();
                         wal.commit(&catalog)
                     }
-                    None => Ok(()),
+                    None => Ok(None),
                 };
                 backup.take();
-                flush?;
+                // Release the transaction guard before blocking on the group
+                // flush (`wal_wait` re-reads transaction state).
+                drop(backup);
+                self.wal_wait(flush?)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::Rollback => {
@@ -1133,9 +1260,10 @@ impl Database {
                 let logged_idxs = (self.wal.is_some() && !idxs.is_empty())
                     .then(|| idxs.iter().map(|&i| i as u64).collect::<Vec<u64>>());
                 let n = t.delete_rows(idxs)?;
+                let mut ticket = None;
                 if let Some(idxs) = logged_idxs {
                     if n > 0 {
-                        self.wal_log(
+                        ticket = self.wal_log(
                             &catalog,
                             vec![WalOp::Delete {
                                 table: table.clone(),
@@ -1144,6 +1272,8 @@ impl Database {
                         )?;
                     }
                 }
+                drop(catalog);
+                self.wal_wait(ticket)?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Update {
@@ -1204,14 +1334,18 @@ impl Database {
                 // applied — recovery must reproduce the in-memory state, not
                 // an idealized all-or-nothing one.
                 let wal_result = if ops.is_empty() {
-                    Ok(())
+                    Ok(None)
                 } else {
                     self.wal_log(&catalog, ops)
                 };
+                drop(catalog);
                 if let Some(e) = failure {
+                    if let Ok(ticket) = wal_result {
+                        let _ = self.wal_wait(ticket);
+                    }
                     return Err(e);
                 }
-                wal_result?;
+                self.wal_wait(wal_result?)?;
                 Ok(StatementResult::Affected(applied))
             }
         }
@@ -1431,14 +1565,18 @@ impl Database {
             }
         }
         let wal_result = if ops.is_empty() {
-            Ok(())
+            Ok(None)
         } else {
             self.wal_log(&catalog, ops)
         };
+        drop(catalog);
         if let Some(e) = failure {
+            if let Ok(ticket) = wal_result {
+                let _ = self.wal_wait(ticket);
+            }
             return Err(e);
         }
-        wal_result?;
+        self.wal_wait(wal_result?)?;
         Ok(StatementResult::Affected(affected))
     }
 }
@@ -1678,30 +1816,28 @@ impl Prepared<'_> {
         result
     }
 
+    /// The body of [`Prepared::execute`]. Mirrors
+    /// [`Database::execute_probed`] minus the parse/sema phases (done at
+    /// prepare time), so both entry points drive the same cache and record
+    /// hits, misses, and phase laps identically.
     fn execute_probed(
         &self,
         params: &[Value],
         probe: &mut StatementProbe,
     ) -> Result<StatementResult> {
-        if self.db.config.plan_cache && params.is_empty() && !sys::mentions_sys(&self.sql) {
-            if let Statement::Query(query) = &self.stmt {
-                let planned = match self.db.cached_plan(&self.sql) {
-                    Some(p) => {
-                        probe.cache_hit = true;
-                        p
-                    }
-                    None => {
-                        let t = probe.phase();
-                        let p = self.db.plan_and_cache(&self.sql, query)?;
-                        probe.lap_plan(t);
-                        p
-                    }
-                };
+        if self.db.config.plan_cache && !sys::mentions_sys(&self.sql) {
+            if let Some((planned, has_params)) = self.db.cached_plan(&self.sql) {
+                probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self.db.execute_planned(&planned);
+                let result = self.db.execute_cached(&planned, has_params, params);
                 probe.lap_exec(t);
                 return result;
             }
+        }
+        if let Statement::Query(query) = &self.stmt {
+            return self
+                .db
+                .execute_query_probed(&self.sql, query, params, probe);
         }
         let t = probe.phase();
         let result = self.db.execute_statement(&self.stmt, params);

@@ -5,8 +5,9 @@
 //! * [`scan`] — scans plus chunked Filter/Project morsel pipelines;
 //! * [`join`] — hash join (partitioned build + probe), sort-merge, nested loop;
 //! * [`aggregate`] — hash aggregation with per-worker partial maps;
-//! * [`sort`] — sort, top-k (`ORDER BY ... LIMIT`), and window ranking;
-//! * [`setops`] — `UNION ALL`, `DISTINCT`, `LIMIT`.
+//! * [`sort`] — sort (parallel run-sort + pairwise merge), top-k
+//!   (`ORDER BY ... LIMIT`), and window ranking;
+//! * [`setops`] — `UNION ALL`, `DISTINCT` (hash-partitioned dedup), `LIMIT`.
 //!
 //! Every operator executes through an [`ExecContext`], which carries the
 //! parallelism knob, the shared worker pool, and the `EXPLAIN ANALYZE` stats
@@ -101,7 +102,17 @@ fn dispatch(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
         PhysPlan::IndexScan {
             rows, index, keys, ..
         } => match keys {
-            Some(keys) => Ok(scan::index_scan(rows, index, keys)),
+            Some(keys) => {
+                // Key tuples are constant expressions (literals once any
+                // parameters are bound); evaluate them to values here.
+                // `index_scan` drops NULL-containing tuples and dedups row
+                // indexes, so duplicate tuples are harmless.
+                let key_values: Vec<Vec<crate::value::Value>> = keys
+                    .iter()
+                    .map(|tuple| tuple.iter().map(|e| e.eval_const()).collect())
+                    .collect::<Result<_>>()?;
+                Ok(scan::index_scan(rows, index, &key_values))
+            }
             None => Err(crate::error::EngineError::exec(
                 "probe-driven IndexScan can only run inside an IndexJoin",
             )),

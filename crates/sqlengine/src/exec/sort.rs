@@ -1,11 +1,14 @@
 //! Sort, top-k (`ORDER BY ... LIMIT`), and window ranking.
 //!
-//! Sorting stays a serial stable sort (the comparator ties on original row
-//! index, so the result is deterministic); in parallel mode only the
-//! per-row sort-key evaluation is spread over morsels. Top-k avoids the full
-//! sort with a `select_nth_unstable_by` partition followed by sorting just
-//! the head — the comparator's index tiebreak makes it a total order, so the
-//! head is exactly the first k rows the stable full sort would produce.
+//! Sorting is morsel-parallel end to end: per-row key evaluation fans out
+//! over morsels, each worker sorts one run, and the sorted runs are combined
+//! by pairwise parallel merge rounds. The comparator ties on original row
+//! index, making it a *total* order — no two elements compare equal — so the
+//! merge is unambiguous and the parallel result is identical to the serial
+//! stable sort. Top-k avoids the full sort with a `select_nth_unstable_by`
+//! partition followed by sorting just the head — the same index tiebreak
+//! makes the head exactly the first k rows the stable full sort would
+//! produce.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -93,7 +96,6 @@ pub(crate) fn sort(
     let mut rows_in = 0usize;
     let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
 
-    // Only the per-row key evaluation fans out; the sort itself is serial.
     let parallel = ctx.should_parallelize(shared.len());
     let key_values = eval_keys(&shared, keys, ctx)?;
     let mut keyed: Vec<(Vec<Value>, usize)> = key_values
@@ -101,7 +103,11 @@ pub(crate) fn sort(
         .enumerate()
         .map(|(i, k)| (k, i))
         .collect();
-    keyed.sort_by(|a, b| cmp_keyed(keys, a, b));
+    if parallel {
+        keyed = parallel_sort(keyed, keys, ctx);
+    } else {
+        keyed.sort_by(|a, b| cmp_keyed(keys, a, b));
+    }
 
     let mut rows = super::into_owned(shared);
     let mut out = Vec::with_capacity(rows.len());
@@ -114,6 +120,78 @@ pub(crate) fn sort(
         workers: if parallel { ctx.parallelism() } else { 1 },
         children,
     })
+}
+
+type Keyed = (Vec<Value>, usize);
+
+/// Parallel sort: one run per worker sorted on the pool, then pairwise
+/// parallel merge rounds. Because [`cmp_keyed`] is a total order (index
+/// tiebreak), `sort_unstable_by` inside a run and the two-way merges both
+/// reproduce the serial stable sort exactly.
+fn parallel_sort(
+    mut keyed: Vec<Keyed>,
+    keys: &[(PhysExpr, bool)],
+    ctx: &ExecContext,
+) -> Vec<Keyed> {
+    let keys: Arc<Vec<(PhysExpr, bool)>> = Arc::new(keys.to_vec());
+    // One run per worker (not per morsel): fewer, larger runs keep the merge
+    // tree shallow, and run sorting is already load-balanced by size.
+    let mut runs: Vec<Vec<Keyed>> = super::context::morsel_ranges(keyed.len(), ctx.parallelism())
+        .into_iter()
+        .rev()
+        .map(|range| keyed.split_off(range.start))
+        .collect();
+    runs.reverse();
+    let jobs: Vec<ChunkJob<Vec<Keyed>>> = runs
+        .into_iter()
+        .map(|mut run| {
+            let keys = Arc::clone(&keys);
+            let job: ChunkJob<Vec<Keyed>> = Box::new(move || {
+                run.sort_unstable_by(|a, b| cmp_keyed(&keys, a, b));
+                run
+            });
+            job
+        })
+        .collect();
+    let mut runs = ctx.run_jobs(jobs);
+    while runs.len() > 1 {
+        let mut jobs: Vec<ChunkJob<Vec<Keyed>>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            let job: ChunkJob<Vec<Keyed>> = match iter.next() {
+                Some(b) => {
+                    let keys = Arc::clone(&keys);
+                    Box::new(move || merge_runs(a, b, &keys))
+                }
+                None => Box::new(move || a),
+            };
+            jobs.push(job);
+        }
+        runs = ctx.run_jobs(jobs);
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Two-way merge of sorted runs under the total order.
+fn merge_runs(a: Vec<Keyed>, b: Vec<Keyed>, keys: &[(PhysExpr, bool)]) -> Vec<Keyed> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if cmp_keyed(keys, x, y) == std::cmp::Ordering::Greater {
+                    out.push(b.next().expect("peeked"));
+                } else {
+                    out.push(a.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 /// `ORDER BY ... LIMIT`: return only the first `k` rows of the sort, found by

@@ -178,10 +178,16 @@ impl ScalarFunc {
 }
 
 /// A bound expression: column references resolved to offsets, parameters
-/// substituted, functions resolved.
+/// substituted (or kept symbolic for cached plan templates), functions
+/// resolved.
 #[derive(Debug, Clone)]
 pub enum PhysExpr {
     Literal(Value),
+    /// Unbound positional parameter (1-based). Only present in plan
+    /// *templates* produced by symbolic binding ([`bind_expr_symbolic`]);
+    /// [`substitute_params`] replaces every occurrence with the bound value
+    /// before execution, so the evaluator never sees one.
+    Param(usize),
     Column(usize),
     Unary {
         op: UnaryOp,
@@ -227,40 +233,64 @@ pub enum PhysExpr {
     },
 }
 
+/// How parameter markers are bound: inlined as literals from the bound
+/// value slice (the classic path), or kept symbolic as [`PhysExpr::Param`]
+/// nodes so the resulting plan can be cached as a template and re-bound per
+/// execution.
+#[derive(Clone, Copy)]
+pub enum ParamBinding<'a> {
+    Inline(&'a [Value]),
+    Symbolic,
+}
+
 /// Bind an AST expression against `scope`, substituting `params`.
 ///
 /// Aggregate and window expressions must have been rewritten away by the
 /// planner before binding; finding one here is a planning bug surfaced as an
 /// error.
 pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<PhysExpr> {
+    bind_expr_with(expr, scope, ParamBinding::Inline(params))
+}
+
+/// [`bind_expr`] with parameters kept symbolic (plan-template mode).
+pub fn bind_expr_symbolic(expr: &ast::Expr, scope: &Scope) -> Result<PhysExpr> {
+    bind_expr_with(expr, scope, ParamBinding::Symbolic)
+}
+
+/// Shared binder; `binding` selects how `?` markers are handled.
+pub fn bind_expr_with(expr: &ast::Expr, scope: &Scope, binding: ParamBinding) -> Result<PhysExpr> {
     use ast::Expr as E;
+    let bind = |e: &ast::Expr| bind_expr_with(e, scope, binding);
     Ok(match expr {
         E::Literal(v, _) => PhysExpr::Literal(v.clone()),
-        E::Param(i, _) => {
-            let v = params.get(i - 1).ok_or_else(|| {
-                EngineError::Parameter(format!(
-                    "parameter ?{i} referenced but only {} bound",
-                    params.len()
-                ))
-            })?;
-            PhysExpr::Literal(v.clone())
-        }
+        E::Param(i, _) => match binding {
+            ParamBinding::Inline(params) => {
+                let v = params.get(i - 1).ok_or_else(|| {
+                    EngineError::Parameter(format!(
+                        "parameter ?{i} referenced but only {} bound",
+                        params.len()
+                    ))
+                })?;
+                PhysExpr::Literal(v.clone())
+            }
+            ParamBinding::Symbolic => PhysExpr::Param(*i),
+        },
         E::Column {
             qualifier, name, ..
         } => PhysExpr::Column(scope.resolve(qualifier.as_deref(), name)?),
         E::Unary { op, expr, .. } => PhysExpr::Unary {
             op: *op,
-            expr: Box::new(bind_expr(expr, scope, params)?),
+            expr: Box::new(bind(expr)?),
         },
         E::Binary {
             left, op, right, ..
         } => PhysExpr::Binary {
-            left: Box::new(bind_expr(left, scope, params)?),
+            left: Box::new(bind(left)?),
             op: *op,
-            right: Box::new(bind_expr(right, scope, params)?),
+            right: Box::new(bind(right)?),
         },
         E::IsNull { expr, negated, .. } => PhysExpr::IsNull {
-            expr: Box::new(bind_expr(expr, scope, params)?),
+            expr: Box::new(bind(expr)?),
             negated: *negated,
         },
         E::InList {
@@ -269,11 +299,8 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             negated,
             ..
         } => PhysExpr::InList {
-            expr: Box::new(bind_expr(expr, scope, params)?),
-            list: list
-                .iter()
-                .map(|e| bind_expr(e, scope, params))
-                .collect::<Result<_>>()?,
+            expr: Box::new(bind(expr)?),
+            list: list.iter().map(bind).collect::<Result<_>>()?,
             negated: *negated,
         },
         E::Between {
@@ -283,9 +310,9 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             negated,
             ..
         } => PhysExpr::Between {
-            expr: Box::new(bind_expr(expr, scope, params)?),
-            low: Box::new(bind_expr(low, scope, params)?),
-            high: Box::new(bind_expr(high, scope, params)?),
+            expr: Box::new(bind(expr)?),
+            low: Box::new(bind(low)?),
+            high: Box::new(bind(high)?),
             negated: *negated,
         },
         E::Like {
@@ -294,8 +321,8 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             negated,
             ..
         } => PhysExpr::Like {
-            expr: Box::new(bind_expr(expr, scope, params)?),
-            pattern: Box::new(bind_expr(pattern, scope, params)?),
+            expr: Box::new(bind(expr)?),
+            pattern: Box::new(bind(pattern)?),
             negated: *negated,
         },
         E::Case {
@@ -304,21 +331,15 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             else_expr,
             ..
         } => PhysExpr::Case {
-            operand: operand
-                .as_ref()
-                .map(|e| bind_expr(e, scope, params).map(Box::new))
-                .transpose()?,
+            operand: operand.as_deref().map(&bind).transpose()?.map(Box::new),
             branches: branches
                 .iter()
-                .map(|(w, t)| Ok((bind_expr(w, scope, params)?, bind_expr(t, scope, params)?)))
+                .map(|(w, t)| Ok((bind(w)?, bind(t)?)))
                 .collect::<Result<_>>()?,
-            else_expr: else_expr
-                .as_ref()
-                .map(|e| bind_expr(e, scope, params).map(Box::new))
-                .transpose()?,
+            else_expr: else_expr.as_deref().map(&bind).transpose()?.map(Box::new),
         },
         E::Cast { expr, ty, .. } => PhysExpr::Cast {
-            expr: Box::new(bind_expr(expr, scope, params)?),
+            expr: Box::new(bind(expr)?),
             ty: *ty,
         },
         E::Function { name, args, .. } => {
@@ -332,10 +353,7 @@ pub fn bind_expr(expr: &ast::Expr, scope: &Scope, params: &[Value]) -> Result<Ph
             }
             PhysExpr::Function {
                 func,
-                args: args
-                    .iter()
-                    .map(|e| bind_expr(e, scope, params))
-                    .collect::<Result<_>>()?,
+                args: args.iter().map(bind).collect::<Result<_>>()?,
             }
         }
         E::Aggregate { .. } => {
@@ -362,6 +380,11 @@ impl PhysExpr {
     pub fn eval(&self, row: &[Value]) -> Result<Value> {
         match self {
             PhysExpr::Literal(v) => Ok(v.clone()),
+            // Templates are re-bound via `substitute_params` before they
+            // reach the executor; evaluating a leftover marker is a bug.
+            PhysExpr::Param(i) => Err(EngineError::Parameter(format!(
+                "parameter ?{i} evaluated without a bound value"
+            ))),
             PhysExpr::Column(i) => Ok(row[*i].clone()),
             PhysExpr::Unary { op, expr } => {
                 let v = expr.eval(row)?;
@@ -495,6 +518,120 @@ impl PhysExpr {
     pub fn eval_const(&self) -> Result<Value> {
         self.eval(&[])
     }
+
+    /// Whether this (sub)tree still carries an unbound parameter marker.
+    pub fn contains_param(&self) -> bool {
+        match self {
+            PhysExpr::Param(_) => true,
+            PhysExpr::Literal(_) | PhysExpr::Column(_) => false,
+            PhysExpr::Unary { expr, .. } | PhysExpr::IsNull { expr, .. } => expr.contains_param(),
+            PhysExpr::Cast { expr, .. } => expr.contains_param(),
+            PhysExpr::Binary { left, right, .. } => left.contains_param() || right.contains_param(),
+            PhysExpr::InList { expr, list, .. } => {
+                expr.contains_param() || list.iter().any(PhysExpr::contains_param)
+            }
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => expr.contains_param() || low.contains_param() || high.contains_param(),
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.contains_param() || pattern.contains_param()
+            }
+            PhysExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                operand.as_deref().is_some_and(PhysExpr::contains_param)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_param() || t.contains_param())
+                    || else_expr.as_deref().is_some_and(PhysExpr::contains_param)
+            }
+            PhysExpr::Function { args, .. } => args.iter().any(PhysExpr::contains_param),
+        }
+    }
+}
+
+/// Rebuild a plan-template expression with every [`PhysExpr::Param`]
+/// replaced by its bound value. Errors when a marker references past the end
+/// of `params`, with the same message the inline binder produces.
+pub fn substitute_params(e: &PhysExpr, params: &[Value]) -> Result<PhysExpr> {
+    let sub = |e: &PhysExpr| substitute_params(e, params);
+    let sub_box = |e: &PhysExpr| sub(e).map(Box::new);
+    Ok(match e {
+        PhysExpr::Param(i) => {
+            let v = params.get(i - 1).ok_or_else(|| {
+                EngineError::Parameter(format!(
+                    "parameter ?{i} referenced but only {} bound",
+                    params.len()
+                ))
+            })?;
+            PhysExpr::Literal(v.clone())
+        }
+        PhysExpr::Literal(_) | PhysExpr::Column(_) => e.clone(),
+        PhysExpr::Unary { op, expr } => PhysExpr::Unary {
+            op: *op,
+            expr: sub_box(expr)?,
+        },
+        PhysExpr::Binary { left, op, right } => PhysExpr::Binary {
+            left: sub_box(left)?,
+            op: *op,
+            right: sub_box(right)?,
+        },
+        PhysExpr::IsNull { expr, negated } => PhysExpr::IsNull {
+            expr: sub_box(expr)?,
+            negated: *negated,
+        },
+        PhysExpr::InList {
+            expr,
+            list,
+            negated,
+        } => PhysExpr::InList {
+            expr: sub_box(expr)?,
+            list: list.iter().map(sub).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        PhysExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => PhysExpr::Between {
+            expr: sub_box(expr)?,
+            low: sub_box(low)?,
+            high: sub_box(high)?,
+            negated: *negated,
+        },
+        PhysExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => PhysExpr::Like {
+            expr: sub_box(expr)?,
+            pattern: sub_box(pattern)?,
+            negated: *negated,
+        },
+        PhysExpr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => PhysExpr::Case {
+            operand: operand.as_deref().map(&sub_box).transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((sub(w)?, sub(t)?)))
+                .collect::<Result<_>>()?,
+            else_expr: else_expr.as_deref().map(&sub_box).transpose()?,
+        },
+        PhysExpr::Cast { expr, ty } => PhysExpr::Cast {
+            expr: sub_box(expr)?,
+            ty: *ty,
+        },
+        PhysExpr::Function { func, args } => PhysExpr::Function {
+            func: *func,
+            args: args.iter().map(sub).collect::<Result<_>>()?,
+        },
+    })
 }
 
 fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {

@@ -15,9 +15,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::ast::{self, Expr, JoinKind, OrderItem, Query, Select, SelectItem, SetExpr, TableRef};
-use crate::catalog::{Catalog, Schema};
+use crate::catalog::{Catalog, Schema, Table};
 use crate::error::{EngineError, Result, Span};
-use crate::expr::{bind_expr, ColLabel, PhysExpr, Scope};
+use crate::expr::{bind_expr, bind_expr_symbolic, substitute_params, ColLabel, PhysExpr, Scope};
 use crate::value::{Row, Value};
 
 /// Which algorithm executes detected equi-joins.
@@ -130,16 +130,19 @@ pub enum PhysPlan {
         width: usize,
     },
     /// Point / multi-point lookup against a table index instead of a full
-    /// scan. `keys` holds the literal key tuples when the planner resolved
-    /// them from equality / `IN` predicates; it is `None` when this node is
-    /// the inner side of an [`PhysPlan::IndexJoin`] and is probed with keys
-    /// computed from the outer side at runtime.
+    /// scan. `keys` holds the row-independent key tuples when the planner
+    /// resolved them from equality / `IN` predicates — literals after inline
+    /// binding, possibly [`PhysExpr::Param`]-bearing expressions in cached
+    /// plan templates (the executor const-evaluates each tuple, dropping
+    /// NULL-containing ones). It is `None` when this node is the inner side
+    /// of an [`PhysPlan::IndexJoin`] and is probed with keys computed from
+    /// the outer side at runtime.
     IndexScan {
         rows: Arc<Vec<Row>>,
         width: usize,
         index_name: String,
         index: IndexRef,
-        keys: Option<Vec<Vec<Value>>>,
+        keys: Option<Vec<Vec<PhysExpr>>>,
     },
     /// Index-nested-loop join: for each probe row, evaluate `probe_keys` and
     /// look the tuple up in the inner side's index — the inner table is never
@@ -382,6 +385,34 @@ fn index_join_choice(
     None
 }
 
+/// Wrap `input` in a projection — unless the projection is an identity map
+/// over a leaf of known width, i.e. a pure column rename (`SELECT * FROM t`,
+/// derived-table aliasing like `(SELECT n, term AS j FROM t) AS qx`). Such
+/// projections change nothing but names (which live in the scope, not the
+/// plan), and eliding them both skips a per-row copy and leaves the bare
+/// scan visible to the join planner's index-access machinery.
+fn project_or_elide(input: PhysPlan, exprs: Vec<PhysExpr>) -> PhysPlan {
+    let width = match &input {
+        PhysPlan::Scan { width, .. }
+        | PhysPlan::VirtualScan { width, .. }
+        | PhysPlan::IndexScan { width, .. } => Some(*width),
+        _ => None,
+    };
+    let identity = width == Some(exprs.len())
+        && exprs
+            .iter()
+            .enumerate()
+            .all(|(i, e)| matches!(e, PhysExpr::Column(c) if *c == i));
+    if identity {
+        input
+    } else {
+        PhysPlan::Project {
+            input: Box::new(input),
+            exprs,
+        }
+    }
+}
+
 /// Assemble the `IndexJoin` plan for a choice made by `index_join_choice`.
 fn build_index_join(
     l: PlannedItem,
@@ -433,6 +464,10 @@ pub struct Planner<'a> {
     pub catalog: &'a Catalog,
     pub params: &'a [Value],
     pub config: PlannerConfig,
+    /// Bind `?` markers symbolically ([`PhysExpr::Param`]) instead of
+    /// inlining `params`, producing a cacheable plan template that is
+    /// re-bound per execution via [`bind_plan_params`].
+    symbolic_params: bool,
     /// Resolver for virtual `sys.*` tables (engine-provided; `None` in
     /// bare planner tests).
     virtuals: Option<&'a dyn VirtualTables>,
@@ -460,6 +495,7 @@ impl<'a> Planner<'a> {
             catalog,
             params,
             config,
+            symbolic_params: false,
             virtuals: None,
             used_virtual: false,
             cte_frames: Vec::new(),
@@ -473,6 +509,25 @@ impl<'a> Planner<'a> {
     pub fn with_virtuals(mut self, virtuals: &'a dyn VirtualTables) -> Self {
         self.virtuals = Some(virtuals);
         self
+    }
+
+    /// Keep `?` markers symbolic so the resulting plan can be cached as a
+    /// template. The caller must have checked [`params_unsupported`] first:
+    /// parameters in positions consumed at plan time (LIMIT/OFFSET,
+    /// subquery bodies, materialized CTEs) cannot stay symbolic.
+    #[must_use]
+    pub fn symbolic(mut self) -> Self {
+        self.symbolic_params = true;
+        self
+    }
+
+    /// Bind an expression honouring the planner's parameter mode.
+    fn bind(&self, e: &Expr, scope: &Scope) -> Result<PhysExpr> {
+        if self.symbolic_params {
+            bind_expr_symbolic(e, scope)
+        } else {
+            bind_expr(e, scope, self.params)
+        }
     }
 
     /// Whether any table ref in the last planned statement was virtual.
@@ -562,7 +617,7 @@ impl<'a> Planner<'a> {
     }
 
     fn const_usize(&self, e: &Expr, what: &str) -> Result<usize> {
-        let bound = bind_expr(e, &Scope::default(), self.params)?;
+        let bound = self.bind(e, &Scope::default())?;
         let v = bound.eval_const()?;
         v.as_i64()?
             .filter(|&i| i >= 0)
@@ -614,6 +669,44 @@ impl<'a> Planner<'a> {
 
     /// Plan a single table factor, producing its plan, scope, and (for bare
     /// base-table scans) the table's access paths.
+    /// Access-path metadata for a base table, when index planning is on.
+    fn table_access(&self, table: &Table) -> Option<TableAccess> {
+        if !self.config.use_indexes {
+            return None;
+        }
+        let mut indexes = Vec::new();
+        if let Some(p) = &table.primary {
+            indexes.push(IndexMeta {
+                name: format!("{}.pk", table.name),
+                key_columns: p.key_columns.clone(),
+                index: IndexRef::Unique(Arc::clone(&p.map)),
+            });
+        }
+        for s in &table.secondary {
+            indexes.push(IndexMeta {
+                name: s.name.clone(),
+                key_columns: s.key_columns.clone(),
+                index: IndexRef::Multi(Arc::clone(&s.map)),
+            });
+        }
+        Some(TableAccess {
+            rows: Arc::clone(&table.rows),
+            width: table.schema.len(),
+            indexes,
+        })
+    }
+
+    /// Find the catalog table whose row store is exactly `rows` (pointer
+    /// identity — scans clone the table's `Arc`), if any.
+    fn table_access_for_rows(&self, rows: &Arc<Vec<Row>>) -> Option<TableAccess> {
+        self.catalog
+            .table_names()
+            .into_iter()
+            .filter_map(|n| self.catalog.get(&n).ok())
+            .find(|t| Arc::ptr_eq(&t.rows, rows))
+            .and_then(|t| self.table_access(t))
+    }
+
     fn plan_table_ref(&mut self, tref: &TableRef) -> Result<PlannedItem> {
         match tref {
             TableRef::Named { name, alias, .. } => {
@@ -680,30 +773,7 @@ impl<'a> Planner<'a> {
                         .iter()
                         .map(|c| ColLabel::new(Some(&qual), &c.name).with_ty(c.ty))
                         .collect();
-                    let access = if self.config.use_indexes {
-                        let mut indexes = Vec::new();
-                        if let Some(p) = &table.primary {
-                            indexes.push(IndexMeta {
-                                name: format!("{}.pk", table.name),
-                                key_columns: p.key_columns.clone(),
-                                index: IndexRef::Unique(Arc::clone(&p.map)),
-                            });
-                        }
-                        for s in &table.secondary {
-                            indexes.push(IndexMeta {
-                                name: s.name.clone(),
-                                key_columns: s.key_columns.clone(),
-                                index: IndexRef::Multi(Arc::clone(&s.map)),
-                            });
-                        }
-                        Some(TableAccess {
-                            rows: Arc::clone(&table.rows),
-                            width: table.schema.len(),
-                            indexes,
-                        })
-                    } else {
-                        None
-                    };
+                    let access = self.table_access(table);
                     Ok(PlannedItem {
                         plan: PhysPlan::Scan {
                             rows: Arc::clone(&table.rows),
@@ -722,10 +792,20 @@ impl<'a> Planner<'a> {
                     .iter()
                     .map(|c| ColLabel::new(Some(alias), c))
                     .collect();
+                // A derived table that planned down to the bare scan of a
+                // base table (its identity projection was elided — a pure
+                // column-rename subquery, the serving queries' `(SELECT n,
+                // term AS j, cnt AS w FROM features) AS qx` shape) keeps the
+                // table's access paths, so joins against it can still probe
+                // indexes instead of rescanning the whole table.
+                let access = match &planned.plan {
+                    PhysPlan::Scan { rows, .. } => self.table_access_for_rows(rows),
+                    _ => None,
+                };
                 Ok(PlannedItem {
                     plan: planned.plan,
                     scope: Scope::new(labels),
-                    access: None,
+                    access,
                 })
             }
             TableRef::Join {
@@ -776,7 +856,7 @@ impl<'a> Planner<'a> {
                 }
                 if left_keys.is_empty() {
                     let predicate = conjoin(&conjuncts);
-                    let bound = bind_expr(&predicate, &joined_scope, self.params)?;
+                    let bound = self.bind(&predicate, &joined_scope)?;
                     PhysPlan::NestedLoopJoin {
                         left: Box::new(l.plan),
                         right: Box::new(r.plan),
@@ -789,7 +869,7 @@ impl<'a> Planner<'a> {
                         None
                     } else {
                         let refs: Vec<&Expr> = residual.iter().collect();
-                        Some(bind_expr(&conjoin(&refs), &joined_scope, self.params)?)
+                        Some(self.bind(&conjoin(&refs), &joined_scope)?)
                     };
                     if let Some(choice) = index_join_choice(&l, &left_keys, &r, &right_keys, kind) {
                         build_index_join(l, left_keys, r, right_keys, kind, residual, choice)
@@ -832,7 +912,7 @@ impl<'a> Planner<'a> {
         else {
             return Ok(None);
         };
-        let try_bind = |e: &Expr, s: &Scope| bind_expr(e, s, self.params).ok();
+        let try_bind = |e: &Expr, s: &Scope| self.bind(e, s).ok();
         if let (Some(le), Some(re)) = (try_bind(left, ls), try_bind(right, rs)) {
             return Ok(Some((le, re)));
         }
@@ -995,7 +1075,7 @@ impl<'a> Planner<'a> {
         let leftovers = std::mem::take(&mut self.leftover_conjuncts);
         if !leftovers.is_empty() {
             let refs: Vec<&Expr> = leftovers.iter().collect();
-            let predicate = bind_expr(&conjoin(&refs), &scope, self.params)?;
+            let predicate = self.bind(&conjoin(&refs), &scope)?;
             plan = PhysPlan::Filter {
                 input: Box::new(plan),
                 predicate,
@@ -1070,7 +1150,7 @@ impl<'a> Planner<'a> {
             proj_items = rewritten_proj;
             order_items = rewritten_order;
             if let Some(having) = rewritten_having {
-                let predicate = bind_expr(&having, &scope, self.params)?;
+                let predicate = self.bind(&having, &scope)?;
                 plan = PhysPlan::Filter {
                     input: Box::new(plan),
                     predicate,
@@ -1097,11 +1177,11 @@ impl<'a> Planner<'a> {
             };
             let partition = partition_by
                 .iter()
-                .map(|e| bind_expr(e, &scope, self.params))
+                .map(|e| self.bind(e, &scope))
                 .collect::<Result<Vec<_>>>()?;
             let order = worder
                 .iter()
-                .map(|oi| Ok((bind_expr(&oi.expr, &scope, self.params)?, oi.descending)))
+                .map(|oi| Ok((self.bind(&oi.expr, &scope)?, oi.descending)))
                 .collect::<Result<Vec<_>>>()?;
             plan = PhysPlan::Window {
                 input: Box::new(plan),
@@ -1125,7 +1205,7 @@ impl<'a> Planner<'a> {
         let mut out_labels = Vec::with_capacity(proj_items.len());
         let mut columns = Vec::with_capacity(proj_items.len());
         for (i, (e, alias)) in proj_items.iter().enumerate() {
-            exprs.push(bind_expr(e, &scope, self.params)?);
+            exprs.push(self.bind(e, &scope)?);
             let name = alias.clone().unwrap_or_else(|| display_name(e, i));
             out_labels.push(ColLabel::bare(&name));
             columns.push(name);
@@ -1148,10 +1228,10 @@ impl<'a> Planner<'a> {
                 sort_keys.push((PhysExpr::Column(idx), oi.descending));
                 continue;
             }
-            match bind_expr(&oi.expr, &out_scope, self.params) {
+            match self.bind(&oi.expr, &out_scope) {
                 Ok(b) => sort_keys.push((b, oi.descending)),
                 Err(_) => {
-                    let b = bind_expr(&oi.expr, &scope, self.params)?;
+                    let b = self.bind(&oi.expr, &scope)?;
                     let idx = out_width + hidden.len();
                     hidden.push(b);
                     sort_keys.push((PhysExpr::Column(idx), oi.descending));
@@ -1160,10 +1240,7 @@ impl<'a> Planner<'a> {
         }
 
         if hidden.is_empty() {
-            plan = PhysPlan::Project {
-                input: Box::new(plan),
-                exprs,
-            };
+            plan = project_or_elide(plan, exprs);
             if select.distinct {
                 plan = PhysPlan::Distinct {
                     input: Box::new(plan),
@@ -1223,7 +1300,7 @@ impl<'a> Planner<'a> {
             let mut kept = Vec::new();
             let mut pushed: Vec<Expr> = Vec::new();
             for c in remaining.drain(..) {
-                if bind_expr(&c, &item.scope, self.params).is_ok() {
+                if self.bind(&c, &item.scope).is_ok() {
                     pushed.push(c);
                 } else {
                     kept.push(c);
@@ -1251,7 +1328,7 @@ impl<'a> Planner<'a> {
                 item.access = None;
                 if !residual.is_empty() {
                     let refs: Vec<&Expr> = residual.iter().collect();
-                    let predicate = bind_expr(&conjoin(&refs), &item.scope, self.params)?;
+                    let predicate = self.bind(&conjoin(&refs), &item.scope)?;
                     let input = std::mem::replace(&mut item.plan, PhysPlan::OneRow);
                     item.plan = PhysPlan::Filter {
                         input: Box::new(input),
@@ -1338,7 +1415,7 @@ impl<'a> Planner<'a> {
                     let mut kept = Vec::new();
                     let mut apply: Vec<Expr> = Vec::new();
                     for c in remaining.drain(..) {
-                        if bind_expr(&c, &scope, self.params).is_ok() {
+                        if self.bind(&c, &scope).is_ok() {
                             apply.push(c);
                         } else {
                             kept.push(c);
@@ -1347,7 +1424,7 @@ impl<'a> Planner<'a> {
                     remaining = kept;
                     if !apply.is_empty() {
                         let refs: Vec<&Expr> = apply.iter().collect();
-                        let predicate = bind_expr(&conjoin(&refs), &scope, self.params)?;
+                        let predicate = self.bind(&conjoin(&refs), &scope)?;
                         plan = PhysPlan::Filter {
                             input: Box::new(plan),
                             predicate,
@@ -1369,18 +1446,19 @@ impl<'a> Planner<'a> {
     /// an `IndexScan`. Recognizes `col = <const>` and non-negated
     /// `col IN (<consts>)`; if some index's key columns are all constrained,
     /// returns the lookup plan plus the indexes (into `conjuncts`) of the
-    /// conjuncts it fully consumed. NULL values are dropped from the key sets
-    /// (`col = NULL` matches nothing), and the cartesian product of IN-list
-    /// values is capped at `MAX_INDEX_KEYS` per index.
+    /// conjuncts it fully consumed. Literal NULLs are dropped from the key
+    /// sets at plan time (`col = NULL` matches nothing) and the executor
+    /// re-applies the same rule after parameter substitution; the cartesian
+    /// product of IN-list values is capped at `MAX_INDEX_KEYS` per index.
     fn try_index_scan(
         &self,
         access: &TableAccess,
         scope: &Scope,
         conjuncts: &[Expr],
     ) -> Result<Option<(PhysPlan, Vec<usize>)>> {
-        // col → (conjunct index, candidate values). First conjunct per
-        // column wins; a second one stays behind as a residual filter.
-        let mut candidates: HashMap<usize, (usize, Vec<Value>)> = HashMap::new();
+        // col → (conjunct index, candidate key expressions). First conjunct
+        // per column wins; a second one stays behind as a residual filter.
+        let mut candidates: HashMap<usize, (usize, Vec<PhysExpr>)> = HashMap::new();
         for (ci, c) in conjuncts.iter().enumerate() {
             let (col, values) = match c {
                 Expr::Binary {
@@ -1390,11 +1468,11 @@ impl<'a> Planner<'a> {
                     ..
                 } => {
                     if let (Some(col), Some(v)) =
-                        (self.as_scope_column(left, scope), self.const_value(right))
+                        (self.as_scope_column(left, scope), self.const_expr(right))
                     {
                         (col, vec![v])
                     } else if let (Some(col), Some(v)) =
-                        (self.as_scope_column(right, scope), self.const_value(left))
+                        (self.as_scope_column(right, scope), self.const_expr(left))
                     {
                         (col, vec![v])
                     } else {
@@ -1412,7 +1490,7 @@ impl<'a> Planner<'a> {
                     };
                     let Some(values) = list
                         .iter()
-                        .map(|e| self.const_value(e))
+                        .map(|e| self.const_expr(e))
                         .collect::<Option<Vec<_>>>()
                     else {
                         continue;
@@ -1430,16 +1508,27 @@ impl<'a> Planner<'a> {
             if !idx.key_columns.iter().all(|c| candidates.contains_key(c)) {
                 continue;
             }
-            // Cartesian product of per-column value sets, NULLs dropped and
-            // duplicates removed (index maps compare with `Value`'s total
-            // equality, which matches `=` for non-NULL operands).
-            let mut keys: Vec<Vec<Value>> = vec![Vec::new()];
+            // Cartesian product of per-column value sets. Literal NULLs are
+            // dropped and literal duplicates removed here (index maps compare
+            // with `Value`'s total equality, which matches `=` for non-NULL
+            // operands); symbolic parameter expressions pass through and get
+            // the same treatment in the executor once their values are known.
+            let mut keys: Vec<Vec<PhysExpr>> = vec![Vec::new()];
             for c in &idx.key_columns {
                 let (_, values) = &candidates[c];
-                let mut uniq: Vec<&Value> = Vec::new();
+                let mut uniq: Vec<&PhysExpr> = Vec::new();
                 for v in values {
-                    if !matches!(v, Value::Null) && !uniq.contains(&v) {
-                        uniq.push(v);
+                    match v {
+                        PhysExpr::Literal(val) => {
+                            let dup = matches!(val, Value::Null)
+                                || uniq
+                                    .iter()
+                                    .any(|u| matches!(u, PhysExpr::Literal(x) if x == val));
+                            if !dup {
+                                uniq.push(v);
+                            }
+                        }
+                        _ => uniq.push(v),
                     }
                 }
                 let mut next = Vec::with_capacity(keys.len() * uniq.len());
@@ -1475,17 +1564,22 @@ impl<'a> Planner<'a> {
         if !matches!(e, Expr::Column { .. }) {
             return None;
         }
-        match bind_expr(e, scope, self.params) {
+        match self.bind(e, scope) {
             Ok(PhysExpr::Column(c)) => Some(c),
             _ => None,
         }
     }
 
-    /// `e` as a constant `Value`, if it binds without any column references
-    /// and const-evaluates (parameters are inlined by `bind_expr`).
-    fn const_value(&self, e: &Expr) -> Option<Value> {
-        let bound = bind_expr(e, &Scope::default(), self.params).ok()?;
-        bound.eval_const().ok()
+    /// `e` as a row-independent index-key expression: it must bind without
+    /// column references, and then either const-folds to a literal now, or
+    /// (in symbolic mode) still carries parameter markers and is evaluated
+    /// at execution time once they are bound.
+    fn const_expr(&self, e: &Expr) -> Option<PhysExpr> {
+        let bound = self.bind(e, &Scope::default()).ok()?;
+        if bound.contains_param() {
+            return Some(bound);
+        }
+        bound.eval_const().ok().map(PhysExpr::Literal)
     }
 
     /// Build the Aggregate node and rewrite projection/HAVING/ORDER BY in
@@ -1520,7 +1614,7 @@ impl<'a> Planner<'a> {
 
         let keys = group_by
             .iter()
-            .map(|e| bind_expr(e, in_scope, self.params))
+            .map(|e| self.bind(e, in_scope))
             .collect::<Result<Vec<_>>>()?;
         let aggs = agg_exprs
             .iter()
@@ -1536,10 +1630,7 @@ impl<'a> Planner<'a> {
                 };
                 Ok(AggSpec {
                     func: *func,
-                    arg: arg
-                        .as_ref()
-                        .map(|a| bind_expr(a, in_scope, self.params))
-                        .transpose()?,
+                    arg: arg.as_ref().map(|a| self.bind(a, in_scope)).transpose()?,
                     distinct: *distinct,
                 })
             })
@@ -1620,7 +1711,7 @@ impl<'a> Planner<'a> {
                         })?;
                     return Ok((PhysExpr::Column(idx), oi.descending));
                 }
-                Ok((bind_expr(&oi.expr, scope, self.params)?, oi.descending))
+                Ok((self.bind(&oi.expr, scope)?, oi.descending))
             })
             .collect()
     }
@@ -1885,6 +1976,283 @@ pub(crate) fn replace_subtree(e: &mut Expr, target: &Expr, replacement: &Expr) {
         }
         Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => replace_subtree(expr, target, replacement),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan templates: parameter substitution and cacheability analysis
+// ---------------------------------------------------------------------
+
+/// Rebuild a cached plan template with every symbolic parameter replaced by
+/// its bound value (see [`crate::expr::substitute_params`]). Plan trees are
+/// small and row snapshots are shared `Arc`s, so this clone is cheap
+/// relative to re-parsing and re-planning the statement.
+pub fn bind_plan_params(plan: &PhysPlan, params: &[Value]) -> Result<PhysPlan> {
+    let sub = |e: &PhysExpr| substitute_params(e, params);
+    let sub_vec = |es: &[PhysExpr]| es.iter().map(&sub).collect::<Result<Vec<_>>>();
+    let sub_opt = |e: &Option<PhysExpr>| e.as_ref().map(&sub).transpose();
+    let rec = |p: &PhysPlan| bind_plan_params(p, params).map(Box::new);
+    Ok(match plan {
+        PhysPlan::Scan { .. } | PhysPlan::VirtualScan { .. } | PhysPlan::OneRow => plan.clone(),
+        PhysPlan::IndexScan {
+            rows,
+            width,
+            index_name,
+            index,
+            keys,
+        } => PhysPlan::IndexScan {
+            rows: Arc::clone(rows),
+            width: *width,
+            index_name: index_name.clone(),
+            index: index.clone(),
+            keys: keys
+                .as_ref()
+                .map(|ks| ks.iter().map(|tuple| sub_vec(tuple)).collect::<Result<_>>())
+                .transpose()?,
+        },
+        PhysPlan::IndexJoin {
+            probe,
+            probe_keys,
+            inner,
+            inner_is_left,
+            kind,
+            inner_width,
+            residual,
+        } => PhysPlan::IndexJoin {
+            probe: rec(probe)?,
+            probe_keys: sub_vec(probe_keys)?,
+            inner: rec(inner)?,
+            inner_is_left: *inner_is_left,
+            kind: *kind,
+            inner_width: *inner_width,
+            residual: sub_opt(residual)?,
+        },
+        PhysPlan::Filter { input, predicate } => PhysPlan::Filter {
+            input: rec(input)?,
+            predicate: sub(predicate)?,
+        },
+        PhysPlan::Project { input, exprs } => PhysPlan::Project {
+            input: rec(input)?,
+            exprs: sub_vec(exprs)?,
+        },
+        PhysPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+            right_width,
+            residual,
+            algo,
+        } => PhysPlan::HashJoin {
+            left: rec(left)?,
+            right: rec(right)?,
+            left_keys: sub_vec(left_keys)?,
+            right_keys: sub_vec(right_keys)?,
+            kind: *kind,
+            right_width: *right_width,
+            residual: sub_opt(residual)?,
+            algo: *algo,
+        },
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            right_width,
+            predicate,
+        } => PhysPlan::NestedLoopJoin {
+            left: rec(left)?,
+            right: rec(right)?,
+            kind: *kind,
+            right_width: *right_width,
+            predicate: sub_opt(predicate)?,
+        },
+        PhysPlan::Aggregate { input, keys, aggs } => PhysPlan::Aggregate {
+            input: rec(input)?,
+            keys: sub_vec(keys)?,
+            aggs: aggs
+                .iter()
+                .map(|a| {
+                    Ok(AggSpec {
+                        func: a.func,
+                        arg: sub_opt(&a.arg)?,
+                        distinct: a.distinct,
+                    })
+                })
+                .collect::<Result<_>>()?,
+        },
+        PhysPlan::Window {
+            input,
+            func,
+            partition,
+            order,
+        } => PhysPlan::Window {
+            input: rec(input)?,
+            func: *func,
+            partition: sub_vec(partition)?,
+            order: order
+                .iter()
+                .map(|(e, d)| Ok((sub(e)?, *d)))
+                .collect::<Result<_>>()?,
+        },
+        PhysPlan::Sort { input, keys } => PhysPlan::Sort {
+            input: rec(input)?,
+            keys: keys
+                .iter()
+                .map(|(e, d)| Ok((sub(e)?, *d)))
+                .collect::<Result<_>>()?,
+        },
+        PhysPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => PhysPlan::Limit {
+            input: rec(input)?,
+            limit: *limit,
+            offset: *offset,
+        },
+        PhysPlan::UnionAll { inputs } => PhysPlan::UnionAll {
+            inputs: inputs
+                .iter()
+                .map(|p| bind_plan_params(p, params))
+                .collect::<Result<_>>()?,
+        },
+        PhysPlan::Distinct { input } => PhysPlan::Distinct { input: rec(input)? },
+    })
+}
+
+/// Does any expression anywhere in `q` — including CTE bodies, derived
+/// tables, ORDER BY / LIMIT, and subquery bodies — contain a `?` marker?
+pub fn query_contains_params(q: &Query) -> bool {
+    q.ctes.iter().any(|c| query_contains_params(&c.query))
+        || q.order_by.iter().any(|oi| expr_contains_params(&oi.expr))
+        || q.limit.as_ref().is_some_and(expr_contains_params)
+        || q.offset.as_ref().is_some_and(expr_contains_params)
+        || set_contains_params(&q.body)
+}
+
+fn set_contains_params(s: &SetExpr) -> bool {
+    match s {
+        SetExpr::Select(sel) => select_contains_params(sel),
+        SetExpr::Union { left, right, .. } => {
+            set_contains_params(left) || set_contains_params(right)
+        }
+    }
+}
+
+fn select_contains_params(s: &Select) -> bool {
+    s.projection.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr_contains_params(expr),
+        _ => false,
+    }) || s.selection.as_ref().is_some_and(expr_contains_params)
+        || s.group_by.iter().any(expr_contains_params)
+        || s.having.as_ref().is_some_and(expr_contains_params)
+        || s.from.iter().any(tref_contains_params)
+}
+
+fn tref_contains_params(t: &TableRef) -> bool {
+    match t {
+        TableRef::Named { .. } => false,
+        TableRef::Derived { query, .. } => query_contains_params(query),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            tref_contains_params(left)
+                || tref_contains_params(right)
+                || on.as_ref().is_some_and(expr_contains_params)
+        }
+    }
+}
+
+fn expr_contains_params(e: &Expr) -> bool {
+    match e {
+        Expr::Param(..) => true,
+        Expr::ScalarSubquery(q, _) => query_contains_params(q),
+        Expr::Exists { query, .. } => query_contains_params(query),
+        Expr::InSubquery { expr, query, .. } => {
+            expr_contains_params(expr) || query_contains_params(query)
+        }
+        _ => {
+            let mut found = false;
+            visit_children(e, &mut |c| found |= expr_contains_params(c));
+            found
+        }
+    }
+}
+
+/// True when `q` uses parameters in a position the planner consumes at plan
+/// time, which a cached template cannot keep symbolic: LIMIT/OFFSET
+/// expressions (folded to plan constants), subquery bodies (planned *and
+/// executed* during planning), or CTE bodies when `materialize_ctes`
+/// evaluates them during planning. Such statements plan inline with their
+/// actual parameter values and stay uncached.
+pub fn params_unsupported(q: &Query, materialize_ctes: bool) -> bool {
+    if q.limit.as_ref().is_some_and(expr_contains_params)
+        || q.offset.as_ref().is_some_and(expr_contains_params)
+    {
+        return true;
+    }
+    for c in &q.ctes {
+        let bad = if materialize_ctes {
+            query_contains_params(&c.query)
+        } else {
+            params_unsupported(&c.query, materialize_ctes)
+        };
+        if bad {
+            return true;
+        }
+    }
+    q.order_by.iter().any(|oi| unsupported_in_expr(&oi.expr))
+        || unsupported_in_set(&q.body, materialize_ctes)
+}
+
+fn unsupported_in_set(s: &SetExpr, mat: bool) -> bool {
+    match s {
+        SetExpr::Select(sel) => unsupported_in_select(sel, mat),
+        SetExpr::Union { left, right, .. } => {
+            unsupported_in_set(left, mat) || unsupported_in_set(right, mat)
+        }
+    }
+}
+
+fn unsupported_in_select(s: &Select, mat: bool) -> bool {
+    s.projection.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => unsupported_in_expr(expr),
+        _ => false,
+    }) || s.selection.as_ref().is_some_and(unsupported_in_expr)
+        || s.group_by.iter().any(unsupported_in_expr)
+        || s.having.as_ref().is_some_and(unsupported_in_expr)
+        || s.from.iter().any(|t| unsupported_in_tref(t, mat))
+}
+
+fn unsupported_in_tref(t: &TableRef, mat: bool) -> bool {
+    match t {
+        TableRef::Named { .. } => false,
+        TableRef::Derived { query, .. } => params_unsupported(query, mat),
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            unsupported_in_tref(left, mat)
+                || unsupported_in_tref(right, mat)
+                || on.as_ref().is_some_and(unsupported_in_expr)
+        }
+    }
+}
+
+fn unsupported_in_expr(e: &Expr) -> bool {
+    match e {
+        // A subquery body is executed during planning; any parameter inside
+        // it would need a value before the template exists.
+        Expr::ScalarSubquery(q, _) => query_contains_params(q),
+        Expr::Exists { query, .. } => query_contains_params(query),
+        Expr::InSubquery { expr, query, .. } => {
+            query_contains_params(query) || unsupported_in_expr(expr)
+        }
+        _ => {
+            let mut found = false;
+            visit_children(e, &mut |c| found |= unsupported_in_expr(c));
+            found
+        }
     }
 }
 

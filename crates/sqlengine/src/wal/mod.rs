@@ -27,6 +27,19 @@
 //! poison later records. If even that repair fails, the log is *wedged* —
 //! all further durable mutations are refused with a clean error while
 //! reads keep working.
+//!
+//! Group commit (`EngineConfig::wal_group_commit`, effective under
+//! [`SyncPolicy::Always`]): instead of appending + fsyncing inline, a
+//! statement *enqueues* its encoded frame under the catalog lock (so queue
+//! order still equals mutation order) and receives a sequence ticket; after
+//! releasing the lock it blocks in [`Wal::wait_durable`], where the first
+//! waiter becomes the flush leader and writes every queued frame with a
+//! single append + fsync. Overlapping writers therefore share one fsync,
+//! while strictly serial traffic degenerates to exactly today's one fsync
+//! per statement. Acknowledgement semantics are unchanged: a statement
+//! returns only after its frame is on disk, and a crash loses only
+//! unacknowledged tail frames — never a prefix-breaking hole, because
+//! frames reach the file in sequence order as one contiguous group.
 
 mod checkpoint;
 mod codec;
@@ -112,6 +125,12 @@ struct WalInner {
     /// Set when a failed append could not be repaired; all further durable
     /// mutations are refused.
     wedged: bool,
+    /// Group-commit mode only: encoded frames (whole, in sequence order)
+    /// enqueued for the next leader flush.
+    group_queue: Vec<u8>,
+    /// Byte length of each queued frame, for per-frame append telemetry at
+    /// flush time.
+    group_lens: Vec<u64>,
 }
 
 /// The write-ahead log attached to a durable [`Database`].
@@ -123,7 +142,19 @@ pub struct Wal {
     /// Checkpoint once the log exceeds this many bytes (0 disables the
     /// automatic trigger).
     checkpoint_after: u64,
+    /// Group commit: `log`/`commit` enqueue their frame and hand back a
+    /// ticket; [`Wal::wait_durable`] elects a flush leader that writes the
+    /// whole queue with one append + one fsync. Only effective under
+    /// [`SyncPolicy::Always`].
+    group_commit: bool,
     inner: Mutex<WalInner>,
+    /// Every frame with `seq < durable_before` is appended and fsynced.
+    /// The fast path of [`Wal::wait_durable`] reads this without a lock.
+    durable_before: std::sync::atomic::AtomicU64,
+    /// Serializes group flushes (leader election). Lock order: `flush_lock`
+    /// before `inner`, never the reverse; IO happens with only `flush_lock`
+    /// held so writers keep enqueueing into the next group meanwhile.
+    flush_lock: Mutex<()>,
     /// Engine-wide registry for append / fsync / checkpoint metrics.
     telemetry: Arc<crate::telemetry::Telemetry>,
 }
@@ -132,6 +163,7 @@ impl Wal {
     pub(crate) fn new(
         io: Arc<dyn StorageIo>,
         sync: SyncPolicy,
+        group_commit: bool,
         checkpoint_after: u64,
         next_seq: u64,
         wal_len: u64,
@@ -140,13 +172,18 @@ impl Wal {
         Wal {
             io,
             sync,
+            group_commit: group_commit && sync == SyncPolicy::Always,
             checkpoint_after,
             inner: Mutex::new(WalInner {
                 next_seq,
                 wal_len,
                 pending: None,
                 wedged: false,
+                group_queue: Vec::new(),
+                group_lens: Vec::new(),
             }),
+            durable_before: std::sync::atomic::AtomicU64::new(next_seq),
+            flush_lock: Mutex::new(()),
             telemetry,
         }
     }
@@ -156,17 +193,26 @@ impl Wal {
     /// the ops are buffered until `COMMIT`. Callers must still hold the
     /// catalog write lock, which is what keeps log order equal to catalog
     /// mutation order.
-    pub(crate) fn log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<()> {
+    ///
+    /// In group-commit mode the frame is only *enqueued* here; the returned
+    /// ticket must be passed to [`Wal::wait_durable`] after the catalog lock
+    /// drops, and the statement is acknowledged only once that returns.
+    /// `None` means the write is already as durable as the sync policy
+    /// promises (or nothing needed writing).
+    pub(crate) fn log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<Option<u64>> {
         if ops.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         let mut inner = self.inner.lock();
         if let Some(pending) = &mut inner.pending {
             pending.extend(ops);
-            return Ok(());
+            return Ok(None);
         }
-        self.write_batch(&mut inner, &ops, false)?;
-        self.maybe_checkpoint(&mut inner, catalog)
+        let ticket = self.write_batch(&mut inner, &ops, false)?;
+        if ticket.is_none() {
+            self.maybe_checkpoint(&mut inner, catalog)?;
+        }
+        Ok(ticket)
     }
 
     /// Start buffering: called at `BEGIN`.
@@ -178,16 +224,20 @@ impl Wal {
     }
 
     /// Flush the buffered transaction as a single batch: called at `COMMIT`.
-    pub(crate) fn commit(&self, catalog: &Catalog) -> Result<()> {
+    /// Returns a group-commit ticket like [`Wal::log`].
+    pub(crate) fn commit(&self, catalog: &Catalog) -> Result<Option<u64>> {
         let mut inner = self.inner.lock();
         let Some(ops) = inner.pending.take() else {
-            return Ok(());
+            return Ok(None);
         };
         if ops.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
-        self.write_batch(&mut inner, &ops, true)?;
-        self.maybe_checkpoint(&mut inner, catalog)
+        let ticket = self.write_batch(&mut inner, &ops, true)?;
+        if ticket.is_none() {
+            self.maybe_checkpoint(&mut inner, catalog)?;
+        }
+        Ok(ticket)
     }
 
     /// Discard the buffered transaction: called at `ROLLBACK`. Nothing was
@@ -199,6 +249,9 @@ impl Wal {
 
     /// Fold the current catalog into a checkpoint and truncate the log.
     pub(crate) fn checkpoint(&self, catalog: &Catalog) -> Result<()> {
+        // A group flush in flight must finish before the file is truncated
+        // out from under it (lock order: flush_lock before inner).
+        let _flush = self.group_commit.then(|| self.flush_lock.lock());
         let mut inner = self.inner.lock();
         self.checkpoint_locked(&mut inner, catalog)
     }
@@ -208,7 +261,102 @@ impl Wal {
         self.inner.lock().wal_len
     }
 
-    fn write_batch(&self, inner: &mut WalInner, ops: &[WalOp], is_commit: bool) -> Result<()> {
+    /// Whether the automatic checkpoint trigger has tripped. Group-commit
+    /// callers check this after [`Wal::wait_durable`], once they can take
+    /// the catalog lock again (the non-group path checkpoints inline).
+    pub(crate) fn wants_checkpoint(&self) -> bool {
+        self.checkpoint_after > 0 && self.inner.lock().wal_len >= self.checkpoint_after
+    }
+
+    /// Block until frame `seq` is durable. The first waiter becomes the
+    /// flush leader and writes the *entire* queue with one append + one
+    /// fsync; waiters that arrive while a flush is in flight coalesce into
+    /// the next group. Callers must not hold the catalog lock — blocking
+    /// here while holding it would serialize the writers whose overlap the
+    /// group exists to exploit.
+    pub(crate) fn wait_durable(&self, seq: u64) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        loop {
+            if self.durable_before.load(Ordering::Acquire) > seq {
+                return Ok(());
+            }
+            let _leader = self.flush_lock.lock();
+            if self.durable_before.load(Ordering::Acquire) > seq {
+                continue; // re-check via the fast path, then return
+            }
+            self.flush_group()?;
+        }
+    }
+
+    /// Write the queued group to storage: one append + one fsync for every
+    /// frame enqueued so far. Caller holds `flush_lock`.
+    fn flush_group(&self) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        // Steal the queue under a brief inner lock; IO runs without it.
+        let (bytes, lens, hi, base_len) = {
+            let mut inner = self.inner.lock();
+            if inner.wedged {
+                return Err(EngineError::wal(
+                    "write-ahead log is wedged after an unrepaired write failure; \
+                     reopen the database to recover",
+                ));
+            }
+            if inner.group_queue.is_empty() {
+                // Nothing left to write (a checkpoint folded the queue).
+                self.durable_before.store(inner.next_seq, Ordering::Release);
+                return Ok(());
+            }
+            (
+                std::mem::take(&mut inner.group_queue),
+                std::mem::take(&mut inner.group_lens),
+                inner.next_seq,
+                inner.wal_len,
+            )
+        };
+        let io_result = self.io.append(WAL_FILE, &bytes).and_then(|()| {
+            let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
+            self.io.sync(WAL_FILE)?;
+            if let Some(t) = sync_started {
+                self.telemetry.record_wal_fsync(t.elapsed());
+            }
+            Ok(())
+        });
+        let mut inner = self.inner.lock();
+        match io_result {
+            Ok(()) => {
+                inner.wal_len = base_len + bytes.len() as u64;
+                for len in lens {
+                    self.telemetry.record_wal_append(len);
+                }
+                self.durable_before.store(hi, Ordering::Release);
+                Ok(())
+            }
+            Err(e) => {
+                // Cut any torn bytes off the file, then put the group back
+                // at the *front* of the queue: dropping it would leave a
+                // sequence gap that recovery (rightly) treats as the end of
+                // the log, silently discarding every later commit.
+                if self.io.truncate(WAL_FILE, base_len).is_err() {
+                    inner.wedged = true;
+                } else {
+                    let mut requeued = bytes;
+                    requeued.extend_from_slice(&inner.group_queue);
+                    inner.group_queue = requeued;
+                    let mut relens = lens;
+                    relens.extend_from_slice(&inner.group_lens);
+                    inner.group_lens = relens;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn write_batch(
+        &self,
+        inner: &mut WalInner,
+        ops: &[WalOp],
+        is_commit: bool,
+    ) -> Result<Option<u64>> {
         if inner.wedged {
             return Err(EngineError::wal(
                 "write-ahead log is wedged after an unrepaired write failure; \
@@ -216,6 +364,16 @@ impl Wal {
             ));
         }
         let frame = codec::encode_batch(inner.next_seq, ops);
+        if self.group_commit {
+            // Enqueue under the catalog write lock (held by the caller),
+            // which keeps queue order equal to catalog mutation order; the
+            // append + fsync happen in `wait_durable` after the lock drops.
+            let seq = inner.next_seq;
+            inner.group_lens.push(frame.len() as u64);
+            inner.group_queue.extend_from_slice(&frame);
+            inner.next_seq += 1;
+            return Ok(Some(seq));
+        }
         if let Err(e) = self.io.append(WAL_FILE, &frame) {
             // A torn append would make every later record unreadable; cut
             // the file back to the last durable length.
@@ -246,7 +404,7 @@ impl Wal {
         inner.next_seq += 1;
         inner.wal_len += frame.len() as u64;
         self.telemetry.record_wal_append(frame.len() as u64);
-        Ok(())
+        Ok(None)
     }
 
     fn maybe_checkpoint(&self, inner: &mut WalInner, catalog: &Catalog) -> Result<()> {
@@ -278,6 +436,16 @@ impl Wal {
             ));
         }
         inner.wal_len = 0;
+        if self.group_commit {
+            // Frames still queued are covered by the checkpoint — their
+            // catalog mutations are part of the snapshot just published, and
+            // it was written at `next_seq`, above every queued frame. Drop
+            // them and acknowledge their waiting committers.
+            inner.group_queue.clear();
+            inner.group_lens.clear();
+            self.durable_before
+                .store(inner.next_seq, std::sync::atomic::Ordering::Release);
+        }
         self.telemetry.record_wal_checkpoint(json.len() as u64);
         Ok(())
     }
@@ -547,6 +715,7 @@ mod tests {
         let wal = Wal::new(
             Arc::clone(&io) as Arc<dyn StorageIo>,
             SyncPolicy::Always,
+            false,
             0,
             0,
             0,
@@ -571,6 +740,79 @@ mod tests {
         wal.log(&catalog, vec![insert_t(1)]).unwrap();
         let r = recover(io.as_ref()).unwrap();
         assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+    }
+
+    fn group_wal(io: Arc<dyn StorageIo>) -> Wal {
+        Wal::new(
+            io,
+            SyncPolicy::Always,
+            true,
+            0,
+            0,
+            0,
+            Arc::new(crate::telemetry::Telemetry::disabled()),
+        )
+    }
+
+    #[test]
+    fn group_commit_coalesces_queued_frames_into_one_flush() {
+        let io = Arc::new(MemIo::new());
+        let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
+        let catalog = Catalog::new();
+        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
+        let t2 = wal.log(&catalog, vec![insert_t(1)]).unwrap().unwrap();
+        assert_eq!((t1, t2), (0, 1));
+        // Nothing reaches storage until a waiter drives the flush.
+        assert_eq!(io.size(WAL_FILE).unwrap(), 0);
+        wal.wait_durable(t2).unwrap();
+        let bytes = io.read(WAL_FILE).unwrap().unwrap();
+        assert_eq!(frame_boundaries(&bytes).len(), 2);
+        assert_eq!(wal.wal_bytes(), bytes.len() as u64);
+        // The earlier ticket is durable too, without further IO.
+        wal.wait_durable(t1).unwrap();
+        let r = recover(io.as_ref()).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+        assert_eq!(r.next_seq, 2);
+    }
+
+    #[test]
+    fn group_commit_flush_failure_requeues_whole_group() {
+        let io = Arc::new(FaultyIo::new());
+        let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
+        let catalog = Catalog::new();
+        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
+        let t2 = wal.log(&catalog, vec![insert_t(1)]).unwrap().unwrap();
+        // Tear the group append mid-way; the leader must repair the file
+        // and keep both frames queued (dropping them would leave a
+        // recovery-fatal sequence gap for any later commit).
+        io.arm(0, FaultKind::ShortWrite(7));
+        let err = wal.wait_durable(t2).unwrap_err();
+        assert!(matches!(err, EngineError::Wal(_)));
+        assert_eq!(io.size(WAL_FILE).unwrap(), 0, "torn group truncated away");
+        // A retry flushes the requeued group in order.
+        wal.wait_durable(t1).unwrap();
+        wal.wait_durable(t2).unwrap();
+        let r = recover(io.as_ref()).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+        assert_eq!(r.next_seq, 2);
+    }
+
+    #[test]
+    fn group_commit_checkpoint_covers_queued_frames() {
+        let io = Arc::new(MemIo::new());
+        let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
+        let mut catalog = Catalog::new();
+        apply_op(&mut catalog, &create_t()).unwrap();
+        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
+        // Checkpoint while the frame is still queued: the snapshot already
+        // contains its mutation, so the queue folds into it and the waiter
+        // is acknowledged without any WAL append.
+        wal.checkpoint(&catalog).unwrap();
+        wal.wait_durable(t1).unwrap();
+        assert_eq!(io.size(WAL_FILE).unwrap(), 0);
+        let r = recover(io.as_ref()).unwrap();
+        assert!(r.catalog.get("t").is_ok());
+        assert_eq!(r.next_seq, 1);
     }
 
     #[test]

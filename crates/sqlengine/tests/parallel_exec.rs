@@ -84,6 +84,10 @@ const QUERIES: &[&str] = &[
     "SELECT x + 1, w * 2.0 FROM t WHERE s LIKE 'tok1%' ORDER BY x, w",
     "SELECT COUNT(*), SUM(w) FROM t",
     "SELECT g FROM t WHERE x > 0 UNION ALL SELECT g FROM t WHERE x <= 0",
+    // No ORDER BY: parallel DISTINCT must emit the serial executor's exact
+    // first-occurrence order.
+    "SELECT DISTINCT s FROM t",
+    "SELECT g FROM t WHERE x > 0 UNION SELECT g FROM t WHERE x <= 0",
     "WITH big AS (SELECT g, x FROM t WHERE x > 100) \
      SELECT g, COUNT(*) FROM big GROUP BY g ORDER BY g",
     "SELECT g, x, ROW_NUMBER() OVER (PARTITION BY g ORDER BY x DESC) AS rn \

@@ -205,6 +205,39 @@ fn plan_cache_evictions_are_counted_and_stats_reset() {
     assert_eq!((hits, misses), (1, 1), "one surviving plan, one re-plan");
 }
 
+#[test]
+fn plan_cache_entry_gauge_tracks_cached_plans() {
+    let entries = |db: &Database| -> f64 {
+        match db
+            .query_scalar("SELECT value FROM sys.metrics WHERE name = 'plan_cache.entries'")
+            .unwrap()
+        {
+            Value::Float(f) => f,
+            v => panic!("gauge must be a float, got {v:?}"),
+        }
+    };
+
+    let db = seeded_db(EngineConfig::default(), 8);
+    let base = entries(&db);
+    db.query("SELECT g FROM t WHERE x > 1").unwrap();
+    db.query("SELECT g FROM t WHERE x > 2").unwrap();
+    // Parameterized templates count as entries like any other plan.
+    db.query_with("SELECT g FROM t WHERE x > ?", &[Value::Int(3)])
+        .unwrap();
+    assert_eq!(entries(&db), base + 3.0, "three new cached plans");
+    // Re-execution hits the cache without growing it; neither do the
+    // sys.metrics reads themselves (sys queries bypass the cache).
+    db.query("SELECT g FROM t WHERE x > 1").unwrap();
+    db.query_with("SELECT g FROM t WHERE x > ?", &[Value::Int(4)])
+        .unwrap();
+    assert_eq!(entries(&db), base + 3.0, "hits must not add entries");
+
+    // With the cache disabled the gauge stays at zero.
+    let off = seeded_db(EngineConfig::default().with_plan_cache(false), 8);
+    off.query("SELECT g FROM t WHERE x > 1").unwrap();
+    assert_eq!(entries(&off), 0.0);
+}
+
 // ---------------------------------------------------------------------
 // EXPLAIN ANALYZE: worker counts and serial/parallel row equivalence
 // ---------------------------------------------------------------------
