@@ -16,6 +16,8 @@
 //! [`dense::dense_storage_bytes`] reproduces the paper's back-of-envelope
 //! showing the Scopus dataset would need ~32 TB in this format.
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod logreg;
 pub mod nbayes;

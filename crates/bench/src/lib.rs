@@ -22,6 +22,8 @@
 //! | Table 5 (precision/recall/F1) | [`madlib_exp::table5`] |
 //! | §5.3 (20NG/R8/R52 accuracy) | [`text_exp::accuracies`] |
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod harness;
 pub mod madlib_exp;

@@ -34,6 +34,8 @@
 //! assert_eq!(pred, "ai");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod classifier;
 pub mod metrics;
 

@@ -43,6 +43,8 @@
 //! assert_eq!(predictions[0].1, sqlengine::Value::text("ai"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dialect;
 pub mod error;
 pub mod eval;

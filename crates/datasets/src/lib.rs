@@ -12,6 +12,8 @@
 //!
 //! All generators are deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod scopus;
 pub mod sparse;
 pub mod tabular;

@@ -37,10 +37,11 @@ pub enum Statement {
         assignments: Vec<(String, Expr)>,
         predicate: Option<Expr>,
     },
-    /// `EXPLAIN [ANALYZE | (CHECK)] query` — render the physical plan
-    /// (ANALYZE also executes it and reports per-operator row counts and
-    /// timings; CHECK only runs semantic analysis and reports the typed
-    /// output schema).
+    /// `EXPLAIN [ANALYZE | (CHECK) | (VERIFY)] query` — render the physical
+    /// plan (ANALYZE also executes it and reports per-operator row counts
+    /// and timings; CHECK only runs semantic analysis and reports the typed
+    /// output schema; VERIFY plans the query and reports the static plan
+    /// verifier's per-check results without executing).
     Explain {
         mode: ExplainMode,
         query: Query,
@@ -62,6 +63,9 @@ pub enum ExplainMode {
     Analyze,
     /// Run semantic analysis only and report the typed output schema.
     Check,
+    /// Plan the query and run the static plan verifier, reporting one row
+    /// per invariant class; nothing executes.
+    Verify,
 }
 
 /// A query: optional `WITH` clause plus a set-expression body and an

@@ -13,13 +13,14 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::ast::{ConflictAction, Expr, InsertSource, Query, Statement};
 use crate::catalog::{Catalog, Column, InsertOutcome, ResolvedConflict, Schema, Table};
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, Result, Span};
 use crate::exec::{ExecContext, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script_spanned, parse_statement};
 use crate::plan::{PlannedQuery, Planner, PlannerConfig, VirtualTables};
 use crate::telemetry::{sys, QueryStatus, StatementProbe, Telemetry};
 use crate::value::{DataType, Row, Value};
+use crate::verify::{ParamDiscipline, SnapshotGuarantee, VerifyReport, VerifyRule};
 use crate::wal::{self, push_insert, StorageIo, SyncPolicy, Wal, WalOp};
 
 /// Engine configuration. The three profiles used by the benchmark harness to
@@ -80,6 +81,13 @@ pub struct EngineConfig {
     /// produces identical results either way, which is what the
     /// differential test suites assert.
     pub vectorized: bool,
+    /// Run the post-planning static plan verifier (see [`crate::verify`]) on
+    /// every plan — freshly planned or served from the cache — and fail the
+    /// statement with a spanned [`EngineError::Verify`] when any of the five
+    /// invariant classes is violated. Defaults to on in debug builds (tests,
+    /// CI) and off in release builds, keeping the serving hot path free of
+    /// the walk; `EXPLAIN (VERIFY)` runs the verifier on demand regardless.
+    pub verify_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +106,7 @@ impl Default for EngineConfig {
             slow_query_threshold: Duration::from_millis(100),
             query_log_capacity: 256,
             vectorized: true,
+            verify_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -199,6 +208,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style toggle of the static plan verifier (see
+    /// [`EngineConfig::verify_plans`]).
+    pub fn with_verify_plans(mut self, on: bool) -> Self {
+        self.verify_plans = on;
+        self
+    }
+
     fn planner(&self) -> PlannerConfig {
         PlannerConfig {
             join_algo: self.join_algo,
@@ -258,6 +274,66 @@ impl StatementResult {
 /// statement texts; the bound only guards against unbounded ad-hoc traffic.
 const PLAN_CACHE_CAPACITY: usize = 128;
 
+/// Normalize a statement's text into its plan-cache key: runs of whitespace
+/// collapse to one space and keywords lowercase, while identifiers and
+/// string literals keep their exact spelling (identifier case shows up in
+/// output column names, so it is significant). Differently formatted copies
+/// of the same statement thus share one cached plan template.
+fn normalize_cache_key(sql: &str) -> String {
+    let bytes = sql.as_bytes();
+    let mut out = String::with_capacity(sql.len());
+    let mut pending_space = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            pending_space = !out.is_empty();
+            i += 1;
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if b == b'\'' {
+            // String literal: copied verbatim through the closing quote,
+            // with '' staying an escaped quote.
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            out.push_str(&sql[start..i]);
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &sql[start..i];
+            if crate::lexer::is_keyword(word) {
+                for c in word.chars() {
+                    out.push(c.to_ascii_lowercase());
+                }
+            } else {
+                out.push_str(word);
+            }
+        } else {
+            let len = sql[i..].chars().next().map_or(1, char::len_utf8);
+            out.push_str(&sql[i..i + len]);
+            i += len;
+        }
+    }
+    out
+}
+
 /// A cached physical plan tagged with the catalog version it was planned
 /// against; served only while the version still matches.
 struct CachedPlan {
@@ -267,7 +343,20 @@ struct CachedPlan {
     /// ([`crate::expr::PhysExpr::Param`] nodes) and must be bound with
     /// [`crate::plan::bind_plan_params`] before execution.
     has_params: bool,
+    /// Catalog version at the last *successful* verifier walk of this entry
+    /// ([`UNVERIFIED`] when none). The plan tree behind the `Arc` is
+    /// immutable and verification is deterministic in (plan, catalog
+    /// version), so a hit at the same version can skip the walk — this is
+    /// what keeps the verifier's cost off the cached serving hot path.
+    /// Shared (not copied) with in-flight executions so a successful walk
+    /// marks the entry itself.
+    verified_version: Arc<AtomicU64>,
 }
+
+/// Sentinel for [`CachedPlan::verified_version`]: the entry has not passed a
+/// verifier walk (never verified, or deliberately reset by the corruption
+/// test seam).
+const UNVERIFIED: u64 = u64::MAX;
 
 /// An embedded, in-memory relational database.
 pub struct Database {
@@ -462,16 +551,25 @@ impl Database {
         &self.telemetry
     }
 
-    /// Look `sql` up in the plan cache; a hit requires the entry's catalog
-    /// version to match the current one. Returns the plan and whether it is
-    /// a parameter template (see [`CachedPlan::has_params`]).
-    fn cached_plan(&self, sql: &str) -> Option<(Arc<PlannedQuery>, bool)> {
+    /// Look `sql` up in the plan cache (under its normalized key); a hit
+    /// requires the entry's catalog version to match the current one.
+    /// Returns the plan, whether it is a parameter template (see
+    /// [`CachedPlan::has_params`]), the entry's catalog version (used by
+    /// the verifier to decide whether snapshot-identity checks may run),
+    /// and the entry's verification marker.
+    fn cached_plan(&self, sql: &str) -> Option<(Arc<PlannedQuery>, bool, u64, Arc<AtomicU64>)> {
         let version = self.catalog_version.load(Ordering::Acquire);
+        let key = normalize_cache_key(sql);
         let cache = self.plan_cache.lock();
-        match cache.get(sql) {
+        match cache.get(&key) {
             Some(c) if c.version == version => {
                 self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
-                Some((Arc::clone(&c.planned), c.has_params))
+                Some((
+                    Arc::clone(&c.planned),
+                    c.has_params,
+                    c.version,
+                    Arc::clone(&c.verified_version),
+                ))
             }
             _ => {
                 self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -507,7 +605,25 @@ impl Database {
                 planner = planner.symbolic();
             }
             let planned = Arc::new(planner.plan_query(&query)?);
-            (planned, planner.used_virtual())
+            let used_virtual = planner.used_virtual();
+            // Verify under the same read lock planning ran under, so the
+            // snapshot-identity checks compare against the exact catalog
+            // state the plan captured.
+            if self.config.verify_plans {
+                let discipline = if symbolic {
+                    ParamDiscipline::Template
+                } else {
+                    ParamDiscipline::Bound
+                };
+                let report = crate::verify::verify_planned(
+                    &planned,
+                    Some(&catalog),
+                    SnapshotGuarantee::Current,
+                    discipline,
+                );
+                self.verify_outcome(report, discipline, sql)?;
+            }
+            (planned, used_virtual)
         };
         if used_virtual {
             // Plans over `sys.*` embed point-in-time telemetry rows; serving
@@ -515,8 +631,9 @@ impl Database {
             // already skip the cache textually; this is the backstop.)
             return Ok(planned);
         }
+        let key = normalize_cache_key(sql);
         let mut cache = self.plan_cache.lock();
-        if cache.len() >= PLAN_CACHE_CAPACITY && !cache.contains_key(sql) {
+        if cache.len() >= PLAN_CACHE_CAPACITY && !cache.contains_key(&key) {
             // Evict stale entries first; fall back to dropping everything
             // (plans embed table snapshots, so a full clear also releases
             // pinned row memory).
@@ -529,14 +646,134 @@ impl Database {
                 .fetch_add((before - cache.len()) as u64, Ordering::Relaxed);
         }
         cache.insert(
-            sql.to_string(),
+            key,
             CachedPlan {
                 version,
                 planned: Arc::clone(&planned),
                 has_params: symbolic,
+                // When the verifier is on, the plan already passed a walk at
+                // `version` above (a violation returned early), so the first
+                // cache hit can skip straight to execution.
+                verified_version: Arc::new(AtomicU64::new(if self.config.verify_plans {
+                    version
+                } else {
+                    UNVERIFIED
+                })),
             },
         );
         Ok(planned)
+    }
+
+    /// Record a verifier run in telemetry and convert its violations into a
+    /// spanned [`EngineError::Verify`] covering the statement text.
+    ///
+    /// Template-discipline `param-slots` findings (a `?` slot gap, e.g.
+    /// `SELECT ?3` never consuming slots 1–2) are surfaced through the
+    /// `verify.violations` counter and `EXPLAIN (VERIFY)` but do not abort
+    /// the statement: under-binding is reported at bind time as the clearer
+    /// [`EngineError::Parameter`], and over-binding keeps its historical
+    /// permissiveness.
+    fn verify_outcome(
+        &self,
+        mut report: VerifyReport,
+        discipline: ParamDiscipline,
+        sql: &str,
+    ) -> Result<()> {
+        self.record_verify(&report);
+        if discipline == ParamDiscipline::Template {
+            report
+                .violations
+                .retain(|v| v.rule != VerifyRule::ParamSlots);
+        }
+        report.into_result(Span::new(0, sql.len()))
+    }
+
+    fn record_verify(&self, report: &VerifyReport) {
+        if self.telemetry.enabled() {
+            self.telemetry.verify_plans_checked.incr();
+            self.telemetry
+                .verify_violations
+                .add(report.violations.len() as u64);
+        }
+    }
+
+    /// Verify a plan served from the cache. Templates are checked under
+    /// [`ParamDiscipline::Template`]; the snapshot-identity checks only run
+    /// while the live catalog version still equals the entry's under the
+    /// read lock — a writer that advanced the catalog after the lookup
+    /// makes the entry stale-but-harmless (the next lookup replans), not a
+    /// violation.
+    ///
+    /// The walk is memoized per catalog version through `verified`: the
+    /// cached tree is immutable and the verdict is deterministic in (plan,
+    /// catalog version), so only the first hit after a plan insert, a
+    /// catalog change, or a marker reset pays for the walk. A failed walk
+    /// never updates the marker — a corrupt entry is re-rejected on every
+    /// execution until it is evicted or replaced.
+    fn verify_cached(
+        &self,
+        planned: &PlannedQuery,
+        has_params: bool,
+        version: u64,
+        verified: &AtomicU64,
+        sql: &str,
+    ) -> Result<()> {
+        if !self.config.verify_plans {
+            return Ok(());
+        }
+        let discipline = if has_params {
+            ParamDiscipline::Template
+        } else {
+            ParamDiscipline::Bound
+        };
+        let (report, current) = {
+            let catalog = self.catalog.read();
+            let current = self.catalog_version.load(Ordering::Acquire);
+            if verified.load(Ordering::Acquire) == current {
+                return Ok(());
+            }
+            let report = if current == version {
+                crate::verify::verify_planned(
+                    planned,
+                    Some(&catalog),
+                    SnapshotGuarantee::Current,
+                    discipline,
+                )
+            } else {
+                crate::verify::verify_planned(planned, None, SnapshotGuarantee::MayLag, discipline)
+            };
+            (report, current)
+        };
+        self.verify_outcome(report, discipline, sql)?;
+        verified.store(current, Ordering::Release);
+        Ok(())
+    }
+
+    /// Test seam: replace the cached plan for `sql` (if any) with a mutated
+    /// copy, returning whether an entry was found. The plan-corruption
+    /// harness uses this to prove each verifier invariant class fires; it
+    /// has no other callers.
+    #[doc(hidden)]
+    pub fn mutate_cached_plan(
+        &self,
+        sql: &str,
+        mutate: &mut dyn FnMut(&mut crate::plan::PhysPlan),
+    ) -> bool {
+        let key = normalize_cache_key(sql);
+        let mut cache = self.plan_cache.lock();
+        match cache.get_mut(&key) {
+            Some(entry) => {
+                let mut planned = (*entry.planned).clone();
+                mutate(&mut planned.plan);
+                entry.planned = Arc::new(planned);
+                // A fresh marker (not a reset of the shared one): in-flight
+                // executions still verifying the old tree must not be able
+                // to mark the replaced entry as checked.
+                entry.verified_version = Arc::new(AtomicU64::new(UNVERIFIED));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Execute a cached (or just-cached) planned query.
@@ -636,10 +873,12 @@ impl Database {
         // `sys.*` statements never touch the plan cache: their plans embed
         // point-in-time telemetry snapshots.
         if self.config.plan_cache && !sys::mentions_sys(sql) {
-            if let Some((planned, has_params)) = self.cached_plan(sql) {
+            if let Some((planned, has_params, version, verified)) = self.cached_plan(sql) {
                 probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self.execute_cached(&planned, has_params, params);
+                let result = self
+                    .verify_cached(&planned, has_params, version, &verified, sql)
+                    .and_then(|()| self.execute_cached(&planned, has_params, params));
                 probe.lap_exec(t);
                 return result;
             }
@@ -656,7 +895,7 @@ impl Database {
         // DML / DDL / transaction control interleave planning with catalog
         // writes; attribute the whole tail to the exec phase.
         let t = probe.phase();
-        let result = self.execute_statement(&stmt, params);
+        let result = self.execute_statement(sql, &stmt, params);
         probe.lap_exec(t);
         result
     }
@@ -691,7 +930,17 @@ impl Database {
             let catalog = self.catalog.read();
             let mut planner =
                 Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
-            Arc::new(planner.plan_query(query)?)
+            let planned = Arc::new(planner.plan_query(query)?);
+            if self.config.verify_plans {
+                let report = crate::verify::verify_planned(
+                    &planned,
+                    Some(&catalog),
+                    SnapshotGuarantee::Current,
+                    ParamDiscipline::Bound,
+                );
+                self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+            }
+            planned
         };
         probe.lap_plan(t);
         let t = probe.phase();
@@ -750,7 +999,7 @@ impl Database {
                 self.analyze_statement(stmt)?;
                 probe.lap_sema(t);
                 let t = probe.phase();
-                let r = self.execute_statement(stmt, &[])?;
+                let r = self.execute_statement(text, stmt, &[])?;
                 probe.lap_exec(t);
                 Ok(r)
             })();
@@ -843,19 +1092,57 @@ impl Database {
         let Statement::Query(query) = stmt else {
             return Err(EngineError::plan("ANALYZE supports only SELECT queries"));
         };
-        let planned = {
-            let catalog = self.catalog.read();
-            crate::sema::check_query(&catalog, &query)?;
-            let mut planner =
-                Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
-            planner.plan_query(&query)?
+        // Serve the plan from the cache when one exists, so ANALYZE observes
+        // (and the verifier vets) the very tree repeated executions use.
+        // Parameter templates are skipped — there are no values to bind
+        // here — and the hit/miss counters are left alone: ANALYZE is a
+        // diagnostic read, not serving traffic.
+        let cached = if self.config.plan_cache && !sys::mentions_sys(sql) {
+            let version = self.catalog_version.load(Ordering::Acquire);
+            let key = normalize_cache_key(sql);
+            let cache = self.plan_cache.lock();
+            cache
+                .get(&key)
+                .filter(|c| c.version == version && !c.has_params)
+                .map(|c| {
+                    (
+                        Arc::clone(&c.planned),
+                        c.version,
+                        Arc::clone(&c.verified_version),
+                    )
+                })
+        } else {
+            None
+        };
+        let planned = match cached {
+            Some((planned, version, verified)) => {
+                self.verify_cached(&planned, false, version, &verified, sql)?;
+                planned
+            }
+            None => {
+                let catalog = self.catalog.read();
+                crate::sema::check_query(&catalog, &query)?;
+                let mut planner =
+                    Planner::new(&catalog, &[], self.config.planner()).with_virtuals(self);
+                let planned = Arc::new(planner.plan_query(&query)?);
+                if self.config.verify_plans {
+                    let report = crate::verify::verify_planned(
+                        &planned,
+                        Some(&catalog),
+                        SnapshotGuarantee::Current,
+                        ParamDiscipline::Bound,
+                    );
+                    self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                }
+                planned
+            }
         };
         self.record_plan_modes(&planned.plan);
         let (rows, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
         self.telemetry.record_op_stats(&stats);
         Ok((
             QueryResult {
-                columns: planned.columns,
+                columns: planned.columns.clone(),
                 rows,
             },
             stats,
@@ -1002,7 +1289,12 @@ impl Database {
         Ok(n)
     }
 
-    fn execute_statement(&self, stmt: &Statement, params: &[Value]) -> Result<StatementResult> {
+    fn execute_statement(
+        &self,
+        sql: &str,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<StatementResult> {
         match stmt {
             Statement::Query(query) => {
                 // Plan under the read lock; execute on snapshots afterwards.
@@ -1010,7 +1302,17 @@ impl Database {
                     let catalog = self.catalog.read();
                     let mut planner =
                         Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
-                    planner.plan_query(query)?
+                    let planned = planner.plan_query(query)?;
+                    if self.config.verify_plans {
+                        let report = crate::verify::verify_planned(
+                            &planned,
+                            Some(&catalog),
+                            SnapshotGuarantee::Current,
+                            ParamDiscipline::Bound,
+                        );
+                        self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                    }
+                    planned
                 };
                 let rows = self.exec_ctx().execute(&planned.plan)?;
                 Ok(StatementResult::Rows(QueryResult {
@@ -1037,13 +1339,62 @@ impl Database {
                             .collect(),
                     }));
                 }
-                let planned = {
+                // `EXPLAIN (VERIFY)` runs the verifier unconditionally (it
+                // is an explicit request); `EXPLAIN ANALYZE` vets the plan
+                // first whenever verification is on, so a rejected plan is
+                // reported instead of executed.
+                let verify_now = *mode == crate::ast::ExplainMode::Verify
+                    || (*mode == crate::ast::ExplainMode::Analyze && self.config.verify_plans);
+                let (planned, report) = {
                     let catalog = self.catalog.read();
                     let mut planner =
                         Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
-                    planner.plan_query(query)?
+                    let planned = planner.plan_query(query)?;
+                    let report = verify_now.then(|| {
+                        crate::verify::verify_planned(
+                            &planned,
+                            Some(&catalog),
+                            SnapshotGuarantee::Current,
+                            ParamDiscipline::Bound,
+                        )
+                    });
+                    (planned, report)
                 };
+                if *mode == crate::ast::ExplainMode::Verify {
+                    let report = report.expect("verify mode always computes a report");
+                    self.record_verify(&report);
+                    return Ok(StatementResult::Rows(QueryResult {
+                        columns: vec![
+                            "check".to_string(),
+                            "status".to_string(),
+                            "detail".to_string(),
+                        ],
+                        rows: VerifyRule::ALL
+                            .iter()
+                            .map(|rule| {
+                                let details: Vec<String> = report
+                                    .violations
+                                    .iter()
+                                    .filter(|v| v.rule == *rule)
+                                    .map(|v| format!("{}: {}", v.node, v.message))
+                                    .collect();
+                                vec![
+                                    Value::text(rule.name()),
+                                    Value::text(if details.is_empty() {
+                                        "ok"
+                                    } else {
+                                        "violation"
+                                    }),
+                                    Value::text(details.join("; ")),
+                                ]
+                            })
+                            .collect(),
+                    }));
+                }
                 let rendered = if *mode == crate::ast::ExplainMode::Analyze {
+                    if let Some(report) = report {
+                        self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                    }
                     let (_, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
                     self.telemetry.record_op_stats(&stats);
                     crate::explain::render_analyze(&stats)
@@ -1681,6 +2032,16 @@ impl Database {
                 t.vectorized_ops.get() as f64,
             ),
             metric("exec.row_ops", "counter", t.row_ops.get() as f64),
+            metric(
+                "verify.plans_checked",
+                "counter",
+                t.verify_plans_checked.get() as f64,
+            ),
+            metric(
+                "verify.violations",
+                "counter",
+                t.verify_violations.get() as f64,
+            ),
         ];
         histogram_metrics(&mut rows, "phase.parse", &t.parse_us);
         histogram_metrics(&mut rows, "phase.sema", &t.sema_us);
@@ -1826,10 +2187,13 @@ impl Prepared<'_> {
         probe: &mut StatementProbe,
     ) -> Result<StatementResult> {
         if self.db.config.plan_cache && !sys::mentions_sys(&self.sql) {
-            if let Some((planned, has_params)) = self.db.cached_plan(&self.sql) {
+            if let Some((planned, has_params, version, verified)) = self.db.cached_plan(&self.sql) {
                 probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self.db.execute_cached(&planned, has_params, params);
+                let result = self
+                    .db
+                    .verify_cached(&planned, has_params, version, &verified, &self.sql)
+                    .and_then(|()| self.db.execute_cached(&planned, has_params, params));
                 probe.lap_exec(t);
                 return result;
             }
@@ -1840,7 +2204,7 @@ impl Prepared<'_> {
                 .execute_query_probed(&self.sql, query, params, probe);
         }
         let t = probe.phase();
-        let result = self.db.execute_statement(&self.stmt, params);
+        let result = self.db.execute_statement(&self.sql, &self.stmt, params);
         probe.lap_exec(t);
         result
     }
@@ -1940,5 +2304,40 @@ pub(crate) fn qualify_bare_columns(e: &mut Expr, table: &str) {
         // Subquery bodies have their own scopes.
         Expr::ScalarSubquery(..) | Expr::Exists { .. } => {}
         Expr::InSubquery { expr, .. } => qualify_bare_columns(expr, table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize_cache_key;
+
+    #[test]
+    fn cache_key_collapses_whitespace_and_keyword_case() {
+        let a = normalize_cache_key("SELECT  n,\n\ts  FROM t\nWHERE n = ?  ORDER   BY n");
+        let b = normalize_cache_key("select n, s from t where n = ? order by n");
+        assert_eq!(a, b);
+        assert_eq!(a, "select n, s from t where n = ? order by n");
+    }
+
+    #[test]
+    fn cache_key_preserves_identifier_and_literal_case() {
+        // Identifiers keep their case (it is significant in output column
+        // names) and string literals are copied verbatim, including the
+        // doubled-quote escape; only keywords fold.
+        let k = normalize_cache_key("SELECT Col  AS Total FROM T WHERE s = 'TOK''x'");
+        assert_eq!(k, "select Col as Total from T where s = 'TOK''x'");
+    }
+
+    #[test]
+    fn cache_key_drops_leading_and_trailing_whitespace() {
+        assert_eq!(normalize_cache_key("  SELECT 1  "), "select 1");
+    }
+
+    #[test]
+    fn cache_key_distinguishes_different_literals() {
+        assert_ne!(
+            normalize_cache_key("SELECT * FROM t WHERE s = 'a'"),
+            normalize_cache_key("SELECT * FROM t WHERE s = 'A'")
+        );
     }
 }

@@ -109,6 +109,12 @@ pub enum EngineError {
     /// state is still consistent, but the change that triggered the error
     /// may not be durable.
     Wal(String),
+    /// The post-planning static verifier rejected a physical plan: some
+    /// cross-layer invariant (output schema, index keys, vectorized-mode
+    /// labels, parameter slots, merge determinism) does not hold. Carries
+    /// the span of the statement the plan was built for, so diagnostics can
+    /// point back at the source text.
+    Verify { message: String, span: Span },
 }
 
 impl EngineError {
@@ -135,12 +141,20 @@ impl EngineError {
         EngineError::Wal(msg.into())
     }
 
+    pub(crate) fn verify(msg: impl Into<String>, span: Span) -> Self {
+        EngineError::Verify {
+            message: msg.into(),
+            span,
+        }
+    }
+
     /// The error message without the variant prefix.
     pub fn message(&self) -> &str {
         match self {
             EngineError::Lex { message, .. }
             | EngineError::Parse { message, .. }
-            | EngineError::Sema { message, .. } => message,
+            | EngineError::Sema { message, .. }
+            | EngineError::Verify { message, .. } => message,
             EngineError::Plan(m)
             | EngineError::Exec(m)
             | EngineError::Catalog(m)
@@ -154,7 +168,9 @@ impl EngineError {
     /// span is available.
     pub fn display_with_source(&self, sql: &str) -> String {
         match self {
-            EngineError::Sema { span, .. } if !span.is_empty() => {
+            EngineError::Sema { span, .. } | EngineError::Verify { span, .. }
+                if !span.is_empty() =>
+            {
                 let snippet = span_snippet(sql, *span);
                 if snippet.is_empty() {
                     self.to_string()
@@ -189,6 +205,13 @@ impl fmt::Display for EngineError {
             EngineError::Parameter(m) => write!(f, "parameter error: {m}"),
             EngineError::Timeout => write!(f, "execution error: statement timeout exceeded"),
             EngineError::Wal(m) => write!(f, "durability error: {m}"),
+            EngineError::Verify { message, span } => {
+                if span.is_empty() {
+                    write!(f, "plan verification failed: {message}")
+                } else {
+                    write!(f, "plan verification failed at byte {span}: {message}")
+                }
+            }
         }
     }
 }

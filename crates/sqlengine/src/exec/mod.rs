@@ -32,7 +32,7 @@ mod sort;
 mod vector;
 
 pub use context::{ExecContext, OpStats, WorkerPool};
-pub(crate) use vector::{count_modes, mode_suffix};
+pub(crate) use vector::{count_modes, mode_suffix, node_mode};
 
 use std::sync::Arc;
 use std::time::Instant;

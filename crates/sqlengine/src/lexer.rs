@@ -132,7 +132,7 @@ const KEYWORDS: &[&str] = &[
     "ANALYZE",
 ];
 
-fn is_keyword(word: &str) -> bool {
+pub(crate) fn is_keyword(word: &str) -> bool {
     KEYWORDS.iter().any(|k| k.eq_ignore_ascii_case(word))
 }
 

@@ -39,7 +39,14 @@
 //!   checkpointing, and crash recovery that replays the log and truncates
 //!   torn tails (`Database::open` / `Database::persistent`), plus
 //!   fault-injection storage (`MemIo`, `FaultyIo`) for crash-consistency
-//!   tests.
+//!   tests;
+//! * a post-planning static plan verifier (`verify`) that walks every
+//!   physical plan against the sema-typed output scope and the live
+//!   catalog, checking five invariant classes (output schema, index-key
+//!   integrity, vectorized-mode eligibility, parameter-slot discipline,
+//!   deterministic-merge arity). It runs on every plan in debug builds and
+//!   behind `EngineConfig::verify_plans` otherwise, and is surfaced through
+//!   `EXPLAIN (VERIFY)` plus `verify.*` counters in `sys.metrics`.
 //!
 //! ## Durability quick-start
 //!
@@ -71,6 +78,8 @@
 //! assert_eq!(r.rows[1], vec![Value::Int(2), Value::Float(4.0)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod catalog;
 pub mod column;
@@ -87,6 +96,7 @@ pub mod sema;
 pub mod snapshot;
 pub mod telemetry;
 pub mod value;
+pub mod verify;
 pub mod wal;
 
 pub use ast::ExplainMode;
@@ -98,4 +108,5 @@ pub use sema::CheckReport;
 pub use snapshot::Snapshot;
 pub use telemetry::{QueryLogEntry, QueryStatus, Telemetry};
 pub use value::{DataType, Row, Value};
+pub use verify::{ParamDiscipline, SnapshotGuarantee, VerifyReport, VerifyRule, Violation};
 pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy};

@@ -180,17 +180,23 @@ impl Parser {
                 "SELECT" | "WITH" => Ok(Statement::Query(self.query()?)),
                 "EXPLAIN" => {
                     self.pos += 1;
+                    let paren_mode = |w: &str| match w {
+                        "check" => Some(ExplainMode::Check),
+                        "verify" => Some(ExplainMode::Verify),
+                        _ => None,
+                    };
                     let mode = if self.consume_keyword("ANALYZE") {
                         ExplainMode::Analyze
-                    } else if self.peek() == Some(&Token::LParen)
-                        && matches!(
-                            self.peek_ahead(1),
-                            Some(Token::Ident(w)) if w.eq_ignore_ascii_case("check")
-                        )
-                        && self.peek_ahead(2) == Some(&Token::RParen)
+                    } else if let Some(mode) = (self.peek() == Some(&Token::LParen)
+                        && self.peek_ahead(2) == Some(&Token::RParen))
+                    .then(|| match self.peek_ahead(1) {
+                        Some(Token::Ident(w)) => paren_mode(&w.to_ascii_lowercase()),
+                        _ => None,
+                    })
+                    .flatten()
                     {
                         self.pos += 3;
-                        ExplainMode::Check
+                        mode
                     } else {
                         ExplainMode::Plan
                     };

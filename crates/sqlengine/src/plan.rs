@@ -234,6 +234,7 @@ fn _assert_plan_send_sync() {
 }
 
 /// Output of planning a query: the plan plus its output column names.
+#[derive(Clone)]
 pub struct PlannedQuery {
     pub plan: PhysPlan,
     pub columns: Vec<String>,

@@ -302,6 +302,14 @@ pub struct Telemetry {
     /// to the row-at-a-time path.
     pub row_ops: Counter,
 
+    // -- static plan verification --------------------------------------------
+    /// Physical plans walked by the post-planning verifier
+    /// (`EngineConfig::verify_plans` / `EXPLAIN (VERIFY)`).
+    pub verify_plans_checked: Counter,
+    /// Invariant violations the verifier reported (each rejected plan counts
+    /// every violated check, so one corrupt plan can add several).
+    pub verify_violations: Counter,
+
     /// Ring buffer of the last `log_capacity` statements.
     log: Mutex<std::collections::VecDeque<QueryLogEntry>>,
     /// Per-operator rollups keyed by operator kind (`Scan`, `HashJoin`, …).
@@ -334,6 +342,8 @@ impl Telemetry {
             wal_checkpoint_bytes: Counter::default(),
             vectorized_ops: Counter::default(),
             row_ops: Counter::default(),
+            verify_plans_checked: Counter::default(),
+            verify_violations: Counter::default(),
             log: Mutex::new(std::collections::VecDeque::new()),
             ops: Mutex::new(BTreeMap::new()),
             models: Mutex::new(BTreeMap::new()),
@@ -364,6 +374,8 @@ impl Telemetry {
             &self.wal_checkpoint_bytes,
             &self.vectorized_ops,
             &self.row_ops,
+            &self.verify_plans_checked,
+            &self.verify_violations,
         ] {
             c.reset();
         }

@@ -205,3 +205,65 @@ fn prepared_execute_records_cache_activity_like_direct_execution() {
     assert_eq!(flags(&prepped), vec![false, true, true]);
     assert_eq!(flags(&direct)[..3], [false, true, true]);
 }
+
+// ---------------------------------------------------------------------
+// Cache-key normalization
+// ---------------------------------------------------------------------
+
+/// Differently formatted spellings of one statement share a single cached
+/// template: the cache key collapses whitespace runs and lowercases
+/// keywords (identifiers and string literals stay verbatim). Checked
+/// differentially — both engines return identical rows, while only the
+/// normalizing cache shows the hit-count parity.
+#[test]
+fn formatting_variants_share_one_cached_template() {
+    let (cached, fresh) = pair();
+    cached.reset_plan_cache_stats(); // drop the seeding DDL's miss
+    let variants = [
+        "SELECT n, s FROM t WHERE n = ? ORDER BY n",
+        "select n, s from t where n = ? order by n",
+        "SELECT   n,   s\n\tFROM t\n\tWHERE n = ?\n\tORDER BY n",
+        "Select n, s From t Where n = ?  Order  By  n",
+    ];
+    for (i, sql) in variants.iter().enumerate() {
+        let a = cached.query_with(sql, &[Value::Int(42)]).unwrap();
+        let b = fresh.query_with(sql, &[Value::Int(42)]).unwrap();
+        assert_eq!(a, b, "variant {i}");
+    }
+    let (hits, misses) = cached.plan_cache_stats();
+    assert_eq!(
+        (hits, misses),
+        (3, 1),
+        "one template planned, every reformatted spelling served from it"
+    );
+}
+
+/// Normalization must not conflate statements that differ meaningfully:
+/// case inside string literals changes results, and identifier case changes
+/// output column names.
+#[test]
+fn normalization_keeps_semantic_differences_apart() {
+    let (cached, _) = pair();
+    cached.reset_plan_cache_stats(); // drop the seeding DDL's miss
+    let lower = cached
+        .query("SELECT COUNT(*) FROM t WHERE s = 'tok3'")
+        .unwrap();
+    let upper = cached
+        .query("SELECT COUNT(*) FROM t WHERE s = 'TOK3'")
+        .unwrap();
+    assert_ne!(
+        lower.rows[0][0], upper.rows[0][0],
+        "literal case must stay significant"
+    );
+    let (hits, misses) = cached.plan_cache_stats();
+    assert_eq!(
+        (hits, misses),
+        (0, 2),
+        "distinct literals, distinct entries"
+    );
+
+    // Identifier case survives into output column names even though the
+    // statements normalize to different keys only via the identifier.
+    let named = cached.query("SELECT n AS Total FROM t LIMIT 1").unwrap();
+    assert_eq!(named.columns, vec!["Total"]);
+}

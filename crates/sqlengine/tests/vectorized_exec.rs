@@ -265,3 +265,46 @@ fn incremental_appends_keep_the_chunk_cache_coherent() {
     }
     assert_eq!(count(&db), count(&db_row));
 }
+
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE × plan verifier
+// ---------------------------------------------------------------------
+
+/// Regression: `EXPLAIN ANALYZE` serves the cached plan, so when that plan
+/// fails verification it must report the violation instead of executing the
+/// corrupt tree and rendering stats for it.
+#[test]
+fn explain_analyze_reports_verifier_rejection_instead_of_executing() {
+    let db = fixture(EngineConfig::default().with_verify_plans(true));
+    let sql = "SELECT g, COUNT(*) FROM t WHERE x > 100 GROUP BY g";
+    db.query(sql).unwrap();
+    assert!(db.mutate_cached_plan(sql, &mut |plan| {
+        // Wrap the root in a projection of column #77 — out of range for
+        // any input here, and the wrong output arity besides.
+        let inner = std::mem::replace(plan, sqlengine::plan::PhysPlan::OneRow);
+        *plan = sqlengine::plan::PhysPlan::Project {
+            input: Box::new(inner),
+            exprs: vec![sqlengine::expr::PhysExpr::Column(77)],
+        };
+    }));
+
+    let ops_before = db.telemetry().row_ops.get() + db.telemetry().vectorized_ops.get();
+    let err = db.explain_analyze(sql).unwrap_err();
+    assert!(
+        matches!(err, sqlengine::EngineError::Verify { .. }),
+        "ANALYZE of a corrupt plan must fail verification, got {err:?}"
+    );
+    assert!(err.to_string().contains("[schema]"), "{err}");
+    assert_eq!(
+        db.telemetry().row_ops.get() + db.telemetry().vectorized_ops.get(),
+        ops_before,
+        "the rejected plan must not have executed a single operator"
+    );
+
+    // The non-ANALYZE entry point rejects the same way, and a replan (after
+    // any catalog change) restores service.
+    assert!(db.query(sql).is_err());
+    db.execute("INSERT INTO t VALUES ('g0', 500, 1.0)").unwrap();
+    db.query(sql).unwrap();
+    db.explain_analyze(sql).unwrap();
+}

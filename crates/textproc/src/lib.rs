@@ -16,6 +16,8 @@
 //! assert!(!counts.iter().any(|(t, _)| t == "the")); // stop word
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod stopwords;
 pub mod tfidf;
 pub mod tokenizer;

@@ -4,6 +4,8 @@
 //! can use a single dependency. See `DESIGN.md` at the repository root for
 //! the system inventory and the per-experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use born;
 pub use bornsql;
