@@ -14,6 +14,20 @@ pub enum BornSqlError {
     State(String),
 }
 
+impl BornSqlError {
+    /// True when the error describes a transient condition of the underlying
+    /// engine (timeout, overload shed, memory-budget abort, WAL degradation)
+    /// rather than a defect in the request: the same call can succeed if the
+    /// caller backs off and retries. Configuration and state errors are
+    /// never retryable. Delegates to [`sqlengine::EngineError::is_retryable`].
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            BornSqlError::Database(e) => e.is_retryable(),
+            BornSqlError::Config(_) | BornSqlError::State(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for BornSqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,306 @@
+//! Seeded chaos soak for resource governance & graceful degradation.
+//!
+//! Several threads hammer one durable engine — predictions, incremental
+//! training, ad-hoc SQL — while a fault thread injects randomized transient
+//! storage failures, under a memory budget, a statement timeout, and a
+//! bounded admission gate, all at once. The invariants:
+//!
+//! * no thread panics and no thread hangs;
+//! * every error is classified: transient conditions are `is_retryable()`,
+//!   nothing escapes the taxonomy;
+//! * no acked commit is lost — every successfully-acknowledged insert is
+//!   present after crash recovery over the surviving files;
+//! * after the backend heals, the system recovers: writes and predictions
+//!   succeed again without reopening.
+//!
+//! The PRNG seed is printed (visible on failure under the default libtest
+//! capture) so any failing run can be replayed exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bornsql::{BornSqlModel, DataSpec, ModelOptions};
+use sqlengine::{Database, EngineConfig, FaultyIo, StorageIo, SyncPolicy, Value, WalRetry};
+
+const SEED: u64 = 0xB0A7_5EED;
+
+/// SplitMix-style deterministic PRNG; cheap enough to clone per thread.
+#[derive(Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn soak_config() -> EngineConfig {
+    EngineConfig::default()
+        .with_wal_sync(SyncPolicy::Always)
+        .with_wal_retry(WalRetry {
+            attempts: 4,
+            backoff: Duration::from_millis(1),
+        })
+        .with_statement_timeout(Duration::from_secs(2))
+        .with_memory_budget(32 * 1024 * 1024)
+        .with_max_concurrent_statements(3)
+        .with_admission_queue_depth(4)
+}
+
+/// Train + deploy the standard small corpus (no faults are armed yet).
+fn trained_model(db: &Database) -> BornSqlModel<'_, Database> {
+    db.execute_script(
+        "CREATE TABLE features (n INTEGER, term TEXT, cnt REAL);
+         CREATE TABLE labels (n INTEGER, label TEXT, PRIMARY KEY (n));",
+    )
+    .unwrap();
+    let classes = ["ai", "stats", "ops"];
+    let mut frows = Vec::new();
+    let mut lrows = Vec::new();
+    for id in 0..60i64 {
+        let class = classes[(id % 3) as usize];
+        for t in 0..4 {
+            let term = format!("{class}_tok{}", (id + t * 7) % 24);
+            frows.push(vec![
+                Value::Int(id + 1),
+                Value::text(term.as_str()),
+                Value::Float(1.0 + (t % 3) as f64),
+            ]);
+        }
+        lrows.push(vec![Value::Int(id + 1), Value::text(class)]);
+    }
+    db.insert_rows("features", frows).unwrap();
+    db.insert_rows("labels", lrows).unwrap();
+
+    let model = BornSqlModel::create(db, "m", ModelOptions::default()).unwrap();
+    let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features")
+        .with_targets("SELECT n, label AS k, 1.0 AS w FROM labels");
+    model.fit(&spec).unwrap();
+    model.deploy().unwrap();
+    model
+}
+
+fn item_spec(id: i64) -> DataSpec {
+    DataSpec::new("SELECT n, term AS j, cnt AS w FROM features")
+        .with_items(format!("SELECT n FROM labels WHERE n = {id}"))
+}
+
+/// An engine error observed by a worker must belong to the taxonomy:
+/// transient (retryable) — the only failures this all-valid workload can
+/// legitimately hit under faults, load, budgets, and deadlines.
+fn classify_engine(err: &sqlengine::EngineError, ctx: &str) {
+    assert!(
+        err.is_retryable(),
+        "seed {SEED:#x}: non-classified {ctx} error: {err:?}"
+    );
+}
+
+fn classify_born(err: &bornsql::BornSqlError, ctx: &str) {
+    assert!(
+        err.is_retryable(),
+        "seed {SEED:#x}: non-classified {ctx} error: {err:?}"
+    );
+}
+
+#[test]
+fn chaos_soak_survives_randomized_transient_faults() {
+    eprintln!("chaos soak seed: {SEED:#x} (fixed; edit SEED to explore)");
+
+    let io = Arc::new(FaultyIo::new());
+    let db = Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, soak_config()).unwrap();
+    trained_model(&db);
+    db.execute("CREATE TABLE audit (id INTEGER PRIMARY KEY, src INTEGER)")
+        .unwrap();
+
+    let acked: Mutex<Vec<i64>> = Mutex::new(Vec::new());
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Fault thread: random bursts of transient storage failures with
+        // random quiet gaps, healed for good at the end.
+        s.spawn(|| {
+            let mut rng = Rng(SEED ^ 0xFA);
+            while !stop.load(Ordering::SeqCst) {
+                io.arm_transient(1 + rng.below(3));
+                std::thread::sleep(Duration::from_millis(1 + rng.below(8)));
+                io.arm_transient(0);
+                std::thread::sleep(Duration::from_millis(rng.below(5)));
+            }
+            io.arm_transient(0);
+        });
+
+        // Two serving threads: single-item predicts and explicit batches.
+        for t in 0..2u64 {
+            let ops = &ops;
+            let errors = &errors;
+            let db = &db;
+            s.spawn(move || {
+                let model = BornSqlModel::attach(db, "m", ModelOptions::default()).unwrap();
+                let spec = DataSpec::new("SELECT n, term AS j, cnt AS w FROM features");
+                let mut rng = Rng(SEED ^ t);
+                for _ in 0..120 {
+                    let r = if rng.below(2) == 0 {
+                        model
+                            .predict(&item_spec(1 + rng.below(60) as i64))
+                            .map(|_| ())
+                    } else {
+                        let items: Vec<Value> = (0..1 + rng.below(4))
+                            .map(|_| Value::Int(1 + rng.below(60) as i64))
+                            .collect();
+                        model.predict_batch(&spec, &items).map(|_| ())
+                    };
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = r {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        classify_born(&e, "predict");
+                    }
+                }
+            });
+        }
+
+        // Incremental-training thread: partial_fit over random slices.
+        {
+            let ops = &ops;
+            let errors = &errors;
+            let db = &db;
+            s.spawn(move || {
+                let model = BornSqlModel::attach(db, "m", ModelOptions::default()).unwrap();
+                let mut rng = Rng(SEED ^ 0x17);
+                for _ in 0..40 {
+                    let hi = 1 + rng.below(60);
+                    let spec = DataSpec::new(format!(
+                        "SELECT n, term AS j, cnt AS w FROM features WHERE n <= {hi}"
+                    ))
+                    .with_targets("SELECT n, label AS k, 1.0 AS w FROM labels");
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = model.partial_fit(&spec) {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        classify_born(&e, "partial_fit");
+                    }
+                }
+            });
+        }
+
+        // Ad-hoc writer: durable inserts; every Ok is an acked commit that
+        // recovery must preserve.
+        {
+            let ops = &ops;
+            let errors = &errors;
+            let db = &db;
+            let acked = &acked;
+            s.spawn(move || {
+                for id in 0..150i64 {
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    match db.execute(&format!("INSERT INTO audit VALUES ({id}, 0)")) {
+                        Ok(_) => acked.lock().unwrap().push(id),
+                        Err(e) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            classify_engine(&e, "insert");
+                        }
+                    }
+                }
+            });
+        }
+
+        // Ad-hoc reader: aggregates (budget-charged operators) and metrics.
+        {
+            let ops = &ops;
+            let errors = &errors;
+            let db = &db;
+            s.spawn(move || {
+                let mut rng = Rng(SEED ^ 0x9D);
+                for _ in 0..150 {
+                    let sql = if rng.below(2) == 0 {
+                        "SELECT term, COUNT(*), SUM(cnt) FROM features GROUP BY term"
+                    } else {
+                        "SELECT COUNT(*) FROM audit"
+                    };
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = db.query(sql) {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        classify_engine(&e, "read");
+                    }
+                }
+            });
+        }
+
+        // Workers run to completion, then the fault thread is released.
+        // (Scope join order: spawned threads are joined when the scope ends,
+        // so flip the stop flag from a watcher once workers are done — the
+        // worker handles are consumed by the scope, hence the flag dance.)
+        let ops = &ops;
+        let stop = &stop;
+        s.spawn(move || {
+            // 5 workers × their fixed iteration counts: poll until all ops
+            // are in, then stop the fault thread.
+            while ops.load(Ordering::Relaxed) < 120 + 120 + 40 + 150 + 150 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    });
+
+    let total_ops = ops.load(Ordering::Relaxed);
+    let total_errors = errors.load(Ordering::Relaxed);
+    eprintln!(
+        "seed {SEED:#x}: {total_ops} ops, {total_errors} classified errors, \
+         {} transient faults fired",
+        io.transient_fired()
+    );
+    assert_eq!(total_ops, 120 + 120 + 40 + 150 + 150);
+    assert!(
+        total_errors < total_ops,
+        "seed {SEED:#x}: everything failed — the gate or retry policy is broken"
+    );
+
+    // Recovery-after-heal, same process: the backend is healed (the fault
+    // thread's last act), so a durable write and a predict must succeed.
+    db.execute("INSERT INTO audit VALUES (100000, 1)").unwrap();
+    {
+        let model = BornSqlModel::attach(&db, "m", ModelOptions::default()).unwrap();
+        assert!(
+            !model.predict(&item_spec(1)).unwrap().is_empty(),
+            "seed {SEED:#x}: healed predict returned nothing"
+        );
+    }
+
+    // No lost acked commit: reopen from the surviving files and check every
+    // acknowledged insert.
+    let acked = acked.into_inner().unwrap();
+    drop(db);
+    let recovered = Database::open_with_io(
+        Arc::new(sqlengine::MemIo::from_files(io.process_crash_files())) as Arc<dyn StorageIo>,
+        soak_config(),
+    )
+    .unwrap();
+    let present = recovered
+        .query("SELECT id FROM audit")
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(id) => id,
+            ref v => panic!("seed {SEED:#x}: bad audit id {v:?}"),
+        })
+        .collect::<std::collections::HashSet<i64>>();
+    for id in &acked {
+        assert!(
+            present.contains(id),
+            "seed {SEED:#x}: acked commit {id} lost after recovery \
+             ({} acked, {} recovered)",
+            acked.len(),
+            present.len()
+        );
+    }
+}

@@ -14,7 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::ast::{ConflictAction, Expr, InsertSource, Query, Statement};
 use crate::catalog::{Catalog, Column, InsertOutcome, ResolvedConflict, Schema, Table};
 use crate::error::{EngineError, Result, Span};
-use crate::exec::{ExecContext, OpStats, WorkerPool};
+use crate::exec::{ExecContext, MemoryBudget, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script_spanned, parse_statement};
 use crate::plan::{PlannedQuery, Planner, PlannerConfig, VirtualTables};
@@ -88,6 +88,29 @@ pub struct EngineConfig {
     /// CI) and off in release builds, keeping the serving hot path free of
     /// the walk; `EXPLAIN (VERIFY)` runs the verifier on demand regardless.
     pub verify_plans: bool,
+    /// Per-statement memory budget in bytes for pipeline-breaking operator
+    /// state (hash-join builds, aggregate hash tables, sort runs,
+    /// `DISTINCT`/`UNION` dedup sets, materialized `UNION ALL` output). A
+    /// statement that exceeds the budget aborts with the retryable
+    /// [`EngineError::ResourceExhausted`] instead of driving the process
+    /// toward OOM. `None` (the default) disables enforcement; peak usage is
+    /// still tracked and surfaced in `sys.query_log`.
+    pub memory_budget: Option<u64>,
+    /// Maximum statements executing concurrently. When set, every statement
+    /// entry point passes an admission gate: beyond this many running
+    /// statements, up to [`EngineConfig::admission_queue_depth`] statements
+    /// wait for a slot and the rest are shed immediately with the retryable
+    /// [`EngineError::Overloaded`]. `None` (the default) disables admission
+    /// control entirely.
+    pub max_concurrent_statements: Option<usize>,
+    /// Bounded wait-queue depth for the admission gate (only meaningful with
+    /// [`EngineConfig::max_concurrent_statements`]). A queued statement whose
+    /// `statement_timeout` deadline expires before a slot frees is shed.
+    pub admission_queue_depth: usize,
+    /// Retry policy for transient WAL storage failures (see
+    /// [`crate::wal::WalRetry`]). The default retries nothing: a failed
+    /// append wedges the WAL into degraded read-only mode exactly as before.
+    pub wal_retry: crate::wal::WalRetry,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +130,10 @@ impl Default for EngineConfig {
             query_log_capacity: 256,
             vectorized: true,
             verify_plans: cfg!(debug_assertions),
+            memory_budget: None,
+            max_concurrent_statements: None,
+            admission_queue_depth: 16,
+            wal_retry: crate::wal::WalRetry::default(),
         }
     }
 }
@@ -212,6 +239,34 @@ impl EngineConfig {
     /// [`EngineConfig::verify_plans`]).
     pub fn with_verify_plans(mut self, on: bool) -> Self {
         self.verify_plans = on;
+        self
+    }
+
+    /// Builder-style per-statement memory budget in bytes (see
+    /// [`EngineConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Builder-style admission-control concurrency cap (clamped to ≥ 1; see
+    /// [`EngineConfig::max_concurrent_statements`]).
+    pub fn with_max_concurrent_statements(mut self, max: usize) -> Self {
+        self.max_concurrent_statements = Some(max.max(1));
+        self
+    }
+
+    /// Builder-style admission wait-queue depth (see
+    /// [`EngineConfig::admission_queue_depth`]).
+    pub fn with_admission_queue_depth(mut self, depth: usize) -> Self {
+        self.admission_queue_depth = depth;
+        self
+    }
+
+    /// Builder-style WAL transient-failure retry policy (see
+    /// [`EngineConfig::wal_retry`]).
+    pub fn with_wal_retry(mut self, retry: crate::wal::WalRetry) -> Self {
+        self.wal_retry = retry;
         self
     }
 
@@ -384,6 +439,20 @@ pub struct Database {
     /// Engine-wide observability registry, shared (`Arc`) with the WAL and
     /// with BornSQL model handles; queryable through the `sys.*` tables.
     telemetry: Arc<Telemetry>,
+    /// Bounded statement admission gate; `None` unless
+    /// [`EngineConfig::max_concurrent_statements`] is set.
+    admission: Option<Arc<crate::admission::AdmissionGate>>,
+}
+
+/// Per-statement execution state: the wall-clock deadline (derived from
+/// `statement_timeout` when the statement entered the engine, so time spent
+/// queued for admission counts against it), the memory budget shared with
+/// every operator the statement runs, and the admission permit held for the
+/// statement's whole lifetime.
+struct StatementCtx {
+    deadline: Option<Instant>,
+    budget: Arc<MemoryBudget>,
+    _permit: Option<crate::admission::AdmissionPermit>,
 }
 
 impl Default for Database {
@@ -398,6 +467,18 @@ impl Database {
     }
 
     pub fn with_config(config: EngineConfig) -> Self {
+        let telemetry = Arc::new(Telemetry::new(
+            config.telemetry,
+            config.slow_query_threshold,
+            config.query_log_capacity,
+        ));
+        let admission = config.max_concurrent_statements.map(|max| {
+            Arc::new(crate::admission::AdmissionGate::new(
+                max,
+                config.admission_queue_depth,
+                Arc::clone(&telemetry),
+            ))
+        });
         Database {
             catalog: RwLock::new(Catalog::new()),
             pool: (config.parallelism > 1).then(|| Arc::new(WorkerPool::new(config.parallelism))),
@@ -409,11 +490,8 @@ impl Database {
             plan_cache_misses: AtomicU64::new(0),
             plan_cache_evictions: AtomicU64::new(0),
             wal: None,
-            telemetry: Arc::new(Telemetry::new(
-                config.telemetry,
-                config.slow_query_threshold,
-                config.query_log_capacity,
-            )),
+            telemetry,
+            admission,
         }
     }
 
@@ -442,6 +520,7 @@ impl Database {
             config.wal_sync,
             config.wal_group_commit,
             config.checkpoint_after_bytes,
+            config.wal_retry,
             recovered.next_seq,
             recovered.wal_len,
             Arc::clone(&db.telemetry),
@@ -477,9 +556,14 @@ impl Database {
     /// order equals catalog mutation order. Under group commit the returned
     /// ticket must be passed to [`Database::wal_wait`] *after* the lock
     /// drops; the statement is durable only once that returns.
-    fn wal_log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<Option<u64>> {
+    fn wal_log(
+        &self,
+        catalog: &Catalog,
+        ops: Vec<WalOp>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<u64>> {
         match &self.wal {
-            Some(wal) => wal.log(catalog, ops),
+            Some(wal) => wal.log(catalog, ops, deadline),
             None => Ok(None),
         }
     }
@@ -490,11 +574,11 @@ impl Database {
     /// exactly what lets the flush leader coalesce their fsyncs. Also runs
     /// the automatic checkpoint trigger, which the group path defers until
     /// the catalog lock is available again.
-    fn wal_wait(&self, ticket: Option<u64>) -> Result<()> {
+    fn wal_wait(&self, ticket: Option<u64>, deadline: Option<Instant>) -> Result<()> {
         let (Some(wal), Some(seq)) = (&self.wal, ticket) else {
             return Ok(());
         };
-        wal.wait_durable(seq)?;
+        wal.wait_durable(seq, deadline)?;
         if wal.wants_checkpoint() && !self.in_transaction() {
             // Plain `write()` (no version bump): the catalog is not mutated.
             let catalog = self.catalog.write();
@@ -506,9 +590,15 @@ impl Database {
     /// Take the catalog write lock, bumping the catalog version first so any
     /// plan cached from here on is tagged with a version that postdates the
     /// upcoming mutation (see `plan_and_cache` for the ordering argument).
-    fn write_catalog(&self) -> parking_lot::RwLockWriteGuard<'_, Catalog> {
+    fn write_catalog(&self) -> Result<parking_lot::RwLockWriteGuard<'_, Catalog>> {
+        // Degraded read-only mode is enforced here, before any mutation:
+        // every write statement funnels through this lock, so a wedged WAL
+        // refuses the statement while the in-memory state is still intact.
+        if let Some(wal) = &self.wal {
+            wal.check_writable()?;
+        }
         self.catalog_version.fetch_add(1, Ordering::Release);
-        self.catalog.write()
+        Ok(self.catalog.write())
     }
 
     /// Current catalog version (bumped by every DDL/DML write).
@@ -777,9 +867,13 @@ impl Database {
     }
 
     /// Execute a cached (or just-cached) planned query.
-    fn execute_planned(&self, planned: &PlannedQuery) -> Result<StatementResult> {
+    fn execute_planned(
+        &self,
+        planned: &PlannedQuery,
+        ctx: &StatementCtx,
+    ) -> Result<StatementResult> {
         self.record_plan_modes(&planned.plan);
-        let rows = self.exec_ctx().execute(&planned.plan)?;
+        let rows = self.exec_ctx(ctx).execute(&planned.plan)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
@@ -793,13 +887,14 @@ impl Database {
         planned: &PlannedQuery,
         has_params: bool,
         params: &[Value],
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         if !has_params {
-            return self.execute_planned(planned);
+            return self.execute_planned(planned, ctx);
         }
         let plan = crate::plan::bind_plan_params(&planned.plan, params)?;
         self.record_plan_modes(&plan);
-        let rows = self.exec_ctx().execute(&plan)?;
+        let rows = self.exec_ctx(ctx).execute(&plan)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
@@ -818,16 +913,42 @@ impl Database {
         self.telemetry.row_ops.add(row);
     }
 
+    /// Begin one statement: derive its deadline from `statement_timeout`,
+    /// pass the admission gate (which may queue or shed), and allocate its
+    /// memory budget. The returned context is threaded through the whole
+    /// execution path; dropping it (at the end of the statement, or during a
+    /// panic unwind) releases the admission slot.
+    fn begin_statement(&self) -> Result<StatementCtx> {
+        let deadline = self
+            .config
+            .statement_timeout
+            .map(|limit| Instant::now() + limit);
+        let permit = match &self.admission {
+            Some(gate) => Some(gate.admit(deadline)?),
+            None => None,
+        };
+        let budget = Arc::new(match self.config.memory_budget {
+            Some(limit) => MemoryBudget::limited(limit),
+            None => MemoryBudget::unlimited(),
+        });
+        Ok(StatementCtx {
+            deadline,
+            budget,
+            _permit: permit,
+        })
+    }
+
     /// The execution context queries run under: the configured parallelism
-    /// plus the shared worker pool, with the statement deadline (if any)
-    /// starting now.
-    fn exec_ctx(&self) -> ExecContext {
+    /// plus the shared worker pool, carrying the statement's deadline and
+    /// memory budget.
+    fn exec_ctx(&self, stmt: &StatementCtx) -> ExecContext {
         let ctx = match &self.pool {
             Some(pool) => ExecContext::with_pool(self.config.parallelism, Arc::clone(pool)),
             None => ExecContext::serial(),
         };
-        match self.config.statement_timeout {
-            Some(limit) => ctx.with_deadline(Instant::now() + limit),
+        let ctx = ctx.with_budget(Arc::clone(&stmt.budget));
+        match stmt.deadline {
+            Some(deadline) => ctx.with_deadline(deadline),
             None => ctx,
         }
     }
@@ -857,8 +978,15 @@ impl Database {
     /// which plan inline and stay uncached.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
         let mut probe = StatementProbe::start(self.telemetry.enabled());
-        let result = self.execute_probed(sql, params, &mut probe);
-        self.finish_statement(&probe, sql, &result);
+        let (result, peak_mem) = match self.begin_statement() {
+            Ok(ctx) => {
+                let r = self.execute_probed(sql, params, &mut probe, &ctx);
+                (r, ctx.budget.peak_bytes())
+            }
+            Err(e) => (Err(e), 0),
+        };
+        let result = result.map_err(|e| e.with_statement_span(sql));
+        self.finish_statement(&probe, sql, &result, peak_mem);
         result
     }
 
@@ -869,6 +997,7 @@ impl Database {
         sql: &str,
         params: &[Value],
         probe: &mut StatementProbe,
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         // `sys.*` statements never touch the plan cache: their plans embed
         // point-in-time telemetry snapshots.
@@ -878,7 +1007,7 @@ impl Database {
                 let t = probe.phase();
                 let result = self
                     .verify_cached(&planned, has_params, version, &verified, sql)
-                    .and_then(|()| self.execute_cached(&planned, has_params, params));
+                    .and_then(|()| self.execute_cached(&planned, has_params, params, ctx));
                 probe.lap_exec(t);
                 return result;
             }
@@ -890,12 +1019,12 @@ impl Database {
         self.analyze_statement(&stmt)?;
         probe.lap_sema(t);
         if let Statement::Query(query) = &stmt {
-            return self.execute_query_probed(sql, query, params, probe);
+            return self.execute_query_probed(sql, query, params, probe, ctx);
         }
         // DML / DDL / transaction control interleave planning with catalog
         // writes; attribute the whole tail to the exec phase.
         let t = probe.phase();
-        let result = self.execute_statement(sql, &stmt, params);
+        let result = self.execute_statement(sql, &stmt, params, ctx);
         probe.lap_exec(t);
         result
     }
@@ -910,6 +1039,7 @@ impl Database {
         query: &Query,
         params: &[Value],
         probe: &mut StatementProbe,
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         let has_params = crate::plan::query_contains_params(query);
         let cacheable = self.config.plan_cache
@@ -921,7 +1051,7 @@ impl Database {
             let planned = self.plan_and_cache(sql, query, has_params)?;
             probe.lap_plan(t);
             let t = probe.phase();
-            let result = self.execute_cached(&planned, has_params, params);
+            let result = self.execute_cached(&planned, has_params, params, ctx);
             probe.lap_exec(t);
             return result;
         }
@@ -944,18 +1074,27 @@ impl Database {
         };
         probe.lap_plan(t);
         let t = probe.phase();
-        let result = self.execute_planned(&planned);
+        let result = self.execute_planned(&planned, ctx);
         probe.lap_exec(t);
         result
     }
 
-    /// Report one finished statement to the telemetry registry.
+    /// Report one finished statement to the telemetry registry: per-variant
+    /// error counters, budget-abort counter, and the query-log entry with
+    /// the statement's peak operator memory.
     fn finish_statement(
         &self,
         probe: &StatementProbe,
         sql: &str,
         result: &Result<StatementResult>,
+        peak_mem: u64,
     ) {
+        if let Err(e) = result {
+            self.telemetry.record_error(e);
+            if self.telemetry.enabled() && matches!(e, EngineError::ResourceExhausted { .. }) {
+                self.telemetry.mem_budget_aborts.incr();
+            }
+        }
         if !probe.enabled() {
             return;
         }
@@ -966,6 +1105,7 @@ impl Database {
                 QueryStatus::Ok,
                 None,
                 r.affected() as u64,
+                peak_mem,
             ),
             Err(e) => {
                 let status = if matches!(e, EngineError::Timeout) {
@@ -973,8 +1113,14 @@ impl Database {
                 } else {
                     QueryStatus::Error
                 };
-                self.telemetry
-                    .record_statement(probe, sql, status, Some(e.to_string()), 0);
+                self.telemetry.record_statement(
+                    probe,
+                    sql,
+                    status,
+                    Some(e.to_string()),
+                    0,
+                    peak_mem,
+                );
             }
         }
     }
@@ -992,18 +1138,26 @@ impl Database {
                 .unwrap_or(sql)
                 .trim();
             let mut probe = StatementProbe::start(self.telemetry.enabled());
-            let result = (|| {
-                // Checked per statement (not up front): earlier statements
-                // may create the tables later ones refer to.
-                let t = probe.phase();
-                self.analyze_statement(stmt)?;
-                probe.lap_sema(t);
-                let t = probe.phase();
-                let r = self.execute_statement(text, stmt, &[])?;
-                probe.lap_exec(t);
-                Ok(r)
-            })();
-            self.finish_statement(&probe, text, &result);
+            let (result, peak_mem) = match self.begin_statement() {
+                Ok(ctx) => {
+                    let r = (|| {
+                        // Checked per statement (not up front): earlier
+                        // statements may create the tables later ones refer
+                        // to.
+                        let t = probe.phase();
+                        self.analyze_statement(stmt)?;
+                        probe.lap_sema(t);
+                        let t = probe.phase();
+                        let r = self.execute_statement(text, stmt, &[], &ctx)?;
+                        probe.lap_exec(t);
+                        Ok(r)
+                    })();
+                    (r, ctx.budget.peak_bytes())
+                }
+                Err(e) => (Err(e), 0),
+            };
+            let result = result.map_err(|e| e.with_statement_span(text));
+            self.finish_statement(&probe, text, &result, peak_mem);
             last = result?;
         }
         Ok(last)
@@ -1092,6 +1246,7 @@ impl Database {
         let Statement::Query(query) = stmt else {
             return Err(EngineError::plan("ANALYZE supports only SELECT queries"));
         };
+        let stmt_ctx = self.begin_statement()?;
         // Serve the plan from the cache when one exists, so ANALYZE observes
         // (and the verifier vets) the very tree repeated executions use.
         // Parameter templates are skipped — there are no values to bind
@@ -1138,7 +1293,7 @@ impl Database {
             }
         };
         self.record_plan_modes(&planned.plan);
-        let (rows, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+        let (rows, stats) = self.exec_ctx(&stmt_ctx).execute_with_stats(&planned.plan)?;
         self.telemetry.record_op_stats(&stats);
         Ok((
             QueryResult {
@@ -1182,6 +1337,9 @@ impl Database {
 
     /// Install a table with pre-built rows (used by snapshot restore).
     pub fn restore_table(&self, mut table: Table, rows: Vec<Row>) -> Result<()> {
+        // Pass the admission gate like any other statement; `install_table`
+        // itself stays ungated so internal callers cannot self-deadlock.
+        let _ctx = self.begin_statement()?;
         for row in rows {
             table.insert_row(row, None)?;
         }
@@ -1232,20 +1390,25 @@ impl Database {
             }
             ops
         });
-        let mut catalog = self.write_catalog();
+        let deadline = self
+            .config
+            .statement_timeout
+            .map(|limit| Instant::now() + limit);
+        let mut catalog = self.write_catalog()?;
         catalog.create_table(table, false)?;
         let ticket = match ops {
-            Some(ops) => self.wal_log(&catalog, ops)?,
+            Some(ops) => self.wal_log(&catalog, ops, deadline)?,
             None => None,
         };
         drop(catalog);
-        self.wal_wait(ticket)
+        self.wal_wait(ticket, deadline)
     }
 
     /// Bulk-insert pre-built rows into a table (fast path used by data
     /// generators; equivalent to `INSERT INTO t VALUES ...`).
     pub fn insert_rows(&self, table: &str, rows: Vec<Row>) -> Result<usize> {
-        let mut catalog = self.write_catalog();
+        let ctx = self.begin_statement()?;
+        let mut catalog = self.write_catalog()?;
         let t = catalog.get_mut(table)?;
         let wal_on = self.wal.is_some();
         let mut applied = Vec::new();
@@ -1274,6 +1437,7 @@ impl Database {
                     table: table.to_string(),
                     rows: applied,
                 }],
+                ctx.deadline,
             )
         };
         drop(catalog);
@@ -1281,11 +1445,11 @@ impl Database {
             // The applied prefix is in memory and logged; still push it
             // toward disk, but the statement's own error wins.
             if let Ok(ticket) = wal_result {
-                let _ = self.wal_wait(ticket);
+                let _ = self.wal_wait(ticket, ctx.deadline);
             }
             return Err(e);
         }
-        self.wal_wait(wal_result?)?;
+        self.wal_wait(wal_result?, ctx.deadline)?;
         Ok(n)
     }
 
@@ -1294,6 +1458,7 @@ impl Database {
         sql: &str,
         stmt: &Statement,
         params: &[Value],
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         match stmt {
             Statement::Query(query) => {
@@ -1314,7 +1479,7 @@ impl Database {
                     }
                     planned
                 };
-                let rows = self.exec_ctx().execute(&planned.plan)?;
+                let rows = self.exec_ctx(ctx).execute(&planned.plan)?;
                 Ok(StatementResult::Rows(QueryResult {
                     columns: planned.columns,
                     rows,
@@ -1395,7 +1560,7 @@ impl Database {
                     if let Some(report) = report {
                         self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
                     }
-                    let (_, stats) = self.exec_ctx().execute_with_stats(&planned.plan)?;
+                    let (_, stats) = self.exec_ctx(ctx).execute_with_stats(&planned.plan)?;
                     self.telemetry.record_op_stats(&stats);
                     crate::explain::render_analyze(&stats)
                 } else {
@@ -1422,7 +1587,7 @@ impl Database {
                         .collect(),
                 );
                 let table = Table::new(ct.name.clone(), schema, &ct.primary_key)?;
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let created = catalog.create_table(table, ct.if_not_exists)?;
                 let ticket = if created {
                     self.wal_log(
@@ -1432,16 +1597,17 @@ impl Database {
                             columns,
                             primary_key: ct.primary_key.clone(),
                         }],
+                        ctx.deadline,
                     )?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket)?;
+                self.wal_wait(ticket, ctx.deadline)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let table = catalog.get_mut(&ci.table)?;
                 if table.has_index(&ci.name) {
                     if ci.if_not_exists {
@@ -1461,21 +1627,26 @@ impl Database {
                         columns: ci.columns.clone(),
                         unique: ci.unique,
                     }],
+                    ctx.deadline,
                 )?;
                 drop(catalog);
-                self.wal_wait(ticket)?;
+                self.wal_wait(ticket, ctx.deadline)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let dropped = catalog.drop_table(name, *if_exists)?;
                 let ticket = if dropped {
-                    self.wal_log(&catalog, vec![WalOp::DropTable { name: name.clone() }])?
+                    self.wal_log(
+                        &catalog,
+                        vec![WalOp::DropTable { name: name.clone() }],
+                        ctx.deadline,
+                    )?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket)?;
+                self.wal_wait(ticket, ctx.deadline)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateTableAs {
@@ -1489,7 +1660,7 @@ impl Database {
                         Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(query)?
                 };
-                let rows = self.exec_ctx().execute(&planned.plan)?;
+                let rows = self.exec_ctx(ctx).execute(&planned.plan)?;
                 let columns: Vec<(String, DataType)> = planned
                     .columns
                     .iter()
@@ -1512,7 +1683,7 @@ impl Database {
                 for row in rows {
                     table.insert_row(row, None)?;
                 }
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let created = catalog.create_table(table, *if_not_exists)?;
                 let ticket = if created {
                     let mut ops = vec![WalOp::CreateTable {
@@ -1528,12 +1699,12 @@ impl Database {
                             });
                         }
                     }
-                    self.wal_log(&catalog, ops)?
+                    self.wal_log(&catalog, ops, ctx.deadline)?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket)?;
+                self.wal_wait(ticket, ctx.deadline)?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Begin => {
@@ -1559,7 +1730,7 @@ impl Database {
                 let flush = match &self.wal {
                     Some(wal) => {
                         let catalog = self.catalog.write();
-                        wal.commit(&catalog)
+                        wal.commit(&catalog, ctx.deadline)
                     }
                     None => Ok(None),
                 };
@@ -1567,7 +1738,7 @@ impl Database {
                 // Release the transaction guard before blocking on the group
                 // flush (`wal_wait` re-reads transaction state).
                 drop(backup);
-                self.wal_wait(flush?)?;
+                self.wal_wait(flush?, ctx.deadline)?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::Rollback => {
@@ -1577,7 +1748,7 @@ impl Database {
                         // Restore and discard the WAL's buffered ops under one
                         // guard: nothing was written durably since BEGIN, so
                         // the durable state already equals `saved`.
-                        let mut catalog = self.write_catalog();
+                        let mut catalog = self.write_catalog()?;
                         *catalog = saved;
                         if let Some(wal) = &self.wal {
                             wal.rollback();
@@ -1587,12 +1758,12 @@ impl Database {
                     None => Err(EngineError::exec("no transaction in progress")),
                 }
             }
-            Statement::Insert(insert) => self.execute_insert(insert, params),
+            Statement::Insert(insert) => self.execute_insert(insert, params, ctx),
             Statement::Delete {
                 table, predicate, ..
             } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let t = catalog.get_mut(table)?;
                 let idxs = match &predicate {
                     None => (0..t.row_count()).collect(),
@@ -1620,11 +1791,12 @@ impl Database {
                                 table: table.clone(),
                                 idxs,
                             }],
+                            ctx.deadline,
                         )?;
                     }
                 }
                 drop(catalog);
-                self.wal_wait(ticket)?;
+                self.wal_wait(ticket, ctx.deadline)?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Update {
@@ -1634,7 +1806,7 @@ impl Database {
                 ..
             } => {
                 let predicate = self.resolve_dml_subqueries(predicate.clone(), params)?;
-                let mut catalog = self.write_catalog();
+                let mut catalog = self.write_catalog()?;
                 let t = catalog.get_mut(table)?;
                 let scope = table_scope(t);
                 let bound_pred = predicate
@@ -1687,16 +1859,16 @@ impl Database {
                 let wal_result = if ops.is_empty() {
                     Ok(None)
                 } else {
-                    self.wal_log(&catalog, ops)
+                    self.wal_log(&catalog, ops, ctx.deadline)
                 };
                 drop(catalog);
                 if let Some(e) = failure {
                     if let Ok(ticket) = wal_result {
-                        let _ = self.wal_wait(ticket);
+                        let _ = self.wal_wait(ticket, ctx.deadline);
                     }
                     return Err(e);
                 }
-                self.wal_wait(wal_result?)?;
+                self.wal_wait(wal_result?, ctx.deadline)?;
                 Ok(StatementResult::Affected(applied))
             }
         }
@@ -1722,6 +1894,7 @@ impl Database {
         &self,
         insert: &crate::ast::Insert,
         params: &[Value],
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         // Evaluate the source rows to completion *before* taking the write
         // lock. The source query plans under a read lock and captures `Arc`
@@ -1750,11 +1923,11 @@ impl Database {
                         Planner::new(&catalog, params, self.config.planner()).with_virtuals(self);
                     planner.plan_query(q)?
                 };
-                self.exec_ctx().execute(&planned.plan)?
+                self.exec_ctx(ctx).execute(&planned.plan)?
             }
         };
 
-        let mut catalog = self.write_catalog();
+        let mut catalog = self.write_catalog()?;
         let t = catalog.get_mut(&insert.table)?;
 
         // Map provided columns to schema positions.
@@ -1918,16 +2091,16 @@ impl Database {
         let wal_result = if ops.is_empty() {
             Ok(None)
         } else {
-            self.wal_log(&catalog, ops)
+            self.wal_log(&catalog, ops, ctx.deadline)
         };
         drop(catalog);
         if let Some(e) = failure {
             if let Ok(ticket) = wal_result {
-                let _ = self.wal_wait(ticket);
+                let _ = self.wal_wait(ticket, ctx.deadline);
             }
             return Err(e);
         }
-        self.wal_wait(wal_result?)?;
+        self.wal_wait(wal_result?, ctx.deadline)?;
         Ok(StatementResult::Affected(affected))
     }
 }
@@ -2042,6 +2215,42 @@ impl Database {
                 "counter",
                 t.verify_violations.get() as f64,
             ),
+            metric(
+                "admission.admitted",
+                "counter",
+                t.admission_admitted.get() as f64,
+            ),
+            metric(
+                "admission.queued",
+                "counter",
+                t.admission_queued.get() as f64,
+            ),
+            metric("admission.shed", "counter", t.admission_shed.get() as f64),
+            metric("mem.peak_bytes", "gauge", t.mem_peak_bytes.get() as f64),
+            metric(
+                "mem.budget_aborts",
+                "counter",
+                t.mem_budget_aborts.get() as f64,
+            ),
+            metric("wal.retries", "counter", t.wal_retries.get() as f64),
+            metric(
+                "wal.degraded",
+                "gauge",
+                f64::from(self.wal.as_ref().is_some_and(Wal::degraded)),
+            ),
+            metric("errors.timeout", "counter", t.errors_timeout.get() as f64),
+            metric("errors.wal", "counter", t.errors_wal.get() as f64),
+            metric("errors.resource", "counter", t.errors_resource.get() as f64),
+            metric(
+                "errors.overloaded",
+                "counter",
+                t.errors_overloaded.get() as f64,
+            ),
+            metric(
+                "errors.statement",
+                "counter",
+                t.errors_statement.get() as f64,
+            ),
         ];
         histogram_metrics(&mut rows, "phase.parse", &t.parse_us);
         histogram_metrics(&mut rows, "phase.sema", &t.sema_us);
@@ -2088,6 +2297,7 @@ impl Database {
                     Value::Int(e.exec_us as i64),
                     Value::Float(e.total_us as f64 / 1e3),
                     Value::Int(e.rows as i64),
+                    Value::Int(e.peak_mem_bytes as i64),
                 ]
             })
             .collect()
@@ -2172,8 +2382,16 @@ impl Prepared<'_> {
     /// Execute with the given parameters.
     pub fn execute(&self, params: &[Value]) -> Result<StatementResult> {
         let mut probe = StatementProbe::start(self.db.telemetry.enabled());
-        let result = self.execute_probed(params, &mut probe);
-        self.db.finish_statement(&probe, &self.sql, &result);
+        let (result, peak_mem) = match self.db.begin_statement() {
+            Ok(ctx) => {
+                let r = self.execute_probed(params, &mut probe, &ctx);
+                (r, ctx.budget.peak_bytes())
+            }
+            Err(e) => (Err(e), 0),
+        };
+        let result = result.map_err(|e| e.with_statement_span(&self.sql));
+        self.db
+            .finish_statement(&probe, &self.sql, &result, peak_mem);
         result
     }
 
@@ -2185,6 +2403,7 @@ impl Prepared<'_> {
         &self,
         params: &[Value],
         probe: &mut StatementProbe,
+        ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         if self.db.config.plan_cache && !sys::mentions_sys(&self.sql) {
             if let Some((planned, has_params, version, verified)) = self.db.cached_plan(&self.sql) {
@@ -2193,7 +2412,7 @@ impl Prepared<'_> {
                 let result = self
                     .db
                     .verify_cached(&planned, has_params, version, &verified, &self.sql)
-                    .and_then(|()| self.db.execute_cached(&planned, has_params, params));
+                    .and_then(|()| self.db.execute_cached(&planned, has_params, params, ctx));
                 probe.lap_exec(t);
                 return result;
             }
@@ -2201,10 +2420,12 @@ impl Prepared<'_> {
         if let Statement::Query(query) = &self.stmt {
             return self
                 .db
-                .execute_query_probed(&self.sql, query, params, probe);
+                .execute_query_probed(&self.sql, query, params, probe, ctx);
         }
         let t = probe.phase();
-        let result = self.db.execute_statement(&self.sql, &self.stmt, params);
+        let result = self
+            .db
+            .execute_statement(&self.sql, &self.stmt, params, ctx);
         probe.lap_exec(t);
         result
     }

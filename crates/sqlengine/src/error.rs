@@ -115,6 +115,18 @@ pub enum EngineError {
     /// the span of the statement the plan was built for, so diagnostics can
     /// point back at the source text.
     Verify { message: String, span: Span },
+    /// The statement exceeded its `EngineConfig::memory_budget`: a
+    /// pipeline-breaking operator (hash-join build, aggregate table, sort
+    /// run, dedup set, batch literal table) would have allocated past the
+    /// per-statement budget. The statement is aborted instead of letting the
+    /// process OOM; retrying with a smaller working set (or a larger budget)
+    /// can succeed. Carries the span of the statement when known.
+    ResourceExhausted { message: String, span: Span },
+    /// The admission gate shed this statement: `max_concurrent_statements`
+    /// were already running and the wait queue was full, or the caller's
+    /// deadline would have expired while queued. Always retryable — back off
+    /// and resubmit.
+    Overloaded(String),
 }
 
 impl EngineError {
@@ -148,18 +160,61 @@ impl EngineError {
         }
     }
 
+    pub(crate) fn resource_exhausted(msg: impl Into<String>, span: Span) -> Self {
+        EngineError::ResourceExhausted {
+            message: msg.into(),
+            span,
+        }
+    }
+
+    pub(crate) fn overloaded(msg: impl Into<String>) -> Self {
+        EngineError::Overloaded(msg.into())
+    }
+
+    /// True for errors that describe a transient condition of the *system*
+    /// rather than a defect in the statement: the same statement can succeed
+    /// if the caller backs off and retries (possibly after faults heal or
+    /// load drains). Serving layers use this to separate "retry with
+    /// backoff" from "fix your query".
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Timeout
+                | EngineError::Wal(_)
+                | EngineError::ResourceExhausted { .. }
+                | EngineError::Overloaded(_)
+        )
+    }
+
+    /// Attach the whole-statement span to errors that are raised without
+    /// source context (deep in the executor) but should still point at the
+    /// statement text. No-op for errors that already carry a span.
+    pub(crate) fn with_statement_span(self, sql: &str) -> Self {
+        match self {
+            EngineError::ResourceExhausted { message, span } if span.is_empty() => {
+                EngineError::ResourceExhausted {
+                    message,
+                    span: Span::new(0, sql.len()),
+                }
+            }
+            other => other,
+        }
+    }
+
     /// The error message without the variant prefix.
     pub fn message(&self) -> &str {
         match self {
             EngineError::Lex { message, .. }
             | EngineError::Parse { message, .. }
             | EngineError::Sema { message, .. }
-            | EngineError::Verify { message, .. } => message,
+            | EngineError::Verify { message, .. }
+            | EngineError::ResourceExhausted { message, .. } => message,
             EngineError::Plan(m)
             | EngineError::Exec(m)
             | EngineError::Catalog(m)
             | EngineError::Parameter(m)
-            | EngineError::Wal(m) => m,
+            | EngineError::Wal(m)
+            | EngineError::Overloaded(m) => m,
             EngineError::Timeout => "statement timeout exceeded",
         }
     }
@@ -168,7 +223,9 @@ impl EngineError {
     /// span is available.
     pub fn display_with_source(&self, sql: &str) -> String {
         match self {
-            EngineError::Sema { span, .. } | EngineError::Verify { span, .. }
+            EngineError::Sema { span, .. }
+            | EngineError::Verify { span, .. }
+            | EngineError::ResourceExhausted { span, .. }
                 if !span.is_empty() =>
             {
                 let snippet = span_snippet(sql, *span);
@@ -203,7 +260,7 @@ impl fmt::Display for EngineError {
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
             EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
             EngineError::Parameter(m) => write!(f, "parameter error: {m}"),
-            EngineError::Timeout => write!(f, "execution error: statement timeout exceeded"),
+            EngineError::Timeout => write!(f, "timeout: statement timeout exceeded"),
             EngineError::Wal(m) => write!(f, "durability error: {m}"),
             EngineError::Verify { message, span } => {
                 if span.is_empty() {
@@ -212,6 +269,14 @@ impl fmt::Display for EngineError {
                     write!(f, "plan verification failed at byte {span}: {message}")
                 }
             }
+            EngineError::ResourceExhausted { message, span } => {
+                if span.is_empty() {
+                    write!(f, "resource exhausted: {message}")
+                } else {
+                    write!(f, "resource exhausted at byte {span}: {message}")
+                }
+            }
+            EngineError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -247,6 +312,31 @@ mod tests {
         let sql = "SELECT bogus FROM t";
         let s = span_snippet(sql, Span::new(7, 12));
         assert_eq!(s, "SELECT bogus FROM t\n       ^^^^^");
+    }
+
+    #[test]
+    fn retryability_taxonomy() {
+        assert!(EngineError::Timeout.is_retryable());
+        assert!(EngineError::wal("disk hiccup").is_retryable());
+        assert!(EngineError::resource_exhausted("budget", Span::default()).is_retryable());
+        assert!(EngineError::overloaded("queue full").is_retryable());
+        assert!(!EngineError::exec("type mismatch").is_retryable());
+        assert!(!EngineError::plan("unknown table").is_retryable());
+        assert!(!EngineError::catalog("exists").is_retryable());
+        assert!(!EngineError::sema("bad ref", Span::default()).is_retryable());
+    }
+
+    #[test]
+    fn statement_span_attaches_only_when_missing() {
+        let e = EngineError::resource_exhausted("over budget", Span::default())
+            .with_statement_span("SELECT 1");
+        let EngineError::ResourceExhausted { span, .. } = e else {
+            panic!("variant preserved");
+        };
+        assert_eq!((span.start, span.end), (0, 8));
+        // Non-resource errors pass through untouched.
+        let e = EngineError::exec("boom").with_statement_span("SELECT 1");
+        assert_eq!(e, EngineError::exec("boom"));
     }
 
     #[test]

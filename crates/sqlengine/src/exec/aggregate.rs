@@ -19,7 +19,7 @@ use crate::expr::PhysExpr;
 use crate::plan::{AggSpec, PhysPlan};
 use crate::value::{Row, Value};
 
-use super::context::ChunkJob;
+use super::context::{approx_row_bytes, approx_value_bytes, ChargeBuf, ChunkJob, MemoryBudget};
 use super::{ExecContext, NodeOut};
 
 /// Running state for one aggregate over one group. Shared with the
@@ -179,7 +179,7 @@ pub(crate) fn aggregate(
     let out = if parallel {
         parallel_aggregate(rows, keys, aggs, ctx)?
     } else {
-        serial_aggregate(&rows, keys, aggs)?
+        serial_aggregate(&rows, keys, aggs, ctx.budget())?
     };
     Ok(NodeOut {
         rows: out,
@@ -189,7 +189,12 @@ pub(crate) fn aggregate(
     })
 }
 
-fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Vec<Row>> {
+fn serial_aggregate(
+    rows: &[Row],
+    keys: &[PhysExpr],
+    aggs: &[AggSpec],
+    budget: &MemoryBudget,
+) -> Result<Vec<Row>> {
     // Group states plus per-group DISTINCT sets for distinct aggregates.
     struct Group {
         states: Vec<AggState>,
@@ -211,6 +216,9 @@ fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result
 
     let mut groups: HashMap<Vec<Value>, Group> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new(); // first-seen group order
+    let mut charge = ChargeBuf::new(budget);
+    // Each new group owns two key copies (map + order list) plus its states.
+    let group_overhead = (aggs.len() * std::mem::size_of::<AggState>()) as u64;
 
     for row in rows {
         let mut key = Vec::with_capacity(keys.len());
@@ -220,6 +228,7 @@ fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result
         let group = match groups.get_mut(&key) {
             Some(g) => g,
             None => {
+                charge.add(2 * approx_row_bytes(&key) + group_overhead)?;
                 order.push(key.clone());
                 groups.entry(key.clone()).or_insert_with(new_group)
             }
@@ -233,6 +242,7 @@ fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result
                 continue;
             }
             if let Some(seen) = &mut group.distinct_seen[i] {
+                charge.add(approx_value_bytes(&v))?;
                 if !seen.insert(v.clone()) {
                     continue;
                 }
@@ -240,6 +250,7 @@ fn serial_aggregate(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result
             group.states[i].update(v)?;
         }
     }
+    charge.flush()?;
 
     // Global aggregate over empty input still yields one row of defaults.
     if groups.is_empty() && keys.is_empty() {
@@ -290,8 +301,9 @@ fn parallel_aggregate(
             let rows = Arc::clone(&rows);
             let keys = Arc::clone(&keys_arc);
             let aggs = Arc::clone(&aggs_arc);
+            let budget = Arc::clone(ctx.budget());
             let job: ChunkJob<Result<ChunkOut>> =
-                Box::new(move || partial_chunk(&rows[range], &keys, &aggs));
+                Box::new(move || partial_chunk(&rows[range], &keys, &aggs, &budget));
             job
         })
         .collect();
@@ -379,7 +391,12 @@ fn fold_distinct(
 }
 
 /// Build one worker's partial aggregation over a morsel.
-fn partial_chunk(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<ChunkOut> {
+fn partial_chunk(
+    rows: &[Row],
+    keys: &[PhysExpr],
+    aggs: &[AggSpec],
+    budget: &MemoryBudget,
+) -> Result<ChunkOut> {
     let new_partial = || Partial {
         states: aggs.iter().map(AggState::new).collect(),
         distinct: aggs
@@ -389,6 +406,8 @@ fn partial_chunk(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Ch
     };
     let mut groups: HashMap<Vec<Value>, Partial> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut charge = ChargeBuf::new(budget);
+    let group_overhead = (aggs.len() * std::mem::size_of::<AggState>()) as u64;
 
     for row in rows {
         let mut key = Vec::with_capacity(keys.len());
@@ -398,6 +417,7 @@ fn partial_chunk(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Ch
         let group = match groups.get_mut(&key) {
             Some(g) => g,
             None => {
+                charge.add(2 * approx_row_bytes(&key) + group_overhead)?;
                 order.push(key.clone());
                 groups.entry(key.clone()).or_insert_with(new_partial)
             }
@@ -412,6 +432,7 @@ fn partial_chunk(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Ch
             }
             match &mut group.distinct[i] {
                 Some((set, ordered)) => {
+                    charge.add(approx_value_bytes(&v))?;
                     if set.insert(v.clone()) {
                         ordered.push(v);
                     }
@@ -420,5 +441,6 @@ fn partial_chunk(rows: &[Row], keys: &[PhysExpr], aggs: &[AggSpec]) -> Result<Ch
             }
         }
     }
+    charge.flush()?;
     Ok((order, groups))
 }

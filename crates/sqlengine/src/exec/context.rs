@@ -18,9 +18,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::error::{EngineError, Result};
+use crate::error::{EngineError, Result, Span};
 use crate::plan::PhysPlan;
-use crate::value::Row;
+use crate::value::{Row, Value};
 
 /// Inputs smaller than this never take a parallel path: morsel dispatch costs
 /// a few microseconds per chunk, which only pays off for non-trivial row
@@ -35,6 +35,130 @@ pub(crate) type ChunkJob<T> = Box<dyn FnOnce() -> T + Send + 'static>;
 /// worker smooths load imbalance (selective filters, skewed join keys)
 /// without work stealing.
 const MORSELS_PER_WORKER: usize = 4;
+
+/// Operators accumulate charge amounts locally and flush them to the shared
+/// [`MemoryBudget`] in chunks of this size, so budget accounting costs one
+/// atomic per ~32 KiB of materialized state rather than one per row.
+pub(crate) const CHARGE_FLUSH_BYTES: u64 = 32 * 1024;
+
+/// Per-statement memory budget for pipeline-breaking operators.
+///
+/// Charged (conservatively, charge-only — no release on operator completion,
+/// so the figure tracked is *cumulative materialized bytes*, an upper bound
+/// on live usage) at the allocation sites that can grow without bound with
+/// input size: hash-join build tables, aggregation hash tables, sort key
+/// runs, DISTINCT/UNION dedup sets, and batched-predict literal tables.
+/// When a charge pushes usage past the limit the operator aborts with
+/// [`EngineError::ResourceExhausted`] — a clean, retryable statement error
+/// instead of a process OOM. The peak is always tracked (budgeted or not)
+/// and lands in `sys.query_log`.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    /// Budget in bytes; `u64::MAX` means unlimited (track peak only).
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// Track peak usage without enforcing any limit.
+    pub fn unlimited() -> MemoryBudget {
+        MemoryBudget::limited(u64::MAX)
+    }
+
+    /// Enforce a budget of `limit` bytes.
+    pub fn limited(limit: u64) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Charge `bytes` against the budget, failing with
+    /// [`EngineError::ResourceExhausted`] once usage exceeds the limit. The
+    /// error carries an empty span; the engine attaches the statement span
+    /// at the entry point.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        let used = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(used, Ordering::Relaxed);
+        if used > self.limit {
+            return Err(EngineError::resource_exhausted(
+                format!(
+                    "statement memory budget exceeded: operator state reached \
+                     {used} bytes of a {} byte budget",
+                    self.limit
+                ),
+                Span::default(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Peak bytes charged so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Rough heap footprint of one row: the inline `Value`s plus string heap
+/// payloads plus the row vector's own header. Exact malloc accounting is not
+/// the point — the estimate only has to scale with the real allocation so a
+/// budget bounds it within a small constant factor.
+pub(crate) fn approx_value_bytes(v: &Value) -> u64 {
+    let heap = match v {
+        Value::Str(s) => s.len(),
+        _ => 0,
+    };
+    (std::mem::size_of::<Value>() + heap) as u64
+}
+
+pub(crate) fn approx_row_bytes(row: &Row) -> u64 {
+    let heap: usize = row
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.len(),
+            _ => 0,
+        })
+        .sum();
+    (std::mem::size_of::<Row>() + row.len() * std::mem::size_of::<Value>() + heap) as u64
+}
+
+/// Local accumulator over a shared [`MemoryBudget`]: buffers charges and
+/// flushes every [`CHARGE_FLUSH_BYTES`] so tight per-row loops pay amortized
+/// cost. Call [`ChargeBuf::flush`] (or drop the final partial charge — it is
+/// flushed on the next add) when precision matters; operators flush at the
+/// end of their build loops.
+pub(crate) struct ChargeBuf<'a> {
+    budget: &'a MemoryBudget,
+    pending: u64,
+}
+
+impl<'a> ChargeBuf<'a> {
+    pub(crate) fn new(budget: &'a MemoryBudget) -> ChargeBuf<'a> {
+        ChargeBuf { budget, pending: 0 }
+    }
+
+    pub(crate) fn add(&mut self, bytes: u64) -> Result<()> {
+        self.pending += bytes;
+        if self.pending >= CHARGE_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn add_row(&mut self, row: &Row) -> Result<()> {
+        self.add(approx_row_bytes(row))
+    }
+
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        if self.pending > 0 {
+            let pending = std::mem::take(&mut self.pending);
+            self.budget.charge(pending)?;
+        }
+        Ok(())
+    }
+}
 
 /// Runtime statistics for one operator in an executed plan, collected when
 /// the context has stats enabled (`EXPLAIN ANALYZE`).
@@ -189,6 +313,9 @@ pub struct ExecContext {
     /// [`EngineError::Timeout`]. Checked at operator dispatch and morsel
     /// boundaries; `None` disables the check.
     deadline: Option<Instant>,
+    /// Per-statement memory budget charged by pipeline-breaking operators.
+    /// Always present; defaults to an unlimited (peak-tracking) budget.
+    budget: Arc<MemoryBudget>,
 }
 
 impl ExecContext {
@@ -200,6 +327,7 @@ impl ExecContext {
             pool: None,
             collect_stats: false,
             deadline: None,
+            budget: Arc::new(MemoryBudget::unlimited()),
         }
     }
 
@@ -211,6 +339,7 @@ impl ExecContext {
             pool: (parallelism > 1).then(|| Arc::new(WorkerPool::new(parallelism))),
             collect_stats: false,
             deadline: None,
+            budget: Arc::new(MemoryBudget::unlimited()),
         }
     }
 
@@ -225,6 +354,7 @@ impl ExecContext {
             parallelism,
             collect_stats: false,
             deadline: None,
+            budget: Arc::new(MemoryBudget::unlimited()),
         }
     }
 
@@ -232,6 +362,19 @@ impl ExecContext {
     pub fn with_deadline(mut self, deadline: Instant) -> ExecContext {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Builder-style memory budget (shared with the statement's bookkeeping
+    /// so the engine can read the peak afterwards).
+    pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> ExecContext {
+        self.budget = budget;
+        self
+    }
+
+    /// The statement's memory budget; operators clone the `Arc` into morsel
+    /// jobs.
+    pub(crate) fn budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
     }
 
     /// The statement deadline, if any (`Copy`, so morsel jobs can capture it
@@ -288,6 +431,7 @@ impl ExecContext {
             pool: self.pool.clone(),
             collect_stats: true,
             deadline: self.deadline,
+            budget: Arc::clone(&self.budget),
         };
         let (rows, stats) = super::run(plan, &ctx)?;
         Ok((rows, stats.expect("stats were requested")))
@@ -393,6 +537,40 @@ mod tests {
             .collect();
         let results = pool.run(jobs);
         assert_eq!(results, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn budget_charges_and_tracks_peak() {
+        let b = MemoryBudget::limited(1000);
+        b.charge(400).unwrap();
+        b.charge(500).unwrap();
+        assert_eq!(b.peak_bytes(), 900);
+        let err = b.charge(200).unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted { .. }));
+        assert!(err.is_retryable());
+        // Peak keeps tracking past the failure point.
+        assert_eq!(b.peak_bytes(), 1100);
+    }
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        let b = MemoryBudget::unlimited();
+        b.charge(u64::MAX / 2).unwrap();
+        assert_eq!(b.peak_bytes(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn charge_buf_flushes_at_granularity() {
+        let b = MemoryBudget::limited(CHARGE_FLUSH_BYTES * 2);
+        let mut buf = ChargeBuf::new(&b);
+        // Stays local until the flush threshold trips.
+        buf.add(CHARGE_FLUSH_BYTES - 1).unwrap();
+        assert_eq!(b.peak_bytes(), 0);
+        buf.add(1).unwrap();
+        assert_eq!(b.peak_bytes(), CHARGE_FLUSH_BYTES);
+        buf.add(5).unwrap();
+        buf.flush().unwrap();
+        assert_eq!(b.peak_bytes(), CHARGE_FLUSH_BYTES + 5);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::expr::PhysExpr;
 use crate::plan::PhysPlan;
 use crate::value::{Row, Value};
 
-use super::context::ChunkJob;
+use super::context::{approx_row_bytes, ChargeBuf, ChunkJob, MemoryBudget};
 use super::{ExecContext, NodeOut};
 
 /// Hash of an equi-join key. `DefaultHasher::new()` is deterministic within
@@ -83,6 +83,7 @@ pub(crate) fn hash_join(
             kind,
             right_width,
             residual,
+            ctx.budget(),
         )?
     };
     Ok(NodeOut {
@@ -102,16 +103,21 @@ fn serial_hash_join(
     kind: JoinKind,
     right_width: usize,
     residual: &Option<PhysExpr>,
+    budget: &MemoryBudget,
 ) -> Result<Vec<Row>> {
     // Build on the right side, probe with the left (preserves left order,
     // which also gives LEFT JOIN for free). The table is pre-sized from the
     // build side's row count.
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    let mut charge = ChargeBuf::new(budget);
     for (i, row) in right_rows.iter().enumerate() {
         if let Some(key) = eval_key(row, right_keys)? {
+            // The build table owns the key values plus one index per row.
+            charge.add(approx_row_bytes(&key) + std::mem::size_of::<usize>() as u64)?;
             table.entry(key).or_default().push(i);
         }
     }
+    charge.flush()?;
 
     let mut out = Vec::new();
     for lrow in left_rows {
@@ -179,7 +185,9 @@ fn parallel_hash_join(
 ) -> Result<Vec<Row>> {
     let partitions = ctx.parallelism();
 
-    // Phase 1: morsel-parallel key extraction over the build side.
+    // Phase 1: morsel-parallel key extraction over the build side. The
+    // extracted keyed rows are what the per-partition build tables own, so
+    // charging the statement budget here covers the parallel build too.
     let right_keys_arc: Arc<Vec<PhysExpr>> = Arc::new(right_keys.to_vec());
     let extract_jobs: Vec<ChunkJob<Result<Vec<KeyedRow>>>> = ctx
         .morsels(right_rows.len())
@@ -187,13 +195,17 @@ fn parallel_hash_join(
         .map(|range| {
             let rows = Arc::clone(&right_rows);
             let keys = Arc::clone(&right_keys_arc);
+            let budget = Arc::clone(ctx.budget());
             let job: ChunkJob<Result<Vec<KeyedRow>>> = Box::new(move || {
                 let mut out = Vec::with_capacity(range.len());
+                let mut charge = ChargeBuf::new(&budget);
                 for i in range {
                     if let Some(key) = eval_key(&rows[i], &keys)? {
+                        charge.add(approx_row_bytes(&key) + 16)?;
                         out.push((hash_key(&key), key, i));
                     }
                 }
+                charge.flush()?;
                 Ok(out)
             });
             job
@@ -288,11 +300,14 @@ pub(crate) fn sort_merge_join(
     // stays serial by design.
     let keyed = |rows: &[Row], keys: &[PhysExpr]| -> Result<Vec<(Vec<Value>, usize)>> {
         let mut out = Vec::with_capacity(rows.len());
+        let mut charge = ChargeBuf::new(ctx.budget());
         for (i, row) in rows.iter().enumerate() {
             if let Some(k) = eval_key(row, keys)? {
+                charge.add(approx_row_bytes(&k) + 8)?;
                 out.push((k, i));
             }
         }
+        charge.flush()?;
         out.sort_by(|(a, _), (b, _)| cmp_keys(a, b));
         Ok(out)
     };
@@ -383,6 +398,7 @@ pub(crate) fn nested_loop_join(
                 let left = Arc::clone(&left_rows);
                 let right = Arc::clone(&right_rows);
                 let predicate = Arc::clone(&predicate_arc);
+                let budget = Arc::clone(ctx.budget());
                 let job: ChunkJob<Result<Vec<Row>>> = Box::new(move || {
                     nested_loop_chunk(
                         &left[range],
@@ -391,6 +407,7 @@ pub(crate) fn nested_loop_join(
                         right_width,
                         &predicate,
                         deadline,
+                        &budget,
                     )
                 });
                 job
@@ -409,6 +426,7 @@ pub(crate) fn nested_loop_join(
             right_width,
             predicate,
             deadline,
+            ctx.budget(),
         )?
     };
     Ok(NodeOut {
@@ -426,8 +444,10 @@ fn nested_loop_chunk(
     right_width: usize,
     predicate: &Option<PhysExpr>,
     deadline: Option<std::time::Instant>,
+    budget: &MemoryBudget,
 ) -> Result<Vec<Row>> {
     let mut out = Vec::new();
+    let mut charge = ChargeBuf::new(budget);
     for lrow in left_rows {
         // The one operator whose output is quadratic in its input: check the
         // deadline per outer row so an unconstrained cross join cannot run
@@ -443,15 +463,21 @@ fn nested_loop_chunk(
             };
             if keep {
                 matched = true;
+                // The one operator whose *output* is quadratic in its input:
+                // charge every materialized row, so an unconstrained cross
+                // join aborts on budget instead of OOMing.
+                charge.add_row(&joined)?;
                 out.push(joined);
             }
         }
         if !matched && kind == JoinKind::Left {
             let mut joined = lrow.clone();
             joined.extend(std::iter::repeat_n(Value::Null, right_width));
+            charge.add_row(&joined)?;
             out.push(joined);
         }
     }
+    charge.flush()?;
     Ok(out)
 }
 

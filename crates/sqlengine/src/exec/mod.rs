@@ -31,7 +31,8 @@ mod setops;
 mod sort;
 mod vector;
 
-pub use context::{ExecContext, OpStats, WorkerPool};
+pub(crate) use context::check_deadline;
+pub use context::{ExecContext, MemoryBudget, OpStats, WorkerPool};
 pub(crate) use vector::{count_modes, mode_suffix, node_mode};
 
 use std::sync::Arc;

@@ -17,7 +17,7 @@ use crate::error::Result;
 use crate::plan::PhysPlan;
 use crate::value::Row;
 
-use super::context::ChunkJob;
+use super::context::{ChargeBuf, ChunkJob};
 use super::{ExecContext, NodeOut, OpStats};
 
 /// `LIMIT`/`OFFSET`. The window is taken in place (drain the offset prefix,
@@ -64,9 +64,18 @@ pub(crate) fn union_all(inputs: &[PhysPlan], ctx: &ExecContext) -> Result<NodeOu
     let mut children = Vec::new();
     let mut rows_in = 0usize;
     let mut out = Vec::new();
+    // UNION ALL concatenates fully-materialized child outputs; this is also
+    // the operator that materializes batched-predict literal item tables
+    // (inlined `VALUES`-style CTEs of one literal SELECT per item), so the
+    // accumulated output is charged against the statement budget.
+    let mut charge = ChargeBuf::new(ctx.budget());
     for input in inputs {
         let shared = super::run_input(input, ctx, &mut children, &mut rows_in)?;
         let owned = super::into_owned(shared);
+        for row in &owned {
+            charge.add_row(row)?;
+        }
+        charge.flush()?;
         if out.is_empty() {
             out = owned;
         } else {
@@ -92,11 +101,15 @@ pub(crate) fn distinct(input: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut> {
     let rows = super::into_owned(shared);
     let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
     let mut out = Vec::new();
+    let mut charge = ChargeBuf::new(ctx.budget());
     for row in rows {
+        // The dedup set holds a full copy of every kept row.
+        charge.add_row(&row)?;
         if seen.insert(row.clone()) {
             out.push(row);
         }
     }
+    charge.flush()?;
     Ok(NodeOut {
         rows: out,
         rows_in,
@@ -134,6 +147,9 @@ fn parallel_distinct(
     for chunk in ctx.run_jobs(hash_jobs) {
         hashes.extend(chunk);
     }
+    // Hash vector (8B each) plus the per-partition dedup buckets, which hold
+    // two usize indexes per surviving row in the worst case.
+    ctx.budget().charge(24 * hashes.len() as u64)?;
     let hashes = Arc::new(hashes);
 
     let nparts = ctx.parallelism();

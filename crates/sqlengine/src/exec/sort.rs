@@ -20,7 +20,7 @@ use crate::expr::PhysExpr;
 use crate::plan::PhysPlan;
 use crate::value::{Row, Value};
 
-use super::context::ChunkJob;
+use super::context::{approx_row_bytes, ChargeBuf, ChunkJob};
 use super::{ExecContext, NodeOut, OpStats};
 
 /// Evaluate sort keys for every row, morsel-parallel when worthwhile.
@@ -37,15 +37,19 @@ fn eval_keys(
             .map(|range| {
                 let rows = Arc::clone(rows);
                 let exprs = Arc::clone(&exprs);
+                let budget = Arc::clone(ctx.budget());
                 let job: ChunkJob<Result<Vec<Vec<Value>>>> = Box::new(move || {
                     let mut out = Vec::with_capacity(range.len());
+                    let mut charge = ChargeBuf::new(&budget);
                     for row in &rows[range] {
                         let mut kv = Vec::with_capacity(exprs.len());
                         for e in exprs.iter() {
                             kv.push(e.eval(row)?);
                         }
+                        charge.add(approx_row_bytes(&kv) + 8)?;
                         out.push(kv);
                     }
+                    charge.flush()?;
                     Ok(out)
                 });
                 job
@@ -58,13 +62,16 @@ fn eval_keys(
         Ok(out)
     } else {
         let mut out = Vec::with_capacity(rows.len());
+        let mut charge = ChargeBuf::new(ctx.budget());
         for row in rows.iter() {
             let mut kv = Vec::with_capacity(keys.len());
             for (expr, _) in keys {
                 kv.push(expr.eval(row)?);
             }
+            charge.add(approx_row_bytes(&kv) + 8)?;
             out.push(kv);
         }
+        charge.flush()?;
         Ok(out)
     }
 }
@@ -255,6 +262,7 @@ pub(crate) fn window_rank(
 
     // (partition key, order key, original index)
     let mut keyed: Vec<(Vec<Value>, Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    let mut charge = ChargeBuf::new(ctx.budget());
     for (i, row) in rows.iter().enumerate() {
         let mut pk = Vec::with_capacity(partition.len());
         for p in partition {
@@ -264,8 +272,10 @@ pub(crate) fn window_rank(
         for (e, _) in order {
             ok.push(e.eval(row)?);
         }
+        charge.add(approx_row_bytes(&pk) + approx_row_bytes(&ok) + 8)?;
         keyed.push((pk, ok, i));
     }
+    charge.flush()?;
     let cmp_order = |oa: &[Value], ob: &[Value]| {
         for (i, (_, desc)) in order.iter().enumerate() {
             let ord = oa[i].total_cmp(&ob[i]);

@@ -42,7 +42,7 @@ use crate::plan::{AggSpec, PhysPlan};
 use crate::value::{Row, Value};
 
 use super::aggregate::{default_row, AggState};
-use super::context::{check_deadline, ChunkJob, StageCounter};
+use super::context::{approx_row_bytes, check_deadline, ChunkJob, MemoryBudget, StageCounter};
 use super::scan::{collect_chain, StageSpec};
 use super::{ExecContext, NodeOut, OpStats};
 
@@ -611,6 +611,7 @@ fn agg_chunk(
     pipe: &ChunkPipeline<'_>,
     keys: &[PhysExpr],
     aggs: &[AggSpec],
+    budget: &MemoryBudget,
     acc: &mut GroupAcc,
 ) -> Result<()> {
     check_deadline(pipe.deadline)?;
@@ -625,6 +626,12 @@ fn agg_chunk(
         let gid = match acc.index.get(&key) {
             Some(&g) => g,
             None => {
+                // Same accounting as the row path's hash aggregate: two key
+                // copies (index map + order list) plus the state vector.
+                budget.charge(
+                    2 * approx_row_bytes(&key)
+                        + (aggs.len() * std::mem::size_of::<AggState>()) as u64,
+                )?;
                 let g = acc.order.len();
                 acc.order.push(key.clone());
                 acc.states.push(aggs.iter().map(AggState::new).collect());
@@ -704,6 +711,7 @@ pub(super) fn vectorized_aggregate(
                 let chunked = Arc::clone(&chunked);
                 let keys = Arc::clone(&keys_arc);
                 let aggs = Arc::clone(&aggs_arc);
+                let budget = Arc::clone(ctx.budget());
                 let job: ChunkJob<Result<VChunkOut>> = Box::new(move || {
                     let pipe = ChunkPipeline {
                         stages: &stages,
@@ -713,7 +721,7 @@ pub(super) fn vectorized_aggregate(
                     };
                     let mut local = GroupAcc::default();
                     for chunk in &chunked.chunks()[range] {
-                        agg_chunk(chunk, &pipe, &keys, &aggs, &mut local)?;
+                        agg_chunk(chunk, &pipe, &keys, &aggs, &budget, &mut local)?;
                     }
                     let map: HashMap<Vec<Value>, Vec<AggState>> =
                         local.order.iter().cloned().zip(local.states).collect();
@@ -751,7 +759,7 @@ pub(super) fn vectorized_aggregate(
             deadline,
         };
         for chunk in chunked.chunks() {
-            agg_chunk(chunk, &pipe, keys, aggs, &mut acc)?;
+            agg_chunk(chunk, &pipe, keys, aggs, ctx.budget(), &mut acc)?;
         }
     }
 

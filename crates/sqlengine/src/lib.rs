@@ -80,6 +80,7 @@
 
 #![forbid(unsafe_code)]
 
+pub(crate) mod admission;
 pub mod ast;
 pub mod catalog;
 pub mod column;
@@ -102,11 +103,11 @@ pub mod wal;
 pub use ast::ExplainMode;
 pub use engine::{Database, EngineConfig, Prepared, QueryResult, StatementResult};
 pub use error::{EngineError, Result, Span};
-pub use exec::{ExecContext, OpStats, WorkerPool};
+pub use exec::{ExecContext, MemoryBudget, OpStats, WorkerPool};
 pub use plan::JoinAlgo;
 pub use sema::CheckReport;
 pub use snapshot::Snapshot;
 pub use telemetry::{QueryLogEntry, QueryStatus, Telemetry};
 pub use value::{DataType, Row, Value};
 pub use verify::{ParamDiscipline, SnapshotGuarantee, VerifyReport, VerifyRule, Violation};
-pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy};
+pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy, WalRetry};

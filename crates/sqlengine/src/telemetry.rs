@@ -40,6 +40,11 @@ impl Counter {
         self.0.load(Ordering::Relaxed)
     }
 
+    /// Raise the counter to `v` if it is below it (peak/max trackers).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
     }
@@ -175,6 +180,9 @@ pub struct QueryLogEntry {
     pub total_us: u64,
     /// Rows returned (queries) or affected (DML).
     pub rows: u64,
+    /// Peak bytes charged against the statement's memory budget (cumulative
+    /// materialized operator state; 0 for statements that broke no pipeline).
+    pub peak_mem_bytes: u64,
 }
 
 /// Statement text stored in the query log is truncated to this many bytes
@@ -302,6 +310,30 @@ pub struct Telemetry {
     /// to the row-at-a-time path.
     pub row_ops: Counter,
 
+    // -- resource governance -------------------------------------------------
+    /// Statements admitted past the concurrency gate (immediately or after
+    /// queueing).
+    pub admission_admitted: Counter,
+    /// Statements that had to wait in the admission queue before running.
+    pub admission_queued: Counter,
+    /// Statements shed with `Overloaded` (queue full, or deadline expired
+    /// while queued).
+    pub admission_shed: Counter,
+    /// Statements aborted by `ResourceExhausted` (memory budget).
+    pub mem_budget_aborts: Counter,
+    /// Largest per-statement memory-budget peak observed (bytes).
+    pub mem_peak_bytes: Counter,
+    /// WAL write attempts retried after a transient storage error.
+    pub wal_retries: Counter,
+
+    // -- error taxonomy ------------------------------------------------------
+    /// Statement failures by error family (see `Telemetry::record_error`).
+    pub errors_timeout: Counter,
+    pub errors_wal: Counter,
+    pub errors_resource: Counter,
+    pub errors_overloaded: Counter,
+    pub errors_statement: Counter,
+
     // -- static plan verification --------------------------------------------
     /// Physical plans walked by the post-planning verifier
     /// (`EngineConfig::verify_plans` / `EXPLAIN (VERIFY)`).
@@ -342,6 +374,17 @@ impl Telemetry {
             wal_checkpoint_bytes: Counter::default(),
             vectorized_ops: Counter::default(),
             row_ops: Counter::default(),
+            admission_admitted: Counter::default(),
+            admission_queued: Counter::default(),
+            admission_shed: Counter::default(),
+            mem_budget_aborts: Counter::default(),
+            mem_peak_bytes: Counter::default(),
+            wal_retries: Counter::default(),
+            errors_timeout: Counter::default(),
+            errors_wal: Counter::default(),
+            errors_resource: Counter::default(),
+            errors_overloaded: Counter::default(),
+            errors_statement: Counter::default(),
             verify_plans_checked: Counter::default(),
             verify_violations: Counter::default(),
             log: Mutex::new(std::collections::VecDeque::new()),
@@ -376,6 +419,17 @@ impl Telemetry {
             &self.row_ops,
             &self.verify_plans_checked,
             &self.verify_violations,
+            &self.admission_admitted,
+            &self.admission_queued,
+            &self.admission_shed,
+            &self.mem_budget_aborts,
+            &self.mem_peak_bytes,
+            &self.wal_retries,
+            &self.errors_timeout,
+            &self.errors_wal,
+            &self.errors_resource,
+            &self.errors_overloaded,
+            &self.errors_statement,
         ] {
             c.reset();
         }
@@ -412,10 +466,12 @@ impl Telemetry {
         status: QueryStatus,
         error: Option<String>,
         rows: u64,
+        peak_mem: u64,
     ) {
         if !self.enabled || !probe.enabled() {
             return;
         }
+        self.mem_peak_bytes.set_max(peak_mem);
         let total_us = probe.total_us();
         self.statements.incr();
         match status {
@@ -447,12 +503,32 @@ impl Telemetry {
             exec_us: probe.exec_us,
             total_us,
             rows,
+            peak_mem_bytes: peak_mem,
         };
         let mut log = self.log.lock();
         if log.len() >= self.log_capacity {
             log.pop_front();
         }
         log.push_back(entry);
+    }
+
+    /// Bump the per-family error counter for a failed statement. Families
+    /// mirror [`EngineError::is_retryable`]: the retryable variants each get
+    /// a dedicated counter, everything else lands in `errors.statement`.
+    ///
+    /// [`EngineError::is_retryable`]: crate::error::EngineError::is_retryable
+    pub fn record_error(&self, err: &crate::error::EngineError) {
+        use crate::error::EngineError;
+        if !self.enabled {
+            return;
+        }
+        match err {
+            EngineError::Timeout => self.errors_timeout.incr(),
+            EngineError::Wal(_) => self.errors_wal.incr(),
+            EngineError::ResourceExhausted { .. } => self.errors_resource.incr(),
+            EngineError::Overloaded(_) => self.errors_overloaded.incr(),
+            _ => self.errors_statement.incr(),
+        }
     }
 
     /// Snapshot of the query-log ring, oldest first.
@@ -663,6 +739,7 @@ pub mod sys {
                 col("exec_us", Integer),
                 col("duration_ms", Real),
                 col("rows", Integer),
+                col("peak_mem_bytes", Integer),
             ],
             TABLES => vec![
                 col("name", Text),
@@ -733,7 +810,7 @@ mod tests {
         let t = Telemetry::new(true, Duration::from_millis(100), 2);
         for i in 0..3 {
             let probe = StatementProbe::start(true);
-            t.record_statement(&probe, &format!("SELECT {i}"), QueryStatus::Ok, None, 1);
+            t.record_statement(&probe, &format!("SELECT {i}"), QueryStatus::Ok, None, 1, 0);
         }
         let log = t.query_log();
         assert_eq!(log.len(), 2);
@@ -747,7 +824,7 @@ mod tests {
         let t = Telemetry::disabled();
         let probe = StatementProbe::start(t.enabled());
         assert!(!probe.enabled());
-        t.record_statement(&probe, "SELECT 1", QueryStatus::Ok, None, 1);
+        t.record_statement(&probe, "SELECT 1", QueryStatus::Ok, None, 1, 0);
         t.record_wal_append(10);
         t.record_model_predict("m", Duration::from_micros(5), 1);
         assert_eq!(t.statements.get(), 0);

@@ -49,17 +49,46 @@ pub use codec::{crc32, frame_boundaries};
 pub use storage::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo};
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::catalog::{Catalog, Column, Schema, Table};
 use crate::error::{EngineError, Result};
+use crate::exec::check_deadline;
 use crate::value::{DataType, Row};
 
 /// WAL file name inside the storage root.
 pub const WAL_FILE: &str = "wal.log";
 /// Checkpoint file name inside the storage root.
 pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// Bounded retry policy for WAL append/fsync failures
+/// (`EngineConfig::wal_retry`).
+///
+/// A transient disk hiccup (the model [`FaultyIo::arm_transient`] injects)
+/// fails an operation cleanly; with `attempts > 1` the WAL repairs the file
+/// back to the last durable length and retries up to `attempts` total times,
+/// sleeping `backoff * attempt_number` between tries (deterministic linear
+/// backoff — no jitter, so tests reproduce exactly). The default is a single
+/// attempt (no retry), preserving fail-fast semantics for fault-injection
+/// tests and callers that do their own retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRetry {
+    /// Total attempts per logical write (1 = no retry).
+    pub attempts: u32,
+    /// Base sleep between attempts; attempt `n` sleeps `backoff * n`.
+    pub backoff: Duration,
+}
+
+impl Default for WalRetry {
+    fn default() -> Self {
+        WalRetry {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
 
 /// When the log is fsynced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,9 +151,10 @@ struct WalInner {
     /// Buffered ops while an explicit transaction is open; flushed as one
     /// batch at `COMMIT`, discarded at `ROLLBACK`.
     pending: Option<Vec<WalOp>>,
-    /// Set when a failed append could not be repaired; all further durable
-    /// mutations are refused.
-    wedged: bool,
+    /// Set (with the cause) when a failed append could not be repaired; all
+    /// further durable mutations are refused while reads keep serving —
+    /// degraded read-only mode.
+    wedged: Option<String>,
     /// Group-commit mode only: encoded frames (whole, in sequence order)
     /// enqueued for the next leader flush.
     group_queue: Vec<u8>,
@@ -147,6 +177,8 @@ pub struct Wal {
     /// whole queue with one append + one fsync. Only effective under
     /// [`SyncPolicy::Always`].
     group_commit: bool,
+    /// Bounded retry policy for transient append/fsync failures.
+    retry: WalRetry,
     inner: Mutex<WalInner>,
     /// Every frame with `seq < durable_before` is appended and fsynced.
     /// The fast path of [`Wal::wait_durable`] reads this without a lock.
@@ -160,11 +192,13 @@ pub struct Wal {
 }
 
 impl Wal {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         io: Arc<dyn StorageIo>,
         sync: SyncPolicy,
         group_commit: bool,
         checkpoint_after: u64,
+        retry: WalRetry,
         next_seq: u64,
         wal_len: u64,
         telemetry: Arc<crate::telemetry::Telemetry>,
@@ -174,11 +208,15 @@ impl Wal {
             sync,
             group_commit: group_commit && sync == SyncPolicy::Always,
             checkpoint_after,
+            retry: WalRetry {
+                attempts: retry.attempts.max(1),
+                backoff: retry.backoff,
+            },
             inner: Mutex::new(WalInner {
                 next_seq,
                 wal_len,
                 pending: None,
-                wedged: false,
+                wedged: None,
                 group_queue: Vec::new(),
                 group_lens: Vec::new(),
             }),
@@ -199,7 +237,12 @@ impl Wal {
     /// drops, and the statement is acknowledged only once that returns.
     /// `None` means the write is already as durable as the sync policy
     /// promises (or nothing needed writing).
-    pub(crate) fn log(&self, catalog: &Catalog, ops: Vec<WalOp>) -> Result<Option<u64>> {
+    pub(crate) fn log(
+        &self,
+        catalog: &Catalog,
+        ops: Vec<WalOp>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<u64>> {
         if ops.is_empty() {
             return Ok(None);
         }
@@ -208,7 +251,7 @@ impl Wal {
             pending.extend(ops);
             return Ok(None);
         }
-        let ticket = self.write_batch(&mut inner, &ops, false)?;
+        let ticket = self.write_batch(&mut inner, &ops, false, deadline)?;
         if ticket.is_none() {
             self.maybe_checkpoint(&mut inner, catalog)?;
         }
@@ -225,7 +268,11 @@ impl Wal {
 
     /// Flush the buffered transaction as a single batch: called at `COMMIT`.
     /// Returns a group-commit ticket like [`Wal::log`].
-    pub(crate) fn commit(&self, catalog: &Catalog) -> Result<Option<u64>> {
+    pub(crate) fn commit(
+        &self,
+        catalog: &Catalog,
+        deadline: Option<Instant>,
+    ) -> Result<Option<u64>> {
         let mut inner = self.inner.lock();
         let Some(ops) = inner.pending.take() else {
             return Ok(None);
@@ -233,7 +280,7 @@ impl Wal {
         if ops.is_empty() {
             return Ok(None);
         }
-        let ticket = self.write_batch(&mut inner, &ops, true)?;
+        let ticket = self.write_batch(&mut inner, &ops, true, deadline)?;
         if ticket.is_none() {
             self.maybe_checkpoint(&mut inner, catalog)?;
         }
@@ -268,38 +315,90 @@ impl Wal {
         self.checkpoint_after > 0 && self.inner.lock().wal_len >= self.checkpoint_after
     }
 
+    /// Whether the log is wedged: degraded read-only mode, writes refused
+    /// with the wedge cause while reads keep serving.
+    pub(crate) fn degraded(&self) -> bool {
+        self.inner.lock().wedged.is_some()
+    }
+
+    /// Fail fast when the log is wedged. Write statements call this
+    /// *before* mutating the in-memory catalog, so degraded read-only mode
+    /// refuses the whole statement instead of applying a change that could
+    /// never become durable.
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        match &self.inner.lock().wedged {
+            Some(cause) => Err(Self::wedged_error(cause)),
+            None => Ok(()),
+        }
+    }
+
+    /// The error every durable mutation returns while the log is wedged.
+    /// Classified as retryable ([`EngineError::Wal`]): a reopened database
+    /// recovers and can serve the same statement.
+    fn wedged_error(cause: &str) -> EngineError {
+        EngineError::wal(format!(
+            "write-ahead log is wedged ({cause}); degraded read-only mode — \
+             reads keep serving, reopen the database to recover writes"
+        ))
+    }
+
     /// Block until frame `seq` is durable. The first waiter becomes the
     /// flush leader and writes the *entire* queue with one append + one
     /// fsync; waiters that arrive while a flush is in flight coalesce into
     /// the next group. Callers must not hold the catalog lock — blocking
     /// here while holding it would serialize the writers whose overlap the
     /// group exists to exploit.
-    pub(crate) fn wait_durable(&self, seq: u64) -> Result<()> {
+    ///
+    /// With a `deadline`, the wait is bounded: a waiter that cannot become
+    /// leader (or finish as one) before the deadline returns
+    /// [`EngineError::Timeout`]. Its frame stays queued — the next leader
+    /// flushes it — and the statement is *not* acknowledged, so timing out
+    /// here never loses an acked commit.
+    pub(crate) fn wait_durable(&self, seq: u64, deadline: Option<Instant>) -> Result<()> {
         use std::sync::atomic::Ordering;
+        let Some(dl) = deadline else {
+            // No deadline: block on the leader lock directly (the hot
+            // serving path — no polling overhead).
+            loop {
+                if self.durable_before.load(Ordering::Acquire) > seq {
+                    return Ok(());
+                }
+                let _leader = self.flush_lock.lock();
+                if self.durable_before.load(Ordering::Acquire) > seq {
+                    continue; // re-check via the fast path, then return
+                }
+                self.flush_group(None)?;
+            }
+        };
         loop {
             if self.durable_before.load(Ordering::Acquire) > seq {
                 return Ok(());
             }
-            let _leader = self.flush_lock.lock();
-            if self.durable_before.load(Ordering::Acquire) > seq {
-                continue; // re-check via the fast path, then return
+            check_deadline(Some(dl))?;
+            match self.flush_lock.try_lock() {
+                Some(_leader) => {
+                    if self.durable_before.load(Ordering::Acquire) > seq {
+                        continue;
+                    }
+                    self.flush_group(Some(dl))?;
+                }
+                // Another leader is flushing; poll instead of blocking
+                // unboundedly behind its IO.
+                None => std::thread::sleep(Duration::from_micros(50)),
             }
-            self.flush_group()?;
         }
     }
 
     /// Write the queued group to storage: one append + one fsync for every
-    /// frame enqueued so far. Caller holds `flush_lock`.
-    fn flush_group(&self) -> Result<()> {
+    /// frame enqueued so far, retried per [`WalRetry`] with truncate-repair
+    /// between attempts. Caller holds `flush_lock`.
+    fn flush_group(&self, deadline: Option<Instant>) -> Result<()> {
         use std::sync::atomic::Ordering;
         // Steal the queue under a brief inner lock; IO runs without it.
         let (bytes, lens, hi, base_len) = {
             let mut inner = self.inner.lock();
-            if inner.wedged {
-                return Err(EngineError::wal(
-                    "write-ahead log is wedged after an unrepaired write failure; \
-                     reopen the database to recover",
-                ));
+            if let Some(cause) = &inner.wedged {
+                return Err(Self::wedged_error(cause));
             }
             if inner.group_queue.is_empty() {
                 // Nothing left to write (a checkpoint folded the queue).
@@ -313,42 +412,58 @@ impl Wal {
                 inner.wal_len,
             )
         };
-        let io_result = self.io.append(WAL_FILE, &bytes).and_then(|()| {
-            let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
-            self.io.sync(WAL_FILE)?;
-            if let Some(t) = sync_started {
-                self.telemetry.record_wal_fsync(t.elapsed());
-            }
-            Ok(())
-        });
-        let mut inner = self.inner.lock();
-        match io_result {
-            Ok(()) => {
-                inner.wal_len = base_len + bytes.len() as u64;
-                for len in lens {
-                    self.telemetry.record_wal_append(len);
+        let mut attempt = 1u32;
+        let err = loop {
+            let io_result = self.io.append(WAL_FILE, &bytes).and_then(|()| {
+                let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
+                self.io.sync(WAL_FILE)?;
+                if let Some(t) = sync_started {
+                    self.telemetry.record_wal_fsync(t.elapsed());
                 }
-                self.durable_before.store(hi, Ordering::Release);
                 Ok(())
-            }
-            Err(e) => {
-                // Cut any torn bytes off the file, then put the group back
-                // at the *front* of the queue: dropping it would leave a
-                // sequence gap that recovery (rightly) treats as the end of
-                // the log, silently discarding every later commit.
-                if self.io.truncate(WAL_FILE, base_len).is_err() {
-                    inner.wedged = true;
-                } else {
-                    let mut requeued = bytes;
-                    requeued.extend_from_slice(&inner.group_queue);
-                    inner.group_queue = requeued;
-                    let mut relens = lens;
-                    relens.extend_from_slice(&inner.group_lens);
-                    inner.group_lens = relens;
+            });
+            match io_result {
+                Ok(()) => {
+                    let mut inner = self.inner.lock();
+                    inner.wal_len = base_len + bytes.len() as u64;
+                    for len in lens {
+                        self.telemetry.record_wal_append(len);
+                    }
+                    self.durable_before.store(hi, Ordering::Release);
+                    return Ok(());
                 }
-                Err(e)
+                Err(e) => {
+                    // Cut any torn bytes off the file before deciding what
+                    // comes next; an unrepairable file wedges the log.
+                    if self.io.truncate(WAL_FILE, base_len).is_err() {
+                        self.inner.lock().wedged =
+                            Some("group flush failed and truncate repair also failed".into());
+                        break e;
+                    }
+                    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                    if attempt >= self.retry.attempts || expired {
+                        break e;
+                    }
+                    self.telemetry.wal_retries.incr();
+                    std::thread::sleep(self.retry.backoff * attempt);
+                    attempt += 1;
+                }
             }
+        };
+        // Retries exhausted (or the repair wedged the log): put the group
+        // back at the *front* of the queue — dropping it would leave a
+        // sequence gap that recovery (rightly) treats as the end of the
+        // log, silently discarding every later commit.
+        let mut inner = self.inner.lock();
+        if inner.wedged.is_none() {
+            let mut requeued = bytes;
+            requeued.extend_from_slice(&inner.group_queue);
+            inner.group_queue = requeued;
+            let mut relens = lens;
+            relens.extend_from_slice(&inner.group_lens);
+            inner.group_lens = relens;
         }
+        Err(err)
     }
 
     fn write_batch(
@@ -356,12 +471,10 @@ impl Wal {
         inner: &mut WalInner,
         ops: &[WalOp],
         is_commit: bool,
+        deadline: Option<Instant>,
     ) -> Result<Option<u64>> {
-        if inner.wedged {
-            return Err(EngineError::wal(
-                "write-ahead log is wedged after an unrepaired write failure; \
-                 reopen the database to recover",
-            ));
+        if let Some(cause) = &inner.wedged {
+            return Err(Self::wedged_error(cause));
         }
         let frame = codec::encode_batch(inner.next_seq, ops);
         if self.group_commit {
@@ -374,31 +487,42 @@ impl Wal {
             inner.next_seq += 1;
             return Ok(Some(seq));
         }
-        if let Err(e) = self.io.append(WAL_FILE, &frame) {
-            // A torn append would make every later record unreadable; cut
-            // the file back to the last durable length.
-            if self.io.truncate(WAL_FILE, inner.wal_len).is_err() {
-                inner.wedged = true;
-            }
-            return Err(e);
-        }
         let want_sync = match self.sync {
             SyncPolicy::Always => true,
             SyncPolicy::OnCommit => is_commit,
             SyncPolicy::Never => false,
         };
-        if want_sync {
-            let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
-            if let Err(e) = self.io.sync(WAL_FILE) {
-                // The frame is in the file but not acknowledged durable;
-                // remove it so bookkeeping and file stay in lockstep.
-                if self.io.truncate(WAL_FILE, inner.wal_len).is_err() {
-                    inner.wedged = true;
+        let mut attempt = 1u32;
+        loop {
+            let io_result = self.io.append(WAL_FILE, &frame).and_then(|()| {
+                if !want_sync {
+                    return Ok(());
                 }
-                return Err(e);
-            }
-            if let Some(t) = sync_started {
-                self.telemetry.record_wal_fsync(t.elapsed());
+                let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
+                self.io.sync(WAL_FILE)?;
+                if let Some(t) = sync_started {
+                    self.telemetry.record_wal_fsync(t.elapsed());
+                }
+                Ok(())
+            });
+            match io_result {
+                Ok(()) => break,
+                Err(e) => {
+                    // A torn append (or an appended-but-unsynced frame)
+                    // would make bookkeeping and file disagree; cut the
+                    // file back to the last durable length.
+                    if self.io.truncate(WAL_FILE, inner.wal_len).is_err() {
+                        inner.wedged = Some("write failed and truncate repair also failed".into());
+                        return Err(e);
+                    }
+                    let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                    if attempt >= self.retry.attempts || expired {
+                        return Err(e);
+                    }
+                    self.telemetry.wal_retries.incr();
+                    std::thread::sleep(self.retry.backoff * attempt);
+                    attempt += 1;
+                }
             }
         }
         inner.next_seq += 1;
@@ -415,11 +539,8 @@ impl Wal {
     }
 
     fn checkpoint_locked(&self, inner: &mut WalInner, catalog: &Catalog) -> Result<()> {
-        if inner.wedged {
-            return Err(EngineError::wal(
-                "write-ahead log is wedged after an unrepaired write failure; \
-                 reopen the database to recover",
-            ));
+        if let Some(cause) = &inner.wedged {
+            return Err(Self::wedged_error(cause));
         }
         let json = checkpoint::encode_checkpoint(catalog, inner.next_seq);
         // Publication point: after this rename, every WAL frame below
@@ -430,7 +551,7 @@ impl Wal {
             // The checkpoint is durable; stale frames are skipped by seq on
             // recovery. But our length bookkeeping no longer matches the
             // file, so refuse further writes rather than risk mis-repair.
-            inner.wedged = true;
+            inner.wedged = Some("checkpoint written but WAL truncation failed".into());
             return Err(EngineError::wal(
                 "checkpoint written but WAL truncation failed; reopen to recover",
             ));
@@ -709,26 +830,31 @@ mod tests {
         assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
     }
 
-    #[test]
-    fn wal_append_failure_repairs_to_last_durable_length() {
-        let io = Arc::new(FaultyIo::new());
-        let wal = Wal::new(
-            Arc::clone(&io) as Arc<dyn StorageIo>,
+    fn plain_wal(io: Arc<dyn StorageIo>, retry: WalRetry) -> Wal {
+        Wal::new(
+            io,
             SyncPolicy::Always,
             false,
             0,
+            retry,
             0,
             0,
             Arc::new(crate::telemetry::Telemetry::disabled()),
-        );
+        )
+    }
+
+    #[test]
+    fn wal_append_failure_repairs_to_last_durable_length() {
+        let io = Arc::new(FaultyIo::new());
+        let wal = plain_wal(Arc::clone(&io) as Arc<dyn StorageIo>, WalRetry::default());
         let catalog = Catalog::new();
-        wal.log(&catalog, vec![create_t()]).unwrap();
+        wal.log(&catalog, vec![create_t()], None).unwrap();
         let len_before = io.size(WAL_FILE).unwrap();
 
         // Torn append: 5 bytes land, then the write errors. (`arm` resets
         // the write counter, so index 0 is the very next write.)
         io.arm(0, FaultKind::ShortWrite(5));
-        let err = wal.log(&catalog, vec![insert_t(1)]).unwrap_err();
+        let err = wal.log(&catalog, vec![insert_t(1)], None).unwrap_err();
         assert!(matches!(err, EngineError::Wal(_)));
         assert_eq!(
             io.size(WAL_FILE).unwrap(),
@@ -737,7 +863,54 @@ mod tests {
         );
 
         // The log still works afterwards.
-        wal.log(&catalog, vec![insert_t(1)]).unwrap();
+        wal.log(&catalog, vec![insert_t(1)], None).unwrap();
+        let r = recover(io.as_ref()).unwrap();
+        assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn wal_retry_rides_out_transient_faults() {
+        let io = Arc::new(FaultyIo::new());
+        let wal = plain_wal(
+            Arc::clone(&io) as Arc<dyn StorageIo>,
+            WalRetry {
+                attempts: 4,
+                backoff: Duration::ZERO,
+            },
+        );
+        let catalog = Catalog::new();
+        // The next 3 operations fail (append, retried append, its fsync...),
+        // then the backend heals: a 4-attempt policy must succeed without
+        // surfacing an error.
+        io.arm_transient(3);
+        wal.log(&catalog, vec![create_t()], None).unwrap();
+        assert_eq!(io.transient_fired(), 3);
+        let r = recover(io.as_ref()).unwrap();
+        assert!(r.catalog.get("t").is_ok());
+    }
+
+    #[test]
+    fn wal_retry_exhaustion_still_repairs_and_recovers() {
+        let io = Arc::new(FaultyIo::new());
+        let wal = plain_wal(
+            Arc::clone(&io) as Arc<dyn StorageIo>,
+            WalRetry {
+                attempts: 2,
+                backoff: Duration::ZERO,
+            },
+        );
+        let catalog = Catalog::new();
+        wal.log(&catalog, vec![create_t()], None).unwrap();
+        let len_before = io.size(WAL_FILE).unwrap();
+        io.arm_transient(10); // outlives the 2-attempt policy
+        let err = wal.log(&catalog, vec![insert_t(1)], None).unwrap_err();
+        assert!(matches!(err, EngineError::Wal(_)));
+        assert!(err.is_retryable());
+        assert_eq!(io.size(WAL_FILE).unwrap(), len_before);
+        assert!(!wal.degraded(), "truncate repair succeeded — not wedged");
+        // Heal (disarm the remaining failures) and confirm the log works.
+        io.arm_transient(0);
+        wal.log(&catalog, vec![insert_t(1)], None).unwrap();
         let r = recover(io.as_ref()).unwrap();
         assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
     }
@@ -748,6 +921,7 @@ mod tests {
             SyncPolicy::Always,
             true,
             0,
+            WalRetry::default(),
             0,
             0,
             Arc::new(crate::telemetry::Telemetry::disabled()),
@@ -759,17 +933,17 @@ mod tests {
         let io = Arc::new(MemIo::new());
         let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
         let catalog = Catalog::new();
-        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
-        let t2 = wal.log(&catalog, vec![insert_t(1)]).unwrap().unwrap();
+        let t1 = wal.log(&catalog, vec![create_t()], None).unwrap().unwrap();
+        let t2 = wal.log(&catalog, vec![insert_t(1)], None).unwrap().unwrap();
         assert_eq!((t1, t2), (0, 1));
         // Nothing reaches storage until a waiter drives the flush.
         assert_eq!(io.size(WAL_FILE).unwrap(), 0);
-        wal.wait_durable(t2).unwrap();
+        wal.wait_durable(t2, None).unwrap();
         let bytes = io.read(WAL_FILE).unwrap().unwrap();
         assert_eq!(frame_boundaries(&bytes).len(), 2);
         assert_eq!(wal.wal_bytes(), bytes.len() as u64);
         // The earlier ticket is durable too, without further IO.
-        wal.wait_durable(t1).unwrap();
+        wal.wait_durable(t1, None).unwrap();
         let r = recover(io.as_ref()).unwrap();
         assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
         assert_eq!(r.next_seq, 2);
@@ -780,18 +954,18 @@ mod tests {
         let io = Arc::new(FaultyIo::new());
         let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
         let catalog = Catalog::new();
-        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
-        let t2 = wal.log(&catalog, vec![insert_t(1)]).unwrap().unwrap();
+        let t1 = wal.log(&catalog, vec![create_t()], None).unwrap().unwrap();
+        let t2 = wal.log(&catalog, vec![insert_t(1)], None).unwrap().unwrap();
         // Tear the group append mid-way; the leader must repair the file
         // and keep both frames queued (dropping them would leave a
         // recovery-fatal sequence gap for any later commit).
         io.arm(0, FaultKind::ShortWrite(7));
-        let err = wal.wait_durable(t2).unwrap_err();
+        let err = wal.wait_durable(t2, None).unwrap_err();
         assert!(matches!(err, EngineError::Wal(_)));
         assert_eq!(io.size(WAL_FILE).unwrap(), 0, "torn group truncated away");
         // A retry flushes the requeued group in order.
-        wal.wait_durable(t1).unwrap();
-        wal.wait_durable(t2).unwrap();
+        wal.wait_durable(t1, None).unwrap();
+        wal.wait_durable(t2, None).unwrap();
         let r = recover(io.as_ref()).unwrap();
         assert_eq!(r.catalog.get("t").unwrap().row_count(), 1);
         assert_eq!(r.next_seq, 2);
@@ -803,12 +977,12 @@ mod tests {
         let wal = group_wal(Arc::clone(&io) as Arc<dyn StorageIo>);
         let mut catalog = Catalog::new();
         apply_op(&mut catalog, &create_t()).unwrap();
-        let t1 = wal.log(&catalog, vec![create_t()]).unwrap().unwrap();
+        let t1 = wal.log(&catalog, vec![create_t()], None).unwrap().unwrap();
         // Checkpoint while the frame is still queued: the snapshot already
         // contains its mutation, so the queue folds into it and the waiter
         // is acknowledged without any WAL append.
         wal.checkpoint(&catalog).unwrap();
-        wal.wait_durable(t1).unwrap();
+        wal.wait_durable(t1, None).unwrap();
         assert_eq!(io.size(WAL_FILE).unwrap(), 0);
         let r = recover(io.as_ref()).unwrap();
         assert!(r.catalog.get("t").is_ok());

@@ -247,11 +247,20 @@ pub enum FaultKind {
 /// (counting both appends and atomic writes). After a [`FaultKind::Crash`],
 /// every operation fails until the test "reboots" by harvesting the
 /// surviving files.
+///
+/// Besides the one-shot exact-index failpoint ([`FaultyIo::arm`]), a
+/// *transient* mode ([`FaultyIo::arm_transient`]) fails the next N
+/// operations (appends, atomic writes, *and* fsyncs) and then heals — the
+/// model of a disk hiccup that a bounded retry policy should ride out.
 pub struct FaultyIo {
     inner: MemIo,
     fault: Mutex<Option<(u64, FaultKind)>>,
     writes: AtomicU64,
     crashed: AtomicBool,
+    /// Remaining operations that fail transiently before the backend heals.
+    transient: AtomicU64,
+    /// Total operations failed by the transient mode (for test assertions).
+    transient_fired: AtomicU64,
 }
 
 impl Default for FaultyIo {
@@ -262,12 +271,7 @@ impl Default for FaultyIo {
 
 impl FaultyIo {
     pub fn new() -> FaultyIo {
-        FaultyIo {
-            inner: MemIo::new(),
-            fault: Mutex::new(None),
-            writes: AtomicU64::new(0),
-            crashed: AtomicBool::new(false),
-        }
+        Self::from_files(HashMap::new())
     }
 
     pub fn from_files(files: HashMap<String, Vec<u8>>) -> FaultyIo {
@@ -276,6 +280,8 @@ impl FaultyIo {
             fault: Mutex::new(None),
             writes: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
+            transient: AtomicU64::new(0),
+            transient_fired: AtomicU64::new(0),
         }
     }
 
@@ -283,6 +289,43 @@ impl FaultyIo {
     pub fn arm(&self, nth: u64, kind: FaultKind) {
         *self.fault.lock().unwrap_or_else(|e| e.into_inner()) = Some((nth, kind));
         self.writes.store(0, Ordering::SeqCst);
+    }
+
+    /// Arm the transient mode: the next `n` operations (append, atomic
+    /// write, or fsync) fail with a clean error, after which the backend
+    /// heals and serves normally. Nothing reaches the file for a failed
+    /// operation.
+    pub fn arm_transient(&self, n: u64) {
+        self.transient.store(n, Ordering::SeqCst);
+    }
+
+    /// Operations failed by the transient mode so far.
+    pub fn transient_fired(&self) -> u64 {
+        self.transient_fired.load(Ordering::SeqCst)
+    }
+
+    /// Consume one transient failure, if armed.
+    fn transient_fault(&self, op: &str, name: &str) -> Result<()> {
+        let mut remaining = self.transient.load(Ordering::SeqCst);
+        loop {
+            if remaining == 0 {
+                return Ok(());
+            }
+            match self.transient.compare_exchange(
+                remaining,
+                remaining - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.transient_fired.fetch_add(1, Ordering::SeqCst);
+                    return Err(EngineError::wal(format!(
+                        "injected transient {op} error on '{name}'"
+                    )));
+                }
+                Err(actual) => remaining = actual,
+            }
+        }
     }
 
     /// Number of writes performed since construction or the last [`arm`].
@@ -336,6 +379,7 @@ impl StorageIo for FaultyIo {
 
     fn append(&self, name: &str, data: &[u8]) -> Result<()> {
         self.check_alive()?;
+        self.transient_fault("append", name)?;
         match self.next_write_fault() {
             None => self.inner.append(name, data),
             Some(FaultKind::Error) => Err(EngineError::wal(format!(
@@ -357,11 +401,13 @@ impl StorageIo for FaultyIo {
 
     fn sync(&self, name: &str) -> Result<()> {
         self.check_alive()?;
+        self.transient_fault("fsync", name)?;
         self.inner.sync(name)
     }
 
     fn write_atomic(&self, name: &str, data: &[u8]) -> Result<()> {
         self.check_alive()?;
+        self.transient_fault("atomic write", name)?;
         match self.next_write_fault() {
             None => self.inner.write_atomic(name, data),
             // An atomic write cannot be torn: a short write hits the temp
@@ -446,6 +492,22 @@ mod tests {
         assert!(io.sync("wal").is_err());
         assert!(io.crashed());
         assert_eq!(io.power_loss_files()["wal"], b"pre");
+    }
+
+    #[test]
+    fn faulty_io_transient_fails_n_then_heals() {
+        let io = FaultyIo::new();
+        io.arm_transient(3);
+        assert!(io.append("wal", b"a").is_err());
+        assert!(io.sync("wal").is_err());
+        assert!(io.write_atomic("cp", b"x").is_err());
+        assert_eq!(io.transient_fired(), 3);
+        // Healed: nothing from the failed operations reached the files.
+        io.append("wal", b"ok").unwrap();
+        io.sync("wal").unwrap();
+        assert_eq!(io.read("wal").unwrap().unwrap(), b"ok");
+        assert_eq!(io.read("cp").unwrap(), None);
+        assert!(!io.crashed());
     }
 
     #[test]

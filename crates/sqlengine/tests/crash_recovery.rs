@@ -637,3 +637,99 @@ fn recovery_rebuilds_columnar_chunks_as_derived_state() {
     .unwrap();
     assert_eq!(format!("{:?}", row_mode.query(agg).unwrap().rows), before);
 }
+
+/// Satellite: a statement waiting on the group-commit fsync queue respects
+/// `statement_timeout`. The flush leader is stuck in a slow fsync; a second
+/// committer queued behind it must come back with `EngineError::Timeout`
+/// instead of blocking for the full fsync — and the leader's acked commit
+/// must still be durable.
+#[test]
+fn group_commit_queue_wait_respects_statement_timeout() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    struct SlowSync {
+        inner: MemIo,
+        slow: AtomicBool,
+    }
+    impl StorageIo for SlowSync {
+        fn read(&self, name: &str) -> sqlengine::Result<Option<Vec<u8>>> {
+            self.inner.read(name)
+        }
+        fn append(&self, name: &str, data: &[u8]) -> sqlengine::Result<()> {
+            self.inner.append(name, data)
+        }
+        fn sync(&self, name: &str) -> sqlengine::Result<()> {
+            if self.slow.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+            self.inner.sync(name)
+        }
+        fn write_atomic(&self, name: &str, data: &[u8]) -> sqlengine::Result<()> {
+            self.inner.write_atomic(name, data)
+        }
+        fn truncate(&self, name: &str, len: u64) -> sqlengine::Result<()> {
+            self.inner.truncate(name, len)
+        }
+        fn size(&self, name: &str) -> sqlengine::Result<u64> {
+            self.inner.size(name)
+        }
+    }
+
+    let io = Arc::new(SlowSync {
+        inner: MemIo::new(),
+        slow: AtomicBool::new(false),
+    });
+    let db = Arc::new(
+        Database::open_with_io(
+            Arc::clone(&io) as Arc<dyn StorageIo>,
+            EngineConfig::default()
+                .with_wal_sync(SyncPolicy::Always)
+                .with_wal_group_commit(true)
+                .with_checkpoint_after_bytes(0)
+                .with_statement_timeout(Duration::from_millis(80)),
+        )
+        .unwrap(),
+    );
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+
+    io.slow.store(true, Ordering::SeqCst);
+    let db_leader = Arc::clone(&db);
+    let leader = std::thread::spawn(move || db_leader.execute("INSERT INTO t VALUES (1)"));
+    // Let the leader win the flush lock and enter the 500 ms fsync.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Queued behind the stuck leader, our 80 ms deadline expires long
+    // before the fsync returns.
+    let err = db.execute("INSERT INTO t VALUES (2)").unwrap_err();
+    assert!(matches!(err, EngineError::Timeout), "{err:?}");
+    assert!(err.is_retryable());
+
+    // A slow-but-successful fsync is not an error for the leader: its
+    // commit was acked and must survive recovery.
+    io.slow.store(false, Ordering::SeqCst);
+    leader.join().unwrap().unwrap();
+
+    // The timed-out frame stayed queued (dropping it would tear a hole in
+    // the sequence); the next durable statement flushes it along.
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+
+    drop(db);
+    let recovered = Database::open_with_io(
+        Arc::new(MemIo::from_files(io.inner.process_crash_files())) as Arc<dyn StorageIo>,
+        EngineConfig::default()
+            .with_wal_sync(SyncPolicy::Always)
+            .with_wal_group_commit(true)
+            .with_checkpoint_after_bytes(0),
+    )
+    .unwrap();
+    for acked in [1, 3] {
+        assert_eq!(
+            recovered
+                .query_scalar(&format!("SELECT COUNT(*) FROM t WHERE id = {acked}"))
+                .unwrap(),
+            Value::Int(1),
+            "acked row {acked} lost"
+        );
+    }
+}

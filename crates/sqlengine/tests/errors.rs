@@ -1,7 +1,9 @@
 //! Negative tests: every class of user error must surface as a typed
 //! `EngineError`, never a panic or silent wrong answer.
 
-use sqlengine::{Database, EngineError, Value};
+use std::time::Duration;
+
+use sqlengine::{Database, EngineConfig, EngineError, Value};
 
 fn db_with_t() -> Database {
     let db = Database::new();
@@ -164,6 +166,99 @@ fn error_messages_name_the_offender() {
     assert!(err.to_string().contains("missing_col"), "{err}");
     let err = db.query("SELECT * FROM missing_table").unwrap_err();
     assert!(err.to_string().contains("missing_table"), "{err}");
+}
+
+/// Build a table big enough that a self cross join cannot finish within a
+/// millisecond-scale statement timeout.
+fn heavy_db(config: EngineConfig) -> Database {
+    let db = Database::with_config(config);
+    db.execute("CREATE TABLE big (n INTEGER, w REAL)").unwrap();
+    let values: Vec<String> = (0..2000).map(|i| format!("({i}, {i}.5)")).collect();
+    db.execute(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+        .unwrap();
+    db
+}
+
+#[test]
+fn timeout_error_display_is_pinned_and_retryable() {
+    let db = heavy_db(EngineConfig::default().with_statement_timeout(Duration::from_millis(1)));
+    let err = db
+        .query("SELECT COUNT(*) FROM big a, big b WHERE a.n + b.n > 0")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Timeout), "{err:?}");
+    // The prefix is load-bearing: clients match on it to decide to retry.
+    assert_eq!(err.to_string(), "timeout: statement timeout exceeded");
+    assert!(err.is_retryable());
+}
+
+#[test]
+fn resource_exhausted_display_is_pinned_and_retryable() {
+    // A 4 KiB budget cannot hold a hash-join build side over 2000 rows.
+    let db = heavy_db(EngineConfig::default().with_memory_budget(4096));
+    let err = db
+        .query("SELECT COUNT(*) FROM big a JOIN big b ON a.n = b.n")
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::ResourceExhausted { .. }),
+        "{err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.starts_with("resource exhausted"), "{msg}");
+    assert!(msg.contains("memory budget"), "{msg}");
+    assert!(err.is_retryable());
+}
+
+#[test]
+fn overloaded_display_is_pinned_and_retryable() {
+    // A zero-depth queue with one slot taken sheds immediately; hold the
+    // only slot with a concurrent heavy statement.
+    let db = std::sync::Arc::new(heavy_db(
+        EngineConfig::default()
+            .with_max_concurrent_statements(1)
+            .with_admission_queue_depth(0),
+    ));
+    let db2 = std::sync::Arc::clone(&db);
+    let busy = std::thread::spawn(move || {
+        db2.query("SELECT COUNT(*) FROM big a, big b WHERE a.n + b.n > 0")
+            .unwrap()
+    });
+    // Poll until we collide with the busy statement (or it finishes first,
+    // in which case the loop below must have seen at least one collision —
+    // the busy query takes far longer than the polling interval).
+    let mut overloaded = None;
+    for _ in 0..5_000 {
+        match db.query("SELECT 1") {
+            Err(e) => {
+                overloaded = Some(e);
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_micros(100)),
+        }
+    }
+    let err = overloaded.expect("never collided with the busy statement");
+    assert!(matches!(err, EngineError::Overloaded(_)), "{err:?}");
+    let msg = err.to_string();
+    assert!(msg.starts_with("overloaded:"), "{msg}");
+    assert!(msg.contains("queue is full"), "{msg}");
+    assert!(err.is_retryable());
+    busy.join().unwrap();
+}
+
+#[test]
+fn retryable_taxonomy_is_pinned() {
+    // Transient-engine errors are retryable; request defects are not.
+    assert!(EngineError::Timeout.is_retryable());
+    let wal = EngineError::Wal("fsync failed".into());
+    assert!(wal.is_retryable());
+    assert!(wal.to_string().starts_with("durability error:"), "{wal}");
+    let db = db_with_t();
+    for sql in ["SELEC 1", "SELECT zzz FROM t", "SELECT a / 0 FROM t"] {
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            !err.is_retryable(),
+            "{sql:?} should not be retryable: {err}"
+        );
+    }
 }
 
 #[test]

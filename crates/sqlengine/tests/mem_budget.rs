@@ -1,0 +1,124 @@
+//! Per-statement memory budget: pipeline-breaking operators (hash-join
+//! builds, aggregation tables, sort runs, dedup sets) charge their state
+//! against `EngineConfig::memory_budget` and abort with the retryable
+//! `EngineError::ResourceExhausted` instead of letting the process OOM.
+
+use std::time::Duration;
+
+use sqlengine::{Database, EngineConfig, EngineError, Value};
+
+fn db_with_rows(config: EngineConfig, rows: usize) -> Database {
+    let db = Database::with_config(config);
+    db.execute("CREATE TABLE docs (n INTEGER, grp INTEGER, w REAL)")
+        .unwrap();
+    let values: Vec<String> = (0..rows)
+        .map(|i| format!("({i}, {}, {i}.25)", i % 7))
+        .collect();
+    db.execute(&format!("INSERT INTO docs VALUES {}", values.join(", ")))
+        .unwrap();
+    db
+}
+
+fn metric(db: &Database, name: &str) -> f64 {
+    let sql = format!("SELECT value FROM sys.metrics WHERE name = '{name}'");
+    let r = db.query(&sql).unwrap();
+    match r.rows[0][0] {
+        Value::Float(v) => v,
+        ref other => panic!("expected float metric, got {other:?}"),
+    }
+}
+
+/// Memory-hungry shapes that must each trip a 4 KiB budget: hash-join
+/// build, hash aggregation, sort, and DISTINCT dedup.
+const HUNGRY: &[&str] = &[
+    "SELECT COUNT(*) FROM docs a JOIN docs b ON a.n = b.n",
+    "SELECT n, SUM(w) FROM docs GROUP BY n",
+    "SELECT n FROM docs ORDER BY w",
+    "SELECT DISTINCT n, grp, w FROM docs",
+];
+
+#[test]
+fn tiny_budget_aborts_memory_hungry_operators() {
+    let db = db_with_rows(EngineConfig::default().with_memory_budget(4096), 3000);
+    for sql in HUNGRY {
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { .. }),
+            "expected budget abort for {sql:?}, got {err:?}"
+        );
+        assert!(err.is_retryable(), "{sql:?}");
+        // The statement span is attached so diagnostics can point at the
+        // source text that overran the budget.
+        if let EngineError::ResourceExhausted { span, .. } = &err {
+            assert!(!span.is_empty(), "span missing for {sql:?}");
+        }
+    }
+    // The budget abort counter saw every failure.
+    assert!(metric(&db, "mem.budget_aborts") >= HUNGRY.len() as f64);
+}
+
+#[test]
+fn same_statements_pass_under_a_generous_budget() {
+    let db = db_with_rows(
+        EngineConfig::default().with_memory_budget(64 * 1024 * 1024),
+        3000,
+    );
+    for sql in HUNGRY {
+        db.query(sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+    }
+    assert_eq!(metric(&db, "mem.budget_aborts"), 0.0);
+    // Peak usage was tracked even though nothing aborted.
+    assert!(metric(&db, "mem.peak_bytes") > 0.0);
+}
+
+#[test]
+fn unbudgeted_databases_are_unaffected_but_still_track_peaks() {
+    let db = db_with_rows(EngineConfig::default(), 3000);
+    for sql in HUNGRY {
+        db.query(sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+    }
+    // sys.query_log records the peak operator memory per statement.
+    let r = db
+        .query(
+            "SELECT peak_mem_bytes FROM sys.query_log \
+             WHERE sql LIKE '%JOIN docs%' ORDER BY peak_mem_bytes DESC LIMIT 1",
+        )
+        .unwrap();
+    match r.rows[0][0] {
+        Value::Int(peak) => assert!(peak > 0, "peak_mem_bytes not recorded"),
+        ref other => panic!("expected integer peak, got {other:?}"),
+    }
+}
+
+#[test]
+fn small_statements_fit_inside_a_small_budget() {
+    // The budget constrains operator state, not mere table size: point
+    // reads and small aggregates over the same table stay admissible.
+    let db = db_with_rows(EngineConfig::default().with_memory_budget(64 * 1024), 3000);
+    db.query("SELECT w FROM docs WHERE n = 17").unwrap();
+    db.query("SELECT grp, COUNT(*) FROM docs GROUP BY grp")
+        .unwrap();
+}
+
+#[test]
+fn budget_abort_is_clean_and_database_stays_usable() {
+    let db = db_with_rows(
+        EngineConfig::default()
+            .with_memory_budget(4096)
+            .with_statement_timeout(Duration::from_secs(30)),
+        3000,
+    );
+    let before = db.query("SELECT COUNT(*) FROM docs").unwrap();
+    let _ = db.query(HUNGRY[0]).unwrap_err();
+    // An aborted statement releases everything; the next statement runs.
+    let after = db.query("SELECT COUNT(*) FROM docs").unwrap();
+    assert_eq!(before, after);
+    // Failed statements land in the query log as errors with their peak.
+    let r = db
+        .query(
+            "SELECT status FROM sys.query_log WHERE sql LIKE '%JOIN docs%' \
+             ORDER BY id DESC LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::text("error"));
+}

@@ -371,3 +371,142 @@ fn telemetry_overhead_on_cached_plan_hot_path_is_bounded() {
     assert!(on.telemetry().query_log().len() > 150);
     assert_eq!(off.telemetry().query_log().len(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Per-variant error counters (resource governance)
+// ---------------------------------------------------------------------
+
+#[test]
+fn error_counters_classify_by_variant() {
+    let metric = |db: &Database, name: &str| -> f64 {
+        match db
+            .query_scalar(&format!(
+                "SELECT value FROM sys.metrics WHERE name = '{name}'"
+            ))
+            .unwrap()
+        {
+            Value::Float(f) => f,
+            other => panic!("expected float, got {other:?}"),
+        }
+    };
+
+    // errors.timeout: a millisecond-scale deadline kills the cross join but
+    // leaves the fast sys.metrics reads below comfortably inside it.
+    let db = seeded_db(
+        EngineConfig::default().with_statement_timeout(Duration::from_millis(5)),
+        1200,
+    );
+    let err = db
+        .query("SELECT COUNT(*) FROM t a, t b WHERE a.x * b.x % 7 = 3")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Timeout), "{err:?}");
+    assert_eq!(metric(&db, "errors.timeout"), 1.0);
+    assert_eq!(metric(&db, "errors.statement"), 0.0);
+
+    // errors.resource (+ mem.budget_aborts): a 4 KiB budget rejects the
+    // hash-join build.
+    let db = seeded_db(EngineConfig::default().with_memory_budget(4096), 1200);
+    let err = db
+        .query("SELECT COUNT(*) FROM t a JOIN t b ON a.x = b.x")
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::ResourceExhausted { .. }),
+        "{err:?}"
+    );
+    assert_eq!(metric(&db, "errors.resource"), 1.0);
+    assert_eq!(metric(&db, "mem.budget_aborts"), 1.0);
+
+    // errors.statement: request defects (here a sema error) fall into the
+    // catch-all bucket, not the transient ones.
+    let _ = db.query("SELECT nope FROM t").unwrap_err();
+    assert_eq!(metric(&db, "errors.statement"), 1.0);
+    assert_eq!(metric(&db, "errors.timeout"), 0.0);
+
+    // errors.overloaded tracks admission sheds one-for-one.
+    let db = Arc::new(seeded_db(
+        EngineConfig::default()
+            .with_max_concurrent_statements(1)
+            .with_admission_queue_depth(0),
+        1200,
+    ));
+    let db2 = Arc::clone(&db);
+    let busy =
+        std::thread::spawn(move || db2.query("SELECT COUNT(*) FROM t a, t b WHERE a.x + b.x > 0"));
+    let mut shed = 0.0;
+    for _ in 0..5_000 {
+        match db.query("SELECT 1") {
+            Err(EngineError::Overloaded(_)) => {
+                shed += 1.0;
+                if shed >= 2.0 {
+                    break;
+                }
+            }
+            Err(other) => panic!("unexpected error class: {other:?}"),
+            Ok(_) => std::thread::sleep(Duration::from_micros(100)),
+        }
+    }
+    busy.join().unwrap().unwrap();
+    assert!(shed >= 1.0, "never collided with the busy statement");
+    assert_eq!(metric(&db, "errors.overloaded"), shed);
+    assert_eq!(metric(&db, "admission.shed"), shed);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance bound: the admission gate on the serving hot path
+// ---------------------------------------------------------------------
+
+#[test]
+fn admission_gate_overhead_on_cached_plan_hot_path_is_bounded() {
+    // Same min-of-batches shape as the telemetry bound above: the gated
+    // engine (uncontended — one caller, many slots) must serve the cached
+    // parameterized statement within 5% of the ungated one.
+    let sql = "SELECT g, SUM(w) FROM t WHERE x >= ? GROUP BY g";
+    let params = [Value::Int(0)];
+    let gated = seeded_db(
+        EngineConfig::default()
+            .with_max_concurrent_statements(8)
+            .with_admission_queue_depth(16),
+        2000,
+    );
+    let ungated = seeded_db(EngineConfig::default(), 2000);
+    for _ in 0..5 {
+        gated.query_with(sql, &params).unwrap();
+        ungated.query_with(sql, &params).unwrap();
+    }
+
+    let batch = |db: &Database| {
+        let started = Instant::now();
+        for _ in 0..8 {
+            db.query_with(sql, &params).unwrap();
+        }
+        started.elapsed()
+    };
+    let mut best_ratio = f64::MAX;
+    for attempt in 0..6 {
+        let (mut best_gated, mut best_ungated) = (Duration::MAX, Duration::MAX);
+        for _ in 0..20 {
+            best_gated = best_gated.min(batch(&gated));
+            best_ungated = best_ungated.min(batch(&ungated));
+        }
+        let ratio = best_gated.as_secs_f64() / best_ungated.as_secs_f64();
+        best_ratio = best_ratio.min(ratio);
+        if best_ratio < 1.05 {
+            break;
+        }
+        eprintln!(
+            "attempt {attempt}: ratio {ratio:.3} (gated={best_gated:?} ungated={best_ungated:?})"
+        );
+    }
+    assert!(
+        best_ratio < 1.05,
+        "admission-gate overhead must stay under 5% (best ratio {best_ratio:.3})"
+    );
+    // Sanity: every statement on the gated side actually took a permit.
+    let admitted = gated
+        .query_scalar("SELECT value FROM sys.metrics WHERE name = 'admission.admitted'")
+        .unwrap();
+    assert!(
+        matches!(admitted, Value::Float(f) if f > 150.0),
+        "gate saw the traffic: {admitted:?}"
+    );
+}

@@ -1,0 +1,219 @@
+//! Transient-IO retry and degraded mode: `EngineConfig::wal_retry` lets the
+//! WAL ride out short storage hiccups with a bounded deterministic backoff;
+//! an unrepairable failure wedges the log into degraded read-only mode
+//! instead of corrupting it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqlengine::{
+    Database, EngineConfig, EngineError, FaultyIo, MemIo, StorageIo, SyncPolicy, Value, WalRetry,
+};
+
+fn retry_config(attempts: u32) -> EngineConfig {
+    EngineConfig::default()
+        .with_wal_sync(SyncPolicy::Always)
+        .with_wal_retry(WalRetry {
+            attempts,
+            backoff: Duration::from_millis(1),
+        })
+}
+
+fn metric(db: &Database, name: &str) -> f64 {
+    let sql = format!("SELECT value FROM sys.metrics WHERE name = '{name}'");
+    match db.query(&sql).unwrap().rows[0][0] {
+        Value::Float(v) => v,
+        ref other => panic!("expected float metric, got {other:?}"),
+    }
+}
+
+#[test]
+fn bounded_retry_rides_out_a_transient_hiccup() {
+    let io = Arc::new(FaultyIo::new());
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(5)).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+
+    // The next two storage operations fail, then the backend heals; five
+    // attempts are more than enough to ride that out.
+    io.arm_transient(2);
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert_eq!(io.transient_fired(), 2, "both injected faults fired");
+    assert!(metric(&db, "wal.retries") >= 2.0);
+    assert_eq!(metric(&db, "wal.degraded"), 0.0);
+
+    // The acked insert is durable: a fresh engine over the same storage
+    // recovers it.
+    drop(db);
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(5)).unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::Int(1)
+    );
+}
+
+#[test]
+fn default_policy_fails_fast_on_the_first_fault() {
+    // WalRetry::default() is one attempt, zero backoff: existing one-shot
+    // fault-injection semantics are unchanged unless retry is opted into.
+    let io = Arc::new(FaultyIo::new());
+    let db = Database::open_with_io(
+        Arc::clone(&io) as Arc<dyn StorageIo>,
+        EngineConfig::default().with_wal_sync(SyncPolicy::Always),
+    )
+    .unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+
+    io.arm_transient(1);
+    let err = db.execute("INSERT INTO t VALUES (1)").unwrap_err();
+    assert!(matches!(err, EngineError::Wal(_)), "{err:?}");
+    assert_eq!(metric(&db, "wal.retries"), 0.0);
+}
+
+#[test]
+fn exhausted_retries_fail_the_statement_and_heal_cleanly() {
+    let io = Arc::new(FaultyIo::new());
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(2)).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+
+    // Far more faults than attempts: the statement fails with a retryable
+    // durability error. Per the documented `EngineError::Wal` contract the
+    // in-memory state stays consistent (the row is visible) but the change
+    // was never acked as durable.
+    io.arm_transient(100);
+    let err = db.execute("INSERT INTO t VALUES (1)").unwrap_err();
+    assert!(matches!(err, EngineError::Wal(_)), "{err:?}");
+    assert!(err.is_retryable());
+    assert_eq!(metric(&db, "wal.degraded"), 0.0, "repairable, not wedged");
+
+    // Heal the backend; later durable writes succeed.
+    io.arm_transient(0);
+    db.execute("INSERT INTO t VALUES (2)").unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::Int(2)
+    );
+
+    // Recovery keeps exactly the acked commit: the failed write's row was
+    // never durable and must not resurface.
+    drop(db);
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(2)).unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t WHERE id = 2")
+            .unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t WHERE id = 1")
+            .unwrap(),
+        Value::Int(0),
+        "unacked write must not survive recovery"
+    );
+}
+
+/// Storage whose appends *and* truncates fail while the switch is thrown —
+/// the unrepairable case (a failed write whose cleanup also fails) that must
+/// wedge the WAL into degraded read-only mode rather than corrupt it.
+struct FailSwitch {
+    inner: MemIo,
+    fail: AtomicBool,
+}
+
+impl FailSwitch {
+    fn check(&self, op: &str) -> sqlengine::Result<()> {
+        if self.fail.load(Ordering::SeqCst) {
+            Err(EngineError::Wal(format!("injected {op} failure")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl StorageIo for FailSwitch {
+    fn read(&self, name: &str) -> sqlengine::Result<Option<Vec<u8>>> {
+        self.inner.read(name)
+    }
+    fn append(&self, name: &str, data: &[u8]) -> sqlengine::Result<()> {
+        self.check("append")?;
+        self.inner.append(name, data)
+    }
+    fn sync(&self, name: &str) -> sqlengine::Result<()> {
+        self.inner.sync(name)
+    }
+    fn write_atomic(&self, name: &str, data: &[u8]) -> sqlengine::Result<()> {
+        self.check("atomic write")?;
+        self.inner.write_atomic(name, data)
+    }
+    fn truncate(&self, name: &str, len: u64) -> sqlengine::Result<()> {
+        self.check("truncate")?;
+        self.inner.truncate(name, len)
+    }
+    fn size(&self, name: &str) -> sqlengine::Result<u64> {
+        self.inner.size(name)
+    }
+}
+
+#[test]
+fn unrepairable_failure_enters_degraded_read_only_mode() {
+    let io = Arc::new(FailSwitch {
+        inner: MemIo::new(),
+        fail: AtomicBool::new(false),
+    });
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(3)).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        .unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+
+    io.fail.store(true, Ordering::SeqCst);
+    let err = db.execute("INSERT INTO t VALUES (2)").unwrap_err();
+    io.fail.store(false, Ordering::SeqCst);
+
+    // The WAL is wedged: degraded mode is sticky (the file length is no
+    // longer trusted) even though the backend has healed. The wedging
+    // statement itself was applied in memory (consistent, not durable);
+    // every *subsequent* write is refused before touching the catalog.
+    assert_eq!(metric(&db, "wal.degraded"), 1.0);
+    let err2 = db.execute("INSERT INTO t VALUES (3)").unwrap_err();
+    assert!(matches!(err2, EngineError::Wal(_)), "{err2:?}");
+    assert!(
+        err2.to_string().contains("degraded read-only mode"),
+        "{err2}"
+    );
+    assert!(err.is_retryable() && err2.is_retryable());
+
+    // Reads keep serving the consistent in-memory state: rows 1 and 2 are
+    // visible, the refused row 3 is not.
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::Int(2)
+    );
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t WHERE id = 3")
+            .unwrap(),
+        Value::Int(0),
+        "a refused write must not mutate in-memory state"
+    );
+
+    // Reopening re-runs recovery over the healed storage: acked state is
+    // intact and the engine writes again.
+    drop(db);
+    let db =
+        Database::open_with_io(Arc::clone(&io) as Arc<dyn StorageIo>, retry_config(3)).unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::Int(1)
+    );
+    db.execute("INSERT INTO t VALUES (2)").unwrap();
+    assert_eq!(
+        db.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::Int(2)
+    );
+}
