@@ -42,6 +42,16 @@ pub(crate) struct AdmissionGate {
 /// the queue.
 pub(crate) struct AdmissionPermit {
     gate: Arc<AdmissionGate>,
+    /// Time the statement spent queued before admission (`None` when it was
+    /// admitted on the fast path, which reads no clock at all).
+    queue_wait: Option<std::time::Duration>,
+}
+
+impl AdmissionPermit {
+    /// Queue wait of the admitted statement, if it had to queue.
+    pub(crate) fn queue_wait(&self) -> Option<std::time::Duration> {
+        self.queue_wait
+    }
 }
 
 impl std::fmt::Debug for AdmissionPermit {
@@ -85,6 +95,7 @@ impl AdmissionGate {
             }
             return Ok(AdmissionPermit {
                 gate: Arc::clone(self),
+                queue_wait: None,
             });
         }
         if state.queued >= self.queue_limit {
@@ -98,6 +109,9 @@ impl AdmissionGate {
         if self.telemetry.enabled() {
             self.telemetry.admission_queued.incr();
         }
+        // Clock reads happen only on this contended path: the wait feeds the
+        // `admission` wait-class rollup and the statement's trace span.
+        let queued_at = Instant::now();
         loop {
             state = match deadline {
                 None => self.cond.wait(state).unwrap_or_else(|e| e.into_inner()),
@@ -106,6 +120,9 @@ impl AdmissionGate {
                     if now >= dl {
                         state.queued -= 1;
                         drop(state);
+                        if self.telemetry.enabled() {
+                            self.telemetry.wait_admission_us.record(now - queued_at);
+                        }
                         return Err(self.shed(
                             "statement deadline expired while queued for admission".to_string(),
                         ));
@@ -121,11 +138,14 @@ impl AdmissionGate {
                 state.queued -= 1;
                 state.running += 1;
                 drop(state);
+                let waited = queued_at.elapsed();
                 if self.telemetry.enabled() {
                     self.telemetry.admission_admitted.incr();
+                    self.telemetry.wait_admission_us.record(waited);
                 }
                 return Ok(AdmissionPermit {
                     gate: Arc::clone(self),
+                    queue_wait: Some(waited),
                 });
             }
         }

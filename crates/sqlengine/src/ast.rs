@@ -37,11 +37,12 @@ pub enum Statement {
         assignments: Vec<(String, Expr)>,
         predicate: Option<Expr>,
     },
-    /// `EXPLAIN [ANALYZE | (CHECK) | (VERIFY)] query` — render the physical
-    /// plan (ANALYZE also executes it and reports per-operator row counts
-    /// and timings; CHECK only runs semantic analysis and reports the typed
-    /// output schema; VERIFY plans the query and reports the static plan
-    /// verifier's per-check results without executing).
+    /// `EXPLAIN [ANALYZE | (CHECK) | (VERIFY) | (TRACE)] query` — render the
+    /// physical plan (ANALYZE also executes it and reports per-operator row
+    /// counts and timings; CHECK only runs semantic analysis and reports the
+    /// typed output schema; VERIFY plans the query and reports the static
+    /// plan verifier's per-check results without executing; TRACE executes
+    /// once under a forced trace capture and renders the span tree).
     Explain {
         mode: ExplainMode,
         query: Query,
@@ -66,6 +67,10 @@ pub enum ExplainMode {
     /// Plan the query and run the static plan verifier, reporting one row
     /// per invariant class; nothing executes.
     Verify,
+    /// Execute once under a forced trace capture and render the recorded
+    /// span tree (names, durations, rows, typed attributes) with plain
+    /// indentation.
+    Trace,
 }
 
 /// A query: optional `WITH` clause plus a set-expression body and an

@@ -18,7 +18,11 @@ use crate::exec::{ExecContext, MemoryBudget, OpStats, WorkerPool};
 use crate::expr::{bind_expr, ColLabel, Scope};
 use crate::parser::{parse_script_spanned, parse_statement};
 use crate::plan::{PlannedQuery, Planner, PlannerConfig, VirtualTables};
-use crate::telemetry::{sys, QueryStatus, StatementProbe, Telemetry};
+use crate::telemetry::{sys, Histogram, QueryStatus, StatementProbe, Telemetry};
+use crate::trace::{
+    AttrValue, StatementTrace, TraceCtx, TraceSampling, TraceScope, WaitClass, WaitTotals,
+    ROOT_SPAN,
+};
 use crate::value::{DataType, Row, Value};
 use crate::verify::{ParamDiscipline, SnapshotGuarantee, VerifyReport, VerifyRule};
 use crate::wal::{self, push_insert, StorageIo, SyncPolicy, Wal, WalOp};
@@ -111,6 +115,13 @@ pub struct EngineConfig {
     /// [`crate::wal::WalRetry`]). The default retries nothing: a failed
     /// append wedges the WAL into degraded read-only mode exactly as before.
     pub wal_retry: crate::wal::WalRetry,
+    /// Per-statement hierarchical trace capture (see [`TraceSampling`] and
+    /// [`crate::trace`]). `Off` (the default) adds zero clock reads to any
+    /// statement path; `On` tentatively records every statement's span tree
+    /// and keeps errors and slow statements always, the rest under a
+    /// deterministic seeded sampler. Kept traces are queryable through
+    /// `sys.trace_spans`. Requires [`EngineConfig::telemetry`].
+    pub trace_sampling: TraceSampling,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +145,7 @@ impl Default for EngineConfig {
             max_concurrent_statements: None,
             admission_queue_depth: 16,
             wal_retry: crate::wal::WalRetry::default(),
+            trace_sampling: TraceSampling::default(),
         }
     }
 }
@@ -267,6 +279,13 @@ impl EngineConfig {
     /// [`EngineConfig::wal_retry`]).
     pub fn with_wal_retry(mut self, retry: crate::wal::WalRetry) -> Self {
         self.wal_retry = retry;
+        self
+    }
+
+    /// Builder-style trace sampling policy (see
+    /// [`EngineConfig::trace_sampling`]).
+    pub fn with_trace_sampling(mut self, sampling: TraceSampling) -> Self {
+        self.trace_sampling = sampling;
         self
     }
 
@@ -452,7 +471,55 @@ pub struct Database {
 struct StatementCtx {
     deadline: Option<Instant>,
     budget: Arc<MemoryBudget>,
+    /// Tentative span recorder; `Some` only when the engine's
+    /// [`TraceSampling`] is on (and telemetry enabled). The keep/drop
+    /// decision happens in `finish_statement`.
+    trace: Option<TraceCtx>,
     _permit: Option<crate::admission::AdmissionPermit>,
+}
+
+impl StatementCtx {
+    /// Scope under which WAL spans (fsync wait, retries) recorded while this
+    /// statement executes are parented: the pre-reserved exec span.
+    fn wal_scope(&self) -> Option<TraceScope<'_>> {
+        self.trace.as_ref().map(|ctx| TraceScope {
+            ctx,
+            parent: crate::trace::EXEC_SPAN,
+        })
+    }
+
+    /// Record one top-level phase span (`parse` / `sema` / `plan`) that
+    /// started at `from` and ends now. No-op when untraced.
+    fn record_phase(&self, name: &'static str, from: Option<Instant>) {
+        if let (Some(trace), Some(from)) = (&self.trace, from) {
+            trace.record_since(ROOT_SPAN, name, from, None, Vec::new());
+        }
+    }
+
+    /// Record the exec span covering `from`..now (no-op when untraced or
+    /// when an inner executor path already recorded it).
+    fn record_exec(&self, from: Option<Instant>) {
+        if let (Some(trace), Some(from)) = (&self.trace, from) {
+            trace.record_exec(from, Vec::new());
+        }
+    }
+
+    /// Record the plan-phase span for a freshly planned (cache-missed)
+    /// query, annotated with its operator count.
+    fn record_plan_span(&self, from: Option<Instant>, plan: &crate::plan::PhysPlan) {
+        if let (Some(trace), Some(from)) = (&self.trace, from) {
+            trace.record_since(
+                ROOT_SPAN,
+                "plan",
+                from,
+                None,
+                vec![
+                    ("cache", AttrValue::Text("miss")),
+                    ("nodes", AttrValue::Int(plan.node_count() as i64)),
+                ],
+            );
+        }
+    }
 }
 
 impl Default for Database {
@@ -561,9 +628,10 @@ impl Database {
         catalog: &Catalog,
         ops: Vec<WalOp>,
         deadline: Option<Instant>,
+        trace: Option<TraceScope<'_>>,
     ) -> Result<Option<u64>> {
         match &self.wal {
-            Some(wal) => wal.log(catalog, ops, deadline),
+            Some(wal) => wal.log_traced(catalog, ops, deadline, trace.as_ref()),
             None => Ok(None),
         }
     }
@@ -574,11 +642,16 @@ impl Database {
     /// exactly what lets the flush leader coalesce their fsyncs. Also runs
     /// the automatic checkpoint trigger, which the group path defers until
     /// the catalog lock is available again.
-    fn wal_wait(&self, ticket: Option<u64>, deadline: Option<Instant>) -> Result<()> {
+    fn wal_wait(
+        &self,
+        ticket: Option<u64>,
+        deadline: Option<Instant>,
+        trace: Option<TraceScope<'_>>,
+    ) -> Result<()> {
         let (Some(wal), Some(seq)) = (&self.wal, ticket) else {
             return Ok(());
         };
-        wal.wait_durable(seq, deadline)?;
+        wal.wait_durable_traced(seq, deadline, trace.as_ref())?;
         if wal.wants_checkpoint() && !self.in_transaction() {
             // Plain `write()` (no version bump): the catalog is not mutated.
             let catalog = self.catalog.write();
@@ -873,7 +946,7 @@ impl Database {
         ctx: &StatementCtx,
     ) -> Result<StatementResult> {
         self.record_plan_modes(&planned.plan);
-        let rows = self.exec_ctx(ctx).execute(&planned.plan)?;
+        let rows = self.run_plan(&planned.plan, ctx)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
@@ -894,11 +967,32 @@ impl Database {
         }
         let plan = crate::plan::bind_plan_params(&planned.plan, params)?;
         self.record_plan_modes(&plan);
-        let rows = self.exec_ctx(ctx).execute(&plan)?;
+        let rows = self.run_plan(&plan, ctx)?;
         Ok(StatementResult::Rows(QueryResult {
             columns: planned.columns.clone(),
             rows,
         }))
+    }
+
+    /// Run a plan to rows. Untraced statements take the plain executor path
+    /// unchanged; traced statements run with stats collection and record the
+    /// exec span plus the per-operator subtree (the same `OpStats` tree
+    /// `EXPLAIN ANALYZE` renders, so the two agree by construction).
+    fn run_plan(&self, plan: &crate::plan::PhysPlan, ctx: &StatementCtx) -> Result<Vec<Row>> {
+        let Some(trace) = &ctx.trace else {
+            return self.exec_ctx(ctx).execute(plan);
+        };
+        let from = Instant::now();
+        let result = self.exec_ctx(ctx).execute_with_stats(plan);
+        let exec_start = trace.offset_us(from);
+        trace.record_exec(from, Vec::new());
+        match result {
+            Ok((rows, stats)) => {
+                trace.record_op_tree(&stats, exec_start);
+                Ok(rows)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Count how many mode-capable operators of an executed plan take the
@@ -923,10 +1017,26 @@ impl Database {
             .config
             .statement_timeout
             .map(|limit| Instant::now() + limit);
+        // The trace origin predates admission so queue wait lands inside the
+        // statement's span tree.
+        let trace =
+            (self.telemetry.enabled() && self.config.trace_sampling.is_on()).then(TraceCtx::new);
         let permit = match &self.admission {
             Some(gate) => Some(gate.admit(deadline)?),
             None => None,
         };
+        if let (Some(trace), Some(waited)) = (&trace, permit.as_ref().and_then(|p| p.queue_wait()))
+        {
+            let now = Instant::now();
+            let from = now.checked_sub(waited).unwrap_or(now);
+            trace.record_since(
+                ROOT_SPAN,
+                "admission.queue_wait",
+                from,
+                Some(WaitClass::Admission),
+                Vec::new(),
+            );
+        }
         let budget = Arc::new(match self.config.memory_budget {
             Some(limit) => MemoryBudget::limited(limit),
             None => MemoryBudget::unlimited(),
@@ -934,6 +1044,7 @@ impl Database {
         Ok(StatementCtx {
             deadline,
             budget,
+            trace,
             _permit: permit,
         })
     }
@@ -943,6 +1054,14 @@ impl Database {
     /// memory budget.
     fn exec_ctx(&self, stmt: &StatementCtx) -> ExecContext {
         let ctx = match &self.pool {
+            // Telemetry on the context feeds the `worker_idle` wait-class
+            // rollup (coordinator time blocked on the pool); recorded only
+            // on the parallel dispatch path, so serial execution stays
+            // clock-free.
+            Some(pool) if self.telemetry.enabled() => {
+                ExecContext::with_pool(self.config.parallelism, Arc::clone(pool))
+                    .with_telemetry(Arc::clone(&self.telemetry))
+            }
             Some(pool) => ExecContext::with_pool(self.config.parallelism, Arc::clone(pool)),
             None => ExecContext::serial(),
         };
@@ -978,15 +1097,15 @@ impl Database {
     /// which plan inline and stay uncached.
     pub fn execute_with(&self, sql: &str, params: &[Value]) -> Result<StatementResult> {
         let mut probe = StatementProbe::start(self.telemetry.enabled());
-        let (result, peak_mem) = match self.begin_statement() {
-            Ok(ctx) => {
+        let (result, peak_mem, trace) = match self.begin_statement() {
+            Ok(mut ctx) => {
                 let r = self.execute_probed(sql, params, &mut probe, &ctx);
-                (r, ctx.budget.peak_bytes())
+                (r, ctx.budget.peak_bytes(), ctx.trace.take())
             }
-            Err(e) => (Err(e), 0),
+            Err(e) => (Err(e), 0, None),
         };
         let result = result.map_err(|e| e.with_statement_span(sql));
-        self.finish_statement(&probe, sql, &result, peak_mem);
+        self.finish_statement(&probe, sql, &result, peak_mem, trace);
         result
     }
 
@@ -1005,8 +1124,23 @@ impl Database {
             if let Some((planned, has_params, version, verified)) = self.cached_plan(sql) {
                 probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self
-                    .verify_cached(&planned, has_params, version, &verified, sql)
+                let verify_result =
+                    self.verify_cached(&planned, has_params, version, &verified, sql);
+                // The verifier's (memoized) walk stands in for the skipped
+                // plan phase in the trace, tagged as a cache hit.
+                if let (Some(trace), Some(from)) = (&ctx.trace, t) {
+                    trace.record_since(
+                        ROOT_SPAN,
+                        "plan",
+                        from,
+                        None,
+                        vec![
+                            ("cache", AttrValue::Text("hit")),
+                            ("nodes", AttrValue::Int(planned.plan.node_count() as i64)),
+                        ],
+                    );
+                }
+                let result = verify_result
                     .and_then(|()| self.execute_cached(&planned, has_params, params, ctx));
                 probe.lap_exec(t);
                 return result;
@@ -1015,9 +1149,11 @@ impl Database {
         let t = probe.phase();
         let stmt = parse_statement(sql)?;
         probe.lap_parse(t);
+        ctx.record_phase("parse", t);
         let t = probe.phase();
         self.analyze_statement(&stmt)?;
         probe.lap_sema(t);
+        ctx.record_phase("sema", t);
         if let Statement::Query(query) = &stmt {
             return self.execute_query_probed(sql, query, params, probe, ctx);
         }
@@ -1026,6 +1162,7 @@ impl Database {
         let t = probe.phase();
         let result = self.execute_statement(sql, &stmt, params, ctx);
         probe.lap_exec(t);
+        ctx.record_exec(t);
         result
     }
 
@@ -1050,6 +1187,7 @@ impl Database {
         if cacheable {
             let planned = self.plan_and_cache(sql, query, has_params)?;
             probe.lap_plan(t);
+            ctx.record_plan_span(t, &planned.plan);
             let t = probe.phase();
             let result = self.execute_cached(&planned, has_params, params, ctx);
             probe.lap_exec(t);
@@ -1073,6 +1211,7 @@ impl Database {
             planned
         };
         probe.lap_plan(t);
+        ctx.record_plan_span(t, &planned.plan);
         let t = probe.phase();
         let result = self.execute_planned(&planned, ctx);
         probe.lap_exec(t);
@@ -1081,13 +1220,17 @@ impl Database {
 
     /// Report one finished statement to the telemetry registry: per-variant
     /// error counters, budget-abort counter, and the query-log entry with
-    /// the statement's peak operator memory.
+    /// the statement's peak operator memory and its wait totals (backfilled
+    /// from the trace when one was captured). Runs the trace keep decision
+    /// last — errors and slow statements always, the rest per the sampler —
+    /// and stores kept traces in the `sys.trace_spans` ring.
     fn finish_statement(
         &self,
         probe: &StatementProbe,
         sql: &str,
         result: &Result<StatementResult>,
         peak_mem: u64,
+        trace: Option<TraceCtx>,
     ) {
         if let Err(e) = result {
             self.telemetry.record_error(e);
@@ -1098,7 +1241,8 @@ impl Database {
         if !probe.enabled() {
             return;
         }
-        match result {
+        let waits = trace.as_ref().map(|t| WaitTotals::from_spans(&t.spans()));
+        let id = match result {
             Ok(r) => self.telemetry.record_statement(
                 probe,
                 sql,
@@ -1106,6 +1250,7 @@ impl Database {
                 None,
                 r.affected() as u64,
                 peak_mem,
+                waits,
             ),
             Err(e) => {
                 let status = if matches!(e, EngineError::Timeout) {
@@ -1120,7 +1265,18 @@ impl Database {
                     Some(e.to_string()),
                     0,
                     peak_mem,
-                );
+                    waits,
+                )
+            }
+        };
+        if let (Some(trace), Some(id)) = (trace, id) {
+            let total_us = probe.total_us();
+            let error_or_slow = result.is_err() || self.telemetry.is_slow(total_us);
+            if self.config.trace_sampling.keep(id, error_or_slow) {
+                self.telemetry.store_trace(StatementTrace {
+                    statement_id: id,
+                    spans: trace.finish("statement", total_us),
+                });
             }
         }
     }
@@ -1138,8 +1294,8 @@ impl Database {
                 .unwrap_or(sql)
                 .trim();
             let mut probe = StatementProbe::start(self.telemetry.enabled());
-            let (result, peak_mem) = match self.begin_statement() {
-                Ok(ctx) => {
+            let (result, peak_mem, trace) = match self.begin_statement() {
+                Ok(mut ctx) => {
                     let r = (|| {
                         // Checked per statement (not up front): earlier
                         // statements may create the tables later ones refer
@@ -1147,17 +1303,19 @@ impl Database {
                         let t = probe.phase();
                         self.analyze_statement(stmt)?;
                         probe.lap_sema(t);
+                        ctx.record_phase("sema", t);
                         let t = probe.phase();
                         let r = self.execute_statement(text, stmt, &[], &ctx)?;
                         probe.lap_exec(t);
+                        ctx.record_exec(t);
                         Ok(r)
                     })();
-                    (r, ctx.budget.peak_bytes())
+                    (r, ctx.budget.peak_bytes(), ctx.trace.take())
                 }
-                Err(e) => (Err(e), 0),
+                Err(e) => (Err(e), 0, None),
             };
             let result = result.map_err(|e| e.with_statement_span(text));
-            self.finish_statement(&probe, text, &result, peak_mem);
+            self.finish_statement(&probe, text, &result, peak_mem, trace);
             last = result?;
         }
         Ok(last)
@@ -1397,11 +1555,11 @@ impl Database {
         let mut catalog = self.write_catalog()?;
         catalog.create_table(table, false)?;
         let ticket = match ops {
-            Some(ops) => self.wal_log(&catalog, ops, deadline)?,
+            Some(ops) => self.wal_log(&catalog, ops, deadline, None)?,
             None => None,
         };
         drop(catalog);
-        self.wal_wait(ticket, deadline)
+        self.wal_wait(ticket, deadline, None)
     }
 
     /// Bulk-insert pre-built rows into a table (fast path used by data
@@ -1438,6 +1596,7 @@ impl Database {
                     rows: applied,
                 }],
                 ctx.deadline,
+                ctx.wal_scope(),
             )
         };
         drop(catalog);
@@ -1445,11 +1604,11 @@ impl Database {
             // The applied prefix is in memory and logged; still push it
             // toward disk, but the statement's own error wins.
             if let Ok(ticket) = wal_result {
-                let _ = self.wal_wait(ticket, ctx.deadline);
+                let _ = self.wal_wait(ticket, ctx.deadline, ctx.wal_scope());
             }
             return Err(e);
         }
-        self.wal_wait(wal_result?, ctx.deadline)?;
+        self.wal_wait(wal_result?, ctx.deadline, ctx.wal_scope())?;
         Ok(n)
     }
 
@@ -1505,11 +1664,19 @@ impl Database {
                     }));
                 }
                 // `EXPLAIN (VERIFY)` runs the verifier unconditionally (it
-                // is an explicit request); `EXPLAIN ANALYZE` vets the plan
-                // first whenever verification is on, so a rejected plan is
-                // reported instead of executed.
+                // is an explicit request); `EXPLAIN ANALYZE` and
+                // `EXPLAIN (TRACE)` vet the plan first whenever verification
+                // is on, so a rejected plan is reported instead of executed.
                 let verify_now = *mode == crate::ast::ExplainMode::Verify
-                    || (*mode == crate::ast::ExplainMode::Analyze && self.config.verify_plans);
+                    || (matches!(
+                        mode,
+                        crate::ast::ExplainMode::Analyze | crate::ast::ExplainMode::Trace
+                    ) && self.config.verify_plans);
+                // `EXPLAIN (TRACE)` forces a local trace regardless of the
+                // engine's sampling policy; its origin predates planning so
+                // the plan span has a true offset.
+                let trace = (*mode == crate::ast::ExplainMode::Trace).then(TraceCtx::new);
+                let plan_from = trace.as_ref().map(|_| Instant::now());
                 let (planned, report) = {
                     let catalog = self.catalog.read();
                     let mut planner =
@@ -1556,18 +1723,50 @@ impl Database {
                             .collect(),
                     }));
                 }
-                let rendered = if *mode == crate::ast::ExplainMode::Analyze {
-                    if let Some(report) = report {
-                        self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                let rendered = match mode {
+                    crate::ast::ExplainMode::Analyze => {
+                        if let Some(report) = report {
+                            self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                        }
+                        let (_, stats) = self.exec_ctx(ctx).execute_with_stats(&planned.plan)?;
+                        self.telemetry.record_op_stats(&stats);
+                        crate::explain::render_analyze(&stats)
                     }
-                    let (_, stats) = self.exec_ctx(ctx).execute_with_stats(&planned.plan)?;
-                    self.telemetry.record_op_stats(&stats);
-                    crate::explain::render_analyze(&stats)
+                    crate::ast::ExplainMode::Trace => {
+                        if let Some(report) = report {
+                            self.verify_outcome(report, ParamDiscipline::Bound, sql)?;
+                        }
+                        let trace = trace.expect("trace mode allocates its recorder");
+                        if let Some(from) = plan_from {
+                            trace.record_since(
+                                ROOT_SPAN,
+                                "plan",
+                                from,
+                                None,
+                                vec![
+                                    ("cache", AttrValue::Text("miss")),
+                                    ("nodes", AttrValue::Int(planned.plan.node_count() as i64)),
+                                ],
+                            );
+                        }
+                        let exec_from = Instant::now();
+                        let (_, stats) = self.exec_ctx(ctx).execute_with_stats(&planned.plan)?;
+                        let exec_start = trace.offset_us(exec_from);
+                        trace.record_exec(exec_from, Vec::new());
+                        trace.record_op_tree(&stats, exec_start);
+                        self.telemetry.record_op_stats(&stats);
+                        let total_us = trace.origin().elapsed().as_micros() as u64;
+                        crate::explain::render_trace(&trace.finish("statement", total_us))
+                    }
+                    _ => crate::explain::render_plan(&planned.plan),
+                };
+                let column = if *mode == crate::ast::ExplainMode::Trace {
+                    "trace"
                 } else {
-                    crate::explain::render_plan(&planned.plan)
+                    "plan"
                 };
                 Ok(StatementResult::Rows(QueryResult {
-                    columns: vec!["plan".to_string()],
+                    columns: vec![column.to_string()],
                     rows: rendered
                         .lines()
                         .map(|l| vec![Value::Str(l.into())])
@@ -1598,12 +1797,13 @@ impl Database {
                             primary_key: ct.primary_key.clone(),
                         }],
                         ctx.deadline,
+                        ctx.wal_scope(),
                     )?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket, ctx.deadline)?;
+                self.wal_wait(ticket, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateIndex(ci) => {
@@ -1628,9 +1828,10 @@ impl Database {
                         unique: ci.unique,
                     }],
                     ctx.deadline,
+                    ctx.wal_scope(),
                 )?;
                 drop(catalog);
-                self.wal_wait(ticket, ctx.deadline)?;
+                self.wal_wait(ticket, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::DropTable { name, if_exists } => {
@@ -1641,12 +1842,13 @@ impl Database {
                         &catalog,
                         vec![WalOp::DropTable { name: name.clone() }],
                         ctx.deadline,
+                        ctx.wal_scope(),
                     )?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket, ctx.deadline)?;
+                self.wal_wait(ticket, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::CreateTableAs {
@@ -1699,12 +1901,12 @@ impl Database {
                             });
                         }
                     }
-                    self.wal_log(&catalog, ops, ctx.deadline)?
+                    self.wal_log(&catalog, ops, ctx.deadline, ctx.wal_scope())?
                 } else {
                     None
                 };
                 drop(catalog);
-                self.wal_wait(ticket, ctx.deadline)?;
+                self.wal_wait(ticket, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Begin => {
@@ -1730,7 +1932,8 @@ impl Database {
                 let flush = match &self.wal {
                     Some(wal) => {
                         let catalog = self.catalog.write();
-                        wal.commit(&catalog, ctx.deadline)
+                        let scope = ctx.wal_scope();
+                        wal.commit_traced(&catalog, ctx.deadline, scope.as_ref())
                     }
                     None => Ok(None),
                 };
@@ -1738,7 +1941,7 @@ impl Database {
                 // Release the transaction guard before blocking on the group
                 // flush (`wal_wait` re-reads transaction state).
                 drop(backup);
-                self.wal_wait(flush?, ctx.deadline)?;
+                self.wal_wait(flush?, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(0))
             }
             Statement::Rollback => {
@@ -1792,11 +1995,12 @@ impl Database {
                                 idxs,
                             }],
                             ctx.deadline,
+                            ctx.wal_scope(),
                         )?;
                     }
                 }
                 drop(catalog);
-                self.wal_wait(ticket, ctx.deadline)?;
+                self.wal_wait(ticket, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(n))
             }
             Statement::Update {
@@ -1859,16 +2063,16 @@ impl Database {
                 let wal_result = if ops.is_empty() {
                     Ok(None)
                 } else {
-                    self.wal_log(&catalog, ops, ctx.deadline)
+                    self.wal_log(&catalog, ops, ctx.deadline, ctx.wal_scope())
                 };
                 drop(catalog);
                 if let Some(e) = failure {
                     if let Ok(ticket) = wal_result {
-                        let _ = self.wal_wait(ticket, ctx.deadline);
+                        let _ = self.wal_wait(ticket, ctx.deadline, ctx.wal_scope());
                     }
                     return Err(e);
                 }
-                self.wal_wait(wal_result?, ctx.deadline)?;
+                self.wal_wait(wal_result?, ctx.deadline, ctx.wal_scope())?;
                 Ok(StatementResult::Affected(applied))
             }
         }
@@ -2091,16 +2295,16 @@ impl Database {
         let wal_result = if ops.is_empty() {
             Ok(None)
         } else {
-            self.wal_log(&catalog, ops, ctx.deadline)
+            self.wal_log(&catalog, ops, ctx.deadline, ctx.wal_scope())
         };
         drop(catalog);
         if let Some(e) = failure {
             if let Ok(ticket) = wal_result {
-                let _ = self.wal_wait(ticket, ctx.deadline);
+                let _ = self.wal_wait(ticket, ctx.deadline, ctx.wal_scope());
             }
             return Err(e);
         }
-        self.wal_wait(wal_result?, ctx.deadline)?;
+        self.wal_wait(wal_result?, ctx.deadline, ctx.wal_scope())?;
         Ok(StatementResult::Affected(affected))
     }
 }
@@ -2298,9 +2502,97 @@ impl Database {
                     Value::Float(e.total_us as f64 / 1e3),
                     Value::Int(e.rows as i64),
                     Value::Int(e.peak_mem_bytes as i64),
+                    e.queue_wait_us
+                        .map_or(Value::Null, |v| Value::Int(v as i64)),
+                    e.fsync_wait_us
+                        .map_or(Value::Null, |v| Value::Int(v as i64)),
+                    e.retry_count.map_or(Value::Null, |v| Value::Int(v as i64)),
                 ]
             })
             .collect()
+    }
+
+    /// Rows of `sys.trace_spans`: every span of every kept statement trace,
+    /// joinable to `sys.query_log` on `statement_id`.
+    fn sys_trace_spans_rows(&self) -> Vec<Row> {
+        self.telemetry
+            .traces()
+            .into_iter()
+            .flat_map(|trace| {
+                let statement_id = trace.statement_id;
+                trace.spans.into_iter().map(move |s| {
+                    vec![
+                        Value::Int(statement_id as i64),
+                        Value::Int(i64::from(s.id)),
+                        s.parent.map_or(Value::Null, |p| Value::Int(i64::from(p))),
+                        Value::text(&s.name),
+                        Value::Int(s.start_us as i64),
+                        Value::Int(s.duration_us as i64),
+                        s.wait_class
+                            .map_or(Value::Null, |w| Value::text(w.as_str())),
+                        s.rows.map_or(Value::Null, |r| Value::Int(r as i64)),
+                        Value::Str(s.attrs_text().into()),
+                    ]
+                })
+            })
+            .collect()
+    }
+
+    /// Rows of `sys.wait_events`: one rollup row per wait class, fed by the
+    /// always-on wait histograms (recorded only on contended paths, with or
+    /// without trace sampling).
+    fn sys_wait_events_rows(&self) -> Vec<Row> {
+        let t = &self.telemetry;
+        [
+            (WaitClass::Admission, &t.wait_admission_us),
+            (WaitClass::Fsync, &t.wait_fsync_us),
+            (WaitClass::WalRetry, &t.wait_wal_retry_us),
+            (WaitClass::WorkerIdle, &t.wait_worker_idle_us),
+        ]
+        .into_iter()
+        .map(|(class, hist)| {
+            vec![
+                Value::text(class.as_str()),
+                Value::Int(hist.count() as i64),
+                Value::Int(hist.sum_micros() as i64),
+                Value::Float(hist.mean_micros()),
+                Value::Int(hist.max_micros() as i64),
+            ]
+        })
+        .collect()
+    }
+
+    /// Rows of `sys.histograms`: the raw power-of-two latency buckets behind
+    /// every latency histogram, one row per non-empty bucket.
+    fn sys_histograms_rows(&self) -> Vec<Row> {
+        let t = &self.telemetry;
+        let named: [(&str, &Histogram); 10] = [
+            ("phase.parse_us", &t.parse_us),
+            ("phase.sema_us", &t.sema_us),
+            ("phase.plan_us", &t.plan_us),
+            ("phase.exec_us", &t.exec_us),
+            ("statement.total_us", &t.statement_us),
+            ("wal.fsync_us", &t.wal_fsync_us),
+            ("wait.admission_us", &t.wait_admission_us),
+            ("wait.fsync_us", &t.wait_fsync_us),
+            ("wait.wal_retry_us", &t.wait_wal_retry_us),
+            ("wait.worker_idle_us", &t.wait_worker_idle_us),
+        ];
+        let mut rows = Vec::new();
+        for (name, hist) in named {
+            for (i, count) in hist.bucket_counts().into_iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                rows.push(vec![
+                    Value::text(name),
+                    Value::Int(Histogram::bucket_lo_us(i) as i64),
+                    Value::Int(Histogram::bucket_hi_us(i) as i64),
+                    Value::Int(count as i64),
+                ]);
+            }
+        }
+        rows
     }
 
     fn sys_tables_rows(catalog: &Catalog) -> Vec<Row> {
@@ -2365,6 +2657,9 @@ impl VirtualTables for Database {
             sys::QUERY_LOG => self.sys_query_log_rows(),
             sys::TABLES => Self::sys_tables_rows(catalog),
             sys::BORN_MODELS => self.sys_born_models_rows(),
+            sys::TRACE_SPANS => self.sys_trace_spans_rows(),
+            sys::WAIT_EVENTS => self.sys_wait_events_rows(),
+            sys::HISTOGRAMS => self.sys_histograms_rows(),
             _ => unreachable!("canonical returns only known names"),
         };
         Some((schema, Arc::new(rows)))
@@ -2382,16 +2677,16 @@ impl Prepared<'_> {
     /// Execute with the given parameters.
     pub fn execute(&self, params: &[Value]) -> Result<StatementResult> {
         let mut probe = StatementProbe::start(self.db.telemetry.enabled());
-        let (result, peak_mem) = match self.db.begin_statement() {
-            Ok(ctx) => {
+        let (result, peak_mem, trace) = match self.db.begin_statement() {
+            Ok(mut ctx) => {
                 let r = self.execute_probed(params, &mut probe, &ctx);
-                (r, ctx.budget.peak_bytes())
+                (r, ctx.budget.peak_bytes(), ctx.trace.take())
             }
-            Err(e) => (Err(e), 0),
+            Err(e) => (Err(e), 0, None),
         };
         let result = result.map_err(|e| e.with_statement_span(&self.sql));
         self.db
-            .finish_statement(&probe, &self.sql, &result, peak_mem);
+            .finish_statement(&probe, &self.sql, &result, peak_mem, trace);
         result
     }
 
@@ -2409,9 +2704,22 @@ impl Prepared<'_> {
             if let Some((planned, has_params, version, verified)) = self.db.cached_plan(&self.sql) {
                 probe.cache_hit = true;
                 let t = probe.phase();
-                let result = self
+                let verify_result = self
                     .db
-                    .verify_cached(&planned, has_params, version, &verified, &self.sql)
+                    .verify_cached(&planned, has_params, version, &verified, &self.sql);
+                if let (Some(trace), Some(from)) = (&ctx.trace, t) {
+                    trace.record_since(
+                        ROOT_SPAN,
+                        "plan",
+                        from,
+                        None,
+                        vec![
+                            ("cache", AttrValue::Text("hit")),
+                            ("nodes", AttrValue::Int(planned.plan.node_count() as i64)),
+                        ],
+                    );
+                }
+                let result = verify_result
                     .and_then(|()| self.db.execute_cached(&planned, has_params, params, ctx));
                 probe.lap_exec(t);
                 return result;
@@ -2427,6 +2735,7 @@ impl Prepared<'_> {
             .db
             .execute_statement(&self.sql, &self.stmt, params, ctx);
         probe.lap_exec(t);
+        ctx.record_exec(t);
         result
     }
 

@@ -99,6 +99,14 @@ impl MemoryBudget {
     pub fn peak_bytes(&self) -> u64 {
         self.peak.load(Ordering::Relaxed)
     }
+
+    /// Cumulative bytes charged so far (charge-only, monotonic). Sampling
+    /// this before and after an operator runs attributes materialized bytes
+    /// to that operator and its children — the `peak_mem_bytes` span
+    /// attribute of pipeline breakers.
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
 }
 
 /// Rough heap footprint of one row: the inline `Value`s plus string heap
@@ -178,6 +186,13 @@ pub struct OpStats {
     pub elapsed: Duration,
     /// Workers this operator actually fanned out to (1 = serial path).
     pub workers: usize,
+    /// Morsels the input was split into when the operator fanned out
+    /// (1 = serial path).
+    pub morsels: usize,
+    /// Bytes charged against the statement memory budget while this operator
+    /// (and its children) ran — pipeline-breaker state attribution. 0 for
+    /// streaming operators.
+    pub mem_bytes: u64,
     pub children: Vec<OpStats>,
 }
 
@@ -189,6 +204,8 @@ impl OpStats {
             rows_out,
             elapsed: Duration::ZERO,
             workers: 1,
+            morsels: 1,
+            mem_bytes: 0,
             children: Vec::new(),
         }
     }
@@ -316,6 +333,12 @@ pub struct ExecContext {
     /// Per-statement memory budget charged by pipeline-breaking operators.
     /// Always present; defaults to an unlimited (peak-tracking) budget.
     budget: Arc<MemoryBudget>,
+    /// Telemetry registry for the worker-idle wait rollup (`None` outside a
+    /// [`Database`] statement or when telemetry is disabled, in which case
+    /// `run_jobs` reads no clocks).
+    ///
+    /// [`Database`]: crate::Database
+    telemetry: Option<Arc<crate::telemetry::Telemetry>>,
 }
 
 impl ExecContext {
@@ -328,6 +351,7 @@ impl ExecContext {
             collect_stats: false,
             deadline: None,
             budget: Arc::new(MemoryBudget::unlimited()),
+            telemetry: None,
         }
     }
 
@@ -340,6 +364,7 @@ impl ExecContext {
             collect_stats: false,
             deadline: None,
             budget: Arc::new(MemoryBudget::unlimited()),
+            telemetry: None,
         }
     }
 
@@ -355,6 +380,7 @@ impl ExecContext {
             collect_stats: false,
             deadline: None,
             budget: Arc::new(MemoryBudget::unlimited()),
+            telemetry: None,
         }
     }
 
@@ -368,6 +394,13 @@ impl ExecContext {
     /// so the engine can read the peak afterwards).
     pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> ExecContext {
         self.budget = budget;
+        self
+    }
+
+    /// Builder-style telemetry handle: enables the `worker_idle` wait
+    /// rollup around worker-pool fan-outs.
+    pub fn with_telemetry(mut self, telemetry: Arc<crate::telemetry::Telemetry>) -> ExecContext {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -407,13 +440,22 @@ impl ExecContext {
         morsel_ranges(len, self.parallelism * MORSELS_PER_WORKER)
     }
 
-    /// Run chunk jobs on the pool, results in chunk order.
+    /// Run chunk jobs on the pool, results in chunk order. When a telemetry
+    /// handle is present, the coordinator's blocking time (submission
+    /// through last result) is rolled up as `worker_idle` wait.
     pub(crate) fn run_jobs<T: Send + 'static>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
     ) -> Vec<T> {
         match &self.pool {
-            Some(pool) if jobs.len() > 1 => pool.run(jobs),
+            Some(pool) if jobs.len() > 1 => {
+                let timed = self.telemetry.as_deref().map(|t| (t, Instant::now()));
+                let out = pool.run(jobs);
+                if let Some((telemetry, start)) = timed {
+                    telemetry.wait_worker_idle_us.record(start.elapsed());
+                }
+                out
+            }
             _ => jobs.into_iter().map(|j| j()).collect(),
         }
     }
@@ -432,6 +474,7 @@ impl ExecContext {
             collect_stats: true,
             deadline: self.deadline,
             budget: Arc::clone(&self.budget),
+            telemetry: self.telemetry.clone(),
         };
         let (rows, stats) = super::run(plan, &ctx)?;
         Ok((rows, stats.expect("stats were requested")))

@@ -33,7 +33,7 @@ mod vector;
 
 pub(crate) use context::check_deadline;
 pub use context::{ExecContext, MemoryBudget, OpStats, WorkerPool};
-pub(crate) use vector::{count_modes, mode_suffix, node_mode};
+pub(crate) use vector::{count_modes, mode_of_label, mode_suffix, node_mode};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -76,16 +76,26 @@ impl NodeOut {
 }
 
 /// Execute one node, wrapping the operator output in an [`OpStats`] record
-/// when stats are enabled.
+/// when stats are enabled. `mem_bytes` is the statement-budget charge delta
+/// across the node (inclusive of children, like `elapsed`), attributing
+/// materialized pipeline-breaker state to the operator that built it.
 pub(crate) fn run(plan: &PhysPlan, ctx: &ExecContext) -> Result<(Vec<Row>, Option<OpStats>)> {
-    let start = ctx.stats_enabled().then(Instant::now);
+    let start = ctx
+        .stats_enabled()
+        .then(|| (Instant::now(), ctx.budget().used_bytes()));
     let out = dispatch(plan, ctx)?;
-    let stats = start.map(|t| OpStats {
+    let stats = start.map(|(t, mem_before)| OpStats {
         label: op_label(plan),
         rows_in: out.rows_in,
         rows_out: out.rows.len(),
         elapsed: t.elapsed(),
         workers: out.workers,
+        morsels: if out.workers > 1 {
+            ctx.morsels(out.rows_in).len()
+        } else {
+            1
+        },
+        mem_bytes: ctx.budget().used_bytes().saturating_sub(mem_before),
         children: out.children,
     });
     Ok((out.rows, stats))

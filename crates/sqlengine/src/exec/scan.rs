@@ -196,6 +196,7 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
         };
 
     let remaining = &nodes[first_row_stage..];
+    let source_len = source_rows.len();
     let mut parallel = prefix_parallel;
     let rows = if remaining.is_empty() {
         super::into_owned(source_rows)
@@ -255,6 +256,11 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
     // Assemble per-stage stats for every stage but the outermost (which the
     // dispatcher wraps with wall-clock time).
     let workers = if parallel { ctx.parallelism() } else { 1 };
+    let morsels = if parallel {
+        ctx.morsels(source_len).len()
+    } else {
+        1
+    };
     if ctx.stats_enabled() {
         for (i, node) in nodes.iter().enumerate().take(n_stages - 1) {
             let (rows_in, rows_out, elapsed) = counters[i].snapshot();
@@ -266,6 +272,8 @@ pub(crate) fn run_pipeline(plan: &PhysPlan, ctx: &ExecContext) -> Result<NodeOut
                 // Inner fused stages run on the same morsel workers as the
                 // outermost stage.
                 workers,
+                morsels,
+                mem_bytes: 0,
                 children: std::mem::take(&mut children),
             }];
         }

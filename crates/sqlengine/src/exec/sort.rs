@@ -244,6 +244,8 @@ pub(crate) fn top_k(
         rows_out: out.len(),
         elapsed: t.elapsed(),
         workers: 1,
+        morsels: 1,
+        mem_bytes: 0,
         children,
     });
     Ok((out, stats))

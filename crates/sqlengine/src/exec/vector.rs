@@ -128,6 +128,20 @@ pub(crate) fn mode_suffix(plan: &PhysPlan) -> &'static str {
     }
 }
 
+/// Recover the execution mode from a rendered `EXPLAIN` label (the inverse
+/// of [`mode_suffix`]): the tracer derives operator spans from `OpStats`
+/// trees, which carry only the label, and attaches the mode as a typed
+/// span attribute instead of label text.
+pub(crate) fn mode_of_label(label: &str) -> Option<&'static str> {
+    if label.contains(" mode=vectorized") {
+        Some("vectorized")
+    } else if label.contains(" mode=row") {
+        Some("row")
+    } else {
+        None
+    }
+}
+
 /// Count `(vectorized, row)` operators over the whole plan tree, for the
 /// telemetry registry (`exec.vectorized_ops` / `exec.row_ops`).
 pub(crate) fn count_modes(plan: &PhysPlan) -> (u64, u64) {
@@ -780,6 +794,11 @@ pub(super) fn vectorized_aggregate(
     };
 
     let workers = if parallel { ctx.parallelism() } else { 1 };
+    let morsels = if parallel {
+        ctx.morsels(chunked.chunk_count()).len()
+    } else {
+        1
+    };
     // Rows the Aggregate consumed = rows surviving the last stage.
     let rows_in = match counters.last() {
         Some(c) => c.snapshot().1,
@@ -797,6 +816,8 @@ pub(super) fn vectorized_aggregate(
                 rows_out,
                 elapsed,
                 workers,
+                morsels,
+                mem_bytes: 0,
                 children: vec![node],
             };
         }

@@ -8,6 +8,7 @@
 
 use crate::exec::OpStats;
 use crate::plan::{JoinAlgo, PhysPlan};
+use crate::trace::SpanRec;
 
 /// Render a plan as an indented operator tree.
 pub fn render_plan(plan: &PhysPlan) -> String {
@@ -132,6 +133,37 @@ pub fn render_analyze(stats: &OpStats) -> String {
     let mut out = String::new();
     render_stats(stats, 0, &mut out);
     out
+}
+
+/// Render a recorded span tree (`EXPLAIN (TRACE)`): one line per span with
+/// plain two-space indentation (no connector glyphs), annotated with
+/// duration, row count, wait class, and typed attributes.
+pub fn render_trace(spans: &[SpanRec]) -> String {
+    let mut out = String::new();
+    for span in spans.iter().filter(|s| s.parent.is_none()) {
+        render_span(spans, span, 0, &mut out);
+    }
+    out
+}
+
+fn render_span(spans: &[SpanRec], span: &SpanRec, depth: usize, out: &mut String) {
+    let mut text = format!("{} ({}µs", span.name, span.duration_us);
+    if let Some(rows) = span.rows {
+        text.push_str(&format!(" rows={rows}"));
+    }
+    if let Some(wait) = span.wait_class {
+        text.push_str(&format!(" wait={}", wait.as_str()));
+    }
+    let attrs = span.attrs_text();
+    if !attrs.is_empty() {
+        text.push(' ');
+        text.push_str(&attrs);
+    }
+    text.push(')');
+    line(out, depth, &text);
+    for child in spans.iter().filter(|s| s.parent == Some(span.id)) {
+        render_span(spans, child, depth + 1, out);
+    }
 }
 
 fn render_stats(stats: &OpStats, depth: usize, out: &mut String) {

@@ -46,7 +46,13 @@
 //!   integrity, vectorized-mode eligibility, parameter-slot discipline,
 //!   deterministic-merge arity). It runs on every plan in debug builds and
 //!   behind `EngineConfig::verify_plans` otherwise, and is surfaced through
-//!   `EXPLAIN (VERIFY)` plus `verify.*` counters in `sys.metrics`.
+//!   `EXPLAIN (VERIFY)` plus `verify.*` counters in `sys.metrics`;
+//! * a hierarchical statement tracer (`trace`): sampled per-statement span
+//!   trees with wait-state attribution (admission queue, group-commit fsync
+//!   leader/follower, WAL retry backoff, worker-pool idle), captured under
+//!   `EngineConfig::trace_sampling` and queryable as `sys.trace_spans` /
+//!   `sys.wait_events`, with `EXPLAIN (TRACE)` rendering the span tree
+//!   inline.
 //!
 //! ## Durability quick-start
 //!
@@ -96,6 +102,7 @@ pub mod plan;
 pub mod sema;
 pub mod snapshot;
 pub mod telemetry;
+pub mod trace;
 pub mod value;
 pub mod verify;
 pub mod wal;
@@ -108,6 +115,7 @@ pub use plan::JoinAlgo;
 pub use sema::CheckReport;
 pub use snapshot::Snapshot;
 pub use telemetry::{QueryLogEntry, QueryStatus, Telemetry};
+pub use trace::{SpanRec, StatementTrace, TraceSampling, WaitClass};
 pub use value::{DataType, Row, Value};
 pub use verify::{ParamDiscipline, SnapshotGuarantee, VerifyReport, VerifyRule, Violation};
 pub use wal::{FaultKind, FaultyIo, FileIo, MemIo, StorageIo, SyncPolicy, WalRetry};

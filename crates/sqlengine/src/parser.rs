@@ -183,6 +183,7 @@ impl Parser {
                     let paren_mode = |w: &str| match w {
                         "check" => Some(ExplainMode::Check),
                         "verify" => Some(ExplainMode::Verify),
+                        "trace" => Some(ExplainMode::Trace),
                         _ => None,
                     };
                     let mode = if self.consume_keyword("ANALYZE") {

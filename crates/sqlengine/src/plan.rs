@@ -224,6 +224,34 @@ pub enum PhysPlan {
     },
 }
 
+impl PhysPlan {
+    /// Number of operator nodes in the tree (the `nodes` attribute of the
+    /// tracer's plan span — a cheap shape fingerprint for spotting plan
+    /// changes across trace captures without storing the plan text).
+    pub fn node_count(&self) -> usize {
+        let children: usize = match self {
+            PhysPlan::Scan { .. }
+            | PhysPlan::VirtualScan { .. }
+            | PhysPlan::IndexScan { .. }
+            | PhysPlan::OneRow => 0,
+            PhysPlan::IndexJoin { probe, inner, .. } => probe.node_count() + inner.node_count(),
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Window { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Limit { input, .. }
+            | PhysPlan::Distinct { input } => input.node_count(),
+            PhysPlan::HashJoin { left, right, .. }
+            | PhysPlan::NestedLoopJoin { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+            PhysPlan::UnionAll { inputs } => inputs.iter().map(PhysPlan::node_count).sum(),
+        };
+        1 + children
+    }
+}
+
 // Plans (and the expressions they embed) are shared with executor worker
 // threads via `Arc`, so the whole tree must stay `Send + Sync`.
 #[allow(dead_code)]

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::exec::OpStats;
+use crate::trace::{StatementTrace, WaitTotals};
 
 /// A monotonically increasing event counter (relaxed atomics: totals are
 /// exact, ordering between counters is not guaranteed — fine for metrics).
@@ -53,14 +54,16 @@ impl Counter {
 /// Number of log-scale latency buckets: bucket `i` counts samples in
 /// `[2^i, 2^(i+1))` microseconds (bucket 0 also takes sub-microsecond
 /// samples), so 28 buckets span 1µs to ~2.2 minutes.
-const HIST_BUCKETS: usize = 28;
+pub const HIST_BUCKETS: usize = 28;
 
 /// A fixed-bucket log-scale latency histogram over microseconds.
 ///
 /// Recording is two relaxed `fetch_add`s plus a `fetch_max` — no locking,
 /// no allocation — so it is safe on the serving hot path. Percentiles are
-/// estimated from the bucket counts (each sample is attributed the upper
-/// bound of its bucket, an at-most-2× overestimate by construction).
+/// estimated from the bucket counts by linear interpolation inside the
+/// target bucket, clamped to the largest recorded sample; raw bucket counts
+/// are exported through `sys.histograms` so any percentile is recomputable
+/// in SQL.
 #[derive(Debug, Default)]
 pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -106,14 +109,35 @@ impl Histogram {
         }
     }
 
-    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds: the upper
-    /// bound of the bucket holding the target sample.
+    /// Snapshot of the raw bucket counts (bucket `i` covers
+    /// `[bucket_lo_us(i), bucket_lo_us(i + 1))`).
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Inclusive lower bound of bucket `i` in microseconds (0 for the first
+    /// bucket, which also absorbs sub-microsecond samples).
+    pub fn bucket_lo_us(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i` in microseconds (the top bucket
+    /// is open-ended; this is its nominal boundary).
+    pub fn bucket_hi_us(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in microseconds: linear
+    /// interpolation of the target sample's rank inside its bucket, clamped
+    /// to the largest recorded sample so the estimate can never exceed any
+    /// observed value (attributing every sample to its bucket's upper bound
+    /// overshot by up to 2×).
     pub fn percentile_micros(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0.0;
@@ -123,9 +147,11 @@ impl Histogram {
         for (i, &c) in counts.iter().enumerate() {
             cum += c;
             if cum >= target {
-                // Upper bound of bucket i, capped at the observed max.
-                let upper = 1u64 << (i + 1).min(63);
-                return (upper as f64).min(self.max_micros().max(1) as f64);
+                let lo = Self::bucket_lo_us(i) as f64;
+                let hi = Self::bucket_hi_us(i) as f64;
+                let frac = (target - (cum - c)) as f64 / c as f64;
+                let est = lo + frac * (hi - lo);
+                return est.min(self.max_micros().max(1) as f64);
             }
         }
         self.max_micros() as f64
@@ -183,6 +209,15 @@ pub struct QueryLogEntry {
     /// Peak bytes charged against the statement's memory budget (cumulative
     /// materialized operator state; 0 for statements that broke no pipeline).
     pub peak_mem_bytes: u64,
+    /// Time queued behind the admission gate, backfilled from the
+    /// statement's trace (`None` when the statement ran untraced).
+    pub queue_wait_us: Option<u64>,
+    /// Time waiting on WAL fsyncs, backfilled from the statement's trace
+    /// (`None` when the statement ran untraced).
+    pub fsync_wait_us: Option<u64>,
+    /// WAL write retries observed while this statement ran, backfilled from
+    /// the statement's trace (`None` when the statement ran untraced).
+    pub retry_count: Option<u64>,
 }
 
 /// Statement text stored in the query log is truncated to this many bytes
@@ -269,7 +304,8 @@ impl StatementProbe {
         Self::lap(t, &mut self.exec_us);
     }
 
-    fn total_us(&self) -> u64 {
+    /// Microseconds since [`StatementProbe::start`] (0 when disabled).
+    pub fn total_us(&self) -> u64 {
         self.started.map_or(0, |t| t.elapsed().as_micros() as u64)
     }
 }
@@ -326,6 +362,20 @@ pub struct Telemetry {
     /// WAL write attempts retried after a transient storage error.
     pub wal_retries: Counter,
 
+    // -- wait-state rollups ---------------------------------------------------
+    // Always-on (telemetry-gated, independent of trace sampling) and only
+    // recorded on contended paths, so the uncontended hot path reads no
+    // extra clocks. Queryable as `sys.wait_events`.
+    /// Time statements spent queued behind the admission gate.
+    pub wait_admission_us: Histogram,
+    /// Time spent waiting on WAL fsyncs (group-commit leader/follower and
+    /// inline non-group fsyncs).
+    pub wait_fsync_us: Histogram,
+    /// Backoff sleeps between WAL write retries.
+    pub wait_wal_retry_us: Histogram,
+    /// Coordinator time blocked waiting on the worker pool.
+    pub wait_worker_idle_us: Histogram,
+
     // -- error taxonomy ------------------------------------------------------
     /// Statement failures by error family (see `Telemetry::record_error`).
     pub errors_timeout: Counter,
@@ -344,6 +394,9 @@ pub struct Telemetry {
 
     /// Ring buffer of the last `log_capacity` statements.
     log: Mutex<std::collections::VecDeque<QueryLogEntry>>,
+    /// Ring buffer of kept statement traces (same capacity as the query
+    /// log, so a kept trace's query-log row is usually still present).
+    traces: Mutex<std::collections::VecDeque<StatementTrace>>,
     /// Per-operator rollups keyed by operator kind (`Scan`, `HashJoin`, …).
     ops: Mutex<BTreeMap<String, OpAgg>>,
     /// Per-model serving metrics keyed by model name.
@@ -380,6 +433,10 @@ impl Telemetry {
             mem_budget_aborts: Counter::default(),
             mem_peak_bytes: Counter::default(),
             wal_retries: Counter::default(),
+            wait_admission_us: Histogram::default(),
+            wait_fsync_us: Histogram::default(),
+            wait_wal_retry_us: Histogram::default(),
+            wait_worker_idle_us: Histogram::default(),
             errors_timeout: Counter::default(),
             errors_wal: Counter::default(),
             errors_resource: Counter::default(),
@@ -388,6 +445,7 @@ impl Telemetry {
             verify_plans_checked: Counter::default(),
             verify_violations: Counter::default(),
             log: Mutex::new(std::collections::VecDeque::new()),
+            traces: Mutex::new(std::collections::VecDeque::new()),
             ops: Mutex::new(BTreeMap::new()),
             models: Mutex::new(BTreeMap::new()),
         }
@@ -440,10 +498,15 @@ impl Telemetry {
             &self.exec_us,
             &self.statement_us,
             &self.wal_fsync_us,
+            &self.wait_admission_us,
+            &self.wait_fsync_us,
+            &self.wait_wal_retry_us,
+            &self.wait_worker_idle_us,
         ] {
             h.reset();
         }
         self.log.lock().clear();
+        self.traces.lock().clear();
         self.ops.lock().clear();
         let mut models = self.models.lock();
         for stats in models.values_mut() {
@@ -458,7 +521,11 @@ impl Telemetry {
     // ----------------------------------------------------------------------
 
     /// Record one finished statement: counters, phase histograms, and a
-    /// query-log entry. No-op when the registry is disabled.
+    /// query-log entry. Returns the allocated statement id (so a kept trace
+    /// can be stored under the same id); `None` when the registry is
+    /// disabled. `waits` backfills the trace-derived wait columns — `None`
+    /// when the statement ran untraced.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_statement(
         &self,
         probe: &StatementProbe,
@@ -467,9 +534,10 @@ impl Telemetry {
         error: Option<String>,
         rows: u64,
         peak_mem: u64,
-    ) {
+        waits: Option<WaitTotals>,
+    ) -> Option<u64> {
         if !self.enabled || !probe.enabled() {
-            return;
+            return None;
         }
         self.mem_peak_bytes.set_max(peak_mem);
         let total_us = probe.total_us();
@@ -490,8 +558,9 @@ impl Telemetry {
         self.exec_us.record_micros(probe.exec_us);
         self.statement_us.record_micros(total_us);
 
+        let id = self.next_statement_id.fetch_add(1, Ordering::Relaxed);
         let entry = QueryLogEntry {
-            id: self.next_statement_id.fetch_add(1, Ordering::Relaxed),
+            id,
             sql: truncate_sql(sql),
             status,
             error,
@@ -504,12 +573,39 @@ impl Telemetry {
             total_us,
             rows,
             peak_mem_bytes: peak_mem,
+            queue_wait_us: waits.map(|w| w.queue_wait_us),
+            fsync_wait_us: waits.map(|w| w.fsync_wait_us),
+            retry_count: waits.map(|w| w.retry_count),
         };
         let mut log = self.log.lock();
         if log.len() >= self.log_capacity {
             log.pop_front();
         }
         log.push_back(entry);
+        Some(id)
+    }
+
+    /// Whether a statement ran longer than `slow_query_threshold` (used by
+    /// the trace keep decision; mirrors the query-log `slow` flag).
+    pub fn is_slow(&self, total_us: u64) -> bool {
+        self.slow_threshold_us > 0 && total_us >= self.slow_threshold_us
+    }
+
+    /// Store one kept statement trace in the bounded trace ring.
+    pub fn store_trace(&self, trace: StatementTrace) {
+        if !self.enabled {
+            return;
+        }
+        let mut traces = self.traces.lock();
+        if traces.len() >= self.log_capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// Snapshot of the kept-trace ring, oldest first.
+    pub fn traces(&self) -> Vec<StatementTrace> {
+        self.traces.lock().iter().cloned().collect()
     }
 
     /// Bump the per-family error counter for a failed statement. Families
@@ -689,9 +785,20 @@ pub mod sys {
     pub const QUERY_LOG: &str = "sys.query_log";
     pub const TABLES: &str = "sys.tables";
     pub const BORN_MODELS: &str = "sys.born_models";
+    pub const TRACE_SPANS: &str = "sys.trace_spans";
+    pub const WAIT_EVENTS: &str = "sys.wait_events";
+    pub const HISTOGRAMS: &str = "sys.histograms";
 
     /// All virtual table names (lowercase canonical form).
-    pub const ALL: [&str; 4] = [METRICS, QUERY_LOG, TABLES, BORN_MODELS];
+    pub const ALL: [&str; 7] = [
+        METRICS,
+        QUERY_LOG,
+        TABLES,
+        BORN_MODELS,
+        TRACE_SPANS,
+        WAIT_EVENTS,
+        HISTOGRAMS,
+    ];
 
     /// Whether `name` lies in the reserved `sys.` namespace (it may still
     /// fail to resolve if it matches no known virtual table).
@@ -740,6 +847,9 @@ pub mod sys {
                 col("duration_ms", Real),
                 col("rows", Integer),
                 col("peak_mem_bytes", Integer),
+                col("queue_wait_us", Integer),
+                col("fsync_wait_us", Integer),
+                col("retry_count", Integer),
             ],
             TABLES => vec![
                 col("name", Text),
@@ -760,6 +870,30 @@ pub mod sys {
                 col("rows_returned", Integer),
                 col("fit_batches", Integer),
                 col("unlearn_calls", Integer),
+            ],
+            TRACE_SPANS => vec![
+                col("statement_id", Integer),
+                col("span_id", Integer),
+                col("parent_id", Integer),
+                col("name", Text),
+                col("start_us", Integer),
+                col("duration_us", Integer),
+                col("wait_class", Text),
+                col("rows", Integer),
+                col("attrs", Text),
+            ],
+            WAIT_EVENTS => vec![
+                col("wait_class", Text),
+                col("count", Integer),
+                col("total_us", Integer),
+                col("mean_us", Real),
+                col("max_us", Integer),
+            ],
+            HISTOGRAMS => vec![
+                col("metric", Text),
+                col("bucket_lo_us", Integer),
+                col("bucket_hi_us", Integer),
+                col("count", Integer),
             ],
             _ => unreachable!("canonical returns only known names"),
         };
@@ -810,7 +944,16 @@ mod tests {
         let t = Telemetry::new(true, Duration::from_millis(100), 2);
         for i in 0..3 {
             let probe = StatementProbe::start(true);
-            t.record_statement(&probe, &format!("SELECT {i}"), QueryStatus::Ok, None, 1, 0);
+            let id = t.record_statement(
+                &probe,
+                &format!("SELECT {i}"),
+                QueryStatus::Ok,
+                None,
+                1,
+                0,
+                None,
+            );
+            assert_eq!(id, Some(i + 1));
         }
         let log = t.query_log();
         assert_eq!(log.len(), 2);
@@ -824,13 +967,59 @@ mod tests {
         let t = Telemetry::disabled();
         let probe = StatementProbe::start(t.enabled());
         assert!(!probe.enabled());
-        t.record_statement(&probe, "SELECT 1", QueryStatus::Ok, None, 1, 0);
+        let id = t.record_statement(&probe, "SELECT 1", QueryStatus::Ok, None, 1, 0, None);
+        assert_eq!(id, None);
         t.record_wal_append(10);
         t.record_model_predict("m", Duration::from_micros(5), 1);
+        t.store_trace(crate::trace::StatementTrace {
+            statement_id: 1,
+            spans: Vec::new(),
+        });
         assert_eq!(t.statements.get(), 0);
         assert_eq!(t.wal_appends.get(), 0);
         assert!(t.query_log().is_empty());
+        assert!(t.traces().is_empty());
         assert!(t.with_models(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn percentile_is_clamped_to_max_and_interpolated() {
+        // Every sample equals 65µs: the old estimator attributed the p99
+        // sample to its bucket's upper bound (128µs, a ~2× overshoot); the
+        // clamp pins the estimate to the recorded max exactly.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record_micros(65);
+        }
+        assert_eq!(h.percentile_micros(0.99), 65.0);
+        assert_eq!(h.percentile_micros(0.5), 65.0);
+
+        // Uniform 1..=1000µs: interpolation keeps mid-range percentiles
+        // near their true values instead of the bucket upper bound.
+        let u = Histogram::default();
+        for us in 1..=1000u64 {
+            u.record_micros(us);
+        }
+        let p50 = u.percentile_micros(0.5);
+        assert!((450.0..=512.0).contains(&p50), "p50 = {p50}");
+        let p99 = u.percentile_micros(0.99);
+        assert!(p99 <= 1000.0, "p99 = {p99} exceeds the recorded max");
+        assert!(p99 >= 900.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let t = Telemetry::new(true, Duration::from_millis(100), 2);
+        for id in 1..=3u64 {
+            t.store_trace(crate::trace::StatementTrace {
+                statement_id: id,
+                spans: Vec::new(),
+            });
+        }
+        let traces = t.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].statement_id, 2);
+        assert_eq!(traces[1].statement_id, 3);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use parking_lot::Mutex;
 use crate::catalog::{Catalog, Column, Schema, Table};
 use crate::error::{EngineError, Result};
 use crate::exec::check_deadline;
+use crate::trace::{AttrValue, TraceScope, WaitClass};
 use crate::value::{DataType, Row};
 
 /// WAL file name inside the storage root.
@@ -237,11 +238,25 @@ impl Wal {
     /// drops, and the statement is acknowledged only once that returns.
     /// `None` means the write is already as durable as the sync policy
     /// promises (or nothing needed writing).
+    #[cfg_attr(not(test), allow(dead_code))] // untraced convenience used by the test suites
     pub(crate) fn log(
         &self,
         catalog: &Catalog,
         ops: Vec<WalOp>,
         deadline: Option<Instant>,
+    ) -> Result<Option<u64>> {
+        self.log_traced(catalog, ops, deadline, None)
+    }
+
+    /// [`Wal::log`] with an optional trace scope: WAL spans (inline fsync,
+    /// retry backoff) recorded while writing parent under the statement's
+    /// exec span.
+    pub(crate) fn log_traced(
+        &self,
+        catalog: &Catalog,
+        ops: Vec<WalOp>,
+        deadline: Option<Instant>,
+        trace: Option<&TraceScope<'_>>,
     ) -> Result<Option<u64>> {
         if ops.is_empty() {
             return Ok(None);
@@ -251,7 +266,7 @@ impl Wal {
             pending.extend(ops);
             return Ok(None);
         }
-        let ticket = self.write_batch(&mut inner, &ops, false, deadline)?;
+        let ticket = self.write_batch(&mut inner, &ops, false, deadline, trace)?;
         if ticket.is_none() {
             self.maybe_checkpoint(&mut inner, catalog)?;
         }
@@ -267,11 +282,13 @@ impl Wal {
     }
 
     /// Flush the buffered transaction as a single batch: called at `COMMIT`.
-    /// Returns a group-commit ticket like [`Wal::log`].
-    pub(crate) fn commit(
+    /// Returns a group-commit ticket like [`Wal::log`]; the optional trace
+    /// scope works as in [`Wal::log_traced`].
+    pub(crate) fn commit_traced(
         &self,
         catalog: &Catalog,
         deadline: Option<Instant>,
+        trace: Option<&TraceScope<'_>>,
     ) -> Result<Option<u64>> {
         let mut inner = self.inner.lock();
         let Some(ops) = inner.pending.take() else {
@@ -280,7 +297,7 @@ impl Wal {
         if ops.is_empty() {
             return Ok(None);
         }
-        let ticket = self.write_batch(&mut inner, &ops, true, deadline)?;
+        let ticket = self.write_batch(&mut inner, &ops, true, deadline, trace)?;
         if ticket.is_none() {
             self.maybe_checkpoint(&mut inner, catalog)?;
         }
@@ -354,7 +371,54 @@ impl Wal {
     /// [`EngineError::Timeout`]. Its frame stays queued — the next leader
     /// flushes it — and the statement is *not* acknowledged, so timing out
     /// here never loses an acked commit.
+    #[cfg_attr(not(test), allow(dead_code))] // untraced convenience used by the test suites
     pub(crate) fn wait_durable(&self, seq: u64, deadline: Option<Instant>) -> Result<()> {
+        self.wait_durable_traced(seq, deadline, None)
+    }
+
+    /// [`Wal::wait_durable`] with an optional trace scope. When the fast
+    /// path misses (the frame is not yet durable), the whole wait is rolled
+    /// up into the `fsync` wait class and — when traced — recorded as a
+    /// `wal.fsync_wait` span attributed with the role this statement played
+    /// (`leader` flushed the group itself; `follower` waited on another
+    /// statement's flush). The fast path stays clock-free.
+    pub(crate) fn wait_durable_traced(
+        &self,
+        seq: u64,
+        deadline: Option<Instant>,
+        trace: Option<&TraceScope<'_>>,
+    ) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        if self.durable_before.load(Ordering::Acquire) > seq {
+            return Ok(());
+        }
+        let waited_from = (self.telemetry.enabled() || trace.is_some()).then(Instant::now);
+        let mut led = false;
+        let result = self.wait_durable_slow(seq, deadline, trace, &mut led);
+        if let Some(from) = waited_from {
+            if self.telemetry.enabled() {
+                self.telemetry.wait_fsync_us.record(from.elapsed());
+            }
+            if let Some(scope) = trace {
+                let role = if led { "leader" } else { "follower" };
+                scope.record_wait(
+                    "wal.fsync_wait",
+                    WaitClass::Fsync,
+                    from,
+                    vec![("role", AttrValue::Text(role))],
+                );
+            }
+        }
+        result
+    }
+
+    fn wait_durable_slow(
+        &self,
+        seq: u64,
+        deadline: Option<Instant>,
+        trace: Option<&TraceScope<'_>>,
+        led: &mut bool,
+    ) -> Result<()> {
         use std::sync::atomic::Ordering;
         let Some(dl) = deadline else {
             // No deadline: block on the leader lock directly (the hot
@@ -367,7 +431,8 @@ impl Wal {
                 if self.durable_before.load(Ordering::Acquire) > seq {
                     continue; // re-check via the fast path, then return
                 }
-                self.flush_group(None)?;
+                *led = true;
+                self.flush_group(None, trace)?;
             }
         };
         loop {
@@ -380,7 +445,8 @@ impl Wal {
                     if self.durable_before.load(Ordering::Acquire) > seq {
                         continue;
                     }
-                    self.flush_group(Some(dl))?;
+                    *led = true;
+                    self.flush_group(Some(dl), trace)?;
                 }
                 // Another leader is flushing; poll instead of blocking
                 // unboundedly behind its IO.
@@ -391,8 +457,11 @@ impl Wal {
 
     /// Write the queued group to storage: one append + one fsync for every
     /// frame enqueued so far, retried per [`WalRetry`] with truncate-repair
-    /// between attempts. Caller holds `flush_lock`.
-    fn flush_group(&self, deadline: Option<Instant>) -> Result<()> {
+    /// between attempts. Caller holds `flush_lock`. The fsync itself feeds
+    /// only the `wal_fsync` latency histogram — the leader's *wait* is
+    /// already rolled up by [`Wal::wait_durable_traced`], so recording it
+    /// here too would double-count.
+    fn flush_group(&self, deadline: Option<Instant>, trace: Option<&TraceScope<'_>>) -> Result<()> {
         use std::sync::atomic::Ordering;
         // Steal the queue under a brief inner lock; IO runs without it.
         let (bytes, lens, hi, base_len) = {
@@ -445,7 +514,12 @@ impl Wal {
                         break e;
                     }
                     self.telemetry.wal_retries.incr();
+                    let slept_from =
+                        (self.telemetry.enabled() || trace.is_some()).then(Instant::now);
                     std::thread::sleep(self.retry.backoff * attempt);
+                    if let Some(from) = slept_from {
+                        self.record_retry_wait(from, attempt, trace);
+                    }
                     attempt += 1;
                 }
             }
@@ -466,12 +540,29 @@ impl Wal {
         Err(err)
     }
 
+    /// Record one WAL retry backoff sleep into the `wal_retry` wait-class
+    /// rollup and (when traced) as a `wal.retry` span.
+    fn record_retry_wait(&self, from: Instant, attempt: u32, trace: Option<&TraceScope<'_>>) {
+        if self.telemetry.enabled() {
+            self.telemetry.wait_wal_retry_us.record(from.elapsed());
+        }
+        if let Some(scope) = trace {
+            scope.record_wait(
+                "wal.retry",
+                WaitClass::WalRetry,
+                from,
+                vec![("attempt", AttrValue::Int(i64::from(attempt)))],
+            );
+        }
+    }
+
     fn write_batch(
         &self,
         inner: &mut WalInner,
         ops: &[WalOp],
         is_commit: bool,
         deadline: Option<Instant>,
+        trace: Option<&TraceScope<'_>>,
     ) -> Result<Option<u64>> {
         if let Some(cause) = &inner.wedged {
             return Err(Self::wedged_error(cause));
@@ -498,10 +589,23 @@ impl Wal {
                 if !want_sync {
                     return Ok(());
                 }
-                let sync_started = self.telemetry.enabled().then(std::time::Instant::now);
+                let sync_started =
+                    (self.telemetry.enabled() || trace.is_some()).then(std::time::Instant::now);
                 self.io.sync(WAL_FILE)?;
                 if let Some(t) = sync_started {
-                    self.telemetry.record_wal_fsync(t.elapsed());
+                    let took = t.elapsed();
+                    if self.telemetry.enabled() {
+                        self.telemetry.record_wal_fsync(took);
+                        self.telemetry.wait_fsync_us.record(took);
+                    }
+                    if let Some(scope) = trace {
+                        scope.record_wait(
+                            "wal.fsync",
+                            WaitClass::Fsync,
+                            t,
+                            vec![("role", AttrValue::Text("inline"))],
+                        );
+                    }
                 }
                 Ok(())
             });
@@ -520,7 +624,12 @@ impl Wal {
                         return Err(e);
                     }
                     self.telemetry.wal_retries.incr();
+                    let slept_from =
+                        (self.telemetry.enabled() || trace.is_some()).then(Instant::now);
                     std::thread::sleep(self.retry.backoff * attempt);
+                    if let Some(from) = slept_from {
+                        self.record_retry_wait(from, attempt, trace);
+                    }
                     attempt += 1;
                 }
             }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_results.json against the checked-in BENCH_baseline.json.
+
+Three serving-critical latency metrics are gated: a regression of more
+than the threshold (default 25%) fails the build. Every other shared
+metric is informational — the script always prints a comparison table so
+CI logs show drift long before it trips the gate.
+
+Usage:
+    tools/bench_regression.py [--results PATH] [--baseline PATH]
+                              [--threshold PCT]
+
+Exit status: 0 on pass, 1 when a gated metric regressed, 2 on bad input.
+Stdlib only; the CI runner has no third-party Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+# (section, metric) pairs where "bigger" means "slower" and a sustained
+# regression is a release blocker. Keep in sync with DESIGN.md
+# ("Observability" → bench summaries).
+GATED = [
+    ("serving_parameterized", "cached_us"),
+    ("predict_batched", "batch_per_item_us"),
+    ("columnar_vectorized", "vectorized_us"),
+]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default="BENCH_results.json")
+    ap.add_argument("--baseline", default="BENCH_baseline.json")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max allowed regression for gated metrics, percent")
+    args = ap.parse_args()
+
+    results = load(args.results)
+    baseline = load(args.baseline)
+
+    rows = []
+    failures = []
+    for section in sorted(set(baseline) & set(results)):
+        base_sec, res_sec = baseline[section], results[section]
+        for metric in sorted(set(base_sec) & set(res_sec)):
+            base, fresh = base_sec[metric], res_sec[metric]
+            delta = (fresh - base) / base * 100.0 if base else 0.0
+            gated = (section, metric) in GATED
+            rows.append((f"{section}.{metric}", base, fresh, delta, gated))
+            if gated and delta > args.threshold:
+                failures.append((f"{section}.{metric}", base, fresh, delta))
+
+    if not rows:
+        print("error: baseline and results share no metrics", file=sys.stderr)
+        sys.exit(2)
+
+    missing = [f"{s}.{m}" for s, m in GATED
+               if m not in results.get(s, {}) or m not in baseline.get(s, {})]
+    if missing:
+        print(f"error: gated metrics absent: {', '.join(missing)}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    name_w = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{name_w}}  {'baseline':>12}  {'current':>12}  "
+          f"{'delta':>8}  gate")
+    for name, base, fresh, delta, gated in rows:
+        mark = "GATED" if gated else ""
+        print(f"{name:<{name_w}}  {base:>12.3f}  {fresh:>12.3f}  "
+              f"{delta:>+7.1f}%  {mark}")
+
+    if failures:
+        print()
+        for name, base, fresh, delta in failures:
+            print(f"FAIL: {name} regressed {delta:+.1f}% "
+                  f"({base:.3f} -> {fresh:.3f}), threshold "
+                  f"{args.threshold:.0f}%", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench-regression: all gated metrics within "
+          f"{args.threshold:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()
